@@ -1,0 +1,28 @@
+"""Benchmark result reporting.
+
+pytest captures stdout, so tables printed by benches would be invisible in
+``pytest benchmarks/ --benchmark-only`` output; :func:`emit` writes each
+regenerated table/figure both to the *real* stdout (bypassing capture) and
+to ``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, title: str, body: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {title} ====="
+    text = f"{banner}\n{body.rstrip()}\n"
+    try:
+        sys.__stdout__.write(text)
+        sys.__stdout__.flush()
+    except (AttributeError, ValueError):
+        print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text.lstrip("\n"))

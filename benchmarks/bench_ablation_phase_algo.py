@@ -1,0 +1,115 @@
+"""Ablation §4.7 — automaton-based vs CFG-navigation phase detection.
+
+The paper reports the DFA route being an order of magnitude faster than
+the intuitive CFG navigation (41 s vs 700 s on a hello-world; 20 min vs
+4 h on Nginx).  The navigation method re-traverses the whole graph from
+every syscall node and compares closures pairwise, so its cost grows
+super-linearly with program size; the reproduction measures both methods
+on growing synthetic serve-loop programs and checks the scaling trend.
+"""
+
+import time
+
+from repro.cfg import build_cfg, reachable_blocks, resolve_indirect_active
+from repro.corpus import ProgramBuilder
+from repro.phases import detect_phases, detect_phases_cfg_navigation
+from repro.x86 import EAX, RDI
+
+
+def _synthetic_program(n_ops: int):
+    """A serve-loop program with ``n_ops`` syscall clusters and padding
+    code between them (the padding is what navigation has to re-walk)."""
+    p = ProgramBuilder(f"synth{n_ops}")
+    with p.function("_start"):
+        p.asm.mov(EAX, 2)
+        p.asm.syscall()
+        p.asm.label("loop")
+        for i in range(n_ops):
+            p.asm.mov(EAX, (i % 30) + 4)
+            p.asm.syscall()
+            p.asm.cmp(RDI, i)
+            p.asm.jcc("e", f"skip{i}")
+            for __ in range(6):
+                p.asm.nop()
+            p.asm.label(f"skip{i}")
+        p.asm.cmp(RDI, 0)
+        p.asm.jcc("ne", "loop")
+        p.asm.mov(EAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+def _block_syscalls(prog):
+    from repro.baselines.naive import _block_local_value
+
+    cfg = build_cfg(prog.image)
+    resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+    reach = reachable_blocks(cfg, [prog.image.entry])
+    out = {}
+    for block in cfg.syscall_blocks():
+        value = _block_local_value(cfg, block.addr, block.terminator.addr)
+        if value is not None:
+            out[block.addr] = {value}
+    return cfg, out, reach
+
+
+def _time_methods(n_ops: int):
+    prog = _synthetic_program(n_ops)
+    cfg, block_syscalls, reach = _block_syscalls(prog)
+
+    t0 = time.perf_counter()
+    automaton = detect_phases(
+        cfg, block_syscalls, prog.image.entry, reachable=reach,
+        back_propagate=False,
+    )
+    dfa_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference = detect_phases_cfg_navigation(
+        cfg, block_syscalls, prog.image.entry, reachable=reach,
+    )
+    nav_s = time.perf_counter() - t0
+
+    union_dfa = automaton.all_syscalls()
+    union_nav = set().union(*reference.values()) if reference else set()
+    assert union_dfa == union_nav
+    return cfg.n_blocks, dfa_s, nav_s
+
+
+def test_ablation_phase_algorithms(report_emitter, benchmark):
+    sizes = (20, 80, 240)
+    rows = [f"{'#ops':>6} {'blocks':>7} {'DFA (s)':>10} {'CFG-nav (s)':>12} {'nav/DFA':>8}"]
+    measurements = []
+    # Warm both code paths (imports, caches) before measuring.
+    _time_methods(5)
+    for n_ops in sizes:
+        blocks, dfa_s, nav_s = _time_methods(n_ops)
+        measurements.append((n_ops, blocks, dfa_s, nav_s))
+        rows.append(
+            f"{n_ops:>6} {blocks:>7} {dfa_s:>10.4f} {nav_s:>12.4f} "
+            f"{nav_s / max(dfa_s, 1e-9):>8.2f}"
+        )
+    report_emitter(
+        "ablation_phase_algo",
+        "Ablation: DFA-based vs CFG-navigation phase detection (§4.7)",
+        "\n".join(rows),
+    )
+
+    # Scaling claim: navigation cost grows faster than the automaton's.
+    __, __, dfa_small, nav_small = measurements[0]
+    __, __, dfa_large, nav_large = measurements[-1]
+    dfa_growth = dfa_large / max(dfa_small, 1e-9)
+    nav_growth = nav_large / max(nav_small, 1e-9)
+    assert nav_growth > dfa_growth, (nav_growth, dfa_growth)
+    # At scale, navigation is the slower method (the paper's 10x+ becomes
+    # visible once the graph is non-trivial).
+    assert nav_large > dfa_large
+
+    prog = _synthetic_program(40)
+    cfg, block_syscalls, reach = _block_syscalls(prog)
+    benchmark(lambda: detect_phases(
+        cfg, block_syscalls, prog.image.entry, reachable=reach,
+        back_propagate=False,
+    ))

@@ -1,0 +1,59 @@
+"""Ablation §4.4 — wrapper detection on/off.
+
+Without the wrapper heuristic every site is identified by querying ``%rax``
+at the ``syscall`` instruction.  For wrapper sites that query either fails
+(false negatives — SysFilter's behaviour) or, when the backward search
+escapes into all callers, collects the union over every call site
+(overestimation — Figure 2 B).  The ablation quantifies this on the six
+validation apps.
+"""
+
+from repro.core import AnalysisBudget, BSideAnalyzer
+from repro.metrics import score
+
+
+def test_ablation_wrapper_detection(app_results, report_emitter, benchmark):
+    rows = [
+        f"{'app':<11} {'with: FN':>9} {'F1':>6} | {'without: FN':>12} {'F1':>6} {'complete':>9}"
+    ]
+    degraded = 0
+    for name, result in app_results.items():
+        bundle = result.bundle
+        no_wrap = BSideAnalyzer(
+            resolver=bundle.resolver,
+            budget=AnalysisBudget.generous(),
+            detect_wrappers=False,
+        ).analyze(bundle.program.image, modules=bundle.module_images)
+
+        with_score = score(result.bside.syscalls, result.ground_truth)
+        without_score = score(no_wrap.syscalls, result.ground_truth)
+        rows.append(
+            f"{name:<11} {with_score.false_negatives:>9} {with_score.f1:>6.2f} | "
+            f"{without_score.false_negatives:>12} {without_score.f1:>6.2f} "
+            f"{str(no_wrap.complete):>9}"
+        )
+        if (
+            without_score.false_negatives > with_score.false_negatives
+            or without_score.f1 < with_score.f1
+            or not no_wrap.complete
+        ):
+            degraded += 1
+    report_emitter(
+        "ablation_wrappers",
+        "Ablation: wrapper detection disabled (§4.4)",
+        "\n".join(rows),
+    )
+
+    # Disabling the heuristic must hurt on every wrapper-using app.
+    assert degraded == len(app_results)
+
+    bundle = app_results["redis"].bundle
+
+    def no_wrapper_analysis():
+        return BSideAnalyzer(
+            resolver=bundle.resolver,
+            budget=AnalysisBudget.generous(),
+            detect_wrappers=False,
+        ).analyze(bundle.program.image)
+
+    benchmark(no_wrapper_analysis)

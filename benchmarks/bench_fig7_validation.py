@@ -1,0 +1,48 @@
+"""Figure 7 — validation: syscalls identified by B-Side, Chestnut,
+SysFilter and the strace-on-test-suite ground truth on the 6 applications,
+with per-tool false-negative counts.
+
+Paper shape to hold: B-Side has 0 false negatives everywhere and tracks
+the ground truth closely; Chestnut produces >250 identified syscalls with
+small FN counts; SysFilter sits in between with FNs on every wrapper-using
+application.
+"""
+
+import pytest
+
+from repro.core import AnalysisBudget, BSideAnalyzer
+
+
+def test_fig7_validation_table(app_results, report_emitter, benchmark):
+    rows = [
+        f"{'app':<11} {'truth':>5} | {'b-side':>7} {'FN':>3} | "
+        f"{'chestnut':>8} {'FN':>3} | {'sysfilter':>9} {'FN':>3}"
+    ]
+    for name, result in app_results.items():
+        scores = result.scores()
+        rows.append(
+            f"{name:<11} {len(result.ground_truth):>5} | "
+            f"{len(result.bside.syscalls):>7} {scores['b-side'].false_negatives:>3} | "
+            f"{len(result.chestnut.syscalls):>8} {scores['chestnut'].false_negatives:>3} | "
+            f"{len(result.sysfilter.syscalls):>9} {scores['sysfilter'].false_negatives:>3}"
+        )
+    report_emitter("fig7_validation", "Figure 7: validation on 6 applications", "\n".join(rows))
+
+    # Paper's headline claims, asserted.
+    for name, result in app_results.items():
+        scores = result.scores()
+        assert scores["b-side"].false_negatives == 0, name
+        assert len(result.chestnut.syscalls) > 250, name
+        assert scores["sysfilter"].false_negatives > 0, name
+
+    # Timed unit: one full B-Side analysis of the redis-like app.
+    bundle = app_results["redis"].bundle
+
+    def analyze_redis():
+        analyzer = BSideAnalyzer(
+            resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+        )
+        return analyzer.analyze(bundle.program.image)
+
+    report = benchmark(analyze_redis)
+    assert report.success

@@ -1,0 +1,58 @@
+"""Figure 8 — distribution of identified-set sizes over the corpus.
+
+Paper shape to hold: Chestnut's mass concentrates around ~270 with almost
+no variation; SysFilter concentrates around ~100; B-Side spreads over
+1-90 with strong per-application variation.
+"""
+
+import statistics
+
+from repro.metrics import histogram
+
+
+def _ascii_histogram(counts: list[int], label: str, bin_width: int = 10) -> list[str]:
+    bins = histogram(counts, bin_width=bin_width)
+    lines = [f"--- {label} (n={len(counts)}) ---"]
+    peak = max(bins.values()) if bins else 1
+    for start in sorted(bins):
+        n = bins[start]
+        bar = "#" * max(1, round(40 * n / peak))
+        lines.append(f"{start:>4}-{start + bin_width - 1:<4} {n:>4} {bar}")
+    return lines
+
+
+def test_fig8_histogram(corpus_sweep, report_emitter, benchmark):
+    sizes = {
+        tool: [len(r.syscalls) for __, r in results if r.success]
+        for tool, results in (
+            ("b-side", corpus_sweep.bside),
+            ("chestnut", corpus_sweep.chestnut),
+            ("sysfilter", corpus_sweep.sysfilter),
+        )
+    }
+    lines: list[str] = []
+    for tool, counts in sizes.items():
+        lines += _ascii_histogram(counts, tool)
+        lines.append("")
+    report_emitter(
+        "fig8_histogram",
+        "Figure 8: distribution of #syscalls identified per binary",
+        "\n".join(lines),
+    )
+
+    # Chestnut: tight mass near its fallback size on dynamic binaries
+    # (its rare static successes are the small pure-direct binaries).
+    chestnut_dyn = [
+        len(r.syscalls)
+        for b, r in corpus_sweep.chestnut
+        if r.success and not b.is_static
+    ]
+    assert statistics.pstdev(chestnut_dyn) < 15
+    assert 260 <= statistics.median(chestnut_dyn) <= 290
+    # SysFilter: concentrated around ~100.
+    assert 80 <= statistics.median(sizes["sysfilter"]) <= 130
+    # B-Side: wide spread at low counts.
+    assert statistics.median(sizes["b-side"]) < 70
+    assert statistics.pstdev(sizes["b-side"]) > statistics.pstdev(chestnut_dyn)
+
+    benchmark(lambda: histogram(sizes["b-side"]))

@@ -1,0 +1,72 @@
+"""Table 2 — B-Side vs Chestnut vs SysFilter over the 557-binary corpus.
+
+Paper shape to hold (success counts are structural, so they match
+exactly): B-Side succeeds on ~79% overall / ~98% static / ~66% dynamic;
+Chestnut fails on nearly every static binary but succeeds on most dynamic
+ones; SysFilter only processes PIC binaries with unwind info.  Average
+identified counts: B-Side ≪ SysFilter ≪ Chestnut on dynamic binaries.
+"""
+
+from repro.core import BSideAnalyzer
+
+
+def _format_rows(sweep) -> str:
+    lines = []
+    for slice_name in ("all", "static", "dynamic"):
+        lines.append(f"--- {slice_name} binaries ---")
+        header = f"{'tool':<11} {'#success':>12} {'#failure':>12} {'avg #syscalls':>14}"
+        lines.append(header)
+        for tool, results in (
+            ("b-side", sweep.bside),
+            ("chestnut", sweep.chestnut),
+            ("sysfilter", sweep.sysfilter),
+        ):
+            ok, fail, avg, total = sweep.rows(results)[slice_name]
+            lines.append(
+                f"{tool:<11} {f'{ok} ({100 * ok / total:.1f}%)':>12} "
+                f"{f'{fail} ({100 * fail / total:.1f}%)':>12} {avg:>14.1f}"
+            )
+    return "\n".join(lines)
+
+
+def test_table2_debian_corpus(corpus_sweep, report_emitter, benchmark):
+    report_emitter(
+        "table2_debian",
+        "Table 2: 557 Debian-like binaries, success/failure and precision",
+        _format_rows(corpus_sweep),
+    )
+
+    rows_b = corpus_sweep.rows(corpus_sweep.bside)
+    rows_c = corpus_sweep.rows(corpus_sweep.chestnut)
+    rows_s = corpus_sweep.rows(corpus_sweep.sysfilter)
+
+    # Success-rate shape (who succeeds where).
+    assert rows_b["static"][0] / rows_b["static"][3] > 0.95
+    assert 0.55 <= rows_b["dynamic"][0] / rows_b["dynamic"][3] <= 0.75
+    assert rows_c["static"][0] <= 6
+    assert rows_c["dynamic"][0] / rows_c["dynamic"][3] > 0.85
+    assert rows_s["static"][0] <= 2
+    assert rows_s["dynamic"][0] / rows_s["dynamic"][3] < 0.45
+
+    # Precision ordering on dynamic binaries.
+    assert rows_b["dynamic"][2] < rows_s["dynamic"][2] < rows_c["dynamic"][2]
+    # Rough magnitudes.
+    assert 35 <= rows_b["dynamic"][2] <= 75
+    assert rows_c["dynamic"][2] > 260
+
+    # B-Side failure-stage taxonomy (§5.2: CFG recovery dominates).
+    failures = [r for __, r in corpus_sweep.bside if not r.success]
+    cfg_share = sum(r.failure_stage == "cfg-recovery" for r in failures) / len(failures)
+    assert cfg_share > 0.6
+
+    # Timed unit: B-Side on one ordinary dynamic binary (interfaces warm).
+    resolver = corpus_sweep.corpus.make_resolver()
+    analyzer = BSideAnalyzer(resolver=resolver)
+    sample = next(
+        b for b in corpus_sweep.corpus.binaries
+        if not b.is_static and b.hardness is None
+    )
+    analyzer.analyze(sample.image)  # warm the interface cache
+
+    report = benchmark(lambda: analyzer.analyze(sample.image))
+    assert report.success

@@ -1,0 +1,99 @@
+"""Table 4 / Figure 9 — the Nginx phase automaton.
+
+Paper shape to hold: phases split into two classes — small, strict ones
+(few allowed syscalls, tiny code size) and large serving phases allowing
+~85-89% of the program's total syscalls; a phase-based policy is on
+average ~11-15% stricter than the whole-program filter.
+"""
+
+from repro.core import AnalysisBudget, BSideAnalyzer
+from repro.corpus import build_app
+from repro.filters import FilterProgram, PhasePolicy
+
+
+def _automaton_for(app_results, name: str):
+    bundle = app_results[name].bundle
+    analyzer = BSideAnalyzer(
+        resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+    )
+    report, automaton = analyzer.analyze_phases(
+        bundle.program.image, modules=bundle.module_images,
+        back_propagate=False,
+    )
+    return bundle, report, automaton
+
+
+def test_table4_nginx_phases(app_results, report_emitter, benchmark):
+    bundle, report, automaton = _automaton_for(app_results, "nginx")
+    assert report.success and automaton is not None
+
+    # Recompute with back-propagation for the seccomp-ready view.
+    total = len(automaton.all_syscalls())
+    matrix = automaton.transition_matrix()
+    pids = sorted(automaton.phases)
+
+    # Get per-phase code sizes from the underlying CFG.
+    from repro.cfg import build_cfg, resolve_indirect_active
+
+    cfg = build_cfg(bundle.program.image)
+    resolve_indirect_active(cfg, bundle.program.image, [bundle.program.image.entry])
+
+    header = f"{'phase':>5} | " + " ".join(f"{p:>4}" for p in pids) + \
+        f" | {'total':>5} {'of':>4} | {'size(B)':>8}"
+    rows = [header]
+    for src in pids:
+        cells = " ".join(
+            f"{matrix.get((src, dst), 0) or '-':>4}" for dst in pids
+        )
+        allowed = len(automaton.phases[src].allowed)
+        size = automaton.phases[src].code_size(cfg)
+        rows.append(f"{src:>5} | {cells} | {allowed:>5} {total:>4} | {size:>8}")
+
+    policy = PhasePolicy.from_automaton(automaton, use_propagated=False)
+    whole = FilterProgram.allow_list(report.syscalls)
+    gain = policy.strictness_gain_over(whole)
+    rows.append("")
+    rows.append(f"phases: {automaton.n_phases}; total syscalls: {total}; "
+                f"avg allowed/phase: {policy.average_allowed():.1f}; "
+                f"strictness gain vs whole-program filter: {gain:.1%}")
+    report_emitter("table4_phases", "Table 4 / Figure 9: Nginx phase automaton", "\n".join(rows))
+
+    # Shape assertions.  The paper's two phase classes must both appear:
+    # small strict phases, and a large serving phase covering the event
+    # loop.  (Our synthetic apps have far more precise CFGs than real
+    # Nginx under angr, so the large phase allows a smaller share of the
+    # total than the paper's 85-89% and the average strictness gain is
+    # accordingly *larger* than the paper's 11-15% — see EXPERIMENTS.md.)
+    assert automaton.n_phases >= 3
+    allowed_counts = sorted(len(p.allowed) for p in automaton.phases.values())
+    # Strict phases exist (single-syscall allowed sets)...
+    assert allowed_counts[0] <= 2
+    # ...and a large serving phase spans a serve-loop worth of syscalls.
+    serve_size = len(bundle.spec.serve)
+    assert allowed_counts[-1] >= serve_size
+    # Phase-based filtering is strictly stricter on average (§5.4 reports
+    # an 11-15% gain; precision of the substitute CFG pushes ours higher).
+    assert gain >= 0.11
+
+    benchmark(lambda: PhasePolicy.from_automaton(automaton, use_propagated=False))
+
+
+def test_table4_all_apps_summary(app_results, report_emitter, benchmark):
+    """§5.4: 'observations are similar for all 6 applications'."""
+    rows = [f"{'app':<11} {'phases':>7} {'total':>6} {'avg allowed':>12} {'gain':>7}"]
+    last_automaton = None
+    for name in app_results:
+        bundle, report, automaton = _automaton_for(app_results, name)
+        assert automaton is not None, name
+        policy = PhasePolicy.from_automaton(automaton, use_propagated=False)
+        whole = FilterProgram.allow_list(report.syscalls)
+        gain = policy.strictness_gain_over(whole)
+        rows.append(
+            f"{name:<11} {automaton.n_phases:>7} {len(automaton.all_syscalls()):>6} "
+            f"{policy.average_allowed():>12.1f} {gain:>7.1%}"
+        )
+        assert gain > 0, name
+        last_automaton = automaton
+    report_emitter("table4_all_apps", "Phase strictness across all apps", "\n".join(rows))
+
+    benchmark(lambda: last_automaton.back_propagate())

@@ -1,0 +1,113 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy workloads (the 6 validation apps, the 557-binary Debian corpus, the
+three tools' sweeps over them) are computed once per session and shared;
+the ``benchmark`` fixture then times representative units so that
+``pytest benchmarks/ --benchmark-only`` both *regenerates every table and
+figure of the paper* and reports timing statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.baselines import ChestnutAnalyzer, SysFilterAnalyzer
+from repro.core import AnalysisBudget, AnalysisReport, BSideAnalyzer
+from repro.corpus import APP_NAMES, build_app, make_debian_corpus
+from repro.emu import trace_test_suite
+from repro.metrics import score
+
+from _report import emit  # noqa: E402  (benchmarks-local helper)
+
+
+@dataclass
+class AppResult:
+    """One app's full cross-tool evaluation."""
+
+    name: str
+    bundle: object
+    ground_truth: set[int]
+    bside: AnalysisReport
+    chestnut: AnalysisReport
+    sysfilter: AnalysisReport
+
+    def scores(self):
+        return {
+            "b-side": score(self.bside.syscalls, self.ground_truth),
+            "chestnut": score(self.chestnut.syscalls, self.ground_truth),
+            "sysfilter": score(self.sysfilter.syscalls, self.ground_truth),
+        }
+
+
+@pytest.fixture(scope="session")
+def app_results() -> dict[str, AppResult]:
+    """Analyze all six apps with all three tools; trace their test suites."""
+    out: dict[str, AppResult] = {}
+    analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+    for name in APP_NAMES:
+        bundle = build_app(name)
+        analyzer.resolver = bundle.resolver
+        bside = analyzer.analyze(
+            bundle.program.image, modules=bundle.module_images,
+            measure_memory=True,
+        )
+        truth, __ = trace_test_suite(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        out[name] = AppResult(
+            name=name,
+            bundle=bundle,
+            ground_truth=truth,
+            bside=bside,
+            chestnut=ChestnutAnalyzer(bundle.resolver).analyze(bundle.program.image),
+            sysfilter=SysFilterAnalyzer(bundle.resolver).analyze(bundle.program.image),
+        )
+    return out
+
+
+@dataclass
+class CorpusSweep:
+    """All three tools swept over the full Debian-like corpus."""
+
+    corpus: object
+    bside: list = field(default_factory=list)       # (binary, report)
+    chestnut: list = field(default_factory=list)
+    sysfilter: list = field(default_factory=list)
+
+    def rows(self, results):
+        """(#success, #failure, avg syscalls) per population slice."""
+        out = {}
+        for label, pred in (
+            ("all", lambda b: True),
+            ("static", lambda b: b.is_static),
+            ("dynamic", lambda b: not b.is_static),
+        ):
+            sub = [(b, r) for b, r in results if pred(b)]
+            ok = [r for __, r in sub if r.success]
+            avg = statistics.mean(len(r.syscalls) for r in ok) if ok else 0.0
+            out[label] = (len(ok), len(sub) - len(ok), avg, len(sub))
+        return out
+
+
+@pytest.fixture(scope="session")
+def corpus_sweep() -> CorpusSweep:
+    corpus = make_debian_corpus()
+    resolver = corpus.make_resolver()
+    sweep = CorpusSweep(corpus=corpus)
+    bside = BSideAnalyzer(resolver=resolver)
+    chestnut = ChestnutAnalyzer(resolver)
+    sysfilter = SysFilterAnalyzer(resolver)
+    for binary in corpus.binaries:
+        sweep.bside.append((binary, bside.analyze(binary.image)))
+        sweep.chestnut.append((binary, chestnut.analyze(binary.image)))
+        sweep.sysfilter.append((binary, sysfilter.analyze(binary.image)))
+    return sweep
+
+
+@pytest.fixture(scope="session")
+def report_emitter():
+    return emit

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scenario: choosing an identification tool for a mixed binary fleet.
+
+Runs B-Side, Chestnut and SysFilter side by side over a slice of the
+Debian-like corpus and prints, per binary class, who even *completes*, how
+tight the resulting policies are, and what each tool's failure mode looks
+like — a miniature of the paper's Table 2 narrative.
+
+Run:  python examples/compare_tools.py
+"""
+
+import statistics
+from collections import Counter
+
+from repro.baselines import ChestnutAnalyzer, SysFilterAnalyzer
+from repro.core import BSideAnalyzer
+from repro.corpus import make_debian_corpus
+
+
+def main() -> None:
+    corpus = make_debian_corpus(scale=0.2, seed=42)
+    resolver = corpus.make_resolver()
+    tools = {
+        "b-side": BSideAnalyzer(resolver=resolver),
+        "chestnut": ChestnutAnalyzer(resolver),
+        "sysfilter": SysFilterAnalyzer(resolver),
+    }
+    print(f"fleet: {len(corpus.binaries)} binaries "
+          f"({len(corpus.static_binaries)} static, "
+          f"{len(corpus.dynamic_binaries)} dynamic), "
+          f"{len(corpus.libraries)} shared libraries\n")
+
+    for tool_name, analyzer in tools.items():
+        reports = [(b, analyzer.analyze(b.image)) for b in corpus.binaries]
+        ok = [r for __, r in reports if r.success]
+        sizes = [len(r.syscalls) for r in ok]
+        reasons = Counter(
+            r.failure_stage for __, r in reports if not r.success
+        )
+        print(f"=== {tool_name} ===")
+        print(f"  completed {len(ok)}/{len(reports)}")
+        if sizes:
+            print(f"  identified syscalls: median {statistics.median(sizes):.0f}, "
+                  f"min {min(sizes)}, max {max(sizes)}")
+        if reasons:
+            top = ", ".join(f"{stage or 'load'}: {n}" for stage, n in reasons.most_common())
+            print(f"  failure modes: {top}")
+        print()
+
+    print("reading: B-Side completes broadly with the tightest policies;")
+    print("Chestnut survives dynamic binaries but its fallback allows ~270;")
+    print("SysFilter only handles PIC binaries with unwind info, and misses")
+    print("wrapper-made syscalls silently on those it does handle.")
+
+
+if __name__ == "__main__":
+    main()

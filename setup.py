@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, which PEP 660
+editable installs require; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) works without it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""B-Side reproduction: binary-level static system call identification.
+
+Public API re-exports the pieces a downstream user needs:
+
+* :class:`repro.core.analyzer.BSideAnalyzer` — the paper's contribution,
+* the baselines (:mod:`repro.baselines`),
+* the corpus generators (:mod:`repro.corpus`),
+* the ground-truth emulator (:mod:`repro.emu`),
+* phase detection (:mod:`repro.phases`) and filter generation
+  (:mod:`repro.filters`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Baseline re-implementations: SysFilter, Chestnut, and a naive scanner.
+
+These follow the algorithms described in the original papers (as
+characterised by B-Side's §3) so the evaluation compares *identification
+strategies* on identical substrates.
+"""
+
+from .chestnut import CHESTNUT_FALLBACK, ChestnutAnalyzer
+from .common import TrackResult, collect_register_values, full_image_sites
+from .naive import NaiveAnalyzer
+from .sysfilter import SysFilterAnalyzer
+
+__all__ = [
+    "ChestnutAnalyzer",
+    "CHESTNUT_FALLBACK",
+    "SysFilterAnalyzer",
+    "NaiveAnalyzer",
+    "TrackResult",
+    "collect_register_values",
+    "full_image_sites",
+]

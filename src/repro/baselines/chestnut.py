@@ -1,0 +1,170 @@
+"""Chestnut (Binalyzer) re-implementation (Canella et al., CCSW 2021).
+
+Faithful to the published design as characterised in the B-Side paper:
+
+* per-site value recovery is a **backward scan of at most 30 instructions**
+  tracking ``mov``/``xor`` on registers only (the paper's footnote 1 links
+  the exact code);
+* one hard-coded wrapper is understood: glibc's exported ``syscall()``
+  function, recognised **by symbol name**; number values are then scanned
+  at its call sites with the same 30-instruction window.  Wrappers in
+  other libcs/languages (musl internals, Go runtimes) are *not* detected;
+* any site it cannot resolve makes Chestnut fall back to its permissive
+  default allow-list (~271 of the 352 modelled syscalls) — precision
+  collapses but false negatives stay rare;
+* on **static** binaries, unresolvable wrapper-style sites crash the
+  Binalyzer pipeline (observed in §5.2: 227/231 static failures) —
+  modelled as an :class:`AnalysisFailure`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..cfg.builder import build_cfg
+from ..cfg.indirect import resolve_indirect_all
+from ..cfg.model import CFG, EDGE_CALL, EDGE_ICALL
+from ..core.report import AnalysisReport, StageStats
+from ..errors import AnalysisFailure, CfgError, DecodeError, ElfError, LoaderError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from ..syscalls.table import ALL_SYSCALLS, DANGEROUS_SYSCALLS, SYSCALL_NAMES, numbers_of
+from .common import collect_register_values, full_image_sites
+
+TOOL_NAME = "chestnut"
+
+#: Chestnut's backward-scan window (instructions).
+SCAN_WINDOW = 30
+
+#: Syscalls excluded from the permissive fallback: the >334 additions (not
+#: in Chestnut's era) plus its security denylist of dangerous / rarely
+#: needed calls.  What remains is the ~271-entry fallback the paper's
+#: Figure 7/8 show Chestnut converging to.
+_FALLBACK_DENYLIST: frozenset[int] = (
+    frozenset(nr for nr in ALL_SYSCALLS if nr > 334)
+    | DANGEROUS_SYSCALLS
+    | numbers_of(
+        "afs_syscall", "tuxcall", "security", "create_module",
+        "get_kernel_syms", "query_module", "nfsservctl", "getpmsg",
+        "putpmsg", "vserver", "uselib", "_sysctl", "personality",
+        "iopl", "ioperm", "modify_ldt", "kexec_file_load", "acct",
+        "swapon", "swapoff", "quotactl", "lookup_dcookie", "add_key",
+        "request_key", "keyctl", "migrate_pages", "move_pages", "mbind",
+        "set_mempolicy", "get_mempolicy", "userfaultfd", "io_setup",
+        "io_destroy", "io_getevents", "io_submit", "io_cancel",
+        "remap_file_pages", "epoll_ctl_old", "epoll_wait_old",
+        "vhangup", "pivot_root", "reboot", "sethostname",
+        "setdomainname", "ustat", "sysfs",
+    )
+)
+
+#: The permissive fallback allow-list (applied when any site is unresolved).
+CHESTNUT_FALLBACK: frozenset[int] = frozenset(ALL_SYSCALLS - _FALLBACK_DENYLIST)
+
+
+class ChestnutAnalyzer:
+    """Chestnut's Binalyzer: bounded backward scans + permissive fallback."""
+
+    def __init__(self, resolver: LibraryResolver | None = None):
+        self.resolver = resolver or LibraryResolver()
+        self._lib_cache: dict[str, tuple[set[int], bool]] = {}
+
+    def analyze(self, image: LoadedImage) -> AnalysisReport:
+        started = time.perf_counter()
+        try:
+            report = self._analyze(image)
+        except AnalysisFailure as failure:
+            report = AnalysisReport.failed(
+                TOOL_NAME, image.name, "binalyzer", failure.reason,
+            )
+        except (CfgError, DecodeError, ElfError, LoaderError) as error:
+            report = AnalysisReport.failed(TOOL_NAME, image.name, "load", str(error))
+        report.stages.setdefault("total", StageStats())
+        report.stages["total"].seconds = time.perf_counter() - started
+        return report
+
+    def _analyze(self, image: LoadedImage) -> AnalysisReport:
+        syscalls, resolved_all, saw_memory = self._scan_image(image)
+        if saw_memory:
+            # Stack-passed syscall numbers (Go-style wrappers, Figure 1 C
+            # flows) crash the Binalyzer pipeline outright — the dynamic
+            # failure class of §5.2.
+            raise AnalysisFailure(
+                TOOL_NAME, "syscall number loaded from memory (no wrapper support)",
+            )
+        if image.is_static_executable and not resolved_all:
+            # The paper traces Chestnut's near-total failure on static
+            # binaries to its lack of wrapper management: the pipeline
+            # crashes on sites whose number is not a visible immediate.
+            raise AnalysisFailure(
+                TOOL_NAME,
+                "unresolvable syscall site in static binary (no wrapper support)",
+            )
+        for lib in self.resolver.dependency_closure(image):
+            lib_syscalls, lib_resolved, __ = self._scan_library(lib)
+            syscalls |= lib_syscalls
+            resolved_all = resolved_all and lib_resolved
+
+        if not resolved_all:
+            syscalls = set(syscalls) | set(CHESTNUT_FALLBACK)
+
+        return AnalysisReport(
+            tool=TOOL_NAME,
+            binary=image.name,
+            success=True,
+            syscalls=syscalls,
+            complete=resolved_all,
+        )
+
+    def _scan_library(self, lib: LoadedImage) -> tuple[set[int], bool, bool]:
+        if lib.name not in self._lib_cache:
+            self._lib_cache[lib.name] = self._scan_image(lib)
+        return self._lib_cache[lib.name]
+
+    def _scan_image(self, image: LoadedImage) -> tuple[set[int], bool, bool]:
+        """Returns (values, every site resolved?, memory-sourced number seen?)."""
+        cfg = build_cfg(image)
+        resolve_indirect_all(cfg, image)
+        syscalls: set[int] = set()
+        resolved_all = True
+        saw_memory = False
+
+        glibc_wrapper = self._glibc_wrapper_entry(image)
+
+        for __, insn_addr, func_entry in full_image_sites(cfg):
+            if glibc_wrapper is not None and func_entry == glibc_wrapper:
+                values, ok = self._scan_wrapper_callers(cfg, glibc_wrapper)
+                syscalls |= values
+                resolved_all = resolved_all and ok
+                continue
+            tracked = collect_register_values(
+                cfg, func_entry, insn_addr, "rax", insn_limit=SCAN_WINDOW,
+            )
+            syscalls |= tracked.values
+            if not tracked.resolved:
+                resolved_all = False
+            if tracked.from_memory:
+                saw_memory = True
+        return syscalls, resolved_all, saw_memory
+
+    @staticmethod
+    def _glibc_wrapper_entry(image: LoadedImage) -> int | None:
+        """Chestnut's hard-coded detector: a function *named* ``syscall``."""
+        sym = image.functions_by_name.get("syscall") \
+            or image.exported_functions.get("syscall")
+        return sym.value if sym else None
+
+    def _scan_wrapper_callers(self, cfg: CFG, wrapper_entry: int) -> tuple[set[int], bool]:
+        """Scan ``mov edi/rdi, imm`` within the 30-insn window before each
+        call to glibc's ``syscall()``."""
+        values: set[int] = set()
+        ok = True
+        for edge in cfg.predecessors(wrapper_entry, kinds=(EDGE_CALL, EDGE_ICALL)):
+            call_block = cfg.blocks[edge.src]
+            tracked = collect_register_values(
+                cfg, call_block.function, call_block.terminator.addr,
+                "rdi", insn_limit=SCAN_WINDOW,
+            )
+            values |= tracked.values
+            ok = ok and tracked.resolved
+        return values, ok

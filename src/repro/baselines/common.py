@@ -1,0 +1,126 @@
+"""Shared machinery for the baseline re-implementations.
+
+Both SysFilter and Chestnut perform register-only value tracking (no
+memory).  :func:`collect_register_values` implements the use-define-chain
+style both papers describe: walk the containing function's instructions
+backwards from an anchor, collecting every immediate that can flow into
+the tracked register through ``mov``/``xor`` register chains.  The walk is
+linear over addresses — the same approximation the originals make for
+straight-line compiler output — and reports whether any definition came
+from memory, a call, or was missing entirely (unresolvable at this site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.model import CFG
+from ..x86.insn import Immediate, Instruction
+from ..x86.registers import Register
+
+
+@dataclass(slots=True)
+class TrackResult:
+    """Values found for a tracked register, plus a resolvability verdict."""
+
+    values: set[int]
+    resolved: bool  # False when some path's value is not a visible immediate
+    #: True when an unresolved definition loaded the register from memory
+    #: (stack-passed wrapper arguments, Figure 1 C) — the pattern that
+    #: crashes Chestnut's Binalyzer outright
+    from_memory: bool = False
+
+
+def _function_insns_before(
+    cfg: CFG, func_entry: int, anchor: int, limit: int | None = None
+) -> list[Instruction]:
+    func = cfg.functions.get(func_entry)
+    if func is None:
+        return []
+    insns: list[Instruction] = []
+    for addr in sorted(func.block_addrs):
+        block = cfg.blocks[addr]
+        for insn in block.insns:
+            if insn.addr < anchor:
+                insns.append(insn)
+    insns.sort(key=lambda i: i.addr)
+    if limit is not None and len(insns) > limit:
+        insns = insns[-limit:]
+    return insns
+
+
+def collect_register_values(
+    cfg: CFG,
+    func_entry: int,
+    anchor: int,
+    register: str = "rax",
+    insn_limit: int | None = None,
+) -> TrackResult:
+    """Backward register-only value tracking within one function.
+
+    ``insn_limit`` bounds how many instructions before the anchor are
+    examined (Chestnut's 30-instruction window); ``None`` scans the whole
+    function (SysFilter's intra-procedural use-define chains).
+    """
+    insns = _function_insns_before(cfg, func_entry, anchor, insn_limit)
+    values: set[int] = set()
+    resolved = False
+    unresolvable = False
+    from_memory = False
+    tracked = {register}
+
+    for insn in reversed(insns):
+        if not tracked:
+            break
+        if insn.mnemonic in ("mov", "movabs") and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if isinstance(dst, Register) and dst.name in tracked:
+                tracked.discard(dst.name)
+                if isinstance(src, Immediate):
+                    values.add(src.value)
+                    resolved = True
+                elif isinstance(src, Register):
+                    tracked.add(src.name)
+                else:
+                    unresolvable = True  # through memory: invisible
+                    from_memory = True
+        elif insn.mnemonic == "xor" and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if (
+                isinstance(dst, Register) and dst.name in tracked
+                and isinstance(src, Register) and src.name == dst.name
+            ):
+                tracked.discard(dst.name)
+                values.add(0)
+                resolved = True
+        elif insn.mnemonic == "pop" and insn.operands \
+                and isinstance(insn.operands[0], Register) \
+                and insn.operands[0].name in tracked:
+            tracked.discard(insn.operands[0].name)
+            unresolvable = True
+            from_memory = True
+        elif insn.is_call and register in tracked:
+            # A call clobbers rax before our anchor: value from callee.
+            tracked.discard(register)
+            unresolvable = True
+
+    if tracked:
+        # Ran out of instructions with the register still undefined: the
+        # value comes from outside the function (wrapper argument).
+        unresolvable = True
+    return TrackResult(
+        values=values,
+        resolved=resolved and not unresolvable,
+        from_memory=from_memory,
+    )
+
+
+def full_image_sites(cfg: CFG) -> list[tuple[int, int, int]]:
+    """(block, insn, function) for every syscall instruction — *not*
+    restricted to reachable blocks (the baselines vacuum whole images)."""
+    out = []
+    for block in cfg.blocks.values():
+        for insn in block.insns:
+            if insn.is_syscall:
+                out.append((block.addr, insn.addr, block.function))
+    return sorted(out, key=lambda t: t[1])

@@ -1,0 +1,97 @@
+"""Naive block-local identification (the Confine / plain-angr strategy).
+
+For each ``syscall`` occurrence only the containing basic block (optionally
+its direct predecessors) is inspected for an immediate load into ``%rax``
+— the strategy §2.4 and Figure 1 show to be insufficient.  Kept as an
+ablation baseline: it quantifies how much of the corpus needs CFG-aware
+and memory-aware tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..cfg.builder import build_cfg
+from ..cfg.model import CFG
+from ..core.report import AnalysisReport, StageStats
+from ..errors import CfgError, DecodeError, ElfError, LoaderError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from ..x86.insn import Immediate
+from ..x86.registers import Register
+from .common import full_image_sites
+
+TOOL_NAME = "naive"
+
+
+def _block_local_value(cfg: CFG, block_addr: int, before: int) -> int | None:
+    """Last immediate loaded into rax within one block before ``before``."""
+    block = cfg.blocks[block_addr]
+    value: int | None = None
+    for insn in block.insns:
+        if insn.addr >= before:
+            break
+        if insn.mnemonic in ("mov", "movabs") and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if isinstance(dst, Register) and dst.name == "rax":
+                value = src.value if isinstance(src, Immediate) else None
+        elif insn.mnemonic == "xor" and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if (
+                isinstance(dst, Register) and dst.name == "rax"
+                and isinstance(src, Register) and src.name == "rax"
+            ):
+                value = 0
+    return value
+
+
+class NaiveAnalyzer:
+    """Block-local scanning with one level of predecessor lookup."""
+
+    def __init__(self, resolver: LibraryResolver | None = None,
+                 look_at_predecessors: bool = True):
+        self.resolver = resolver or LibraryResolver()
+        self.look_at_predecessors = look_at_predecessors
+
+    def analyze(self, image: LoadedImage) -> AnalysisReport:
+        started = time.perf_counter()
+        try:
+            report = self._analyze(image)
+        except (CfgError, DecodeError, ElfError, LoaderError) as error:
+            report = AnalysisReport.failed(TOOL_NAME, image.name, "load", str(error))
+        report.stages.setdefault("total", StageStats())
+        report.stages["total"].seconds = time.perf_counter() - started
+        return report
+
+    def _analyze(self, image: LoadedImage) -> AnalysisReport:
+        syscalls, complete = self._scan_image(image)
+        if image.needed:
+            for lib in self.resolver.dependency_closure(image):
+                lib_syscalls, lib_complete = self._scan_image(lib)
+                syscalls |= lib_syscalls
+                complete = complete and lib_complete
+        return AnalysisReport(
+            tool=TOOL_NAME, binary=image.name, success=True,
+            syscalls=syscalls, complete=complete,
+        )
+
+    def _scan_image(self, image: LoadedImage) -> tuple[set[int], bool]:
+        cfg = build_cfg(image)
+        syscalls: set[int] = set()
+        complete = True
+        for block_addr, insn_addr, __ in full_image_sites(cfg):
+            value = _block_local_value(cfg, block_addr, insn_addr)
+            if value is not None:
+                syscalls.add(value)
+                continue
+            found = False
+            if self.look_at_predecessors:
+                for edge in cfg.predecessors(block_addr):
+                    pred_value = _block_local_value(
+                        cfg, edge.src, cfg.blocks[edge.src].end,
+                    )
+                    if pred_value is not None:
+                        syscalls.add(pred_value)
+                        found = True
+            complete = complete and found
+        return syscalls, complete

@@ -1,0 +1,43 @@
+"""CFG recovery: basic blocks, functions, direct edges, indirect resolution."""
+
+from .builder import build_cfg
+from .indirect import (
+    all_addresses_taken,
+    data_segment_addresses_taken,
+    resolve_indirect_active,
+    resolve_indirect_all,
+)
+from .model import (
+    CFG,
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_EXT,
+    EDGE_FALL,
+    EDGE_ICALL,
+    EDGE_JUMP,
+    BasicBlock,
+    Edge,
+    FunctionInfo,
+)
+from .reachability import called_external_symbols, reachable_blocks, reachable_functions
+
+__all__ = [
+    "build_cfg",
+    "CFG",
+    "BasicBlock",
+    "Edge",
+    "FunctionInfo",
+    "EDGE_FALL",
+    "EDGE_JUMP",
+    "EDGE_CALL",
+    "EDGE_CALLRET",
+    "EDGE_ICALL",
+    "EDGE_EXT",
+    "all_addresses_taken",
+    "data_segment_addresses_taken",
+    "resolve_indirect_all",
+    "resolve_indirect_active",
+    "reachable_blocks",
+    "reachable_functions",
+    "called_external_symbols",
+]

@@ -1,0 +1,160 @@
+"""CFG construction from a loaded image (paper step D, Figure 3).
+
+The builder performs an exact linear-sweep disassembly (our writer never
+interleaves code and data — matching the paper's §2.2 observation about
+GCC/LLVM output), splits the instruction stream into basic blocks at
+leaders, assigns blocks to functions, and installs the *direct* edges.
+Indirect branches are recorded as unresolved sites for
+:mod:`repro.cfg.indirect` to handle; GOT-mediated imports are resolved to
+external symbol edges immediately.
+"""
+
+from __future__ import annotations
+
+from ..errors import CfgError
+from ..loader.image import LoadedImage
+from ..x86.decoder import decode_all
+from ..x86.insn import Immediate, Instruction, Memory
+from .model import (
+    CFG,
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_FALL,
+    EDGE_JUMP,
+    BasicBlock,
+    FunctionInfo,
+)
+
+
+def _got_import_symbol(image: LoadedImage, insn: Instruction) -> str | None:
+    """If ``insn`` is an indirect branch through an imported GOT slot,
+    return the imported symbol's name."""
+    if not insn.is_indirect_branch:
+        return None
+    op = insn.operands[0]
+    if isinstance(op, Memory) and op.rip_relative:
+        return image.got_imports.get(op.disp)
+    if isinstance(op, Memory) and op.base is None and op.index is None:
+        return image.got_imports.get(op.disp)
+    return None
+
+
+def build_cfg(image: LoadedImage) -> CFG:
+    """Disassemble ``image`` and build its direct-edge CFG."""
+    insns = decode_all(image.text_bytes, image.text_base)
+    if not insns:
+        raise CfgError(f"{image.name}: empty text segment")
+    by_addr = {i.addr: i for i in insns}
+
+    # ---- find leaders ---------------------------------------------------
+    leaders: set[int] = {image.text_base}
+    for start, __ in image.function_boundaries:
+        leaders.add(start)
+    if image.entry:
+        leaders.add(image.entry)
+    for insn in insns:
+        if insn.terminates_block:
+            nxt = insn.end
+            if nxt in by_addr:
+                leaders.add(nxt)
+            target = insn.branch_target()
+            if target is not None and target in by_addr:
+                leaders.add(target)
+
+    # ---- carve blocks -----------------------------------------------------
+    cfg = CFG()
+    current: BasicBlock | None = None
+    for insn in insns:
+        if insn.addr in leaders or current is None:
+            current = BasicBlock(addr=insn.addr)
+            cfg.add_block(current)
+        current.insns.append(insn)
+        if insn.terminates_block:
+            current = None
+
+    # ---- functions ----------------------------------------------------------
+    boundaries = image.function_boundaries
+    if not boundaries:
+        # No symbols: treat the whole text as one function rooted at entry.
+        boundaries = [(image.text_base, image.text_end)]
+    for start, end in boundaries:
+        sym = image.function_at(start)
+        cfg.functions[start] = FunctionInfo(
+            entry=start, end=end, name=sym.name if sym else "",
+        )
+
+    sorted_starts = sorted(cfg.functions)
+
+    def owner(addr: int) -> int:
+        # Blocks before the first symbol belong to the first function region.
+        lo, hi = 0, len(sorted_starts) - 1
+        best = sorted_starts[0]
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if sorted_starts[mid] <= addr:
+                best = sorted_starts[mid]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    for block in cfg.blocks.values():
+        block.function = owner(block.addr)
+        cfg.functions[block.function].block_addrs.append(block.addr)
+
+    # ---- direct edges -----------------------------------------------------
+    for block in cfg.blocks.values():
+        term = block.terminator
+        nxt = term.end
+
+        if term.is_conditional:
+            target = term.branch_target()
+            if target in cfg.blocks:
+                cfg.add_edge(block.addr, target, EDGE_JUMP)
+            if nxt in cfg.blocks:
+                cfg.add_edge(block.addr, nxt, EDGE_FALL)
+            continue
+
+        if term.mnemonic == "jmp":
+            target = term.branch_target()
+            if target is not None:
+                if target in cfg.blocks:
+                    # Direct jmp — including tail calls to other functions —
+                    # is a plain jump edge: flow continues at the target.
+                    cfg.add_edge(block.addr, target, EDGE_JUMP)
+                continue
+            symbol = _got_import_symbol(image, term)
+            if symbol is not None:
+                cfg.add_external_call(block.addr, symbol)
+            else:
+                cfg.indirect_sites.add(block.addr)
+            continue
+
+        if term.is_call:
+            target = term.branch_target()
+            if target is not None:
+                if target in cfg.blocks:
+                    cfg.add_edge(block.addr, target, EDGE_CALL)
+            else:
+                symbol = _got_import_symbol(image, term)
+                if symbol is not None:
+                    cfg.add_external_call(block.addr, symbol)
+                else:
+                    cfg.indirect_sites.add(block.addr)
+            if nxt in cfg.blocks:
+                cfg.add_edge(block.addr, nxt, EDGE_CALLRET)
+            continue
+
+        if term.is_syscall:
+            if nxt in cfg.blocks:
+                cfg.add_edge(block.addr, nxt, EDGE_FALL)
+            continue
+
+        if term.is_ret or term.is_halt:
+            continue
+
+        # Non-terminator last instruction (end of text or pre-leader split).
+        if nxt in cfg.blocks:
+            cfg.add_edge(block.addr, nxt, EDGE_FALL)
+
+    return cfg

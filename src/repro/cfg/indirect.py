@@ -1,0 +1,129 @@
+"""Indirect-branch resolution via (active) addresses taken (§4.3, Figure 4).
+
+An *address taken* is a code-segment address that the program materialises
+as data — the target of a function-pointer assignment.  Three syntactic
+forms are recognised:
+
+* ``lea reg, [rip + X]`` with X in the text segment (PIC form),
+* ``movabs reg, imm64`` with the immediate in the text segment (non-PIC
+  form, used by ``ET_EXEC`` static binaries),
+* 8-byte words in the data segment pointing into the text segment
+  (statically initialised function-pointer tables).
+
+SysFilter resolves every indirect branch to *every* address taken.  B-Side
+refines this to **active** addresses taken: only lea/mov sites inside blocks
+reachable from the entry point count, iterating to a fixpoint because newly
+added indirect edges can make more address-taking blocks reachable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..loader.image import LoadedImage
+from ..x86.insn import Immediate, Memory
+from .model import CFG, EDGE_ICALL
+from .reachability import reachable_blocks
+
+
+def addresses_taken_in_block(cfg: CFG, image: LoadedImage, block_addr: int) -> set[int]:
+    """Addresses taken by instructions of one block."""
+    out: set[int] = set()
+    block = cfg.blocks[block_addr]
+    for insn in block.insns:
+        if insn.mnemonic == "lea":
+            mem = insn.operands[1]
+            if isinstance(mem, Memory) and mem.rip_relative and image.is_code_addr(mem.disp):
+                out.add(mem.disp)
+        elif insn.mnemonic in ("mov", "movabs"):
+            src = insn.operands[1] if len(insn.operands) == 2 else None
+            if (
+                isinstance(src, Immediate)
+                and src.width == 64
+                and image.is_code_addr(src.value)
+            ):
+                out.add(src.value)
+    return out
+
+
+def data_segment_addresses_taken(image: LoadedImage) -> set[int]:
+    """Code addresses stored as 8-byte words in the data segment."""
+    seg = image.elf.data_segment
+    if seg is None:
+        return set()
+    out: set[int] = set()
+    data = seg.data
+    for off in range(0, len(data) - 7, 8):
+        value = struct.unpack_from("<Q", data, off)[0]
+        if image.is_code_addr(value):
+            out.add(value)
+    return out
+
+
+def all_addresses_taken(cfg: CFG, image: LoadedImage) -> set[int]:
+    """The SysFilter-style overestimation: every address taken anywhere."""
+    out = data_segment_addresses_taken(image)
+    for addr in cfg.blocks:
+        out |= addresses_taken_in_block(cfg, image, addr)
+    return out
+
+
+def _indirect_targets(cfg: CFG, taken: set[int]) -> list[int]:
+    """Filter addresses taken down to plausible indirect-branch targets.
+
+    Only block leaders qualify (an address taken that is not a block start
+    cannot be decoded as a jump target in our exact-disassembly setting).
+    """
+    return [a for a in sorted(taken) if a in cfg.blocks]
+
+
+def resolve_indirect_all(cfg: CFG, image: LoadedImage) -> set[int]:
+    """Resolve every indirect site to every address taken (SysFilter mode).
+
+    Returns the set of addresses taken used.
+    """
+    taken = all_addresses_taken(cfg, image)
+    targets = _indirect_targets(cfg, taken)
+    for site in cfg.indirect_sites:
+        for target in targets:
+            cfg.add_edge(site, target, EDGE_ICALL)
+    cfg.addresses_taken = taken
+    return taken
+
+
+def resolve_indirect_active(
+    cfg: CFG,
+    image: LoadedImage,
+    roots: list[int],
+    max_iterations: int = 64,
+) -> tuple[set[int], int]:
+    """B-Side's active-addresses-taken fixpoint (Figure 4).
+
+    Starting from the basic CFG, repeatedly: compute blocks reachable from
+    ``roots``; collect addresses taken *in reachable blocks* (plus data
+    segment words, which are always considered live); resolve indirect sites
+    *in reachable blocks* to those targets; repeat until no new edge.
+
+    Returns ``(active_addresses_taken, iterations_used)``.
+    """
+    data_taken = data_segment_addresses_taken(image)
+    active: set[int] = set()
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        reachable = reachable_blocks(cfg, roots)
+        new_active = set(data_taken)
+        for addr in reachable:
+            new_active |= addresses_taken_in_block(cfg, image, addr)
+        targets = _indirect_targets(cfg, new_active)
+        changed = new_active != active
+        for site in cfg.indirect_sites:
+            if site not in reachable:
+                continue
+            for target in targets:
+                if cfg.add_edge(site, target, EDGE_ICALL):
+                    changed = True
+        active = new_active
+        if not changed:
+            break
+    cfg.addresses_taken = active
+    return active, iterations

@@ -1,0 +1,186 @@
+"""Control-flow graph containers: basic blocks, functions, the CFG itself.
+
+Edge kinds
+----------
+
+``fall``     sequential fall-through (after jcc / syscall / call-return site)
+``jump``     direct jmp/jcc target
+``call``     direct or resolved-indirect call to a function entry
+``callret``  from a block ending in ``call`` to its return site; forward
+             symbolic execution runs *through* the callee, so for backward
+             search the call block is the return site's predecessor
+``icall``    resolved indirect call/jmp edge (via addresses taken)
+``ext``      call/jmp into another image via a GOT import (label = symbol)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..x86.insn import Instruction
+
+EDGE_FALL = "fall"
+EDGE_JUMP = "jump"
+EDGE_CALL = "call"
+EDGE_CALLRET = "callret"
+EDGE_ICALL = "icall"
+EDGE_EXT = "ext"
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A CFG edge from ``src`` block to ``dst`` block (addresses)."""
+
+    src: int
+    dst: int
+    kind: str
+    label: str = ""  # symbol name for EDGE_EXT
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    addr: int
+    insns: list[Instruction] = field(default_factory=list)
+    function: int = 0  # entry address of the containing function
+
+    @property
+    def end(self) -> int:
+        last = self.insns[-1]
+        return last.addr + last.size
+
+    @property
+    def size(self) -> int:
+        return self.end - self.addr
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.insns[-1]
+
+    @property
+    def has_syscall(self) -> bool:
+        return any(i.is_syscall for i in self.insns)
+
+    @property
+    def ends_in_indirect_branch(self) -> bool:
+        return self.terminator.is_indirect_branch
+
+    @property
+    def ends_in_call(self) -> bool:
+        return self.terminator.is_call
+
+    @property
+    def ends_in_ret(self) -> bool:
+        return self.terminator.is_ret
+
+    def __repr__(self) -> str:
+        return f"<BB {self.addr:#x}-{self.end:#x} ({len(self.insns)} insns)>"
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """A function: entry address, extent, and its basic blocks."""
+
+    entry: int
+    end: int
+    name: str = ""
+    block_addrs: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<Fn {self.name or hex(self.entry)} {self.entry:#x}-{self.end:#x}>"
+
+
+class CFG:
+    """Basic-block CFG of one image, with typed edges both ways."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlock] = {}
+        self.functions: dict[int, FunctionInfo] = {}
+        self._succs: dict[int, list[Edge]] = {}
+        self._preds: dict[int, list[Edge]] = {}
+        #: blocks ending in an unresolved indirect call/jmp
+        self.indirect_sites: set[int] = set()
+        #: addresses taken discovered in the image (all, not just active)
+        self.addresses_taken: set[int] = set()
+        #: external (cross-image) edges: block addr -> symbol names called
+        self.external_calls: dict[int, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: BasicBlock) -> None:
+        self.blocks[block.addr] = block
+        self._succs.setdefault(block.addr, [])
+        self._preds.setdefault(block.addr, [])
+
+    def add_edge(self, src: int, dst: int, kind: str, label: str = "") -> bool:
+        """Insert an edge; returns False if it already existed."""
+        edge = Edge(src, dst, kind, label)
+        existing = self._succs.setdefault(src, [])
+        if edge in existing:
+            return False
+        existing.append(edge)
+        self._preds.setdefault(dst, []).append(edge)
+        return True
+
+    def add_external_call(self, src: int, symbol: str) -> None:
+        self.external_calls.setdefault(src, [])
+        if symbol not in self.external_calls[src]:
+            self.external_calls[src].append(symbol)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successors(self, addr: int, kinds: tuple[str, ...] | None = None) -> list[Edge]:
+        edges = self._succs.get(addr, [])
+        if kinds is None:
+            return list(edges)
+        return [e for e in edges if e.kind in kinds]
+
+    def predecessors(self, addr: int, kinds: tuple[str, ...] | None = None) -> list[Edge]:
+        edges = self._preds.get(addr, [])
+        if kinds is None:
+            return list(edges)
+        return [e for e in edges if e.kind in kinds]
+
+    def block_at(self, addr: int) -> BasicBlock | None:
+        return self.blocks.get(addr)
+
+    def block_containing(self, addr: int) -> BasicBlock | None:
+        """The block whose address range covers ``addr`` (linear scan fallback)."""
+        if addr in self.blocks:
+            return self.blocks[addr]
+        for block in self.blocks.values():
+            if block.addr <= addr < block.end:
+                return block
+        return None
+
+    def function_of_block(self, addr: int) -> FunctionInfo | None:
+        block = self.blocks.get(addr)
+        if block is None:
+            return None
+        return self.functions.get(block.function)
+
+    def syscall_blocks(self) -> list[BasicBlock]:
+        return [b for b in self.blocks.values() if b.has_syscall]
+
+    def call_sites_of(self, func_entry: int) -> list[Edge]:
+        """Edges calling into the function whose entry is ``func_entry``."""
+        return self.predecessors(func_entry, kinds=(EDGE_CALL, EDGE_ICALL))
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self._succs.values())
+
+    def total_block_bytes(self, addrs: set[int] | None = None) -> int:
+        """Summed size in bytes of the given blocks (all blocks if None)."""
+        if addrs is None:
+            return sum(b.size for b in self.blocks.values())
+        return sum(self.blocks[a].size for a in addrs if a in self.blocks)

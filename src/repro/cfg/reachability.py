@@ -1,0 +1,50 @@
+"""Reachability over the block CFG.
+
+Used by the active-addresses-taken refinement (§4.3) and by syscall-site
+filtering (§4.4): only blocks reachable from the program entry point (or
+from a library's externally-invoked functions) take part in identification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .model import (
+    CFG,
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_FALL,
+    EDGE_ICALL,
+    EDGE_JUMP,
+)
+
+_FLOW_KINDS = (EDGE_FALL, EDGE_JUMP, EDGE_CALL, EDGE_CALLRET, EDGE_ICALL)
+
+
+def reachable_blocks(cfg: CFG, roots: list[int]) -> set[int]:
+    """Block addresses reachable from ``roots`` following flow edges."""
+    seen: set[int] = set()
+    queue: deque[int] = deque(a for a in roots if a in cfg.blocks)
+    seen.update(queue)
+    while queue:
+        addr = queue.popleft()
+        for edge in cfg.successors(addr, kinds=_FLOW_KINDS):
+            if edge.dst not in seen and edge.dst in cfg.blocks:
+                seen.add(edge.dst)
+                queue.append(edge.dst)
+    return seen
+
+
+def reachable_functions(cfg: CFG, roots: list[int]) -> set[int]:
+    """Function entries whose blocks are reachable from ``roots``."""
+    blocks = reachable_blocks(cfg, roots)
+    return {cfg.blocks[a].function for a in blocks}
+
+
+def called_external_symbols(cfg: CFG, reachable: set[int]) -> set[str]:
+    """External (imported) symbols invoked from the given reachable blocks."""
+    out: set[str] = set()
+    for addr, symbols in cfg.external_calls.items():
+        if addr in reachable:
+            out.update(symbols)
+    return out

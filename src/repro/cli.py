@@ -1,0 +1,245 @@
+"""Command-line interface: ``bside <command> ...``.
+
+Commands
+--------
+
+``analyze <binary> [--libdir DIR] [--json]``
+    Identify the syscalls a binary can invoke; print names or JSON.
+
+``phases <binary> [--libdir DIR]``
+    Detect execution phases and print the automaton summary.
+
+``filter <binary> [--libdir DIR]``
+    Derive a seccomp-style allow-list and print the filter program.
+
+``interface <library.so> [--libdir DIR]``
+    Analyze a shared library and print its shared interface JSON (§4.5).
+
+``corpus generate <outdir> [--scale S] [--seed N]``
+    Write the Debian-like corpus (binaries + libraries) to disk.
+
+``trace <binary> [--libdir DIR] [--inputs a,b,c]``
+    Run the binary under the emulator and print its syscall trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .core import AnalysisBudget, BSideAnalyzer
+from .errors import ReproError
+from .filters import FilterProgram
+from .loader import LibraryResolver, LoadedImage
+from .syscalls import name_of
+
+
+def _resolver(args) -> LibraryResolver:
+    return LibraryResolver(search_dir=getattr(args, "libdir", None))
+
+
+def _load(path: str) -> LoadedImage:
+    return LoadedImage.from_path(path)
+
+
+def cmd_analyze(args) -> int:
+    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    report = analyzer.analyze(_load(args.binary))
+    if args.json:
+        print(json.dumps({
+            "binary": report.binary,
+            "success": report.success,
+            "complete": report.complete,
+            "failure_stage": report.failure_stage,
+            "syscalls": sorted(report.syscalls),
+            "syscall_names": sorted(name_of(n) for n in report.syscalls),
+            "sites_examined": report.sites_examined,
+            "bbs_explored": report.bbs_explored,
+        }, indent=2))
+        return 0 if report.success else 1
+    if not report.success:
+        print(f"analysis failed in stage {report.failure_stage}: "
+              f"{report.failure_reason}", file=sys.stderr)
+        return 1
+    print(f"{report.binary}: {len(report.syscalls)} syscalls"
+          + ("" if report.complete else " (INCOMPLETE: over-approximate)"))
+    for nr in sorted(report.syscalls):
+        print(f"  {nr:>4}  {name_of(nr)}")
+    return 0
+
+
+def cmd_phases(args) -> int:
+    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    report, automaton = analyzer.analyze_phases(_load(args.binary))
+    if not report.success or automaton is None:
+        print(f"analysis failed: {report.failure_reason}", file=sys.stderr)
+        return 1
+    total = len(automaton.all_syscalls())
+    print(f"{report.binary}: {automaton.n_phases} phases over {total} syscalls "
+          f"(start phase {automaton.start})")
+    for pid in sorted(automaton.phases):
+        phase = automaton.phases[pid]
+        outgoing = {
+            dst for dst in phase.transitions.values() if dst != pid
+        }
+        print(f"  phase {pid:>3}: {len(phase.allowed):>3} allowed, "
+              f"{len(phase.blocks):>4} blocks, -> {sorted(outgoing)}")
+    return 0
+
+
+def cmd_filter(args) -> int:
+    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    report = analyzer.analyze(_load(args.binary))
+    filt = FilterProgram.from_report(report)
+    print(f"; filter for {args.binary}: allows {len(filt.allowed)}, "
+          f"blocks {filt.n_blocked}")
+    print(filt.render())
+    return 0
+
+
+def cmd_docker_profile(args) -> int:
+    from .filters.docker import profile_from_report, render_profile
+
+    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    report = analyzer.analyze(_load(args.binary))
+    print(render_profile(profile_from_report(report)))
+    return 0 if report.success else 1
+
+
+def cmd_interface(args) -> int:
+    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    interface = analyzer.analyze_library(_load(args.library))
+    print(interface.to_json())
+    return 0
+
+
+def cmd_corpus_generate(args) -> int:
+    from .corpus import make_debian_corpus
+
+    corpus = make_debian_corpus(scale=args.scale, seed=args.seed)
+    bindir = os.path.join(args.outdir, "bin")
+    libdir = os.path.join(args.outdir, "lib")
+    os.makedirs(bindir, exist_ok=True)
+    os.makedirs(libdir, exist_ok=True)
+    for binary in corpus.binaries:
+        binary.program.save(os.path.join(bindir, binary.name))
+    for name, library in corpus.libraries.items():
+        library.save(os.path.join(libdir, name))
+    print(f"wrote {len(corpus.binaries)} binaries to {bindir}")
+    print(f"wrote {len(corpus.libraries)} libraries to {libdir}")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from .core.fleet import FleetAnalyzer
+
+    fleet = FleetAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    report = fleet.analyze_directory(args.directory)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"fleet: {len(report.entries)} binaries, "
+          f"{report.success_rate():.1%} analyzed, "
+          f"avg {report.average_syscalls():.1f} syscalls")
+    for stage, count in sorted(report.failure_stages().items()):
+        print(f"  failures in {stage}: {count}")
+    exposure = report.cve_exposure()
+    if exposure:
+        worst = sorted(exposure.items(), key=lambda kv: kv[1])[:5]
+        print("  least-covered CVEs:")
+        for ident, rate in worst:
+            print(f"    CVE-{ident}: {rate:.1%} protected")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .emu import run_traced
+
+    inputs = tuple(int(x, 0) for x in args.inputs.split(",")) if args.inputs else ()
+    result = run_traced(_load(args.binary), _resolver(args), inputs)
+    for record in result.records:
+        arg_text = ", ".join(f"{a:#x}" for a in record.args[:3])
+        print(f"{record.name}({arg_text}, ...) @ {record.rip:#x}")
+    print(f"+++ exited with {result.exit_status} "
+          f"({len(result.records)} syscalls) +++")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bside",
+        description="Binary-level static system call identification "
+                    "(B-Side reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--libdir", help="directory with shared-library deps")
+
+    p = sub.add_parser("analyze", help="identify a binary's syscalls")
+    p.add_argument("binary")
+    p.add_argument("--json", action="store_true")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("phases", help="detect execution phases")
+    p.add_argument("binary")
+    common(p)
+    p.set_defaults(func=cmd_phases)
+
+    p = sub.add_parser("filter", help="derive a seccomp-style filter")
+    p.add_argument("binary")
+    common(p)
+    p.set_defaults(func=cmd_filter)
+
+    p = sub.add_parser("docker-profile",
+                       help="emit an OCI/Docker seccomp JSON profile")
+    p.add_argument("binary")
+    common(p)
+    p.set_defaults(func=cmd_docker_profile)
+
+    p = sub.add_parser("interface", help="print a library's shared interface")
+    p.add_argument("library")
+    common(p)
+    p.set_defaults(func=cmd_interface)
+
+    corpus = sub.add_parser("corpus", help="corpus operations")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    p = corpus_sub.add_parser("generate", help="write the corpus to disk")
+    p.add_argument("outdir")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=2024)
+    p.set_defaults(func=cmd_corpus_generate)
+
+    p = sub.add_parser("trace", help="run under the emulator and trace")
+    p.add_argument("binary")
+    p.add_argument("--inputs", default="")
+    common(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("fleet", help="batch-analyze a directory of binaries")
+    p.add_argument("directory")
+    p.add_argument("--json", action="store_true")
+    common(p)
+    p.set_defaults(func=cmd_fleet)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""B-Side core: the paper's primary contribution.
+
+Typical use::
+
+    from repro.core import BSideAnalyzer
+    from repro.loader import LoadedImage, LibraryResolver
+
+    analyzer = BSideAnalyzer(resolver=LibraryResolver(search_dir="libs/"))
+    report = analyzer.analyze(LoadedImage.from_path("./app"))
+    print(sorted(report.syscalls))
+"""
+
+from .analyzer import BSideAnalyzer, TOOL_NAME
+from .arguments import (
+    ArgumentRule,
+    ArgumentValues,
+    build_argument_rules,
+    identify_argument,
+    identify_site_arguments,
+)
+from .identify import (
+    SiteIdentification,
+    identify_plain_site,
+    identify_wrapper_call_site,
+    make_callsite_param_query,
+    wrapper_call_blocks,
+)
+from .interface import ExportInfo, InterfaceStore, SharedInterface
+from .report import AnalysisBudget, AnalysisReport, StageStats
+from .sites import SyscallSite, find_sites
+from .wrappers import WrapperInfo, detect_wrapper, phase1_use_define_scan, phase2_symbolic_confirm
+
+__all__ = [
+    "BSideAnalyzer",
+    "TOOL_NAME",
+    "AnalysisBudget",
+    "AnalysisReport",
+    "StageStats",
+    "SyscallSite",
+    "find_sites",
+    "WrapperInfo",
+    "detect_wrapper",
+    "phase1_use_define_scan",
+    "phase2_symbolic_confirm",
+    "SiteIdentification",
+    "identify_plain_site",
+    "identify_wrapper_call_site",
+    "make_callsite_param_query",
+    "wrapper_call_blocks",
+    "SharedInterface",
+    "ExportInfo",
+    "InterfaceStore",
+    "ArgumentValues",
+    "ArgumentRule",
+    "identify_argument",
+    "identify_site_arguments",
+    "build_argument_rules",
+]

@@ -1,0 +1,440 @@
+"""B-Side: the end-to-end analyzer (Figure 3).
+
+``BSideAnalyzer`` wires the full pipeline together:
+
+* **Step 1 — disassembly & CFG recovery**: exact decode, basic blocks,
+  direct edges, then the *active addresses taken* fixpoint to resolve
+  indirect branches (budgeted: exceeding the CFG budget is the
+  reproduction's "timeout during CFG construction", the paper's dominant
+  failure mode).
+* **Step 2 — syscall identification**: reachable-site discovery, the
+  two-phase wrapper heuristic, and per-site backward identification with
+  directed forward symbolic execution.
+* **Step 3 — shared objects**: per-library shared interfaces computed once
+  and cached in an :class:`~repro.core.interface.InterfaceStore`;
+  dependency DAGs are processed leaves-first; imported wrappers are
+  resolved per call site in the importing binary.
+
+The analyzer never executes the target.  Its product is an
+:class:`~repro.core.report.AnalysisReport` whose ``syscalls`` set is a
+superset of the binary's runtime behaviour (validated in the test suite
+and §5.1's experiment).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+from ..cfg.builder import build_cfg
+from ..cfg.indirect import resolve_indirect_active
+from ..cfg.model import CFG, EDGE_CALL, EDGE_ICALL
+from ..cfg.reachability import reachable_blocks
+from ..errors import BudgetExceeded, CfgError, DecodeError, ElfError, LoaderError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from ..symex.engine import ExecContext
+from ..symex.state import MemoryBackend
+from .identify import (
+    SiteIdentification,
+    identify_plain_site,
+    identify_wrapper_call_site,
+    wrapper_call_blocks,
+)
+from .interface import ExportInfo, InterfaceStore, SharedInterface
+from .report import AnalysisBudget, AnalysisReport, StageStats
+from .sites import SyscallSite, find_sites
+from .wrappers import WrapperInfo, detect_wrapper
+
+TOOL_NAME = "b-side"
+
+
+@dataclass(slots=True)
+class _ImageAnalysis:
+    """Intermediate per-image artifacts shared by exe and library paths."""
+
+    cfg: CFG
+    ctx: ExecContext
+    backend: MemoryBackend
+    reachable: set[int]
+    sites: list[SyscallSite]
+    wrappers: dict[int, WrapperInfo | None]  # func entry -> info (None = not)
+    #: per-block identified syscall numbers
+    block_syscalls: dict[int, set[int]]
+    complete: bool
+    bbs_explored: int
+    symex_steps: int
+    sites_examined: int
+
+
+class BSideAnalyzer:
+    """Binary-level static system call identification."""
+
+    def __init__(
+        self,
+        resolver: LibraryResolver | None = None,
+        budget: AnalysisBudget | None = None,
+        interface_store: InterfaceStore | None = None,
+        *,
+        detect_wrappers: bool = True,
+        directed_search: bool = True,
+        use_active_addresses_taken: bool = True,
+    ):
+        self.resolver = resolver if resolver is not None else LibraryResolver()
+        self.budget = budget if budget is not None else AnalysisBudget()
+        # NB: InterfaceStore defines __len__, so an empty store is falsy —
+        # an `or` default would silently discard a caller-provided store.
+        self.interfaces = (
+            interface_store if interface_store is not None else InterfaceStore()
+        )
+        #: ablation switches (§4.3/§4.4 design choices)
+        self.detect_wrappers = detect_wrappers
+        self.directed_search = directed_search
+        self.use_active_addresses_taken = use_active_addresses_taken
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        image: LoadedImage,
+        modules: list[LoadedImage] | None = None,
+        measure_memory: bool = False,
+    ) -> AnalysisReport:
+        """Analyze an executable (static or dynamic).
+
+        ``modules`` lists shared objects the program loads at runtime via
+        dlopen-style mechanisms (§4.5: the user supplies them).
+        """
+        report, __ = self._timed_analysis(image, modules or [], measure_memory)
+        return report
+
+    def analyze_phases(
+        self,
+        image: LoadedImage,
+        modules: list[LoadedImage] | None = None,
+        similarity: float = 0.5,
+        back_propagate: bool = True,
+    ):
+        """Analyze and detect execution phases (§4.7, step N).
+
+        Returns ``(report, PhaseAutomaton | None)`` — the automaton is None
+        when the analysis failed.
+        """
+        from ..phases.merge import detect_phases
+
+        report, analysis = self._timed_analysis(image, modules or [], False)
+        if not report.success or analysis is None:
+            return report, None
+        t0 = time.perf_counter()
+        automaton = detect_phases(
+            analysis.cfg,
+            {
+                addr: values
+                for addr, values in analysis.block_syscalls.items()
+                if values and addr in analysis.reachable
+            },
+            image.entry,
+            reachable=analysis.reachable,
+            similarity=similarity,
+            back_propagate=back_propagate,
+        )
+        report.stages["phases"] = StageStats(
+            seconds=time.perf_counter() - t0, units=automaton.n_phases,
+        )
+        return report, automaton
+
+    def _timed_analysis(
+        self,
+        image: LoadedImage,
+        modules: list[LoadedImage],
+        measure_memory: bool,
+    ) -> tuple[AnalysisReport, "_ImageAnalysis | None"]:
+        started = time.perf_counter()
+        analysis: _ImageAnalysis | None = None
+        if measure_memory:
+            tracemalloc.start()
+        try:
+            report, analysis = self._analyze_executable(image, modules)
+        except BudgetExceeded as exceeded:
+            report = AnalysisReport.failed(
+                TOOL_NAME, image.name, exceeded.stage, str(exceeded),
+            )
+        except (CfgError, DecodeError, ElfError, LoaderError) as error:
+            report = AnalysisReport.failed(
+                TOOL_NAME, image.name, "load", str(error),
+            )
+        report.stages.setdefault("total", StageStats())
+        report.stages["total"].seconds = time.perf_counter() - started
+        if measure_memory:
+            __, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            report.peak_memory = peak
+        return report, analysis
+
+    def analyze_library(self, image: LoadedImage) -> SharedInterface:
+        """Analyze one shared library (cached; §4.5 phase 1)."""
+        cached = self.interfaces.get(image.name)
+        if cached is not None:
+            return cached
+        for dep in self.resolver.topological_order(image):
+            if dep.name not in self.interfaces:
+                self.interfaces.put(self._build_interface(dep))
+        interface = self._build_interface(image)
+        self.interfaces.put(interface)
+        return interface
+
+    # ------------------------------------------------------------------
+    # Executable pipeline
+    # ------------------------------------------------------------------
+
+    def _analyze_executable(
+        self, image: LoadedImage, modules: list[LoadedImage]
+    ) -> tuple[AnalysisReport, "_ImageAnalysis"]:
+        report = AnalysisReport(tool=TOOL_NAME, binary=image.name, success=True)
+
+        # Step 3 preparation: dependencies first (cached across programs).
+        t0 = time.perf_counter()
+        symbol_table: dict[str, ExportInfo] = {}
+        interfaces_complete = True
+        if image.needed:
+            for dep in self.resolver.topological_order(image):
+                if dep.name not in self.interfaces:
+                    self.interfaces.put(self._build_interface(dep))
+                interfaces_complete &= self.interfaces.get(dep.name).complete
+            symbol_table = self.interfaces.symbol_table(image.needed)
+        report.stages["interfaces"] = StageStats(
+            seconds=time.perf_counter() - t0, units=len(symbol_table),
+        )
+
+        roots = [image.entry] if image.entry else [
+            sym.value for sym in image.exported_functions.values()
+        ]
+        analysis = self._analyze_image(image, roots, symbol_table, report)
+
+        identified: set[int] = set()
+        for block_addr, values in analysis.block_syscalls.items():
+            if block_addr in analysis.reachable:
+                identified |= values
+
+        # dlopen-style modules: analysed like shared libraries, with every
+        # export considered potentially invoked (§4.5).
+        for module in modules:
+            module_interface = self.analyze_library(module)
+            identified |= module_interface.all_syscalls()
+            interfaces_complete &= module_interface.complete
+
+        report.syscalls = identified
+        report.complete = analysis.complete and interfaces_complete
+        report.bbs_explored = analysis.bbs_explored
+        report.symex_steps = analysis.symex_steps
+        report.sites_examined = analysis.sites_examined
+        return report, analysis
+
+    # ------------------------------------------------------------------
+    # Shared per-image machinery
+    # ------------------------------------------------------------------
+
+    def _recover_cfg(
+        self, image: LoadedImage, roots: list[int], report: AnalysisReport | None
+    ) -> tuple[CFG, set[int]]:
+        t0 = time.perf_counter()
+        cfg = build_cfg(image)
+
+        if not self.use_active_addresses_taken:
+            # Ablation: SysFilter-style resolution to *all* addresses taken.
+            from ..cfg.indirect import resolve_indirect_all
+
+            resolve_indirect_all(cfg, image)
+            iterations = 1
+        else:
+            # CFG budget: a dense indirect-call web exceeds it (the paper's
+            # dominant timeout class).
+            __, iterations = resolve_indirect_active(
+                cfg, image, roots, max_iterations=self.budget.max_cfg_iterations,
+            )
+        icall_edges = sum(
+            1
+            for block in cfg.indirect_sites
+            for e in cfg.successors(block, kinds=(EDGE_ICALL,))
+        )
+        if icall_edges > self.budget.max_icall_edges:
+            raise BudgetExceeded("cfg-recovery", self.budget.max_icall_edges)
+        if iterations >= self.budget.max_cfg_iterations:
+            raise BudgetExceeded("cfg-recovery", self.budget.max_cfg_iterations)
+
+        reachable = reachable_blocks(cfg, roots)
+        if report is not None:
+            report.stages["cfg"] = StageStats(
+                seconds=time.perf_counter() - t0,
+                units=cfg.n_edges,
+            )
+        return cfg, reachable
+
+    def _analyze_image(
+        self,
+        image: LoadedImage,
+        roots: list[int],
+        symbol_table: dict[str, ExportInfo],
+        report: AnalysisReport | None,
+    ) -> _ImageAnalysis:
+        cfg, reachable = self._recover_cfg(image, roots, report)
+        ctx = ExecContext.for_image(cfg, image)
+        backend = MemoryBackend([image])
+
+        sites = find_sites(cfg, reachable)
+
+        # ---- wrapper detection (step G) -------------------------------
+        t0 = time.perf_counter()
+        wrappers: dict[int, WrapperInfo | None] = {}
+        confirmations = 0
+        for site in sites:
+            if not self.detect_wrappers:
+                break  # ablation: treat every site as a plain rax site
+            if site.func_entry in wrappers:
+                continue
+            confirmations += 1
+            if confirmations > self.budget.max_wrapper_confirmations:
+                raise BudgetExceeded(
+                    "wrapper-detection", self.budget.max_wrapper_confirmations,
+                )
+            wrappers[site.func_entry] = detect_wrapper(
+                cfg, ctx, site, backend, max_steps=self.budget.wrapper_steps,
+            )
+        if report is not None:
+            report.stages["wrappers"] = StageStats(
+                seconds=time.perf_counter() - t0, units=confirmations,
+            )
+
+        # ---- identification (step H) ------------------------------------
+        t0 = time.perf_counter()
+        block_syscalls: dict[int, set[int]] = {}
+        complete = True
+        bbs = 0
+        steps = 0
+        examined = 0
+
+        def record(block_addr: int, ident: SiteIdentification) -> None:
+            nonlocal complete, bbs, steps, examined
+            block_syscalls.setdefault(block_addr, set()).update(ident.values)
+            complete = complete and ident.complete
+            bbs += ident.nodes_explored
+            steps += ident.steps_used
+            examined += 1
+
+        for site in sites:
+            info = wrappers.get(site.func_entry)
+            if info is not None:
+                continue  # handled from its call sites below
+            ident = identify_plain_site(
+                cfg, ctx, site, backend, budget=self.budget.search,
+                directed=self.directed_search,
+            )
+            record(site.block_addr, ident)
+
+        for func_entry, info in wrappers.items():
+            if info is None:
+                continue
+            if info.param is None:
+                # Wrapper whose parameter could not be localised: the
+                # sound over-approximation is "anything" — flagged via
+                # completeness so filter generation allows everything.
+                complete = False
+                continue
+            for call_block in wrapper_call_blocks(cfg, info):
+                ident = identify_wrapper_call_site(
+                    cfg, ctx, call_block, info.param, backend,
+                    budget=self.budget.search, directed=self.directed_search,
+                )
+                record(call_block, ident)
+
+        # ---- external calls (step J/M) -----------------------------------
+        for block_addr, symbols in cfg.external_calls.items():
+            if block_addr not in reachable:
+                continue
+            for symbol in symbols:
+                info = symbol_table.get(symbol)
+                if info is None:
+                    # Unknown import: cannot be resolved -> incomplete.
+                    complete = False
+                    continue
+                if info.is_wrapper:
+                    ident = identify_wrapper_call_site(
+                        cfg, ctx, block_addr, info.wrapper_param, backend,
+                        budget=self.budget.search, kind="external-wrapper-call",
+                        directed=self.directed_search,
+                    )
+                    record(block_addr, ident)
+                else:
+                    block_syscalls.setdefault(block_addr, set()).update(info.syscalls)
+                    complete = complete and info.complete
+
+        if report is not None:
+            report.stages["identification"] = StageStats(
+                seconds=time.perf_counter() - t0, units=bbs,
+            )
+
+        return _ImageAnalysis(
+            cfg=cfg,
+            ctx=ctx,
+            backend=backend,
+            reachable=reachable,
+            sites=sites,
+            wrappers=wrappers,
+            block_syscalls=block_syscalls,
+            complete=complete,
+            bbs_explored=bbs,
+            symex_steps=steps,
+            sites_examined=examined,
+        )
+
+    # ------------------------------------------------------------------
+    # Library pipeline (interface construction)
+    # ------------------------------------------------------------------
+
+    def _build_interface(self, image: LoadedImage) -> SharedInterface:
+        dep_symbols: dict[str, ExportInfo] = {}
+        if image.needed:
+            dep_symbols = self.interfaces.symbol_table(image.needed)
+
+        exports = image.exported_functions
+        roots = sorted(sym.value for sym in exports.values())
+        analysis = self._analyze_image(image, roots, dep_symbols, report=None)
+
+        interface = SharedInterface(
+            library=image.name,
+            needed=list(image.needed),
+            complete=analysis.complete,
+            addresses_taken=sorted(analysis.cfg.addresses_taken),
+        )
+        wrapper_names: list[str] = []
+        for entry, info in analysis.wrappers.items():
+            if info is not None:
+                func = analysis.cfg.functions.get(entry)
+                wrapper_names.append(func.name if func and func.name else hex(entry))
+        interface.wrapper_functions = sorted(wrapper_names)
+
+        for name, sym in exports.items():
+            from ..cfg.reachability import reachable_blocks as reach
+
+            export_blocks = reach(analysis.cfg, [sym.value])
+            syscalls: set[int] = set()
+            for block_addr in export_blocks:
+                syscalls |= analysis.block_syscalls.get(block_addr, set())
+            cross = sorted({
+                s
+                for block_addr in export_blocks
+                for s in analysis.cfg.external_calls.get(block_addr, [])
+            })
+            wrapper_info = analysis.wrappers.get(sym.value)
+            interface.exports[name] = ExportInfo(
+                name=name,
+                addr=sym.value,
+                syscalls=syscalls,
+                complete=analysis.complete,
+                wrapper_param=(wrapper_info.param if wrapper_info else None),
+                cross_calls=cross,
+            )
+        return interface

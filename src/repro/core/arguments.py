@@ -1,0 +1,129 @@
+"""System call *argument* identification — an extension beyond the paper.
+
+The identification machinery of §4.4 determines the value of ``%rax`` at
+a syscall site; nothing restricts it to ``%rax``.  This module points the
+same backward-BFS + directed-forward search at the Linux argument
+registers (``rdi, rsi, rdx, r10, r8, r9``), recovering concrete argument
+values where they are statically determined.
+
+This enables argument-level filtering rules — the finer-grained policies
+of the paper's related work (Jenny, C2C): e.g. allowing ``socket`` only
+with ``AF_INET``, or ``ioctl`` only with specific request codes.  The
+result is an over-approximation with an explicit completeness bit per
+argument, exactly like number identification: an argument whose value
+cannot be determined must remain unconstrained in any derived rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.model import CFG
+from ..symex.backward import SearchBudget, backward_identify
+from ..symex.engine import ExecContext
+from ..symex.state import MemoryBackend, SymState
+from ..x86.registers import SYSCALL_ARG_REGISTERS
+from .sites import SyscallSite
+
+
+@dataclass(slots=True)
+class ArgumentValues:
+    """Identified values of one argument at one syscall site."""
+
+    site: SyscallSite
+    arg_index: int
+    register: str
+    values: set[int] = field(default_factory=set)
+    complete: bool = True
+
+    @property
+    def is_constrained(self) -> bool:
+        """Whether a rule may constrain this argument soundly."""
+        return self.complete and bool(self.values)
+
+
+def _make_arg_query(register: str):
+    def query(state: SymState):
+        return state.regs[register]
+    return query
+
+
+def identify_argument(
+    cfg: CFG,
+    ctx: ExecContext,
+    site: SyscallSite,
+    arg_index: int,
+    backend: MemoryBackend | None = None,
+    budget: SearchBudget | None = None,
+) -> ArgumentValues:
+    """Identify argument ``arg_index`` (0-5) at a plain syscall site."""
+    if not 0 <= arg_index < len(SYSCALL_ARG_REGISTERS):
+        raise ValueError(f"syscalls take at most 6 arguments, got index {arg_index}")
+    register = SYSCALL_ARG_REGISTERS[arg_index].name
+    result = backward_identify(
+        cfg, ctx, site.block_addr, site.insn_addr,
+        _make_arg_query(register), backend=backend, budget=budget,
+    )
+    return ArgumentValues(
+        site=site,
+        arg_index=arg_index,
+        register=register,
+        values=result.values,
+        complete=result.complete,
+    )
+
+
+def identify_site_arguments(
+    cfg: CFG,
+    ctx: ExecContext,
+    site: SyscallSite,
+    n_args: int = 3,
+    backend: MemoryBackend | None = None,
+    budget: SearchBudget | None = None,
+) -> list[ArgumentValues]:
+    """Identify the first ``n_args`` arguments of one site."""
+    return [
+        identify_argument(cfg, ctx, site, index, backend, budget)
+        for index in range(n_args)
+    ]
+
+
+@dataclass(slots=True)
+class ArgumentRule:
+    """An argument-constrained allow rule: syscall nr + per-arg value sets.
+
+    ``None`` for an argument means unconstrained (its value was not
+    statically determined — constraining it would risk false negatives).
+    """
+
+    sysno: int
+    arg_values: tuple[frozenset[int] | None, ...] = ()
+
+    def permits(self, sysno: int, args: tuple[int, ...]) -> bool:
+        if sysno != self.sysno:
+            return False
+        for constraint, value in zip(self.arg_values, args):
+            if constraint is not None and value not in constraint:
+                return False
+        return True
+
+
+def build_argument_rules(
+    sysno_by_site: dict[SyscallSite, set[int]],
+    args_by_site: dict[SyscallSite, list[ArgumentValues]],
+) -> list[ArgumentRule]:
+    """Combine number and argument identification into allow rules.
+
+    One rule per (site, syscall number); arguments only constrained when
+    their identification was complete.
+    """
+    rules: list[ArgumentRule] = []
+    for site, numbers in sysno_by_site.items():
+        argvals = args_by_site.get(site, [])
+        constraints = tuple(
+            frozenset(a.values) if a.is_constrained else None
+            for a in argvals
+        )
+        for nr in sorted(numbers):
+            rules.append(ArgumentRule(sysno=nr, arg_values=constraints))
+    return rules

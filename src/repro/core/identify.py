@@ -1,0 +1,124 @@
+"""System call type identification (step H in Figure 3, §4.4).
+
+Two modes, chosen by the wrapper status of the site's function:
+
+* **plain site** — backward BFS from the site's block, querying ``%rax``
+  at the ``syscall`` instruction;
+* **wrapper** — for each *call site* of the wrapper, backward BFS from the
+  calling block, querying the wrapper's number parameter at the ``call``
+  instruction.  Starting from call sites (rather than from the wrapper's
+  own ``syscall``) is what avoids both the predecessor explosion and the
+  all-numbers overestimation of Figure 2 B.
+
+The per-call-site form also serves external calls to *imported* wrappers
+(e.g. an application calling libc's exported ``syscall()``), using the
+parameter location recorded in the library's shared interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.model import CFG, EDGE_CALL, EDGE_ICALL
+from ..symex.backward import IdentifyResult, SearchBudget, backward_identify
+from ..symex.bitvec import BVV, binop
+from ..symex.engine import ExecContext
+from ..symex.explorer import query_rax
+from ..symex.state import MemoryBackend, SymState
+from .sites import SyscallSite
+from .wrappers import WrapperInfo
+
+
+@dataclass(slots=True)
+class SiteIdentification:
+    """Identification outcome for one site (or wrapper call site)."""
+
+    kind: str  # "rax" | "wrapper-call" | "external-wrapper-call"
+    anchor: int  # insn address the query was evaluated at
+    values: set[int] = field(default_factory=set)
+    complete: bool = True
+    nodes_explored: int = 0
+    steps_used: int = 0
+
+
+def make_callsite_param_query(param: tuple[str, object], anchor_is_call: bool = True):
+    """Query of a wrapper's number parameter at the anchoring instruction.
+
+    A ``("stack", off)`` location is relative to ``%rsp`` at the wrapper's
+    entry — i.e. *after* the ``call`` pushed the return address.  When the
+    anchor is the ``call`` instruction itself the slot therefore lives 8
+    bytes lower; when the anchor is a tail ``jmp`` (PLT stub forwarding to
+    an imported wrapper) the return address is already pushed and the
+    offset applies as-is.
+    """
+    kind, where = param
+    if kind == "reg":
+        def reg_query(state: SymState):
+            return state.regs[where]  # type: ignore[index]
+        return reg_query
+    if kind != "stack":
+        raise ValueError(f"unknown wrapper param kind {kind!r}")
+    offset = int(where) - (8 if anchor_is_call else 0)
+
+    def stack_query(state: SymState):
+        addr = binop("add", state.regs["rsp"], BVV(offset))
+        return state.read_mem(addr, 8)
+
+    return stack_query
+
+
+def identify_plain_site(
+    cfg: CFG,
+    ctx: ExecContext,
+    site: SyscallSite,
+    backend: MemoryBackend | None = None,
+    budget: SearchBudget | None = None,
+    directed: bool = True,
+) -> SiteIdentification:
+    """Identify %rax values at a non-wrapper syscall site."""
+    result: IdentifyResult = backward_identify(
+        cfg, ctx, site.block_addr, site.insn_addr, query_rax,
+        backend=backend, budget=budget, directed=directed,
+    )
+    return SiteIdentification(
+        kind="rax",
+        anchor=site.insn_addr,
+        values=result.values,
+        complete=result.complete,
+        nodes_explored=result.nodes_explored,
+        steps_used=result.steps_used,
+    )
+
+
+def wrapper_call_blocks(cfg: CFG, wrapper: WrapperInfo) -> list[int]:
+    """Blocks that (directly or via resolved indirect calls) call the wrapper."""
+    edges = cfg.predecessors(wrapper.func_entry, kinds=(EDGE_CALL, EDGE_ICALL))
+    return sorted({e.src for e in edges})
+
+
+def identify_wrapper_call_site(
+    cfg: CFG,
+    ctx: ExecContext,
+    call_block: int,
+    param: tuple[str, object],
+    backend: MemoryBackend | None = None,
+    budget: SearchBudget | None = None,
+    kind: str = "wrapper-call",
+    directed: bool = True,
+) -> SiteIdentification:
+    """Identify the number parameter at one call site of a wrapper."""
+    block = cfg.blocks[call_block]
+    call_insn = block.terminator
+    result = backward_identify(
+        cfg, ctx, call_block, call_insn.addr,
+        make_callsite_param_query(param, anchor_is_call=call_insn.is_call),
+        backend=backend, budget=budget, directed=directed,
+    )
+    return SiteIdentification(
+        kind=kind,
+        anchor=call_insn.addr,
+        values=result.values,
+        complete=result.complete,
+        nodes_explored=result.nodes_explored,
+        steps_used=result.steps_used,
+    )

@@ -1,0 +1,184 @@
+"""Shared interfaces: per-library analysis artifacts (§4.5, step K/L).
+
+A shared interface records, for one analysed library, everything a
+dependent binary's analysis needs — so the expensive per-library work runs
+once and is reused across all programs linking the library:
+
+* per exported function: the set of syscall numbers it can trigger,
+  whether its resolution was complete, and — when the export *is* a
+  syscall wrapper — where its number parameter lives;
+* the library's own dependencies;
+* the wrapper functions and addresses taken (artifact fidelity: the paper
+  lists both in the interface JSON);
+* the per-export cross-library calls that were folded in.
+
+Interfaces serialise to JSON (:meth:`SharedInterface.to_json`) exactly as
+the paper describes the on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExportInfo:
+    """Interface entry for one exported function."""
+
+    name: str
+    addr: int
+    syscalls: set[int] = field(default_factory=set)
+    complete: bool = True
+    #: ("reg", name) / ("stack", off) when the export is itself a wrapper
+    wrapper_param: tuple | None = None
+    #: imported symbols this export may call (recorded for the artifact)
+    cross_calls: list[str] = field(default_factory=list)
+
+    @property
+    def is_wrapper(self) -> bool:
+        return self.wrapper_param is not None
+
+
+@dataclass
+class SharedInterface:
+    """The complete analysis artifact for one shared library."""
+
+    library: str
+    needed: list[str] = field(default_factory=list)
+    exports: dict[str, ExportInfo] = field(default_factory=dict)
+    wrapper_functions: list[str] = field(default_factory=list)
+    addresses_taken: list[int] = field(default_factory=list)
+    complete: bool = True
+
+    def export(self, name: str) -> ExportInfo | None:
+        return self.exports.get(name)
+
+    def all_syscalls(self) -> set[int]:
+        out: set[int] = set()
+        for info in self.exports.values():
+            out |= info.syscalls
+        return out
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "library": self.library,
+            "needed": self.needed,
+            "complete": self.complete,
+            "wrapper_functions": self.wrapper_functions,
+            "addresses_taken": self.addresses_taken,
+            "exports": {
+                name: {
+                    "addr": info.addr,
+                    "syscalls": sorted(info.syscalls),
+                    "complete": info.complete,
+                    "wrapper_param": list(info.wrapper_param) if info.wrapper_param else None,
+                    "cross_calls": info.cross_calls,
+                }
+                for name, info in sorted(self.exports.items())
+            },
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SharedInterface":
+        doc = json.loads(text)
+        exports = {}
+        for name, raw in doc["exports"].items():
+            param = raw.get("wrapper_param")
+            exports[name] = ExportInfo(
+                name=name,
+                addr=raw["addr"],
+                syscalls=set(raw["syscalls"]),
+                complete=raw["complete"],
+                wrapper_param=tuple(param) if param else None,
+                cross_calls=list(raw.get("cross_calls", [])),
+            )
+        return cls(
+            library=doc["library"],
+            needed=list(doc["needed"]),
+            exports=exports,
+            wrapper_functions=list(doc["wrapper_functions"]),
+            addresses_taken=list(doc["addresses_taken"]),
+            complete=doc["complete"],
+        )
+
+
+class InterfaceStore:
+    """Cache of shared interfaces keyed by library name.
+
+    Mirrors B-Side's once-per-library amortisation: the analyzer consults
+    the store before analysing a dependency.  With ``cache_dir`` set, each
+    interface is also persisted as ``<library>.interface.json`` — the
+    on-disk artifact §4.5 describes — and reloaded transparently in later
+    sessions.
+    """
+
+    def __init__(self, cache_dir: str | None = None) -> None:
+        self._by_name: dict[str, SharedInterface] = {}
+        self._cache_dir = cache_dir
+        if cache_dir is not None:
+            import os
+
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def _disk_path(self, name: str) -> str | None:
+        if self._cache_dir is None:
+            return None
+        import os
+
+        return os.path.join(self._cache_dir, f"{name}.interface.json")
+
+    def get(self, name: str) -> SharedInterface | None:
+        cached = self._by_name.get(name)
+        if cached is not None:
+            return cached
+        path = self._disk_path(name)
+        if path is not None:
+            import os
+
+            if os.path.exists(path):
+                with open(path) as f:
+                    interface = SharedInterface.from_json(f.read())
+                self._by_name[name] = interface
+                return interface
+        return None
+
+    def put(self, interface: SharedInterface) -> None:
+        self._by_name[interface.library] = interface
+        path = self._disk_path(interface.library)
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(interface.to_json())
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def symbol_table(self, needed: list[str]) -> dict[str, ExportInfo]:
+        """Resolve symbols across a dependency list, first definition wins.
+
+        The search is breadth-first over the dependency closure, matching
+        ELF symbol interposition order closely enough for our corpus.
+        """
+        out: dict[str, ExportInfo] = {}
+        seen: set[str] = set()
+        queue = list(needed)
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            interface = self.get(name)
+            if interface is None:
+                continue
+            for sym, info in interface.exports.items():
+                out.setdefault(sym, info)
+            queue.extend(interface.needed)
+        return out

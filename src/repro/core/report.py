@@ -1,0 +1,94 @@
+"""Analysis reports and budgets shared by B-Side and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..symex.backward import SearchBudget
+
+
+@dataclass(slots=True)
+class AnalysisBudget:
+    """Deterministic cost limits standing in for wall-clock timeouts (§5.2).
+
+    The paper gives each binary a 3-hour window; a reproduction cannot use
+    wall-clock limits and stay deterministic, so each pipeline stage gets a
+    step budget.  Exceeding any of them marks the binary as a *timeout*
+    with the stage recorded — reproducing the failure taxonomy of §5.2
+    (73% CFG recovery, 15% identification, 12% wrapper detection).
+    """
+
+    #: max iterations of the active-addresses-taken fixpoint
+    max_cfg_iterations: int = 24
+    #: max indirect-call edges the CFG refinement may insert
+    max_icall_edges: int = 60_000
+    #: max candidate functions confirmed symbolically (phase 2)
+    max_wrapper_confirmations: int = 256
+    #: symbolic steps per wrapper confirmation
+    wrapper_steps: int = 4_000
+    #: per-site backward-search budget
+    search: SearchBudget = field(default_factory=SearchBudget)
+
+    @classmethod
+    def generous(cls) -> "AnalysisBudget":
+        """A budget that effectively never trips (unit tests, examples)."""
+        return cls(
+            max_cfg_iterations=1_000,
+            max_icall_edges=10_000_000,
+            max_wrapper_confirmations=100_000,
+            wrapper_steps=100_000,
+            search=SearchBudget(
+                max_nodes=100_000,
+                max_total_steps=50_000_000,
+                per_exploration_steps=100_000,
+            ),
+        )
+
+
+@dataclass(slots=True)
+class StageStats:
+    """Wall time and work counters for one pipeline stage."""
+
+    seconds: float = 0.0
+    units: int = 0
+
+
+@dataclass
+class AnalysisReport:
+    """What one tool concluded about one binary."""
+
+    tool: str
+    binary: str
+    success: bool
+    syscalls: set[int] = field(default_factory=set)
+    #: False when at least one site could not be fully resolved; a filter
+    #: derived from an incomplete report must allow everything to stay
+    #: sound.
+    complete: bool = True
+    failure_stage: str = ""
+    failure_reason: str = ""
+    #: "cfg", "wrappers", "identification", "interfaces", "total"
+    stages: dict[str, StageStats] = field(default_factory=dict)
+    #: basic blocks symbolically explored during identification (Table 3)
+    bbs_explored: int = 0
+    #: total forward symbolic-execution steps spent in identification
+    symex_steps: int = 0
+    #: number of syscall sites (plain + wrapper call sites) examined
+    sites_examined: int = 0
+    #: peak traced memory in bytes when measured (Table 3), else 0
+    peak_memory: int = 0
+
+    @property
+    def n_syscalls(self) -> int:
+        return len(self.syscalls)
+
+    def stage_seconds(self, name: str) -> float:
+        stats = self.stages.get(name)
+        return stats.seconds if stats else 0.0
+
+    @classmethod
+    def failed(cls, tool: str, binary: str, stage: str, reason: str) -> "AnalysisReport":
+        return cls(
+            tool=tool, binary=binary, success=False,
+            failure_stage=stage, failure_reason=reason, complete=False,
+        )

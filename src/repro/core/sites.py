@@ -1,0 +1,41 @@
+"""System call site discovery (step F in Figure 3).
+
+A site is an occurrence of the ``syscall`` instruction inside a block
+reachable from the analysis roots (program entry point, or the exported
+functions of a shared library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.model import CFG
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallSite:
+    """One reachable ``syscall`` instruction."""
+
+    block_addr: int
+    insn_addr: int
+    func_entry: int
+
+    def __repr__(self) -> str:
+        return f"<site {self.insn_addr:#x} in fn {self.func_entry:#x}>"
+
+
+def find_sites(cfg: CFG, reachable: set[int] | None = None) -> list[SyscallSite]:
+    """All syscall sites, restricted to ``reachable`` blocks when given."""
+    out: list[SyscallSite] = []
+    for block in cfg.blocks.values():
+        if reachable is not None and block.addr not in reachable:
+            continue
+        for insn in block.insns:
+            if insn.is_syscall:
+                out.append(SyscallSite(
+                    block_addr=block.addr,
+                    insn_addr=insn.addr,
+                    func_entry=block.function,
+                ))
+    out.sort(key=lambda s: s.insn_addr)
+    return out

@@ -1,0 +1,169 @@
+"""System call wrapper detection — the two-phase heuristic of §4.4.
+
+A *wrapper* is a function whose syscall number is **not** determined
+between the function's entry and the syscall site — it arrives as a
+parameter (glibc's ``syscall()``, Go/Rust runtime wrappers, musl
+internals).  Detection:
+
+Phase 1 (fast, may over-approximate): a register use-define scan walking
+backwards from the site within the function.  If ``%rax`` resolves to an
+immediate through register moves only, the function is *not* a wrapper;
+memory loads or a definition gap make it a *candidate*.
+
+Phase 2 (precise, costly): forward symbolic execution from the function
+entry to the site.  If ``%rax`` is still symbolic at the site, the
+function is definitively a wrapper, and the symbol's identity reveals
+which parameter carries the number: an untouched argument register
+(``init_rdi``...) or an incoming stack slot (``stackarg_8``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.model import CFG
+from ..symex.bitvec import BVS
+from ..symex.engine import ExecContext
+from ..symex.explorer import explore, query_rax
+from ..symex.state import MemoryBackend
+from ..x86.insn import Immediate, Instruction, Memory
+from ..x86.registers import Register
+from .sites import SyscallSite
+
+#: registers that can carry a wrapper's number parameter (SysV argument
+#: registers; rax itself is excluded, r10 appears in syscall-arg shuffles).
+_PARAM_REGISTERS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9", "r10")
+
+
+@dataclass(frozen=True, slots=True)
+class WrapperInfo:
+    """A detected wrapper and where its number parameter lives."""
+
+    func_entry: int
+    #: ("reg", "rdi") or ("stack", byte offset from entry rsp) or None when
+    #: the parameter could not be localised (analyzer over-approximates).
+    param: tuple[str, object] | None
+
+    @property
+    def resolvable(self) -> bool:
+        return self.param is not None
+
+
+def _function_insns_before(cfg: CFG, site: SyscallSite) -> list[Instruction]:
+    """Instructions of the containing function at lower addresses than the
+    site, in address order (the phase-1 linear approximation)."""
+    func = cfg.functions[site.func_entry]
+    insns: list[Instruction] = []
+    for addr in sorted(func.block_addrs):
+        for insn in cfg.blocks[addr].insns:
+            if insn.addr < site.insn_addr:
+                insns.append(insn)
+    return insns
+
+
+def phase1_use_define_scan(cfg: CFG, site: SyscallSite) -> bool:
+    """Phase 1: True when the function *may* be a wrapper.
+
+    Walks the function's instructions backwards from the site, resolving
+    ``%rax`` through register-to-register moves.  Memory operands or a
+    missing definition leave the value undetermined -> candidate wrapper.
+    """
+    insns = _function_insns_before(cfg, site)
+    wanted = "rax"
+    for insn in reversed(insns):
+        if insn.mnemonic in ("mov", "movabs") and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if isinstance(dst, Register) and dst.name == wanted:
+                if isinstance(src, Immediate):
+                    return False  # determined by an immediate
+                if isinstance(src, Register):
+                    wanted = src.name  # chase the chain
+                    continue
+                return True  # loaded from memory: undetermined here
+        elif insn.mnemonic == "xor" and len(insn.operands) == 2:
+            dst, src = insn.operands
+            if (
+                isinstance(dst, Register) and dst.name == wanted
+                and isinstance(src, Register) and src.name == dst.name
+            ):
+                return False  # zeroing idiom: rax = 0
+        elif insn.mnemonic == "pop" and insn.operands \
+                and isinstance(insn.operands[0], Register) \
+                and insn.operands[0].name == wanted:
+            return True  # from the stack: undetermined
+        elif insn.is_call:
+            if wanted == "rax":
+                return True  # call clobbers rax; value from callee (unknown)
+    return True  # never defined inside the function
+
+
+def phase2_symbolic_confirm(
+    cfg: CFG,
+    ctx: ExecContext,
+    site: SyscallSite,
+    backend: MemoryBackend | None = None,
+    max_steps: int = 4000,
+) -> WrapperInfo | None:
+    """Phase 2: symbolic execution from entry to the site.
+
+    Returns a :class:`WrapperInfo` when ``%rax`` is symbolic at the site
+    (i.e. the function IS a wrapper), otherwise None.
+    """
+    func = cfg.functions[site.func_entry]
+    collected = []
+
+    def capture(state):
+        expr = query_rax(state)
+        collected.append(expr)
+        return expr
+
+    result = explore(
+        ctx,
+        func.entry,
+        site.insn_addr,
+        capture,
+        backend=backend,
+        max_steps=max_steps,
+        state_tag="init",
+    )
+    if result.paths_completed == 0:
+        # Could not reach the site (unusual control flow); be conservative
+        # and do not classify as wrapper.
+        return None
+    symbolic = [e for e in collected if e.value_or_none() is None]
+    if not symbolic:
+        return None
+
+    param = _param_location(symbolic[0])
+    return WrapperInfo(func_entry=func.entry, param=param)
+
+
+def _param_location(expr) -> tuple[str, object] | None:
+    """Map a symbolic rax expression to a parameter location."""
+    if isinstance(expr, BVS):
+        if expr.name.startswith("init_"):
+            reg = expr.name[len("init_"):]
+            if reg in _PARAM_REGISTERS:
+                return ("reg", reg)
+        if expr.name.startswith("stackarg_"):
+            offset = int(expr.name[len("stackarg_"):])
+            return ("stack", offset)
+    return None
+
+
+def detect_wrapper(
+    cfg: CFG,
+    ctx: ExecContext,
+    site: SyscallSite,
+    backend: MemoryBackend | None = None,
+    max_steps: int = 4000,
+) -> WrapperInfo | None:
+    """Full two-phase wrapper detection for the function containing ``site``.
+
+    Phase 2 (symbolic, expensive) only runs when phase 1 flags a candidate
+    — the paper's design to "minimize reliance on computationally-expensive
+    symbolic execution".
+    """
+    if not phase1_use_define_scan(cfg, site):
+        return None
+    return phase2_symbolic_confirm(cfg, ctx, site, backend, max_steps)

@@ -1,0 +1,29 @@
+"""Corpus generation: program builder, language styles, libc, apps, Debian set."""
+
+from .apps import APP_NAMES, APP_SPECS, AppBundle, AppSpec, build_all_apps, build_app
+from .debian import CorpusBinary, DebianCorpus, make_debian_corpus
+from .langstyles import ALL_STYLES, LANGUAGE_PROFILES, emit_syscall
+from .libc import LIBC_NAME, build_libc, libc_direct_numbers, libc_wrapped_numbers
+from .progbuilder import BuiltProgram, ProgramBuilder, QuadRef
+
+__all__ = [
+    "BuiltProgram",
+    "ProgramBuilder",
+    "QuadRef",
+    "ALL_STYLES",
+    "LANGUAGE_PROFILES",
+    "emit_syscall",
+    "LIBC_NAME",
+    "build_libc",
+    "libc_direct_numbers",
+    "libc_wrapped_numbers",
+    "APP_NAMES",
+    "APP_SPECS",
+    "AppSpec",
+    "AppBundle",
+    "build_app",
+    "build_all_apps",
+    "CorpusBinary",
+    "DebianCorpus",
+    "make_debian_corpus",
+]

@@ -1,0 +1,406 @@
+"""The six validation applications (§5.1): Redis, Nginx, HAProxy,
+Memcached, Lighttpd, SQLite — as synthetic profiles.
+
+Each profile captures what the validation experiment needs from the real
+application:
+
+* an **init / serve-loop / shutdown** phase structure (drives §5.4),
+* a realistic per-app syscall footprint reached through libc imports,
+  app-local direct sites, and the exported ``syscall()`` wrapper,
+* **input-conditional operations** plus a scripted *test suite* of input
+  vectors that covers them (the strace-on-test-suite ground truth),
+* **error-path code**: statically reachable, never executed by the test
+  suite — the natural source of static-analysis false positives that the
+  paper's F1 scores quantify,
+* per-app use of wrapper-routed syscalls, reproducing the exact false
+  negatives Figure 7 reports for SysFilter (via ``syscall()`` and the
+  internal musl-style wrapper) and Chestnut (internal wrapper + its
+  fallback denylist),
+* for Nginx, a dlopen-style module (§4.5/§5.1 note that its modules are
+  processed alongside the main binary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..loader.resolve import LibraryResolver
+from ..syscalls.table import SYSCALL_NUMBERS
+from ..x86.registers import EAX, R12, R13, R14, RBX, RDI, RSI, RDX
+from .langstyles import emit_direct, emit_split, emit_stack
+from .libc import LIBC_NAME, build_libc, export_for
+from .progbuilder import BuiltProgram, ProgramBuilder
+
+#: magic value that the error-path guard compares against; no test-suite
+#: input ever equals it, so error paths never execute.
+ERROR_MAGIC = 0x7EAD
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Declarative description of one application profile."""
+
+    name: str
+    init: tuple[str, ...]
+    serve: tuple[str, ...]
+    #: clusters of input-selected operations (suite covers each index)
+    conditional: tuple[tuple[str, ...], ...]
+    shutdown: tuple[str, ...]
+    #: syscalls invoked through the *exported* ``syscall()`` wrapper —
+    #: resolved by B-Side and Chestnut, missed by SysFilter
+    via_syscall_export: tuple[str, ...] = ()
+    #: syscalls invoked through libc exports routed via the *internal*
+    #: wrapper — missed by SysFilter AND unresolvable for Chestnut
+    via_wrapped_import: tuple[str, ...] = ()
+    #: never-executed error paths: c_<name> imports behind a dead guard
+    error_imports: tuple[str, ...] = ()
+    #: never-executed error paths via ``syscall(nr)`` with exotic numbers
+    error_syscall_numbers: tuple[str, ...] = ()
+    #: direct sites in the app binary itself (style mix: Figure 1 A/B/C)
+    app_direct: tuple[str, ...] = ()
+    #: dlopen-style module: (soname, (syscall names...))
+    module: tuple | None = None
+
+    def runtime_syscalls(self) -> set[int]:
+        """The syscalls the app actually makes under full suite coverage."""
+        names: set[str] = set(self.init) | set(self.serve) | set(self.shutdown)
+        for cluster in self.conditional:
+            names |= set(cluster)
+        names |= set(self.via_syscall_export)
+        names |= set(self.via_wrapped_import)
+        names |= set(self.app_direct)
+        if self.module:
+            names |= set(self.module[1])
+        names.add("exit_group")
+        return {SYSCALL_NUMBERS[n] for n in names}
+
+
+_COMMON_INIT = (
+    "brk", "mmap", "mprotect", "munmap", "rt_sigaction", "rt_sigprocmask",
+    "arch_prctl", "access", "openat", "read", "fstat", "close",
+    "set_tid_address", "prlimit64", "getrandom",
+)
+
+APP_SPECS: dict[str, AppSpec] = {
+    "redis": AppSpec(
+        name="redis",
+        init=_COMMON_INIT + (
+            "open", "stat", "getcwd", "uname", "sysinfo", "getpid",
+            "getppid", "getuid", "geteuid", "setrlimit", "getrlimit",
+            "socket", "bind", "listen", "epoll_create1", "epoll_ctl",
+            "setsockopt", "pipe2", "clock_gettime", "sigaltstack", "prctl",
+        ),
+        serve=(
+            "epoll_wait", "accept4", "write", "sendto", "recvfrom",
+            "futex", "clock_nanosleep", "nanosleep", "gettimeofday",
+            "madvise", "mremap", "writev", "readv", "lseek", "fdatasync",
+            "fsync", "ftruncate", "getdents64", "unlink", "rename",
+            "dup2", "fcntl", "gettid",
+        ),
+        conditional=(
+            ("fork", "wait4", "execve"),         # background save + exec
+            ("pipe", "chdir", "mkdir", "rmdir"),  # admin commands
+            ("kill", "tgkill",),                  # signal handling paths
+        ),
+        shutdown=("fsync", "close", "unlink", "munmap"),
+        via_syscall_export=(
+            "sched_yield", "times", "alarm", "getitimer", "msync",
+            "mincore", "splice",
+        ),
+        via_wrapped_import=("io_submit",),
+        error_imports=(
+            "symlink", "link", "truncate", "chown", "fchmod", "flock",
+            "memfd_create", "fallocate", "copy_file_range", "utimensat",
+            "faccessat", "newfstatat", "mkdirat", "unlinkat",
+            "inotify_init1", "timerfd_create", "eventfd2", "dup3",
+            "socketpair", "getpeername", "getsockname", "shutdown",
+        ),
+        error_syscall_numbers=(
+            "setxattr", "getxattr", "mount", "umount2", "sethostname",
+            "mknod", "swapon", "init_module", "uselib", "readlinkat",
+        ),
+        app_direct=("getegid", "getgid"),
+    ),
+    "nginx": AppSpec(
+        name="nginx",
+        init=_COMMON_INIT + (
+            "open", "stat", "getcwd", "uname", "getpid", "getuid",
+            "geteuid", "socket", "bind", "listen", "epoll_create1",
+            "epoll_ctl", "setsockopt", "pipe2", "clock_gettime", "prctl",
+            "sigaltstack", "getrlimit",
+        ),
+        serve=(
+            "epoll_wait", "accept4", "write", "writev", "sendfile",
+            "recvfrom", "ioctl", "futex", "gettimeofday", "lseek",
+            "pread64", "getdents64", "unlink", "rename", "fcntl",
+            "gettid", "nanosleep",
+        ),
+        conditional=(
+            ("chown", "fchmod", "mkdir", "rmdir"),  # cache management
+            ("utimensat", "newfstatat"),            # stat-heavy paths
+            ("kill",),                              # master->worker signals
+        ),
+        shutdown=("close", "munmap", "kill"),
+        error_imports=(
+            "fork", "wait4", "pipe", "symlink", "link", "truncate",
+            "flock", "fallocate", "copy_file_range", "memfd_create",
+            "socketpair", "getpeername", "getsockname", "shutdown",
+            "dup3", "eventfd2", "timerfd_create", "inotify_init1",
+            "faccessat", "mkdirat", "unlinkat", "connect",
+        ),
+        error_syscall_numbers=(
+            "setxattr", "listxattr", "removexattr", "mount", "swapon",
+            "quotactl", "mlock", "munlock",
+        ),
+        app_direct=("getegid", "getgid"),
+        module=("mod_http.so", ("mknod", "getxattr")),
+    ),
+    "haproxy": AppSpec(
+        name="haproxy",
+        init=_COMMON_INIT + (
+            "socket", "bind", "listen", "setsockopt", "getsockopt",
+            "epoll_create1", "epoll_ctl", "pipe2", "clock_gettime",
+            "getpid", "getuid", "prctl", "sigaltstack", "uname",
+            "getrlimit", "setrlimit",
+        ),
+        serve=(
+            "epoll_wait", "accept4", "read", "write", "close",
+            "recvfrom", "sendto", "connect", "sendmsg", "recvmsg",
+            "shutdown", "futex", "gettimeofday", "fcntl",
+        ),
+        conditional=(
+            ("fork", "wait4", "pipe"),
+            ("getdents64", "openat"),
+        ),
+        shutdown=("close", "munmap"),
+        via_syscall_export=(
+            "sched_yield", "times", "alarm", "getitimer", "msync",
+            "splice", "tee", "readahead", "sync", "sync_file_range",
+        ),
+        via_wrapped_import=("keyctl",),
+        error_imports=(
+            "execve", "mkdir", "unlink", "rename", "truncate", "flock",
+            "dup3", "socketpair", "timerfd_create", "eventfd2",
+            "memfd_create",
+        ),
+        error_syscall_numbers=("setxattr", "mount", "sethostname"),
+        app_direct=("getegid",),
+    ),
+    "memcached": AppSpec(
+        name="memcached",
+        init=_COMMON_INIT + (
+            "socket", "bind", "listen", "setsockopt", "epoll_create1",
+            "epoll_ctl", "pipe2", "clock_gettime", "getpid", "getuid",
+            "geteuid", "getrlimit", "setrlimit", "uname", "sigaltstack",
+        ),
+        serve=(
+            "epoll_wait", "accept4", "read", "write", "sendmsg",
+            "recvfrom", "futex", "gettimeofday", "nanosleep", "madvise",
+        ),
+        conditional=(
+            ("openat", "getdents64", "unlink"),
+            ("kill", "gettid"),
+        ),
+        shutdown=("close", "munmap"),
+        via_syscall_export=("sched_yield", "times", "getitimer", "msync"),
+        error_imports=(
+            "fork", "wait4", "pipe", "truncate", "flock", "dup3",
+            "socketpair", "eventfd2", "memfd_create", "mkdir",
+        ),
+        error_syscall_numbers=("mount", "setxattr"),
+        app_direct=("getegid",),
+    ),
+    "lighttpd": AppSpec(
+        name="lighttpd",
+        init=_COMMON_INIT + (
+            "open", "stat", "getcwd", "socket", "bind", "listen",
+            "setsockopt", "epoll_create1", "epoll_ctl", "pipe2",
+            "clock_gettime", "getpid", "getuid", "uname", "sigaltstack",
+        ),
+        serve=(
+            "epoll_wait", "accept4", "read", "write", "writev",
+            "sendfile", "lseek", "pread64", "futex", "gettimeofday",
+            "getdents64", "fcntl",
+        ),
+        conditional=(
+            ("unlink", "rename", "mkdir"),
+            ("chown", "fchmod"),
+        ),
+        shutdown=("close", "munmap"),
+        via_syscall_export=("sched_yield", "times", "alarm"),
+        via_wrapped_import=("personality", "ustat"),
+        error_imports=(
+            "fork", "wait4", "pipe", "truncate", "flock", "symlink",
+            "link", "dup3", "socketpair", "timerfd_create", "faccessat",
+            "mkdirat", "unlinkat", "eventfd2", "fallocate",
+            "copy_file_range", "memfd_create", "connect",
+        ),
+        error_syscall_numbers=("setxattr", "mount", "quotactl", "mknod"),
+        app_direct=("getegid", "getgid"),
+    ),
+    "sqlite": AppSpec(
+        name="sqlite",
+        init=_COMMON_INIT + (
+            "open", "stat", "getcwd", "getpid", "getuid", "geteuid",
+            "clock_gettime", "uname",
+        ),
+        serve=(
+            "lseek", "write", "fsync", "fdatasync", "ftruncate",
+            "fcntl", "unlink", "newfstatat", "pread64", "pwrite64",
+        ),
+        conditional=(
+            ("openat", "getdents64"),
+            ("rename", "truncate"),
+        ),
+        shutdown=("close", "munmap"),
+        via_syscall_export=(
+            "sched_yield", "times", "alarm", "pause", "getitimer",
+            "msync", "mincore", "readahead", "sync", "sync_file_range",
+        ),
+        error_imports=(
+            "fork", "wait4", "execve", "pipe", "flock", "symlink",
+            "link", "chown", "fchmod", "dup3", "mkdir", "rmdir",
+            "faccessat", "mkdirat", "unlinkat", "utimensat",
+            "memfd_create", "fallocate",
+        ),
+        error_syscall_numbers=("setxattr", "mount", "mknod", "uselib"),
+        app_direct=("getegid",),
+    ),
+}
+
+APP_NAMES = tuple(APP_SPECS)
+
+_MODULE_BASE = 0x7F10_0000_0000
+
+
+@dataclass
+class AppBundle:
+    """A built application: binary, modules, resolver, test suite."""
+
+    spec: AppSpec
+    program: BuiltProgram
+    modules: list[BuiltProgram] = field(default_factory=list)
+    resolver: LibraryResolver | None = None
+    suite: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def module_images(self):
+        return [m.image for m in self.modules]
+
+    def expected_runtime_syscalls(self) -> set[int]:
+        return self.spec.runtime_syscalls()
+
+
+def _build_module(soname: str, syscall_names: tuple[str, ...], base: int) -> BuiltProgram:
+    p = ProgramBuilder(soname, soname=soname, text_base=base)
+    with p.function("mod_entry", exported=True):
+        for i, name in enumerate(syscall_names):
+            emit_direct(p, SYSCALL_NUMBERS[name], f"mod{i}")
+        p.asm.ret()
+    return p.build()
+
+
+def _emit_import_calls(p: ProgramBuilder, names, seen: set[str]) -> None:
+    for name in names:
+        export = export_for(name)
+        p.call_import(export)
+        seen.add(export)
+
+
+@lru_cache(maxsize=None)
+def build_app(name: str) -> AppBundle:
+    """Build (and memoise) one application bundle."""
+    spec = APP_SPECS[name]
+    libc = build_libc()
+
+    modules: list[BuiltProgram] = []
+    if spec.module:
+        soname, mod_syscalls = spec.module
+        modules.append(_build_module(soname, tuple(mod_syscalls), _MODULE_BASE))
+
+    p = ProgramBuilder(name, pic=True, needed=[LIBC_NAME])
+    imported: set[str] = set()
+
+    # ---- init ----------------------------------------------------------
+    with p.function("app_init"):
+        _emit_import_calls(p, spec.init, imported)
+        for nr_name in spec.via_syscall_export:
+            p.asm.mov(RDI, SYSCALL_NUMBERS[nr_name])
+            p.call_import("syscall")
+        for i, nr_name in enumerate(spec.app_direct):
+            style = (emit_direct, emit_split, emit_stack)[i % 3]
+            style(p, SYSCALL_NUMBERS[nr_name], f"{name}.d{i}")
+        # Error path: statically reachable, dynamically dead.
+        p.asm.cmp(RBX, ERROR_MAGIC)
+        p.asm.jcc("ne", "init.noerr")
+        _emit_import_calls(p, spec.error_imports, imported)
+        for nr_name in spec.error_syscall_numbers:
+            p.asm.mov(RDI, SYSCALL_NUMBERS[nr_name])
+            p.call_import("syscall")
+        p.call_import("c_abort")
+        p.asm.label("init.noerr")
+        p.asm.ret()
+
+    # ---- serve ------------------------------------------------------------
+    with p.function("app_serve"):
+        _emit_import_calls(p, spec.serve, imported)
+        for idx, cluster in enumerate(spec.conditional):
+            p.asm.cmp(R13, idx + 1)
+            p.asm.jcc("ne", f"serve.skip{idx}")
+            _emit_import_calls(p, cluster, imported)
+            p.asm.label(f"serve.skip{idx}")
+        p.asm.ret()
+
+    # ---- shutdown -----------------------------------------------------------
+    with p.function("app_shutdown"):
+        _emit_import_calls(p, spec.shutdown, imported)
+        for nr_name in spec.via_wrapped_import:
+            p.call_import(export_for(nr_name))
+            imported.add(export_for(nr_name))
+        if modules:
+            p.asm.movabs(R14, modules[0].image.symbol_addr("mod_entry"))
+            p.asm.call_reg(R14)
+        p.asm.ret()
+
+    # ---- entry -----------------------------------------------------------------
+    with p.function("_start", exported=True):
+        p.asm.mov(RBX, RDI)   # input 0: error-path guard value
+        p.asm.mov(R12, RSI)   # input 1: serve-loop iterations
+        p.asm.mov(R13, RDX)   # input 2: conditional-op selector
+        p.asm.call("app_init")
+        p.asm.cmp(R12, 0)
+        p.asm.jcc("e", "main.done")
+        p.asm.label("main.loop")
+        p.asm.call("app_serve")
+        p.asm.sub(R12, 1)
+        p.asm.cmp(R12, 0)
+        p.asm.jcc("ne", "main.loop")
+        p.asm.label("main.done")
+        p.asm.call("app_shutdown")
+        p.asm.mov(EAX, SYSCALL_NUMBERS["exit_group"])
+        p.asm.xor(RDI, RDI)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    p.meta["spec"] = spec.name
+    program = p.build()
+
+    resolver = LibraryResolver(library_map={LIBC_NAME: libc.elf_bytes})
+
+    # Test suite: cover no-loop, the loop, and every conditional cluster.
+    suite: list[tuple[int, ...]] = [(0, 0, 0), (0, 1, 0), (0, 2, 0)]
+    for idx in range(len(spec.conditional)):
+        suite.append((0, 1, idx + 1))
+
+    return AppBundle(
+        spec=spec,
+        program=program,
+        modules=modules,
+        resolver=resolver,
+        suite=suite,
+    )
+
+
+def build_all_apps() -> dict[str, AppBundle]:
+    return {name: build_app(name) for name in APP_NAMES}

@@ -1,0 +1,490 @@
+"""The Debian-10-like corpus: 557 binaries + 59 shared libraries (§5.2).
+
+The generator reproduces the *population structure* the paper measured,
+with every attribute realised **in the binaries themselves** (never as
+out-of-band flags the tools could not see):
+
+Static executables (231, non-PIC ``ET_EXEC`` unless noted)
+    * 3 pure-direct (every syscall number a visible immediate) — the only
+      static binaries Chestnut's Binalyzer survives, plus
+    * 1 pure-direct **static-PIE** — the single static binary SysFilter
+      accepts (PIC + unwind info),
+    * 4 "hard" (dense indirect-call webs + a wrapper) — B-Side's static
+      timeouts,
+    * 223 ordinary musl/Go/Rust/Haskell-style binaries whose embedded
+      runtimes use syscall wrappers (crashing Chestnut, rejected by
+      SysFilter for being non-PIC).
+
+Dynamic executables (326, linked against the library pool)
+    * 20 Go-style (stack-argument runtime wrappers) — Chestnut's dynamic
+      failures,
+    * 82 CFG-hard + 17 identification-hard + 13 wrapper-hard — B-Side's
+      112 dynamic timeouts with the paper's 73/15/12% stage split,
+    * 194 ordinary C-style binaries,
+    * exactly 108 of the 326 carry ``.eh_frame`` — SysFilter's dynamic
+      success population.
+
+All numbers are the paper's Table 2 population; pass a smaller ``scale``
+to produce a proportionally shrunken corpus for quick runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..loader.resolve import LibraryResolver
+from ..syscalls.table import SYSCALL_NUMBERS
+from ..x86.insn import Memory
+from ..x86.registers import EAX, RAX, RDI, RSI, RSP
+from .langstyles import (
+    LANGUAGE_PROFILES,
+    STYLE_DIRECT,
+    STYLE_REG_WRAPPER,
+    STYLE_SPLIT,
+    STYLE_STACK,
+    STYLE_STACK_WRAPPER,
+    define_reg_wrapper,
+    define_stack_wrapper,
+    emit_syscall,
+)
+from .libc import LIBC_NAME, build_libc
+from .progbuilder import BuiltProgram, ProgramBuilder
+
+#: syscalls a generated binary may draw from (realistic userland set).
+_POOL = [
+    name for name in (
+        "read", "write", "open", "close", "stat", "fstat", "lstat", "poll",
+        "lseek", "mmap", "mprotect", "munmap", "brk", "rt_sigaction",
+        "rt_sigprocmask", "ioctl", "access", "pipe", "select", "dup",
+        "dup2", "nanosleep", "getpid", "socket", "connect", "accept",
+        "sendto", "recvfrom", "bind", "listen", "setsockopt", "getsockopt",
+        "clone", "fork", "execve", "wait4", "kill", "uname",
+        "fcntl", "fsync", "getdents", "getcwd", "chdir", "rename", "mkdir",
+        "rmdir", "unlink", "readlink", "chmod", "chown", "umask",
+        "gettimeofday", "getrlimit", "getrusage", "sysinfo", "getuid",
+        "getgid", "geteuid", "getegid", "getppid",
+        "epoll_create", "epoll_wait", "epoll_ctl", "openat", "getdents64",
+        "set_tid_address", "clock_gettime", "clock_nanosleep", "futex",
+        "accept4", "epoll_create1", "pipe2", "getrandom", "statx", "prctl",
+        "arch_prctl", "gettid", "sendfile", "writev", "readv", "madvise",
+        "mremap", "ftruncate", "truncate", "flock", "sigaltstack",
+        "setitimer", "pread64", "pwrite64", "socketpair", "shutdown",
+        "sendmsg", "recvmsg", "setrlimit", "prlimit64",
+    )
+]
+
+_LIB_BASE = 0x7F20_0000_0000
+_LIB_STRIDE = 0x0000_0100_0000
+
+HARD_CFG = "cfg"
+HARD_IDENT = "ident"
+HARD_WRAPPER = "wrapper"
+
+
+@dataclass
+class CorpusBinary:
+    """One corpus member with its generation attributes."""
+
+    program: BuiltProgram
+    language: str
+    kind: str  # "static" | "static-pie" | "dynamic"
+    hardness: str | None = None
+    planned_syscalls: set[int] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    @property
+    def image(self):
+        return self.program.image
+
+    @property
+    def is_static(self) -> bool:
+        return self.kind in ("static", "static-pie")
+
+
+@dataclass
+class DebianCorpus:
+    """The full generated corpus."""
+
+    binaries: list[CorpusBinary]
+    libraries: dict[str, BuiltProgram]
+
+    def make_resolver(self) -> LibraryResolver:
+        return LibraryResolver(library_map={
+            name: prog.elf_bytes for name, prog in self.libraries.items()
+        })
+
+    @property
+    def static_binaries(self) -> list[CorpusBinary]:
+        return [b for b in self.binaries if b.is_static]
+
+    @property
+    def dynamic_binaries(self) -> list[CorpusBinary]:
+        return [b for b in self.binaries if not b.is_static]
+
+
+# ----------------------------------------------------------------------
+# Library pool
+# ----------------------------------------------------------------------
+
+def _build_pool_library(index: int, rng: random.Random) -> BuiltProgram:
+    """One generated shared library: a few exports, libc-backed or direct."""
+    soname = f"lib{index:02d}.so"
+    uses_libc = rng.random() < 0.7
+    p = ProgramBuilder(
+        soname,
+        soname=soname,
+        needed=[LIBC_NAME] if uses_libc else [],
+        text_base=_LIB_BASE + index * _LIB_STRIDE,
+    )
+    has_wrapper = rng.random() < 0.15
+    if has_wrapper:
+        define_reg_wrapper(p, f"__l{index}_syscall")
+    n_exports = rng.randint(3, 8)
+    for e in range(n_exports):
+        with p.function(f"l{index}_fn{e}", exported=True):
+            for s in range(rng.randint(1, 2)):
+                name = rng.choice(_POOL)
+                nr = SYSCALL_NUMBERS[name]
+                if uses_libc and rng.random() < 0.5:
+                    p.call_import(f"c_{name}")
+                elif has_wrapper and rng.random() < 0.3:
+                    p.asm.mov(RDI, nr)
+                    p.asm.call(f"__l{index}_syscall")
+                else:
+                    p.asm.mov(EAX, nr)
+                    p.asm.syscall()
+            p.asm.ret()
+    return p.build()
+
+
+# ----------------------------------------------------------------------
+# Static binaries
+# ----------------------------------------------------------------------
+
+def _finish_static(p: ProgramBuilder) -> None:
+    p.asm.mov(EAX, SYSCALL_NUMBERS["exit_group"])
+    p.asm.xor(RDI, RDI)
+    p.asm.syscall()
+    p.asm.hlt()
+
+
+def _emit_fptr_structure(
+    p: ProgramBuilder, name: str, rng: random.Random,
+) -> set[str]:
+    """Function-pointer structure: a live callback dispatched indirectly
+    plus a *dead* registration function taking another handler's address.
+
+    The live callback's syscalls are part of the program's behaviour; the
+    dead handler's are only reachable through the all-addresses-taken
+    overestimation — the precision gap the active-addresses-taken
+    refinement (§4.3) closes.  Returns the live callback's syscall names.
+    """
+    live = rng.sample(_POOL, 2)
+    dead = rng.sample(_POOL, 3)
+    with p.function(f"{name}.live_cb"):
+        for sysname in live:
+            p.asm.mov(EAX, SYSCALL_NUMBERS[sysname])
+            p.asm.syscall()
+        p.asm.ret()
+    with p.function(f"{name}.dead_handler"):
+        for sysname in dead:
+            p.asm.mov(EAX, SYSCALL_NUMBERS[sysname])
+            p.asm.syscall()
+        p.asm.ret()
+    with p.function(f"{name}.dead_register"):
+        # Never called: takes the dead handler's address.
+        p.asm.lea_rip(RSI, f"{name}.dead_handler")
+        p.asm.ret()
+    return set(live)
+
+
+def _emit_live_dispatch(p: ProgramBuilder, name: str) -> None:
+    """The live indirect call, to be emitted inside ``_start``."""
+    p.asm.lea_rip(RSI, f"{name}.live_cb")
+    p.asm.call_reg(RSI)
+
+
+def _build_pure_direct_static(name: str, rng: random.Random, pic: bool) -> CorpusBinary:
+    p = ProgramBuilder(name, pic=pic)
+    count = rng.randint(22, 30)
+    chosen = rng.sample(_POOL, count)
+    with p.function("_start", exported=pic):
+        for i, sysname in enumerate(chosen):
+            emit_syscall(p, SYSCALL_NUMBERS[sysname], STYLE_DIRECT, f"{name}.{i}")
+        _finish_static(p)
+    p.set_entry("_start")
+    planned = {SYSCALL_NUMBERS[n] for n in chosen} | {SYSCALL_NUMBERS["exit_group"]}
+    return CorpusBinary(p.build(), "c-musl", "static-pie" if pic else "static",
+                        planned_syscalls=planned)
+
+
+def _build_normal_static(name: str, language: str, rng: random.Random) -> CorpusBinary:
+    profile = LANGUAGE_PROFILES[language]
+    p = ProgramBuilder(name)
+    reg_wrapper = ""
+    stack_wrapper = ""
+    if profile["wrapper"] == "reg":
+        reg_wrapper = "__rt_syscall"
+        define_reg_wrapper(p, reg_wrapper)
+    elif profile["wrapper"] == "stack":
+        stack_wrapper = "__rt_syscall0"
+        define_stack_wrapper(p, stack_wrapper)
+    elif language == "haskell":
+        # GHC's RTS goes through C stubs that spill the number (see
+        # module docstring): model with a stack wrapper.
+        stack_wrapper = "__rts_stub"
+        define_stack_wrapper(p, stack_wrapper)
+
+    count = max(12, min(55, int(rng.gauss(31, 8))))
+    chosen = rng.sample(_POOL, min(count, len(_POOL)))
+    styles = list(profile["styles"])
+    if language == "haskell":
+        styles.append(STYLE_STACK_WRAPPER)
+    live_names: set[str] = set()
+    has_fptr = rng.random() < 0.5
+    if has_fptr:
+        live_names = _emit_fptr_structure(p, name, rng)
+    with p.function("_start"):
+        if has_fptr:
+            _emit_live_dispatch(p, name)
+        for i, sysname in enumerate(chosen):
+            style = rng.choice(styles)
+            emit_syscall(
+                p, SYSCALL_NUMBERS[sysname], style, f"{name}.{i}",
+                reg_wrapper=reg_wrapper, stack_wrapper=stack_wrapper,
+            )
+        _finish_static(p)
+    p.set_entry("_start")
+    planned = {SYSCALL_NUMBERS[n] for n in set(chosen) | live_names}
+    planned.add(SYSCALL_NUMBERS["exit_group"])
+    return CorpusBinary(p.build(), language, "static", planned_syscalls=planned)
+
+
+# ----------------------------------------------------------------------
+# Hardness payloads (B-Side budget busters)
+# ----------------------------------------------------------------------
+
+def _emit_cfg_web(p: ProgramBuilder, links: int = 40) -> None:
+    """A chain of functions discovered one active-addresses-taken
+    iteration at a time: exceeds the CFG fixpoint budget."""
+    for i in range(links):
+        with p.function(f"web{i}"):
+            if i + 1 < links:
+                p.asm.lea_rip(RSI, f"web{i + 1}")
+                p.asm.call_reg(RSI)
+            p.asm.ret()
+
+
+def _emit_ident_chain(p: ProgramBuilder, length: int = 530) -> None:
+    """A syscall separated from its immediate by hundreds of blocks:
+    exceeds the backward-search node budget."""
+    p.asm.mov(EAX, SYSCALL_NUMBERS["getpid"])
+    for i in range(length):
+        p.asm.jmp(f"idc{i}")
+        p.asm.label(f"idc{i}")
+    p.asm.syscall()
+
+
+def _emit_wrapper_flood(p: ProgramBuilder, count: int = 280) -> list[str]:
+    """Hundreds of wrapper-candidate functions: exceeds the wrapper
+    confirmation budget."""
+    names = []
+    for i in range(count):
+        fname = f"wf{i}"
+        with p.function(fname):
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        names.append(fname)
+    return names
+
+
+def _build_hard_binary(
+    name: str,
+    hardness: str,
+    rng: random.Random,
+    *,
+    dynamic: bool,
+    has_eh_frame: bool,
+) -> CorpusBinary:
+    p = ProgramBuilder(
+        name,
+        pic=dynamic,
+        needed=[LIBC_NAME] if dynamic else [],
+        has_eh_frame=has_eh_frame,
+    )
+    # One register wrapper so static hard binaries also crash Chestnut.
+    define_reg_wrapper(p, "__hard_syscall")
+
+    if hardness == HARD_CFG:
+        _emit_cfg_web(p)
+    elif hardness == HARD_WRAPPER:
+        flood = _emit_wrapper_flood(p)
+
+    with p.function("_start", exported=dynamic):
+        p.asm.mov(RDI, SYSCALL_NUMBERS["getuid"])
+        p.asm.call("__hard_syscall")
+        if hardness == HARD_CFG:
+            p.asm.call("web0")
+        elif hardness == HARD_IDENT:
+            _emit_ident_chain(p)
+        elif hardness == HARD_WRAPPER:
+            for fname in flood:
+                p.asm.call(fname)
+        if dynamic:
+            p.call_import("c_write")
+        _finish_static(p)
+    p.set_entry("_start")
+    return CorpusBinary(
+        p.build(), "c-musl", "dynamic" if dynamic else "static", hardness=hardness,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic binaries
+# ----------------------------------------------------------------------
+
+def _build_normal_dynamic(
+    name: str,
+    language: str,
+    rng: random.Random,
+    libraries: dict[str, BuiltProgram],
+    *,
+    has_eh_frame: bool,
+) -> CorpusBinary:
+    pool_libs = [n for n in libraries if n != LIBC_NAME]
+    extra_libs = rng.sample(pool_libs, min(rng.randint(0, 3), len(pool_libs)))
+    needed = [LIBC_NAME] + extra_libs
+    p = ProgramBuilder(name, pic=True, needed=needed, has_eh_frame=has_eh_frame)
+
+    is_go = language == "go"
+    stack_wrapper = ""
+    if is_go:
+        stack_wrapper = "runtime.syscall0"
+        define_stack_wrapper(p, stack_wrapper)
+
+    n_imports = max(12, min(70, int(rng.gauss(45, 11))))
+    libc_names = rng.sample(_POOL, min(n_imports, len(_POOL)))
+    n_direct = rng.randint(4, 10)
+    direct_names = rng.sample(_POOL, n_direct)
+    n_wrapper_calls = rng.randint(2, 8)
+    wrapper_names = rng.sample(_POOL, n_wrapper_calls)
+
+    planned: set[str] = set(libc_names) | set(direct_names) | set(wrapper_names)
+
+    has_fptr = rng.random() < 0.5
+    if has_fptr:
+        planned |= _emit_fptr_structure(p, name, rng)
+
+    with p.function("_start", exported=True):
+        if has_fptr:
+            _emit_live_dispatch(p, name)
+        for sysname in libc_names:
+            p.call_import(f"c_{sysname}")
+        for lib in extra_libs:
+            lib_prog = libraries[lib]
+            exports = sorted(lib_prog.image.exported_functions)
+            for export in rng.sample(exports, min(2, len(exports))):
+                p.call_import(export)
+        for i, sysname in enumerate(direct_names):
+            if is_go:
+                emit_syscall(p, SYSCALL_NUMBERS[sysname], STYLE_STACK, f"{name}.d{i}")
+            else:
+                style = rng.choice((STYLE_DIRECT, STYLE_SPLIT))
+                emit_syscall(p, SYSCALL_NUMBERS[sysname], style, f"{name}.d{i}")
+        for sysname in wrapper_names:
+            if is_go:
+                emit_syscall(
+                    p, SYSCALL_NUMBERS[sysname], STYLE_STACK_WRAPPER,
+                    f"{name}.w", stack_wrapper=stack_wrapper,
+                )
+            else:
+                p.asm.mov(RDI, SYSCALL_NUMBERS[sysname])
+                p.call_import("syscall")
+        _finish_static(p)
+    p.set_entry("_start")
+    planned_numbers = {SYSCALL_NUMBERS[n] for n in planned}
+    planned_numbers.add(SYSCALL_NUMBERS["exit_group"])
+    return CorpusBinary(
+        p.build(), language, "dynamic", planned_syscalls=planned_numbers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Corpus assembly
+# ----------------------------------------------------------------------
+
+def _scaled(value: int, scale: float) -> int:
+    return max(1, round(value * scale)) if value else 0
+
+
+@lru_cache(maxsize=4)
+def make_debian_corpus(scale: float = 1.0, seed: int = 2024) -> DebianCorpus:
+    """Generate the corpus (counts scaled by ``scale``, deterministic)."""
+    rng = random.Random(seed)
+
+    libraries: dict[str, BuiltProgram] = {LIBC_NAME: build_libc()}
+    n_libs = _scaled(58, scale)
+    for i in range(n_libs):
+        lib = _build_pool_library(i, rng)
+        libraries[lib.name] = lib
+
+    binaries: list[CorpusBinary] = []
+
+    # ---- static population -------------------------------------------
+    n_pure = min(3, _scaled(3, scale))
+    for i in range(n_pure):
+        binaries.append(_build_pure_direct_static(f"st-pure{i}", rng, pic=False))
+    binaries.append(_build_pure_direct_static("st-pie0", rng, pic=True))
+    n_hard_static = _scaled(4, scale)
+    for i in range(n_hard_static):
+        binaries.append(_build_hard_binary(
+            f"st-hard{i}", HARD_CFG, rng, dynamic=False, has_eh_frame=True,
+        ))
+    n_normal_static = _scaled(231, scale) - n_pure - 1 - n_hard_static
+    static_langs = ["c-musl", "go", "rust", "haskell"]
+    for i in range(max(0, n_normal_static)):
+        language = static_langs[i % len(static_langs)]
+        binaries.append(_build_normal_static(f"st-{language}-{i}", language, rng))
+
+    # ---- dynamic population ---------------------------------------------
+    n_dynamic = _scaled(326, scale)
+    n_go = _scaled(20, scale)
+    n_hard_cfg = _scaled(82, scale)
+    n_hard_ident = _scaled(17, scale)
+    n_hard_wrapper = _scaled(13, scale)
+    n_normal_dyn = max(0, n_dynamic - n_go - n_hard_cfg - n_hard_ident - n_hard_wrapper)
+    n_eh_frame = _scaled(108, scale)
+
+    dyn_plan: list[tuple[str, str | None]] = (
+        [("go", None)] * n_go
+        + [("c-glibc", HARD_CFG)] * n_hard_cfg
+        + [("c-glibc", HARD_IDENT)] * n_hard_ident
+        + [("c-glibc", HARD_WRAPPER)] * n_hard_wrapper
+        + [
+            ("c-glibc" if i % 3 else "c-musl", None)
+            for i in range(n_normal_dyn)
+        ]
+    )
+    rng.shuffle(dyn_plan)
+    # Exactly n_eh_frame dynamic binaries carry unwind info.
+    eh_flags = [True] * n_eh_frame + [False] * (len(dyn_plan) - n_eh_frame)
+    rng.shuffle(eh_flags)
+
+    for i, ((language, hardness), eh) in enumerate(zip(dyn_plan, eh_flags)):
+        name = f"dyn-{language}-{i}"
+        if hardness is not None:
+            binaries.append(_build_hard_binary(
+                name, hardness, rng, dynamic=True, has_eh_frame=eh,
+            ))
+        else:
+            binaries.append(_build_normal_dynamic(
+                name, language, rng, libraries, has_eh_frame=eh,
+            ))
+
+    return DebianCorpus(binaries=binaries, libraries=libraries)

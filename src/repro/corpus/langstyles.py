@@ -1,0 +1,143 @@
+"""System-call invocation styles per source language / runtime.
+
+The evaluation's phenomena are structural: *how* compiled code loads the
+syscall number determines which identification strategies succeed.  Each
+emitter produces one invocation of a given syscall using one style:
+
+========  ==============================================================
+direct    ``mov eax, N; syscall`` in one block (Figure 1 A; glibc's
+          inlined INTERNAL_SYSCALL macro)
+split     number defined in a predecessor block, reached through a
+          conditional (Figure 1 B)
+stack     number stored to the stack, reloaded into rax (Figure 1 C)
+reg-wrap  ``mov rdi, N; call wrapper`` — SysV register-argument wrapper
+          (glibc's exported ``syscall()``, musl internals)
+stk-wrap  number written to the outgoing stack-argument slot
+          (Go's ABI0 runtime wrappers)
+========  ==============================================================
+
+Wrapper *definitions* are emitted separately so several invocations share
+one wrapper — the structure that makes undirected backward search explode
+(Figure 2) and that B-Side's heuristic is built for.
+"""
+
+from __future__ import annotations
+
+from ..x86.insn import Memory
+from ..x86.registers import EAX, RAX, RDI, RSP
+from .progbuilder import ProgramBuilder
+
+STYLE_DIRECT = "direct"
+STYLE_SPLIT = "split"
+STYLE_STACK = "stack"
+STYLE_REG_WRAPPER = "reg-wrap"
+STYLE_STACK_WRAPPER = "stk-wrap"
+
+ALL_STYLES = (
+    STYLE_DIRECT, STYLE_SPLIT, STYLE_STACK,
+    STYLE_REG_WRAPPER, STYLE_STACK_WRAPPER,
+)
+
+#: which styles each modelled language/runtime uses, and how its internal
+#: wrapper (if any) passes the syscall number
+LANGUAGE_PROFILES: dict[str, dict] = {
+    "c-glibc": {
+        "styles": (STYLE_DIRECT, STYLE_SPLIT, STYLE_REG_WRAPPER),
+        "wrapper": "reg",
+    },
+    "c-musl": {
+        "styles": (STYLE_DIRECT, STYLE_REG_WRAPPER),
+        "wrapper": "reg",
+    },
+    "go": {
+        "styles": (STYLE_STACK, STYLE_STACK_WRAPPER),
+        "wrapper": "stack",
+    },
+    "rust": {
+        "styles": (STYLE_DIRECT, STYLE_REG_WRAPPER),
+        "wrapper": "reg",
+    },
+    "haskell": {
+        "styles": (STYLE_DIRECT, STYLE_SPLIT),
+        "wrapper": None,
+    },
+}
+
+
+def define_reg_wrapper(p: ProgramBuilder, name: str, exported: bool = False) -> None:
+    """``wrapper(nr, ...)``: number in %rdi (glibc/musl/Rust shape)."""
+    with p.function(name, exported=exported):
+        p.asm.mov(RAX, RDI)
+        p.asm.syscall()
+        p.asm.ret()
+
+
+def define_stack_wrapper(p: ProgramBuilder, name: str, exported: bool = False) -> None:
+    """Go-style wrapper: number in the first stack-argument slot."""
+    with p.function(name, exported=exported):
+        p.asm.mov(RAX, Memory(base=RSP, disp=8))
+        p.asm.syscall()
+        p.asm.ret()
+
+
+def emit_direct(p: ProgramBuilder, nr: int, tag: str) -> None:
+    p.asm.mov(EAX, nr)
+    p.asm.syscall()
+
+
+def emit_split(p: ProgramBuilder, nr: int, tag: str) -> None:
+    """Immediate in a separate block, joined through a conditional."""
+    p.asm.mov(EAX, nr)
+    p.asm.test(RDI, RDI)
+    p.asm.jcc("ns", f"{tag}.go")  # inputs are small non-negatives: taken
+    p.asm.nop()
+    p.asm.label(f"{tag}.go")
+    p.asm.syscall()
+
+
+def emit_stack(p: ProgramBuilder, nr: int, tag: str) -> None:
+    """Number bounced through a stack slot (defeats register-only tracking)."""
+    p.asm.sub(RSP, 0x10)
+    p.asm.mov(Memory(base=RSP, disp=8), nr)
+    p.asm.mov(RAX, Memory(base=RSP, disp=8))
+    p.asm.add(RSP, 0x10)
+    p.asm.syscall()
+
+
+def emit_via_reg_wrapper(p: ProgramBuilder, nr: int, tag: str, wrapper: str) -> None:
+    p.asm.mov(RDI, nr)
+    p.asm.call(wrapper)
+
+
+def emit_via_stack_wrapper(p: ProgramBuilder, nr: int, tag: str, wrapper: str) -> None:
+    p.asm.sub(RSP, 0x10)
+    p.asm.mov(Memory(base=RSP, disp=0), nr)
+    p.asm.call(wrapper)
+    p.asm.add(RSP, 0x10)
+
+
+def emit_syscall(
+    p: ProgramBuilder,
+    nr: int,
+    style: str,
+    tag: str,
+    reg_wrapper: str = "",
+    stack_wrapper: str = "",
+) -> None:
+    """Emit one syscall invocation in the given style."""
+    if style == STYLE_DIRECT:
+        emit_direct(p, nr, tag)
+    elif style == STYLE_SPLIT:
+        emit_split(p, nr, tag)
+    elif style == STYLE_STACK:
+        emit_stack(p, nr, tag)
+    elif style == STYLE_REG_WRAPPER:
+        if not reg_wrapper:
+            raise ValueError("reg-wrap style needs a wrapper name")
+        emit_via_reg_wrapper(p, nr, tag, reg_wrapper)
+    elif style == STYLE_STACK_WRAPPER:
+        if not stack_wrapper:
+            raise ValueError("stk-wrap style needs a wrapper name")
+        emit_via_stack_wrapper(p, nr, tag, stack_wrapper)
+    else:
+        raise ValueError(f"unknown style {style!r}")

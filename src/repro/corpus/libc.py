@@ -1,0 +1,167 @@
+"""The corpus' synthetic C library (and the library-pool generator).
+
+``build_libc()`` produces ``libc.so``, the library every dynamic corpus
+binary links against.  Its structure mirrors how real libcs expose the
+kernel:
+
+* most exported functions (``c_read``, ``c_socket``, ...) contain a
+  **direct inlined** ``mov eax, N; syscall`` — glibc's INTERNAL_SYSCALL
+  shape, visible to every analysis strategy;
+* a set of rarely-used syscalls is routed **exclusively** through the
+  internal register wrapper ``__syscall_internal`` (musl's shape) — these
+  are invisible to register-only intra-procedural analyses (SysFilter) and
+  to Chestnut's 30-instruction scan (its hard-coded detector only knows
+  the *exported* ``syscall`` symbol);
+* the classic ``syscall(nr, ...)`` function is exported;
+* composite functions (``c_fopen``, ``c_malloc``, ...) call other libc
+  functions internally — exercising per-export reachability;
+* one internal function-pointer dispatch exercises address-taken handling
+  inside libraries.
+
+The export naming convention is ``c_<syscall name>``; applications import
+what they use, so each app's reachable-export set induces its libc
+syscall footprint.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..syscalls.table import SYSCALL_NUMBERS
+from ..x86.insn import Memory
+from ..x86.registers import EAX, RAX, RDI, RSI, RSP
+from .langstyles import define_reg_wrapper
+from .progbuilder import BuiltProgram, ProgramBuilder
+
+LIBC_NAME = "libc.so"
+LIBC_BASE = 0x7F00_0000_1000
+
+#: syscalls exported through direct inlined sites (c_<name> exports).
+LIBC_DIRECT_SYSCALLS: tuple[str, ...] = (
+    "read", "write", "open", "close", "stat", "fstat",
+    "lseek", "mmap", "mprotect", "munmap", "brk", "rt_sigaction",
+    "rt_sigprocmask", "ioctl", "pread64", "pwrite64", "readv", "writev",
+    "access", "pipe", "mremap", "madvise", "dup2",
+    "nanosleep", "getpid", "sendfile", "socket", "connect",
+    "sendto", "recvfrom", "sendmsg", "recvmsg", "shutdown", "bind",
+    "listen", "setsockopt",
+    "getsockopt", "clone", "fork", "vfork", "execve", "exit", "wait4",
+    "kill", "uname", "fcntl", "fsync", "fdatasync", "truncate",
+    "ftruncate", "getcwd", "chdir", "rename",
+    "mkdir", "rmdir", "unlink",
+    "fchmod", "chown", "gettimeofday", "getrlimit",
+    "sysinfo", "getuid", "getgid", "geteuid", "getegid",
+    "getppid", "exit_group", "epoll_wait",
+    "epoll_ctl", "openat", "getdents64", "set_tid_address",
+    "clock_gettime", "clock_nanosleep", "futex", "accept4",
+    "epoll_create1", "pipe2", "getrandom", "prctl",
+    "arch_prctl", "tgkill", "gettid", "setrlimit", "prlimit64",
+    "sigaltstack",
+    "newfstatat", "faccessat", "utimensat", "fallocate", "flock",
+    "copy_file_range", "memfd_create",
+)
+
+#: syscalls routed ONLY through the internal wrapper (no direct site
+#: anywhere): the wrapper-blind analyses cannot see these.  Besides the
+#: classic odd ones (musl routes rare syscalls through __syscall), this
+#: set carries the long tail of convenience exports.
+LIBC_WRAPPED_SYSCALLS: tuple[str, ...] = (
+    "sched_yield", "times", "alarm", "pause", "getitimer", "sync",
+    "getpgrp", "msync", "mincore", "readahead", "splice", "tee",
+    "sync_file_range", "sched_getaffinity", "sched_setaffinity",
+    "io_submit", "io_setup", "keyctl", "add_key", "request_key",
+    "personality", "vhangup", "ustat", "sysfs", "ioperm", "modify_ldt",
+    "pivot_root",
+    # long-tail exports routed through the internal wrapper
+    "lstat", "poll", "select", "dup", "accept", "getsockname",
+    "getpeername", "socketpair", "getdents", "fchdir", "creat", "link",
+    "symlink", "readlink", "chmod", "getrusage", "setuid", "setgid",
+    "epoll_create", "setsid", "dup3", "eventfd2", "timerfd_create",
+    "inotify_init1", "setitimer", "umask", "mkdirat", "unlinkat",
+    "statx",
+)
+
+#: composite exports: function name -> list of libc functions it calls.
+LIBC_COMPOSITES: dict[str, tuple[str, ...]] = {
+    "c_fopen": ("c_open", "c_fstat"),
+    "c_fclose": ("c_close",),
+    "c_malloc": ("c_brk", "c_mmap"),
+    "c_realloc": ("c_mremap", "c_brk"),
+    "c_free": ("c_munmap",),
+    "c_printf": ("c_write",),
+    "c_puts": ("c_write",),
+    "c_fgets": ("c_read",),
+    "c_server_listen": ("c_socket", "c_bind", "c_listen"),
+    "c_server_accept": ("c_accept4", "c_setsockopt"),
+    "c_client_connect": ("c_socket", "c_connect"),
+    "c_spawn": ("c_fork", "c_execve", "c_wait4"),
+    "c_tmpfile": ("c_openat", "c_unlink"),
+    "c_gmtime": ("c_clock_gettime",),
+    "c_abort": ("c_rt_sigprocmask", "c_kill", "c_exit_group"),
+    "c_dlopen_stub": ("c_openat", "c_mmap", "c_mprotect", "c_close"),
+}
+
+INTERNAL_WRAPPER = "__syscall_internal"
+
+
+@lru_cache(maxsize=None)
+def build_libc() -> BuiltProgram:
+    """Build (and memoise) the corpus libc."""
+    p = ProgramBuilder(LIBC_NAME, soname=LIBC_NAME, text_base=LIBC_BASE)
+
+    # Internal wrapper: musl-style, NOT named "syscall".
+    define_reg_wrapper(p, INTERNAL_WRAPPER, exported=False)
+
+    # The classic exported wrapper, recognised by name by Chestnut.
+    define_reg_wrapper(p, "syscall", exported=True)
+
+    # Direct-site exports.
+    for name in LIBC_DIRECT_SYSCALLS:
+        nr = SYSCALL_NUMBERS[name]
+        with p.function(f"c_{name}", exported=True):
+            p.asm.mov(EAX, nr)
+            p.asm.syscall()
+            p.asm.ret()
+
+    # Wrapper-routed exports: the number only ever exists in %rdi.
+    for name in LIBC_WRAPPED_SYSCALLS:
+        nr = SYSCALL_NUMBERS[name]
+        with p.function(f"c_{name}", exported=True):
+            p.asm.mov(RDI, nr)
+            p.asm.call(INTERNAL_WRAPPER)
+            p.asm.ret()
+
+    # Composites.
+    for name, callees in LIBC_COMPOSITES.items():
+        with p.function(name, exported=True):
+            for callee in callees:
+                p.asm.call(callee)
+            p.asm.ret()
+
+    # Internal function-pointer dispatch (address taken inside a library).
+    with p.function("__cleanup_impl"):
+        p.asm.mov(EAX, SYSCALL_NUMBERS["munmap"])
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("c_run_atexit", exported=True):
+        p.asm.lea_rip(RSI, "__cleanup_impl")
+        p.asm.call_reg(RSI)
+        p.asm.ret()
+
+    return p.build()
+
+
+def libc_direct_numbers() -> set[int]:
+    """Numbers of all direct-site syscalls in libc (what a vacuum finds)."""
+    return {SYSCALL_NUMBERS[n] for n in LIBC_DIRECT_SYSCALLS} | {
+        SYSCALL_NUMBERS["munmap"],
+    }
+
+
+def libc_wrapped_numbers() -> set[int]:
+    return {SYSCALL_NUMBERS[n] for n in LIBC_WRAPPED_SYSCALLS}
+
+
+def export_for(syscall_name: str) -> str:
+    """Name of the libc export invoking one syscall."""
+    return f"c_{syscall_name}"

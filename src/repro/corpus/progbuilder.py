@@ -1,0 +1,316 @@
+"""High-level program builder: assembles complete ELF binaries.
+
+``ProgramBuilder`` sits on top of the assembler and the ELF writer and
+produces :class:`BuiltProgram` objects — the unit every analysis, emulator
+run and benchmark consumes.  It knows about:
+
+* function definition with automatically-sized symbols,
+* a data segment (byte blobs, quad-word tables referencing code labels),
+* imports: GOT slots + relocations (+ optional PLT stubs),
+* exports (dynamic symbol table entries),
+* entry-point plumbing.
+
+The builder makes *no* policy decisions about code shape; the language
+styles (:mod:`repro.corpus.langstyles`) and application profiles
+(:mod:`repro.corpus.apps`) drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..elf.structs import ET_DYN, ET_EXEC, page_align
+from ..elf.writer import ElfImageSpec, RelocSpec, SymbolSpec, write_elf
+from ..errors import AsmError
+from ..loader.image import LoadedImage
+from ..x86.asm import Assembler
+from ..x86.insn import Memory
+
+#: Sentinel payload kinds for deferred data items.
+_BYTES = "bytes"
+_QUADS = "quads"
+
+
+@dataclass(frozen=True, slots=True)
+class QuadRef:
+    """A quad-word data cell referring to a code/data label (+addend)."""
+
+    label: str
+    addend: int = 0
+
+
+@dataclass(slots=True)
+class _DataItem:
+    label: str
+    kind: str
+    payload: bytes | list
+    align: int = 8
+
+
+@dataclass(slots=True)
+class _FunctionRecord:
+    name: str
+    start_label: str
+    end_label: str
+    exported: bool
+
+
+@dataclass
+class BuiltProgram:
+    """A finished binary: raw ELF bytes plus the parsed image."""
+
+    name: str
+    elf_bytes: bytes
+    image: LoadedImage
+    labels: dict[int, str] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_static(self) -> bool:
+        return self.image.is_static_executable
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as f:
+            f.write(self.elf_bytes)
+
+
+class ProgramBuilder:
+    """Accumulates functions, data and imports; emits an ELF image."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        pic: bool = False,
+        soname: str = "",
+        needed: list[str] | None = None,
+        text_base: int = 0x401000,
+        has_eh_frame: bool = True,
+    ):
+        if text_base % 0x1000:
+            raise AsmError("text base must be page-aligned")
+        self.name = name
+        self.pic = pic or bool(soname)
+        self.soname = soname
+        self.has_eh_frame = has_eh_frame
+        self.needed = list(needed or [])
+        self.asm = Assembler(base=text_base)
+        self.text_base = text_base
+        self._functions: list[_FunctionRecord] = []
+        self._open_function: _FunctionRecord | None = None
+        self._data_items: list[_DataItem] = []
+        self._data_labels: set[str] = set()
+        self._imports: list[str] = []
+        self._entry_label: str | None = None
+        self.meta: dict = {}
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def begin_function(self, name: str, exported: bool = False) -> None:
+        if self._open_function is not None:
+            raise AsmError(
+                f"function {self._open_function.name!r} is still open"
+            )
+        self.asm.align(16)
+        self.asm.label(name)
+        self._open_function = _FunctionRecord(
+            name=name, start_label=name, end_label=f"{name}.__end",
+            exported=exported,
+        )
+
+    def end_function(self) -> None:
+        if self._open_function is None:
+            raise AsmError("no function is open")
+        self.asm.label(self._open_function.end_label)
+        self._functions.append(self._open_function)
+        self._open_function = None
+
+    def function(self, name: str, exported: bool = False):
+        """Context manager: ``with p.function("main"): p.asm...``"""
+        return _FunctionScope(self, name, exported)
+
+    def set_entry(self, label: str) -> None:
+        self._entry_label = label
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+
+    def add_bytes(self, label: str, payload: bytes, align: int = 8) -> None:
+        self._add_data(_DataItem(label, _BYTES, payload, align))
+
+    def add_quads(self, label: str, cells: list) -> None:
+        """A table of 8-byte cells: ints, label names, or :class:`QuadRef`."""
+        normalised = [
+            QuadRef(c) if isinstance(c, str) else c
+            for c in cells
+        ]
+        self._add_data(_DataItem(label, _QUADS, normalised))
+
+    def add_zeroed(self, label: str, size: int, align: int = 8) -> None:
+        self.add_bytes(label, b"\x00" * size, align)
+
+    def _add_data(self, item: _DataItem) -> None:
+        if item.label in self._data_labels:
+            raise AsmError(f"duplicate data label {item.label!r}")
+        self._data_labels.add(item.label)
+        self._data_items.append(item)
+
+    # ------------------------------------------------------------------
+    # Imports (GOT + optional PLT stub)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def got_label(symbol: str) -> str:
+        return f"got.{symbol}"
+
+    @staticmethod
+    def plt_label(symbol: str) -> str:
+        return f"plt.{symbol}"
+
+    def add_import(self, symbol: str) -> None:
+        """Declare an imported symbol and allocate its GOT slot."""
+        if symbol in self._imports:
+            return
+        self._imports.append(symbol)
+        self.add_quads(self.got_label(symbol), [0])
+
+    def make_plt_stub(self, symbol: str) -> None:
+        """Emit ``plt.<symbol>: jmp [rip + got.<symbol>]``."""
+        self.add_import(symbol)
+        with self.function(self.plt_label(symbol)):
+            self.asm.emit(
+                "jmp", _rip_placeholder(self, self.got_label(symbol))
+            )
+
+    def call_import(self, symbol: str) -> None:
+        """Emit a direct external call: ``call [rip + got.<symbol>]``."""
+        self.add_import(symbol)
+        self.asm.emit("call", _rip_placeholder(self, self.got_label(symbol)))
+
+    def call_plt(self, symbol: str) -> None:
+        """Emit ``call plt.<symbol>`` (stub must exist or be created later)."""
+        self.add_import(symbol)
+        self.asm.call(self.plt_label(symbol))
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def build(self) -> BuiltProgram:
+        if self._open_function is not None:
+            raise AsmError(f"function {self._open_function.name!r} never closed")
+
+        # Data layout is size-only, so compute label offsets first.
+        data_offsets: dict[str, int] = {}
+        cursor = 0
+        for item in self._data_items:
+            cursor = (cursor + item.align - 1) & ~(item.align - 1)
+            data_offsets[item.label] = cursor
+            if item.kind == _BYTES:
+                cursor += len(item.payload)
+            else:
+                cursor += 8 * len(item.payload)
+        data_size = cursor
+
+        # Trial assembly with placeholder extern values to learn code size.
+        placeholder = {label: self.text_base for label in data_offsets}
+        self.asm.assemble(externs=placeholder)
+        code_size = self.asm.size
+
+        data_vaddr = page_align(self.text_base + code_size) + 0x1000 if data_size else 0
+        externs = {
+            label: data_vaddr + off for label, off in data_offsets.items()
+        }
+        text = self.asm.assemble(externs=externs)
+        labels = self.asm.labels()
+
+        # Serialise data cells now that every label has an address.
+        data = bytearray(data_size)
+        resolve = dict(externs)
+        resolve.update(labels)
+        for item in self._data_items:
+            off = data_offsets[item.label]
+            if item.kind == _BYTES:
+                data[off:off + len(item.payload)] = item.payload
+                continue
+            for i, cell in enumerate(item.payload):
+                if isinstance(cell, QuadRef):
+                    if cell.label not in resolve:
+                        raise AsmError(f"quad ref to unknown label {cell.label!r}")
+                    value = resolve[cell.label] + cell.addend
+                else:
+                    value = int(cell)
+                data[off + 8 * i:off + 8 * (i + 1)] = (value & (2**64 - 1)).to_bytes(8, "little")
+
+        # Symbols.
+        symbols: list[SymbolSpec] = []
+        for fn in self._functions:
+            start = labels[fn.start_label]
+            size = labels[fn.end_label] - start
+            symbols.append(SymbolSpec(
+                fn.name, start, size, "func", "global",
+                defined=True, exported=fn.exported,
+            ))
+        for item in self._data_items:
+            size = (len(item.payload) if item.kind == _BYTES else 8 * len(item.payload))
+            symbols.append(SymbolSpec(
+                item.label, externs[item.label], size, "object", "local",
+            ))
+        for symbol in self._imports:
+            symbols.append(SymbolSpec(symbol, 0, 0, "func", "global", defined=False))
+
+        relocations = [
+            RelocSpec(externs[self.got_label(sym)], sym) for sym in self._imports
+        ]
+
+        entry = 0
+        if self._entry_label is not None:
+            entry = labels[self._entry_label]
+
+        spec = ElfImageSpec(
+            elf_type=ET_DYN if self.pic else ET_EXEC,
+            text_vaddr=self.text_base,
+            text=text,
+            data_vaddr=data_vaddr,
+            data=bytes(data),
+            entry=entry,
+            soname=self.soname,
+            needed=self.needed,
+            symbols=symbols,
+            relocations=relocations,
+            has_eh_frame=self.has_eh_frame,
+        )
+        elf_bytes = write_elf(spec)
+        image = LoadedImage.from_bytes(self.name, elf_bytes)
+        return BuiltProgram(
+            name=self.name,
+            elf_bytes=elf_bytes,
+            image=image,
+            labels={addr: label for label, addr in labels.items()},
+            meta=dict(self.meta),
+        )
+
+
+class _FunctionScope:
+    def __init__(self, builder: ProgramBuilder, name: str, exported: bool):
+        self._builder = builder
+        self._name = name
+        self._exported = exported
+
+    def __enter__(self) -> Assembler:
+        self._builder.begin_function(self._name, self._exported)
+        return self._builder.asm
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._builder.end_function()
+
+
+def _rip_placeholder(builder: ProgramBuilder, label: str):
+    """A RIP-relative memory operand whose target is an extern data label."""
+    from ..x86.asm import LabelRef, _RipMem
+
+    return _RipMem(LabelRef(label, "rip"))

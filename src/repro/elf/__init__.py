@@ -1,0 +1,20 @@
+"""Minimal-but-real ELF64 writer/reader used by the corpus and the loader."""
+
+from .reader import ElfFile, Segment, Symbol, read_elf
+from .structs import ET_DYN, ET_EXEC, PAGE, page_align
+from .writer import ElfImageSpec, RelocSpec, SymbolSpec, write_elf
+
+__all__ = [
+    "ElfFile",
+    "Segment",
+    "Symbol",
+    "read_elf",
+    "ElfImageSpec",
+    "RelocSpec",
+    "SymbolSpec",
+    "write_elf",
+    "ET_DYN",
+    "ET_EXEC",
+    "PAGE",
+    "page_align",
+]

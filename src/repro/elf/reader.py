@@ -1,0 +1,202 @@
+"""ELF64 image reader.
+
+Parses the images produced by :mod:`repro.elf.writer` (and any ELF64 binary
+restricted to the same feature set) back into a structured form consumed by
+the loader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ElfError
+from . import structs as s
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """A parsed ELF symbol."""
+
+    name: str
+    value: int
+    size: int
+    kind: str
+    binding: str
+    defined: bool
+    exported: bool = False
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind == "func"
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A loadable segment."""
+
+    vaddr: int
+    data: bytes
+    flags: int
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & s.PF_X)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & s.PF_W)
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.vaddr <= addr < self.end
+
+
+@dataclass(slots=True)
+class ElfFile:
+    """A parsed ELF image."""
+
+    elf_type: int
+    entry: int
+    segments: list[Segment]
+    symbols: list[Symbol] = field(default_factory=list)
+    dynamic_symbols: list[Symbol] = field(default_factory=list)
+    needed: list[str] = field(default_factory=list)
+    soname: str = ""
+    relocations: dict[int, str] = field(default_factory=dict)  # got addr -> symbol
+    section_names: frozenset[str] = frozenset()
+
+    @property
+    def is_pic(self) -> bool:
+        return self.elf_type == s.ET_DYN
+
+    @property
+    def text(self) -> Segment:
+        for seg in self.segments:
+            if seg.executable:
+                return seg
+        raise ElfError("image has no executable segment")
+
+    @property
+    def data_segment(self) -> Segment | None:
+        for seg in self.segments:
+            if seg.writable:
+                return seg
+        return None
+
+    def segment_containing(self, addr: int) -> Segment | None:
+        for seg in self.segments:
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def read_mem(self, addr: int, size: int) -> bytes:
+        seg = self.segment_containing(addr)
+        if seg is None or addr + size > seg.end:
+            raise ElfError(f"address {addr:#x}+{size} not mapped in image")
+        off = addr - seg.vaddr
+        return seg.data[off:off + size]
+
+
+_STT_TO_KIND = {s.STT_FUNC: "func", s.STT_OBJECT: "object", s.STT_NOTYPE: "notype"}
+_STB_TO_BIND = {s.STB_GLOBAL: "global", s.STB_LOCAL: "local"}
+
+
+def read_elf(data: bytes) -> ElfFile:
+    """Parse ELF64 bytes into an :class:`ElfFile`."""
+    if data[:4] != s.ELF_MAGIC:
+        raise ElfError("bad ELF magic")
+    ehdr = s.unpack_ehdr(data)
+    if ehdr["machine"] != s.EM_X86_64:
+        raise ElfError(f"unsupported machine {ehdr['machine']}")
+
+    segments = []
+    for i in range(ehdr["phnum"]):
+        phdr = s.unpack_phdr(data, ehdr["phoff"] + i * s.PHDR_SIZE)
+        if phdr["type"] != s.PT_LOAD:
+            continue
+        raw = data[phdr["offset"]:phdr["offset"] + phdr["filesz"]]
+        if phdr["memsz"] > phdr["filesz"]:
+            raw += b"\x00" * (phdr["memsz"] - phdr["filesz"])
+        segments.append(Segment(phdr["vaddr"], raw, phdr["flags"]))
+
+    shdrs = [s.unpack_shdr(data, ehdr["shoff"] + i * s.SHDR_SIZE)
+             for i in range(ehdr["shnum"])]
+    if not shdrs:
+        return ElfFile(ehdr["type"], ehdr["entry"], segments)
+
+    shstr_hdr = shdrs[ehdr["shstrndx"]]
+    shstr_blob = data[shstr_hdr["offset"]:shstr_hdr["offset"] + shstr_hdr["size"]]
+
+    def section_name(hdr: dict) -> str:
+        return s.StringTable.read(shstr_blob, hdr["name"])
+
+    def section_blob(hdr: dict) -> bytes:
+        return data[hdr["offset"]:hdr["offset"] + hdr["size"]]
+
+    by_name = {section_name(h): h for h in shdrs[1:]}
+
+    def parse_symbols(tab_name: str, str_name: str, exported: bool) -> list[Symbol]:
+        if tab_name not in by_name:
+            return []
+        tab = section_blob(by_name[tab_name])
+        strs = section_blob(by_name[str_name])
+        out = []
+        for off in range(s.SYM_SIZE, len(tab), s.SYM_SIZE):  # skip null entry
+            raw = s.unpack_sym(tab, off)
+            name = s.StringTable.read(strs, raw["name"])
+            if not name:
+                continue
+            out.append(Symbol(
+                name=name,
+                value=raw["value"],
+                size=raw["size"],
+                kind=_STT_TO_KIND.get(raw["type"], "notype"),
+                binding=_STB_TO_BIND.get(raw["bind"], "global"),
+                defined=raw["shndx"] != 0,
+                exported=exported,
+            ))
+        return out
+
+    symbols = parse_symbols(".symtab", ".strtab", exported=False)
+    dynamic_symbols = parse_symbols(".dynsym", ".dynstr", exported=True)
+
+    needed: list[str] = []
+    soname = ""
+    if ".dynamic" in by_name and ".dynstr" in by_name:
+        dyn = section_blob(by_name[".dynamic"])
+        dynstr = section_blob(by_name[".dynstr"])
+        for off in range(0, len(dyn), s.DYN_SIZE):
+            tag, value = s.unpack_dyn(dyn, off)
+            if tag == s.DT_NULL:
+                break
+            if tag == s.DT_NEEDED:
+                needed.append(s.StringTable.read(dynstr, value))
+            elif tag == s.DT_SONAME:
+                soname = s.StringTable.read(dynstr, value)
+
+    relocations: dict[int, str] = {}
+    if ".rela.got" in by_name and dynamic_symbols:
+        rela = section_blob(by_name[".rela.got"])
+        # Re-read .dynsym in table order (parse_symbols skips the null entry,
+        # so dynamic symbol index N maps to list index N-1).
+        for off in range(0, len(rela), s.RELA_SIZE):
+            entry = s.unpack_rela(rela, off)
+            sym_index = entry["sym"]
+            if not 1 <= sym_index <= len(dynamic_symbols):
+                raise ElfError(f"relocation references bad symbol index {sym_index}")
+            relocations[entry["offset"]] = dynamic_symbols[sym_index - 1].name
+
+    return ElfFile(
+        elf_type=ehdr["type"],
+        entry=ehdr["entry"],
+        segments=segments,
+        symbols=symbols,
+        dynamic_symbols=dynamic_symbols,
+        needed=needed,
+        soname=soname,
+        relocations=relocations,
+        section_names=frozenset(by_name),
+    )

@@ -1,0 +1,197 @@
+"""ELF64 constants and fixed-size structure packing.
+
+Only the structures the toolchain emits are modelled, but they are emitted
+with genuine ELF64 layouts so that the reader (and any curious ``readelf``)
+can parse them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+# e_type
+ET_EXEC = 2
+ET_DYN = 3
+
+EM_X86_64 = 62
+
+# p_type
+PT_LOAD = 1
+PT_DYNAMIC = 2
+
+# p_flags
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# sh_type
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_DYNAMIC = 6
+SHT_NOBITS = 8
+SHT_DYNSYM = 11
+
+# sh_flags
+SHF_WRITE = 1
+SHF_ALLOC = 2
+SHF_EXECINSTR = 4
+
+# symbol binding / type
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+
+# dynamic tags
+DT_NULL = 0
+DT_NEEDED = 1
+DT_SONAME = 14
+
+# relocation types
+R_X86_64_GLOB_DAT = 6
+R_X86_64_JUMP_SLOT = 7
+
+PAGE = 0x1000
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+RELA_SIZE = 24
+DYN_SIZE = 16
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+_RELA = struct.Struct("<QQq")
+_DYN = struct.Struct("<qQ")
+
+
+def pack_ehdr(
+    e_type: int,
+    entry: int,
+    phoff: int,
+    shoff: int,
+    phnum: int,
+    shnum: int,
+    shstrndx: int,
+) -> bytes:
+    ident = ELF_MAGIC + bytes([ELFCLASS64, ELFDATA2LSB, EV_CURRENT]) + b"\x00" * 9
+    return _EHDR.pack(
+        ident, e_type, EM_X86_64, EV_CURRENT, entry, phoff, shoff,
+        0, EHDR_SIZE, PHDR_SIZE, phnum, SHDR_SIZE, shnum, shstrndx,
+    )
+
+
+def unpack_ehdr(data: bytes) -> dict:
+    (ident, e_type, machine, version, entry, phoff, shoff,
+     flags, ehsize, phentsize, phnum, shentsize, shnum, shstrndx) = _EHDR.unpack_from(data, 0)
+    return {
+        "ident": ident, "type": e_type, "machine": machine, "entry": entry,
+        "phoff": phoff, "shoff": shoff, "phnum": phnum, "shnum": shnum,
+        "shstrndx": shstrndx, "phentsize": phentsize, "shentsize": shentsize,
+    }
+
+
+def pack_phdr(p_type: int, flags: int, offset: int, vaddr: int, filesz: int, memsz: int,
+              align: int = PAGE) -> bytes:
+    return _PHDR.pack(p_type, flags, offset, vaddr, vaddr, filesz, memsz, align)
+
+
+def unpack_phdr(data: bytes, off: int) -> dict:
+    p_type, flags, offset, vaddr, paddr, filesz, memsz, align = _PHDR.unpack_from(data, off)
+    return {
+        "type": p_type, "flags": flags, "offset": offset, "vaddr": vaddr,
+        "filesz": filesz, "memsz": memsz, "align": align,
+    }
+
+
+def pack_shdr(name_off: int, sh_type: int, flags: int, addr: int, offset: int,
+              size: int, link: int = 0, info: int = 0, align: int = 1,
+              entsize: int = 0) -> bytes:
+    return _SHDR.pack(name_off, sh_type, flags, addr, offset, size, link, info, align, entsize)
+
+
+def unpack_shdr(data: bytes, off: int) -> dict:
+    name, sh_type, flags, addr, offset, size, link, info, align, entsize = \
+        _SHDR.unpack_from(data, off)
+    return {
+        "name": name, "type": sh_type, "flags": flags, "addr": addr,
+        "offset": offset, "size": size, "link": link, "info": info,
+        "entsize": entsize,
+    }
+
+
+def pack_sym(name_off: int, value: int, size: int, info: int, shndx: int) -> bytes:
+    return _SYM.pack(name_off, info, 0, shndx, value, size)
+
+
+def unpack_sym(data: bytes, off: int) -> dict:
+    name, info, other, shndx, value, size = _SYM.unpack_from(data, off)
+    return {
+        "name": name, "info": info, "shndx": shndx, "value": value, "size": size,
+        "bind": info >> 4, "type": info & 0xF,
+    }
+
+
+def pack_rela(offset: int, sym_index: int, r_type: int, addend: int = 0) -> bytes:
+    return _RELA.pack(offset, (sym_index << 32) | r_type, addend)
+
+
+def unpack_rela(data: bytes, off: int) -> dict:
+    offset, info, addend = _RELA.unpack_from(data, off)
+    return {"offset": offset, "sym": info >> 32, "type": info & 0xFFFFFFFF, "addend": addend}
+
+
+def pack_dyn(tag: int, value: int) -> bytes:
+    return _DYN.pack(tag, value)
+
+
+def unpack_dyn(data: bytes, off: int) -> tuple[int, int]:
+    return _DYN.unpack_from(data, off)
+
+
+class StringTable:
+    """An incrementally-built ELF string table."""
+
+    __slots__ = ("blob", "_offsets")
+
+    def __init__(self) -> None:
+        self.blob = bytearray(b"\x00")
+        self._offsets: dict[str, int] = {"": 0}
+
+    def add(self, s: str) -> int:
+        if s in self._offsets:
+            return self._offsets[s]
+        off = len(self.blob)
+        self.blob += s.encode() + b"\x00"
+        self._offsets[s] = off
+        return off
+
+    def get(self, off: int) -> str:
+        end = self.blob.index(b"\x00", off)
+        return self.blob[off:end].decode()
+
+    @staticmethod
+    def read(blob: bytes, off: int) -> str:
+        end = blob.index(b"\x00", off)
+        return blob[off:end].decode()
+
+    def bytes(self) -> bytes:
+        return bytes(self.blob)
+
+
+def page_align(value: int) -> int:
+    """Round up to the next page boundary."""
+    return (value + PAGE - 1) & ~(PAGE - 1)

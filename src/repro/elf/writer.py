@@ -1,0 +1,247 @@
+"""ELF64 image writer.
+
+Builds executables (``ET_EXEC`` for non-PIC static, ``ET_DYN`` for
+PIE/dynamic) and shared objects with:
+
+* two PT_LOAD segments (text RX, data RW),
+* a full ``.symtab`` (function/object symbols),
+* for dynamic objects a ``.dynsym``/``.dynstr`` with exported and imported
+  (undefined) symbols, ``DT_NEEDED`` entries, and ``.rela.got`` relocations
+  binding GOT slots to imported symbols.
+
+Addresses are decided by the caller; the writer enforces page-aligned
+segment bases so that file offsets stay congruent with virtual addresses,
+as real loaders require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ElfError
+from . import structs as s
+
+
+@dataclass(frozen=True, slots=True)
+class SymbolSpec:
+    """A symbol to be written to the image.
+
+    ``value == 0 and not defined`` denotes an import (undefined dynamic
+    symbol).  ``exported`` controls presence in ``.dynsym``.
+    """
+
+    name: str
+    value: int = 0
+    size: int = 0
+    kind: str = "func"  # "func" | "object" | "notype"
+    binding: str = "global"  # "global" | "local"
+    defined: bool = True
+    exported: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class RelocSpec:
+    """A GOT-slot relocation: the loader writes ``symbol``'s address at ``got_addr``."""
+
+    got_addr: int
+    symbol: str
+    kind: int = s.R_X86_64_JUMP_SLOT
+
+
+@dataclass(slots=True)
+class ElfImageSpec:
+    """Everything needed to serialise one ELF image."""
+
+    elf_type: int  # ET_EXEC or ET_DYN
+    text_vaddr: int
+    text: bytes
+    data_vaddr: int = 0
+    data: bytes = b""
+    entry: int = 0
+    soname: str = ""
+    needed: list[str] = field(default_factory=list)
+    symbols: list[SymbolSpec] = field(default_factory=list)
+    relocations: list[RelocSpec] = field(default_factory=list)
+    #: emit a .eh_frame section (stack unwinding metadata).  Tools that
+    #: recover disassembly from unwind info (SysFilter §3) require it.
+    has_eh_frame: bool = True
+
+    @property
+    def is_dynamic(self) -> bool:
+        return bool(self.needed or self.soname or self.relocations
+                    or any(not sym.defined for sym in self.symbols))
+
+
+_KIND_TO_STT = {"func": s.STT_FUNC, "object": s.STT_OBJECT, "notype": s.STT_NOTYPE}
+_BIND_TO_STB = {"global": s.STB_GLOBAL, "local": s.STB_LOCAL}
+
+
+def write_elf(spec: ElfImageSpec) -> bytes:
+    """Serialise ``spec`` into ELF64 bytes."""
+    if spec.text_vaddr % s.PAGE:
+        raise ElfError(f"text vaddr {spec.text_vaddr:#x} is not page-aligned")
+    if spec.data and spec.data_vaddr % s.PAGE:
+        raise ElfError(f"data vaddr {spec.data_vaddr:#x} is not page-aligned")
+    if spec.data and spec.data_vaddr < spec.text_vaddr + len(spec.text):
+        raise ElfError("data segment overlaps text segment")
+
+    shstr = s.StringTable()
+    strtab = s.StringTable()
+    dynstr = s.StringTable()
+
+    # ---- layout of file offsets ---------------------------------------
+    text_off = s.PAGE
+    data_off = s.page_align(text_off + len(spec.text)) if spec.data else 0
+    tail_off = (data_off + len(spec.data)) if spec.data else (text_off + len(spec.text))
+
+    blobs: list[tuple[str, int, bytes, dict]] = []  # (name, offset, data, shdr kwargs)
+
+    # ---- .symtab --------------------------------------------------------
+    sym_entries = [s.pack_sym(0, 0, 0, 0, 0)]
+    local_syms = [x for x in spec.symbols if x.binding == "local"]
+    global_syms = [x for x in spec.symbols if x.binding != "local"]
+    for sym in local_syms + global_syms:
+        info = (_BIND_TO_STB[sym.binding] << 4) | _KIND_TO_STT[sym.kind]
+        shndx = 1 if sym.defined else 0  # 1 = .text (index fixed below)
+        sym_entries.append(s.pack_sym(strtab.add(sym.name), sym.value, sym.size, info, shndx))
+    symtab_blob = b"".join(sym_entries)
+    symtab_info = 1 + len(local_syms)  # index of first global
+
+    # ---- .dynsym / relocations / .dynamic -------------------------------
+    dynsym_blob = b""
+    rela_blob = b""
+    dynamic_blob = b""
+    dyn_exports = [x for x in spec.symbols if x.exported and x.defined]
+    dyn_imports = [x for x in spec.symbols if not x.defined]
+    dynsym_index: dict[str, int] = {}
+    if spec.is_dynamic:
+        entries = [s.pack_sym(0, 0, 0, 0, 0)]
+        index = 1
+        for sym in dyn_imports + dyn_exports:
+            info = (s.STB_GLOBAL << 4) | _KIND_TO_STT[sym.kind]
+            shndx = 1 if sym.defined else 0
+            entries.append(s.pack_sym(dynstr.add(sym.name), sym.value, sym.size, info, shndx))
+            dynsym_index[sym.name] = index
+            index += 1
+        dynsym_blob = b"".join(entries)
+
+        rela_entries = []
+        for rel in spec.relocations:
+            if rel.symbol not in dynsym_index:
+                raise ElfError(f"relocation against unknown dynamic symbol {rel.symbol!r}")
+            rela_entries.append(s.pack_rela(rel.got_addr, dynsym_index[rel.symbol], rel.kind))
+        rela_blob = b"".join(rela_entries)
+
+        dyn_entries = [s.pack_dyn(s.DT_NEEDED, dynstr.add(lib)) for lib in spec.needed]
+        if spec.soname:
+            dyn_entries.append(s.pack_dyn(s.DT_SONAME, dynstr.add(spec.soname)))
+        dyn_entries.append(s.pack_dyn(s.DT_NULL, 0))
+        dynamic_blob = b"".join(dyn_entries)
+
+    # ---- section table assembly ----------------------------------------
+    # Section indices: 0 NULL, 1 .text, (2 .data), then tail sections.
+    sections: list[bytes] = [s.pack_shdr(0, s.SHT_NULL, 0, 0, 0, 0)]
+    shstr.add(".text")
+    sections.append(s.pack_shdr(
+        shstr.add(".text"), s.SHT_PROGBITS, s.SHF_ALLOC | s.SHF_EXECINSTR,
+        spec.text_vaddr, text_off, len(spec.text), align=16,
+    ))
+    if spec.data:
+        sections.append(s.pack_shdr(
+            shstr.add(".data"), s.SHT_PROGBITS, s.SHF_ALLOC | s.SHF_WRITE,
+            spec.data_vaddr, data_off, len(spec.data), align=8,
+        ))
+
+    offset = tail_off
+
+    def add_tail(name: str, sh_type: int, blob: bytes, **kw) -> int:
+        nonlocal offset
+        idx = len(sections)
+        sections.append(s.pack_shdr(shstr.add(name), sh_type, 0, 0, offset, len(blob), **kw))
+        blobs.append((name, offset, blob, {}))
+        offset += len(blob)
+        return idx
+
+    if spec.has_eh_frame:
+        # A minimal CIE-terminator-only .eh_frame: enough for consumers
+        # that merely check unwind metadata presence.
+        add_tail(".eh_frame", s.SHT_PROGBITS, b"\x00" * 4, align=8)
+
+    strtab_blob_final = strtab.bytes()
+    # .symtab links to .strtab; the index is only known after adding both,
+    # so the .symtab header is patched afterwards.
+    symtab_off = offset
+    symtab_idx = add_tail(".symtab", s.SHT_SYMTAB, symtab_blob,
+                          link=0, info=symtab_info, entsize=s.SYM_SIZE, align=8)
+    strtab_idx = add_tail(".strtab", s.SHT_STRTAB, strtab_blob_final)
+    sections[symtab_idx] = s.pack_shdr(
+        shstr.add(".symtab"), s.SHT_SYMTAB, 0, 0,
+        symtab_off, len(symtab_blob), link=strtab_idx, info=symtab_info,
+        entsize=s.SYM_SIZE, align=8,
+    )
+
+    if spec.is_dynamic:
+        dynsym_off = offset
+        dynsym_idx = add_tail(".dynsym", s.SHT_DYNSYM, dynsym_blob,
+                              info=1, entsize=s.SYM_SIZE, align=8)
+        dynstr_blob = dynstr.bytes()
+        dynstr_idx = add_tail(".dynstr", s.SHT_STRTAB, dynstr_blob)
+        sections[dynsym_idx] = s.pack_shdr(
+            shstr.add(".dynsym"), s.SHT_DYNSYM, 0, 0, dynsym_off,
+            len(dynsym_blob), link=dynstr_idx, info=1, entsize=s.SYM_SIZE, align=8,
+        )
+        if rela_blob:
+            rela_off = offset
+            rela_idx = add_tail(".rela.got", s.SHT_RELA, rela_blob,
+                                entsize=s.RELA_SIZE, align=8)
+            sections[rela_idx] = s.pack_shdr(
+                shstr.add(".rela.got"), s.SHT_RELA, 0, 0, rela_off,
+                len(rela_blob), link=dynsym_idx, entsize=s.RELA_SIZE, align=8,
+            )
+        if dynamic_blob:
+            dynamic_off = offset
+            dynamic_idx = add_tail(".dynamic", s.SHT_DYNAMIC, dynamic_blob,
+                                   entsize=s.DYN_SIZE, align=8)
+            sections[dynamic_idx] = s.pack_shdr(
+                shstr.add(".dynamic"), s.SHT_DYNAMIC, 0, 0, dynamic_off,
+                len(dynamic_blob), link=dynstr_idx, entsize=s.DYN_SIZE, align=8,
+            )
+
+    shstrtab_off = offset
+    shstrtab_idx = len(sections)
+    shstr.add(".shstrtab")
+    shstrtab_blob = shstr.bytes()
+    sections.append(s.pack_shdr(
+        shstr._offsets[".shstrtab"], s.SHT_STRTAB, 0, 0, shstrtab_off, len(shstrtab_blob),
+    ))
+    blobs.append((".shstrtab", shstrtab_off, shstrtab_blob, {}))
+    offset += len(shstrtab_blob)
+
+    shoff = (offset + 7) & ~7
+
+    # ---- program headers -------------------------------------------------
+    phdrs = [s.pack_phdr(s.PT_LOAD, s.PF_R | s.PF_X, text_off, spec.text_vaddr,
+                         len(spec.text), len(spec.text))]
+    if spec.data:
+        phdrs.append(s.pack_phdr(s.PT_LOAD, s.PF_R | s.PF_W, data_off, spec.data_vaddr,
+                                 len(spec.data), len(spec.data)))
+    phdr_blob = b"".join(phdrs)
+    if s.EHDR_SIZE + len(phdr_blob) > s.PAGE:
+        raise ElfError("program header table does not fit before .text")
+
+    # ---- final assembly --------------------------------------------------
+    out = bytearray(shoff + len(sections) * s.SHDR_SIZE)
+    ehdr = s.pack_ehdr(spec.elf_type, spec.entry, s.EHDR_SIZE, shoff,
+                       len(phdrs), len(sections), shstrtab_idx)
+    out[0:len(ehdr)] = ehdr
+    out[s.EHDR_SIZE:s.EHDR_SIZE + len(phdr_blob)] = phdr_blob
+    out[text_off:text_off + len(spec.text)] = spec.text
+    if spec.data:
+        out[data_off:data_off + len(spec.data)] = spec.data
+    for __, off, blob, __kw in blobs:
+        out[off:off + len(blob)] = blob
+    pos = shoff
+    for shdr in sections:
+        out[pos:pos + s.SHDR_SIZE] = shdr
+        pos += s.SHDR_SIZE
+    return bytes(out)

@@ -1,0 +1,16 @@
+"""Concrete emulation: machine, emulated kernel, strace-style tracing."""
+
+from .kernel import EmulatedKernel, SyscallRecord
+from .machine import Machine, Memory64, ProcessExit
+from .strace import TraceResult, run_traced, trace_test_suite
+
+__all__ = [
+    "Machine",
+    "Memory64",
+    "ProcessExit",
+    "EmulatedKernel",
+    "SyscallRecord",
+    "TraceResult",
+    "run_traced",
+    "trace_test_suite",
+]

@@ -1,0 +1,143 @@
+"""Emulated Linux kernel: syscall dispatch, trace recording, filtering.
+
+The kernel implements just enough semantics for corpus programs to run to
+completion (exit terminates, read fills buffers from scripted input, time
+and id calls return stable values, everything else succeeds with 0) while
+recording every invocation — the ``strace`` side of the evaluation.
+
+A seccomp-like filter can be installed; a filtered syscall kills the
+process with :class:`~repro.errors.FilterViolation`, which is exactly the
+observable consequence of a false negative in a derived policy (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FilterViolation
+from ..syscalls.table import SYSCALL_NAMES, name_of, number_of
+from .machine import Machine, ProcessExit
+
+MASK64 = (1 << 64) - 1
+
+
+@dataclass(slots=True)
+class SyscallRecord:
+    """One traced system call invocation."""
+
+    nr: int
+    name: str
+    args: tuple[int, ...]
+    rip: int
+
+
+@dataclass
+class EmulatedKernel:
+    """Syscall dispatcher with tracing and optional filtering."""
+
+    trace: list[SyscallRecord] = field(default_factory=list)
+    #: scripted bytes returned by read(2), consumed front-to-back
+    read_script: bytes = b""
+    #: installed filter: allowed syscall numbers (None = allow all)
+    filter_allowed: frozenset[int] | None = None
+    #: phase-aware filter callback: (kernel, nr) -> bool, overrides the set
+    filter_hook: object = None
+
+    _read_cursor: int = 0
+    _next_fd: int = 3
+    _brk: int = 0x6000_0000
+
+    def install_filter(self, allowed) -> None:
+        self.filter_allowed = frozenset(allowed)
+
+    @property
+    def invoked_numbers(self) -> set[int]:
+        return {rec.nr for rec in self.trace}
+
+    @property
+    def invoked_names(self) -> set[str]:
+        return {rec.name for rec in self.trace}
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, machine: Machine) -> None:
+        nr = machine.regs["rax"] & MASK64
+        args = tuple(
+            machine.regs[r] for r in ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+        )
+        record = SyscallRecord(nr=nr, name=name_of(nr), args=args,
+                               rip=machine.rip)
+        self._check_filter(nr, machine)
+        self.trace.append(record)
+        result = self._execute(nr, args, machine)
+        machine.regs["rax"] = result & MASK64
+        # Linux clobbers rcx (return rip) and r11 (rflags) on syscall.
+        machine.regs["rcx"] = machine.rip + 2
+        machine.regs["r11"] = 0x246
+
+    def _check_filter(self, nr: int, machine: Machine) -> None:
+        if self.filter_hook is not None:
+            if not self.filter_hook(self, nr):
+                raise FilterViolation(nr, name_of(nr))
+            return
+        if self.filter_allowed is not None and nr not in self.filter_allowed:
+            raise FilterViolation(nr, name_of(nr))
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, nr: int, args: tuple[int, ...], machine: Machine) -> int:
+        name = SYSCALL_NAMES.get(nr)
+        if name is None:
+            return -38  # -ENOSYS
+        if name in ("exit", "exit_group"):
+            raise ProcessExit(args[0] & 0xFF)
+        if name == "read":
+            return self._sys_read(args, machine)
+        if name == "write":
+            return args[2]  # pretend full write
+        if name in ("open", "openat", "creat"):
+            fd = self._next_fd
+            self._next_fd += 1
+            return fd
+        if name == "close":
+            return 0
+        if name == "brk":
+            if args[0]:
+                self._brk = args[0]
+            return self._brk
+        if name == "mmap":
+            return 0x7F00_0000_0000
+        if name == "getpid":
+            return 4242
+        if name in ("getuid", "geteuid", "getgid", "getegid"):
+            return 1000
+        if name == "gettid":
+            return 4242
+        if name == "time":
+            return 1_700_000_000
+        if name in ("fork", "vfork", "clone"):
+            return 4243  # parent view; children are not emulated
+        if name == "socket":
+            fd = self._next_fd
+            self._next_fd += 1
+            return fd
+        if name in ("accept", "accept4", "dup", "dup2", "dup3", "epoll_create",
+                    "epoll_create1", "eventfd", "eventfd2", "timerfd_create",
+                    "signalfd", "signalfd4", "inotify_init", "inotify_init1",
+                    "memfd_create", "userfaultfd", "io_uring_setup"):
+            fd = self._next_fd
+            self._next_fd += 1
+            return fd
+        return 0
+
+    def _sys_read(self, args: tuple[int, ...], machine: Machine) -> int:
+        __fd, buf, count = args[0], args[1], args[2]
+        available = self.read_script[self._read_cursor:self._read_cursor + count]
+        if available and buf:
+            machine.memory.write_bytes(buf, available)
+        self._read_cursor += len(available)
+        return len(available)
+
+
+def exit_group_nr() -> int:
+    return number_of("exit_group")

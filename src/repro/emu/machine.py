@@ -1,0 +1,374 @@
+"""Concrete x86-64 emulator.
+
+The ground-truth executor: loads a program (and, for dynamic executables,
+its library dependency closure), performs GOT relocation the way a runtime
+loader would, and interprets instructions concretely.  System calls are
+delegated to an :class:`~repro.emu.kernel.EmulatedKernel`, which records
+the trace — the reproduction's ``strace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EmulationError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from ..x86.decoder import decode_all
+from ..x86.insn import Immediate, Instruction, Memory
+from ..x86.registers import GPR64, Register
+from ..x86.insn import CONDITION_CODES
+
+MASK64 = (1 << 64) - 1
+STACK_TOP = 0x7FFF_FFFF_0000
+STACK_SIZE = 0x40000
+
+
+def _signed(value: int, width: int = 64) -> int:
+    sign = 1 << (width - 1)
+    return (value & ((1 << width) - 1)) - ((value & sign) << 1)
+
+
+@dataclass(slots=True)
+class _Region:
+    base: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class Memory64:
+    """Flat memory composed of writable regions."""
+
+    def __init__(self) -> None:
+        self._regions: list[_Region] = []
+
+    def map_region(self, base: int, data: bytes) -> None:
+        region = _Region(base, bytearray(data))
+        for other in self._regions:
+            if region.base < other.end and other.base < region.end:
+                raise EmulationError(
+                    f"mapping {base:#x}+{len(data):#x} overlaps existing region"
+                )
+        self._regions.append(region)
+
+    def _find(self, addr: int, size: int) -> _Region:
+        for region in self._regions:
+            if region.contains(addr) and addr + size <= region.end:
+                return region
+        raise EmulationError(f"unmapped memory access at {addr:#x} size {size}")
+
+    def read(self, addr: int, size: int) -> int:
+        region = self._find(addr, size)
+        off = addr - region.base
+        return int.from_bytes(region.data[off:off + size], "little")
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        region = self._find(addr, size)
+        off = addr - region.base
+        region.data[off:off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        region = self._find(addr, size)
+        off = addr - region.base
+        return bytes(region.data[off:off + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        region = self._find(addr, len(payload))
+        off = addr - region.base
+        region.data[off:off + len(payload)] = payload
+
+
+class ProcessExit(Exception):
+    """Raised by the kernel on exit/exit_group."""
+
+    def __init__(self, status: int):
+        super().__init__(f"process exited with status {status}")
+        self.status = status
+
+
+class Machine:
+    """A concrete CPU with loaded images and an attached kernel."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.memory = Memory64()
+        self.regs: dict[str, int] = {name: 0 for name in GPR64}
+        self.rip = 0
+        self._flags: tuple[str, int, int] | None = None
+        self._insn_at: dict[int, Instruction] = {}
+        self.images: list[LoadedImage] = []
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        program: LoadedImage,
+        resolver: LibraryResolver | None = None,
+        extra_images: list[LoadedImage] | None = None,
+    ) -> None:
+        """Map the program, its dependency closure, stack; apply relocations.
+
+        ``extra_images`` models dlopen-style modules: prelinked shared
+        objects mapped alongside the program (their own deps included).
+        """
+        images = [program]
+        if program.needed:
+            if resolver is None:
+                raise EmulationError(f"{program.name} needs libraries but no resolver given")
+            images.extend(resolver.dependency_closure(program))
+        for extra in extra_images or []:
+            if any(i.name == extra.name for i in images):
+                continue
+            images.append(extra)
+            if extra.needed and resolver is not None:
+                for dep in resolver.dependency_closure(extra):
+                    if not any(i.name == dep.name for i in images):
+                        images.append(dep)
+        self.images = images
+
+        for image in images:
+            for seg in image.elf.segments:
+                self.memory.map_region(seg.vaddr, seg.data)
+            for insn in decode_all(image.text_bytes, image.text_base):
+                self._insn_at[insn.addr] = insn
+
+        # Runtime linking: fill every image's GOT import slots.
+        exports: dict[str, int] = {}
+        for image in images:
+            for name, sym in image.exported_functions.items():
+                exports.setdefault(name, sym.value)
+            for sym in image.elf.dynamic_symbols:
+                if sym.defined and not sym.is_function:
+                    exports.setdefault(sym.name, sym.value)
+        for image in images:
+            for got_addr, symbol in image.got_imports.items():
+                if symbol not in exports:
+                    raise EmulationError(
+                        f"{image.name}: unresolved import {symbol!r} at link time"
+                    )
+                self.memory.write(got_addr, exports[symbol], 8)
+
+        self.memory.map_region(STACK_TOP - STACK_SIZE, b"\x00" * STACK_SIZE)
+        self.regs["rsp"] = STACK_TOP - 0x1000
+        self.rip = program.entry
+        if not self.rip:
+            raise EmulationError(f"{program.name} has no entry point")
+
+    def set_inputs(self, inputs: tuple[int, ...] = ()) -> None:
+        """Install the run's input vector in argument registers.
+
+        The corpus convention: ``rdi, rsi, rdx, rcx, r8, r9`` carry up to
+        six input words the program branches on (the stand-in for
+        argv/config/test-suite stimuli).
+        """
+        arg_regs = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+        for name, value in zip(arg_regs, inputs):
+            self.regs[name] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+
+    def _mem_addr(self, mem: Memory) -> int:
+        if mem.rip_relative or (mem.base is None and mem.index is None):
+            return mem.disp & MASK64
+        total = mem.disp
+        if mem.base is not None:
+            total += self.regs[mem.base.name]
+        if mem.index is not None:
+            total += self.regs[mem.index.name] * mem.scale
+        return total & MASK64
+
+    def read_operand(self, op) -> int:
+        if isinstance(op, Register):
+            value = self.regs[op.name]
+            return value & 0xFFFFFFFF if op.width == 32 else value
+        if isinstance(op, Immediate):
+            return op.value & MASK64
+        if isinstance(op, Memory):
+            return self.memory.read(self._mem_addr(op), op.width // 8)
+        raise EmulationError(f"cannot read operand {op!r}")
+
+    def write_operand(self, op, value: int) -> None:
+        if isinstance(op, Register):
+            if op.width == 32:
+                value &= 0xFFFFFFFF  # implicit zero extension
+            self.regs[op.name] = value & MASK64
+            return
+        if isinstance(op, Memory):
+            self.memory.write(self._mem_addr(op), value, op.width // 8)
+            return
+        raise EmulationError(f"cannot write operand {op!r}")
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+
+    def _set_flags(self, kind: str, a: int, b: int) -> None:
+        self._flags = (kind, a & MASK64, b & MASK64)
+
+    def _condition(self, cc: str) -> bool:
+        if self._flags is None:
+            raise EmulationError("conditional jump with undefined flags")
+        kind, a, b = self._flags
+        if kind == "and":
+            lhs, rhs = a & b, 0
+        else:
+            lhs, rhs = a, b
+        if cc == "e":
+            return lhs == rhs
+        if cc == "ne":
+            return lhs != rhs
+        if cc in ("l", "ge", "le", "g"):
+            sa, sb = _signed(lhs), _signed(rhs)
+            return {"l": sa < sb, "ge": sa >= sb, "le": sa <= sb, "g": sa > sb}[cc]
+        if cc in ("b", "ae", "be", "a"):
+            return {"b": lhs < rhs, "ae": lhs >= rhs, "be": lhs <= rhs, "a": lhs > rhs}[cc]
+        if cc == "s":
+            return _signed((lhs - rhs) & MASK64) < 0
+        if cc == "ns":
+            return _signed((lhs - rhs) & MASK64) >= 0
+        raise EmulationError(f"unsupported condition {cc!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        self.regs["rsp"] = (self.regs["rsp"] - 8) & MASK64
+        self.memory.write(self.regs["rsp"], value, 8)
+
+    def pop(self) -> int:
+        value = self.memory.read(self.regs["rsp"], 8)
+        self.regs["rsp"] = (self.regs["rsp"] + 8) & MASK64
+        return value
+
+    def step(self) -> None:
+        insn = self._insn_at.get(self.rip)
+        if insn is None:
+            raise EmulationError(f"rip {self.rip:#x} is not decodable code")
+        self.steps += 1
+        m = insn.mnemonic
+        ops = insn.operands
+
+        if m in ("mov", "movabs", "movzx"):
+            # Memory reads are already zero-extended to the read size.
+            self.write_operand(ops[0], self.read_operand(ops[1]))
+        elif m in ("movsx", "movsxd"):
+            src = ops[1]
+            src_width = src.width if isinstance(src, (Register, Memory)) else 32
+            value = self.read_operand(src)
+            self.write_operand(ops[0], _signed(value, src_width) & MASK64)
+        elif m.startswith("cmov") and not insn.is_conditional:
+            if self._condition(m[4:]):
+                self.write_operand(ops[0], self.read_operand(ops[1]))
+        elif m in ("inc", "dec"):
+            width = ops[0].width if isinstance(ops[0], (Register, Memory)) else 64
+            mask = (1 << width) - 1
+            value = self.read_operand(ops[0])
+            result = (value + (1 if m == "inc" else -1)) & mask
+            self.write_operand(ops[0], result)
+            self._set_flags("sub", result, 0)
+        elif m == "neg":
+            width = ops[0].width if isinstance(ops[0], (Register, Memory)) else 64
+            value = self.read_operand(ops[0])
+            self.write_operand(ops[0], (-value) & ((1 << width) - 1))
+            self._set_flags("sub", 0, value)
+        elif m == "not":
+            width = ops[0].width if isinstance(ops[0], (Register, Memory)) else 64
+            value = self.read_operand(ops[0])
+            self.write_operand(ops[0], (~value) & ((1 << width) - 1))
+        elif m == "lea":
+            assert isinstance(ops[1], Memory)
+            self.write_operand(ops[0], self._mem_addr(ops[1]))
+        elif m in ("add", "sub", "xor", "and", "or", "shl", "shr", "imul"):
+            width = ops[0].width if isinstance(ops[0], (Register, Memory)) else 64
+            a = self.read_operand(ops[0])
+            b = self.read_operand(ops[1])
+            mask = (1 << width) - 1
+            if m == "add":
+                result = (a + b) & mask
+                self._set_flags("sub", result, 0)
+            elif m == "sub":
+                result = (a - b) & mask
+                self._set_flags("sub", a, b)
+            elif m == "xor":
+                result = (a ^ b) & mask
+                self._set_flags("and", result, mask)
+            elif m == "and":
+                result = a & b & mask
+                self._set_flags("and", result, mask)
+            elif m == "or":
+                result = (a | b) & mask
+                self._set_flags("and", result, mask)
+            elif m == "shl":
+                result = (a << (b & 63)) & mask
+            elif m == "shr":
+                result = (a & mask) >> (b & 63)
+            else:  # imul
+                result = (a * b) & mask
+            self.write_operand(ops[0], result)
+        elif m == "cmp":
+            self._set_flags("sub", self.read_operand(ops[0]), self.read_operand(ops[1]))
+        elif m == "test":
+            self._set_flags("and", self.read_operand(ops[0]), self.read_operand(ops[1]))
+        elif m == "push":
+            self.push(self.read_operand(ops[0]))
+        elif m == "pop":
+            self.write_operand(ops[0], self.pop())
+        elif m == "nop":
+            pass
+        elif m in ("cdq", "cqo"):
+            self.regs["rdx"] = MASK64 if _signed(self.regs["rax"]) < 0 else 0
+        elif m == "syscall":
+            self.kernel.dispatch(self)
+        elif m == "ret":
+            self.rip = self.pop()
+            return
+        elif m == "call":
+            target = self._branch_destination(insn)
+            self.push(insn.end)
+            self.rip = target
+            return
+        elif m == "jmp":
+            self.rip = self._branch_destination(insn)
+            return
+        elif insn.is_conditional:
+            if self._condition(m[1:]):
+                target = insn.branch_target()
+                assert target is not None
+                self.rip = target
+                return
+        elif m in ("hlt", "ud2", "int3"):
+            raise EmulationError(f"cpu trap: {m} at {insn.addr:#x}")
+        else:
+            raise EmulationError(f"no concrete semantics for {m!r}")
+
+        self.rip = insn.end
+
+    def _branch_destination(self, insn: Instruction) -> int:
+        target = insn.branch_target()
+        if target is not None:
+            return target
+        dest = self.read_operand(insn.operands[0])
+        if dest == 0:
+            raise EmulationError(f"indirect branch to NULL at {insn.addr:#x}")
+        return dest
+
+    def run(self, max_steps: int = 2_000_000) -> int:
+        """Run until the process exits; returns the exit status."""
+        try:
+            while self.steps < max_steps:
+                self.step()
+            raise EmulationError(f"step budget exhausted after {max_steps} steps")
+        except ProcessExit as exited:
+            return exited.status

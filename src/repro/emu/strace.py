@@ -1,0 +1,94 @@
+"""Trace collection: the reproduction's ``strace`` + test-suite runner.
+
+Ground truth for the validation experiment (§5.1) is built by running a
+program's entire "test suite" — a list of input vectors — under the
+emulator and taking the union of system calls observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EmulationError, FilterViolation
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from .kernel import EmulatedKernel, SyscallRecord
+from .machine import Machine
+
+
+@dataclass(slots=True)
+class TraceResult:
+    """Outcome of one traced run."""
+
+    exit_status: int | None
+    records: list[SyscallRecord]
+    steps: int
+    killed_by_filter: int | None = None  # syscall nr that tripped the filter
+
+    @property
+    def syscall_numbers(self) -> set[int]:
+        return {r.nr for r in self.records}
+
+    @property
+    def syscall_names(self) -> set[str]:
+        return {r.name for r in self.records}
+
+
+def run_traced(
+    program: LoadedImage,
+    resolver: LibraryResolver | None = None,
+    inputs: tuple[int, ...] = (),
+    *,
+    read_script: bytes = b"",
+    filter_allowed=None,
+    filter_hook=None,
+    extra_images: list[LoadedImage] | None = None,
+    max_steps: int = 2_000_000,
+) -> TraceResult:
+    """Run one execution of ``program`` and collect its syscall trace."""
+    kernel = EmulatedKernel(read_script=read_script)
+    if filter_allowed is not None:
+        kernel.install_filter(filter_allowed)
+    if filter_hook is not None:
+        kernel.filter_hook = filter_hook
+    machine = Machine(kernel)
+    machine.load(program, resolver, extra_images=extra_images)
+    machine.set_inputs(inputs)
+    try:
+        status = machine.run(max_steps=max_steps)
+    except FilterViolation as violation:
+        return TraceResult(
+            exit_status=None,
+            records=kernel.trace,
+            steps=machine.steps,
+            killed_by_filter=violation.sysno,
+        )
+    return TraceResult(exit_status=status, records=kernel.trace, steps=machine.steps)
+
+
+def trace_test_suite(
+    program: LoadedImage,
+    suite: list[tuple[int, ...]],
+    resolver: LibraryResolver | None = None,
+    *,
+    filter_allowed=None,
+    extra_images: list[LoadedImage] | None = None,
+    max_steps: int = 2_000_000,
+) -> tuple[set[int], list[TraceResult]]:
+    """Run every input vector of ``suite``; returns (union of syscalls, runs).
+
+    With a filter installed, a run killed by the filter models the paper's
+    "legitimate system call flagged as illegal" failure — callers assert
+    that no run is killed when validating B-Side-derived rules.
+    """
+    union: set[int] = set()
+    runs: list[TraceResult] = []
+    for inputs in suite:
+        result = run_traced(
+            program, resolver, inputs,
+            filter_allowed=filter_allowed, extra_images=extra_images,
+            max_steps=max_steps,
+        )
+        union |= result.syscall_numbers
+        runs.append(result)
+    return union, runs

@@ -1,0 +1,73 @@
+"""Shared exception hierarchy for the B-Side reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodeError(ReproError):
+    """An instruction could not be encoded to machine code."""
+
+
+class DecodeError(ReproError):
+    """A byte sequence could not be decoded to an instruction."""
+
+    def __init__(self, message: str, addr: int | None = None):
+        super().__init__(message if addr is None else f"{message} @ {addr:#x}")
+        self.addr = addr
+
+
+class AsmError(ReproError):
+    """The assembler was used inconsistently (e.g. unknown label)."""
+
+
+class ElfError(ReproError):
+    """An ELF image is malformed or unsupported."""
+
+
+class LoaderError(ReproError):
+    """A binary or one of its library dependencies could not be loaded."""
+
+
+class CfgError(ReproError):
+    """Control-flow graph recovery failed."""
+
+
+class SymexError(ReproError):
+    """The symbolic execution engine hit an unsupported construct."""
+
+
+class BudgetExceeded(ReproError):
+    """An analysis step budget was exhausted (stands in for a timeout).
+
+    The paper's evaluation (§5.2) reports per-binary analysis timeouts; the
+    reproduction uses deterministic step budgets so that "timeouts" are
+    reproducible across machines.
+    """
+
+    def __init__(self, stage: str, budget: int):
+        super().__init__(f"analysis budget exceeded in stage '{stage}' ({budget} steps)")
+        self.stage = stage
+        self.budget = budget
+
+
+class AnalysisFailure(ReproError):
+    """A system-call identification tool declared failure on a binary."""
+
+    def __init__(self, tool: str, reason: str):
+        super().__init__(f"{tool}: {reason}")
+        self.tool = tool
+        self.reason = reason
+
+
+class EmulationError(ReproError):
+    """The concrete emulator encountered an illegal state."""
+
+
+class FilterViolation(ReproError):
+    """A seccomp-like filter killed the emulated process (false negative)."""
+
+    def __init__(self, sysno: int, name: str):
+        super().__init__(f"filter violation: syscall {sysno} ({name}) not allowed")
+        self.sysno = sysno
+        self.name = name

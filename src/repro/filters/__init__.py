@@ -1,0 +1,23 @@
+"""Filter generation: seccomp allow-lists, phase policies, Docker profiles."""
+
+from .docker import (
+    parse_profile,
+    profile_from_filter,
+    profile_from_report,
+    render_profile,
+)
+from .policy import PhasePolicy, protected_against
+from .seccomp import ACTION_ALLOW, ACTION_KILL, BpfInsn, FilterProgram
+
+__all__ = [
+    "FilterProgram",
+    "BpfInsn",
+    "ACTION_ALLOW",
+    "ACTION_KILL",
+    "PhasePolicy",
+    "protected_against",
+    "profile_from_filter",
+    "profile_from_report",
+    "render_profile",
+    "parse_profile",
+]

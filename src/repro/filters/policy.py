@@ -1,0 +1,90 @@
+"""Whole-program and phase-based filtering policies.
+
+``PhasePolicy`` carries one filter per phase plus the transition map; the
+emulated kernel consults it through a hook so that phase changes happen on
+the observed syscall stream — the kernel-side enforcement §4.7 sketches
+(monitoring syscall type at invocation time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..phases.automaton import PhaseAutomaton, PhaseTracker
+from ..syscalls.table import ALL_SYSCALLS
+from .seccomp import FilterProgram
+
+
+@dataclass
+class PhasePolicy:
+    """Per-phase allow-lists derived from a phase automaton.
+
+    ``extra_allowed`` holds syscalls granted in every phase — required for
+    soundness when the program loads code the automaton cannot place
+    (dlopen modules, §4.5).
+    """
+
+    automaton: PhaseAutomaton
+    use_propagated: bool = True
+    filters: dict[int, FilterProgram] = field(default_factory=dict)
+    extra_allowed: frozenset[int] = frozenset()
+
+    @classmethod
+    def from_automaton(
+        cls,
+        automaton: PhaseAutomaton,
+        use_propagated: bool = True,
+        extra_allowed: set[int] | None = None,
+    ) -> "PhasePolicy":
+        extra = frozenset(extra_allowed or ())
+        policy = cls(
+            automaton=automaton, use_propagated=use_propagated,
+            extra_allowed=extra,
+        )
+        for pid in automaton.phases:
+            allowed = (
+                automaton.propagated[pid]
+                if use_propagated and automaton.propagated is not None
+                else automaton.phases[pid].allowed
+            )
+            policy.filters[pid] = FilterProgram.allow_list(allowed | extra)
+        return policy
+
+    def make_kernel_hook(self):
+        """A ``filter_hook`` for :class:`repro.emu.kernel.EmulatedKernel`.
+
+        Tracks the current phase across syscalls; returns False (kill) on
+        a syscall outside the current phase's allow-list.
+        """
+        tracker = PhaseTracker(
+            self.automaton,
+            use_propagated=self.use_propagated,
+            extra_allowed=set(self.extra_allowed),
+        )
+
+        def hook(kernel, nr: int) -> bool:
+            return tracker.observe(nr)
+
+        hook.tracker = tracker
+        return hook
+
+    def average_allowed(self) -> float:
+        if not self.filters:
+            return 0.0
+        return sum(len(f.allowed) for f in self.filters.values()) / len(self.filters)
+
+    def strictness_gain_over(self, whole_program: FilterProgram) -> float:
+        """Average reduction in allowed syscalls vs. a vanilla filter (§5.4)."""
+        baseline = len(whole_program.allowed)
+        if baseline == 0:
+            return 0.0
+        return 1.0 - (self.average_allowed() / baseline)
+
+
+def protected_against(filter_program: FilterProgram, trigger_syscalls) -> bool:
+    """Whether a filter precludes a CVE triggered by ``trigger_syscalls``.
+
+    Following §5.5: a program is protected when *at least one* syscall the
+    exploit requires is blocked by the filter.
+    """
+    return any(filter_program.blocks(nr) for nr in trigger_syscalls)

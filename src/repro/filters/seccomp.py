@@ -1,0 +1,88 @@
+"""Seccomp-style filter programs.
+
+A :class:`FilterProgram` is the artifact a provider would install from an
+analysis report: an allow-list over syscall numbers compiled into a small
+cBPF-like instruction sequence (load nr, compare, allow/kill) — the same
+shape libseccomp generates.  The emulated kernel executes the program for
+every syscall, so validation experiments observe real enforcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.report import AnalysisReport
+from ..syscalls.table import ALL_SYSCALLS, name_of
+
+ACTION_ALLOW = "allow"
+ACTION_KILL = "kill"
+
+
+@dataclass(frozen=True, slots=True)
+class BpfInsn:
+    """One pseudo-cBPF instruction."""
+
+    op: str  # "ld_nr" | "jeq" | "ret"
+    k: int = 0
+    action: str = ""
+
+    def render(self) -> str:
+        if self.op == "ld_nr":
+            return "ld [nr]"
+        if self.op == "jeq":
+            return f"jeq #{self.k} allow  ; {name_of(self.k)}"
+        return f"ret {self.action}"
+
+
+@dataclass
+class FilterProgram:
+    """An allow-list filter compiled to a linear cBPF-like program."""
+
+    allowed: frozenset[int]
+    default_action: str = ACTION_KILL
+    insns: list[BpfInsn] = field(default_factory=list)
+
+    @classmethod
+    def allow_list(cls, allowed, default_action: str = ACTION_KILL) -> "FilterProgram":
+        allowed = frozenset(allowed)
+        insns = [BpfInsn("ld_nr")]
+        for nr in sorted(allowed):
+            insns.append(BpfInsn("jeq", k=nr))
+        insns.append(BpfInsn("ret", action=default_action))
+        insns.append(BpfInsn("ret", action=ACTION_ALLOW))
+        return cls(allowed=allowed, default_action=default_action, insns=insns)
+
+    @classmethod
+    def from_report(cls, report: AnalysisReport) -> "FilterProgram":
+        """Derive the strictest *sound* filter from an analysis report.
+
+        An unsuccessful or incomplete analysis cannot justify blocking
+        anything: the filter degenerates to allow-all (this mirrors how a
+        provider must treat a tool timeout).
+        """
+        if not report.success or not report.complete:
+            return cls.allow_list(ALL_SYSCALLS)
+        return cls.allow_list(report.syscalls)
+
+    def permits(self, nr: int) -> bool:
+        return nr in self.allowed
+
+    def blocks(self, nr: int) -> bool:
+        return not self.permits(nr)
+
+    @property
+    def n_blocked(self) -> int:
+        return len(ALL_SYSCALLS - self.allowed)
+
+    def execute(self, nr: int) -> str:
+        """Interpret the cBPF program for one syscall number."""
+        for insn in self.insns:
+            if insn.op == "jeq" and insn.k == nr:
+                return ACTION_ALLOW
+            if insn.op == "ret":
+                return insn.action
+        return self.default_action
+
+    def render(self) -> str:
+        """Human-readable listing (what `seccomp-tools dump` would show)."""
+        return "\n".join(i.render() for i in self.insns)

@@ -1,0 +1,6 @@
+"""Binary loading: image abstraction and shared-library resolution."""
+
+from .image import LoadedImage
+from .resolve import LibraryResolver
+
+__all__ = ["LoadedImage", "LibraryResolver"]

@@ -1,0 +1,167 @@
+"""Loaded-image abstraction over a parsed ELF file.
+
+A :class:`LoadedImage` is what every analysis consumes: code bytes with
+their virtual base, the symbol view, the import/export interface, and the
+GOT relocation map used to resolve PLT-style indirection
+(``jmp/call [rip + got_slot]``) to external symbol names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..elf.reader import ElfFile, Symbol, read_elf
+from ..elf.structs import ET_DYN, ET_EXEC
+from ..errors import LoaderError
+
+
+@dataclass
+class LoadedImage:
+    """An ELF image ready for analysis or emulation.
+
+    Not ``slots=True``: several views are ``cached_property``s, which need
+    an instance ``__dict__``.
+    """
+
+    name: str
+    elf: ElfFile
+
+    @classmethod
+    def from_bytes(cls, name: str, data: bytes) -> "LoadedImage":
+        return cls(name=name, elf=read_elf(data))
+
+    @classmethod
+    def from_path(cls, path: str) -> "LoadedImage":
+        with open(path, "rb") as f:
+            data = f.read()
+        name = path.rsplit("/", 1)[-1]
+        return cls.from_bytes(name, data)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def entry(self) -> int:
+        return self.elf.entry
+
+    @property
+    def is_shared_library(self) -> bool:
+        return bool(self.elf.soname) or (self.elf.elf_type == ET_DYN and not self.elf.entry)
+
+    @property
+    def is_pic(self) -> bool:
+        return self.elf.elf_type == ET_DYN
+
+    @property
+    def is_static_executable(self) -> bool:
+        return self.elf.elf_type == ET_EXEC and not self.elf.needed
+
+    @property
+    def is_dynamic_executable(self) -> bool:
+        return bool(self.elf.needed) and not self.is_shared_library
+
+    @property
+    def has_eh_frame(self) -> bool:
+        """Whether the image carries stack-unwinding metadata."""
+        return ".eh_frame" in self.elf.section_names
+
+    @property
+    def needed(self) -> list[str]:
+        return self.elf.needed
+
+    @property
+    def text_base(self) -> int:
+        return self.elf.text.vaddr
+
+    @property
+    def text_bytes(self) -> bytes:
+        return self.elf.text.data
+
+    @property
+    def text_end(self) -> int:
+        return self.elf.text.end
+
+    def is_code_addr(self, addr: int) -> bool:
+        return self.elf.text.contains(addr)
+
+    def read_mem(self, addr: int, size: int) -> bytes:
+        return self.elf.read_mem(addr, size)
+
+    # ------------------------------------------------------------------
+    # Symbol views
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def functions_by_addr(self) -> dict[int, Symbol]:
+        """Defined function symbols keyed by address (static symtab view)."""
+        out: dict[int, Symbol] = {}
+        for sym in self.elf.symbols:
+            if sym.is_function and sym.defined:
+                out[sym.value] = sym
+        return out
+
+    @cached_property
+    def functions_by_name(self) -> dict[str, Symbol]:
+        return {sym.name: sym for sym in self.functions_by_addr.values()}
+
+    @cached_property
+    def exported_functions(self) -> dict[str, Symbol]:
+        """Functions visible to other images (dynamic symbol table)."""
+        return {
+            sym.name: sym
+            for sym in self.elf.dynamic_symbols
+            if sym.is_function and sym.defined
+        }
+
+    @cached_property
+    def imported_symbols(self) -> set[str]:
+        """Undefined dynamic symbols this image expects its deps to provide."""
+        return {sym.name for sym in self.elf.dynamic_symbols if not sym.defined}
+
+    @cached_property
+    def got_imports(self) -> dict[int, str]:
+        """GOT slot address -> imported symbol name."""
+        return dict(self.elf.relocations)
+
+    def function_at(self, addr: int) -> Symbol | None:
+        return self.functions_by_addr.get(addr)
+
+    def symbol_addr(self, name: str) -> int:
+        sym = self.functions_by_name.get(name) or self.exported_functions.get(name)
+        if sym is None:
+            for candidate in self.elf.symbols:
+                if candidate.name == name and candidate.defined:
+                    return candidate.value
+            raise LoaderError(f"{self.name}: no symbol {name!r}")
+        return sym.value
+
+    @cached_property
+    def function_boundaries(self) -> list[tuple[int, int]]:
+        """Sorted (start, end) pairs for defined functions.
+
+        Function sizes come from the symbol table when present; otherwise the
+        next function start (or text end) bounds the function.  This mirrors
+        the paper's assumption that the disassembler can determine function
+        boundaries (§4.1).
+        """
+        starts = sorted(self.functions_by_addr)
+        out = []
+        for i, start in enumerate(starts):
+            sym = self.functions_by_addr[start]
+            if sym.size:
+                end = start + sym.size
+            elif i + 1 < len(starts):
+                end = starts[i + 1]
+            else:
+                end = self.text_end
+            out.append((start, end))
+        return out
+
+    def function_containing(self, addr: int) -> tuple[int, int] | None:
+        """The (start, end) of the function containing ``addr``, if any."""
+        for start, end in self.function_boundaries:
+            if start <= addr < end:
+                return (start, end)
+        return None

@@ -1,0 +1,110 @@
+"""Shared-library resolution across a corpus.
+
+Dynamic executables name their dependencies via ``DT_NEEDED``; the resolver
+maps those sonames to images.  It supports three providers:
+
+* an in-memory mapping ``{soname: elf_bytes}`` (used by the generated corpus),
+* a directory of ``.so`` files,
+* direct registration of pre-loaded images.
+
+Images are cached so that a library shared by many executables is parsed
+once — mirroring B-Side's once-per-library analysis amortisation (§4.5).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from ..errors import LoaderError
+from .image import LoadedImage
+
+
+class LibraryResolver:
+    """Resolves sonames to :class:`LoadedImage` objects, with caching."""
+
+    def __init__(
+        self,
+        provider: Callable[[str], bytes] | None = None,
+        library_map: dict[str, bytes] | None = None,
+        search_dir: str | None = None,
+    ):
+        self._provider = provider
+        self._library_map = dict(library_map or {})
+        self._search_dir = search_dir
+        self._cache: dict[str, LoadedImage] = {}
+
+    def register(self, name: str, image: LoadedImage) -> None:
+        """Pre-register an already-loaded image under ``name``."""
+        self._cache[name] = image
+
+    def register_bytes(self, name: str, data: bytes) -> None:
+        self._library_map[name] = data
+
+    def resolve(self, name: str) -> LoadedImage:
+        """Load (or fetch from cache) the library named ``name``."""
+        if name in self._cache:
+            return self._cache[name]
+        data = self._fetch(name)
+        image = LoadedImage.from_bytes(name, data)
+        self._cache[name] = image
+        return image
+
+    def _fetch(self, name: str) -> bytes:
+        if name in self._library_map:
+            return self._library_map[name]
+        if self._provider is not None:
+            try:
+                return self._provider(name)
+            except KeyError:
+                pass
+        if self._search_dir is not None:
+            path = os.path.join(self._search_dir, name)
+            if os.path.exists(path):
+                with open(path, "rb") as f:
+                    return f.read()
+        raise LoaderError(f"cannot resolve library {name!r}")
+
+    def dependency_closure(self, image: LoadedImage) -> list[LoadedImage]:
+        """All transitive library dependencies of ``image``.
+
+        Returned in a deterministic order (BFS over DT_NEEDED).  Raises
+        :class:`LoaderError` on unresolvable or cyclic-with-missing deps.
+        """
+        seen: dict[str, LoadedImage] = {}
+        queue = list(image.needed)
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            lib = self.resolve(name)
+            seen[name] = lib
+            queue.extend(dep for dep in lib.needed if dep not in seen)
+        return list(seen.values())
+
+    def topological_order(self, image: LoadedImage) -> list[LoadedImage]:
+        """Dependency closure ordered leaves-first (libc before its users).
+
+        B-Side's §4.5 computes shared interfaces following a DAG order so a
+        library's interface is available before its dependents are analysed.
+        """
+        closure = {lib.name: lib for lib in self.dependency_closure(image)}
+        order: list[LoadedImage] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done or name not in closure:
+                return
+            if name in visiting:
+                raise LoaderError(f"dependency cycle through {name!r}")
+            visiting.add(name)
+            for dep in closure[name].needed:
+                visit(dep)
+            visiting.discard(name)
+            done.add(name)
+            order.append(closure[name])
+
+        for name in sorted(closure):
+            visit(name)
+        return order

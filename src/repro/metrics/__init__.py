@@ -1,0 +1,5 @@
+"""Evaluation metrics: precision/recall/F1 and distribution helpers."""
+
+from .scores import Score, histogram, mean, score
+
+__all__ = ["Score", "score", "mean", "histogram"]

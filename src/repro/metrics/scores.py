@@ -1,0 +1,67 @@
+"""Precision / recall / F1 against ground truth (§5.1, §5.2, Table 1).
+
+Conventions match the paper:
+
+* **false negative** — syscall in the ground truth (observed at runtime)
+  but missed by the analysis: breaks applications, the disqualifying
+  failure;
+* **false positive** — syscall identified but never observed: reduces
+  filter strictness;
+* recall = TP / (TP + FN); precision = TP / (TP + FP);
+  F1 = harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Score:
+    """Comparison of one identified set against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def is_valid(self) -> bool:
+        """Paper's validity criterion: zero false negatives."""
+        return self.false_negatives == 0
+
+
+def score(identified: set[int], ground_truth: set[int]) -> Score:
+    """Score an identified syscall set against an observed ground truth."""
+    return Score(
+        true_positives=len(identified & ground_truth),
+        false_positives=len(identified - ground_truth),
+        false_negatives=len(ground_truth - identified),
+    )
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def histogram(counts: list[int], bin_width: int = 10, top: int = 280) -> dict[int, int]:
+    """Frequency histogram of per-binary identified-set sizes (Figure 8)."""
+    bins: dict[int, int] = {}
+    for count in counts:
+        bin_start = min(count // bin_width * bin_width, top)
+        bins[bin_start] = bins.get(bin_start, 0) + 1
+    return dict(sorted(bins.items()))

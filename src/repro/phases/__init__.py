@@ -1,0 +1,22 @@
+"""Phase detection (§4.7): automaton construction and enforcement tracking."""
+
+from .automaton import Phase, PhaseAutomaton, PhaseTracker
+from .dfa import DFA, determinize
+from .dot import to_dot
+from .merge import detect_phases, detect_phases_cfg_navigation, merge_states
+from .nfa import EPSILON, NFA, build_nfa
+
+__all__ = [
+    "Phase",
+    "PhaseAutomaton",
+    "PhaseTracker",
+    "DFA",
+    "determinize",
+    "NFA",
+    "EPSILON",
+    "build_nfa",
+    "detect_phases",
+    "detect_phases_cfg_navigation",
+    "merge_states",
+    "to_dot",
+]

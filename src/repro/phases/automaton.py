@@ -1,0 +1,178 @@
+"""Phase automaton: merged DFA states, allowed lists, back-propagation.
+
+A *phase* is a set of merged DFA states (each itself a set of basic
+blocks).  Its **allowed list** is the set of syscalls labelling its
+outgoing transitions (self-loops included) — invoking any other syscall in
+that phase is a violation.  Cross-phase transitions say which syscall
+moves the program to which next phase.
+
+``back_propagate`` implements §4.7's final step for seccomp-style
+enforcement: seccomp can only *tighten* filters, so every phase must also
+allow whatever its successor phases allow; the propagation runs to a
+fixpoint over the (cyclic) phase graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dfa import DFA
+
+
+@dataclass
+class Phase:
+    """One detected phase of execution."""
+
+    pid: int
+    dfa_states: set[int] = field(default_factory=set)
+    blocks: frozenset[int] = frozenset()
+    #: syscall -> destination phase id (self-transitions included)
+    transitions: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def allowed(self) -> set[int]:
+        return set(self.transitions)
+
+    def code_size(self, cfg) -> int:
+        """Summed byte size of the phase's basic blocks."""
+        return cfg.total_block_bytes(set(self.blocks))
+
+
+@dataclass
+class PhaseAutomaton:
+    """The per-program phase machine."""
+
+    start: int
+    phases: dict[int, Phase] = field(default_factory=dict)
+    #: allowed sets after back-propagation (None until computed)
+    propagated: dict[int, set[int]] | None = None
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def phase_allowed(self, pid: int) -> set[int]:
+        """Allowed list (post back-propagation when available)."""
+        if self.propagated is not None:
+            return self.propagated[pid]
+        return self.phases[pid].allowed
+
+    def all_syscalls(self) -> set[int]:
+        out: set[int] = set()
+        for phase in self.phases.values():
+            out |= phase.allowed
+        return out
+
+    # ------------------------------------------------------------------
+    # Construction from a merged DFA
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_merged_dfa(cls, dfa: DFA, groups: list[set[int]]) -> "PhaseAutomaton":
+        """Build phases from DFA state groups (the merge step's output)."""
+        phase_of_state: dict[int, int] = {}
+        automaton = cls(start=0)
+        for pid, group in enumerate(groups):
+            blocks: set[int] = set()
+            for state in group:
+                blocks |= dfa.states[state]
+                phase_of_state[state] = pid
+            automaton.phases[pid] = Phase(
+                pid=pid, dfa_states=set(group), blocks=frozenset(blocks),
+            )
+        automaton.start = phase_of_state[dfa.start]
+        for (state, label), dst in dfa.transitions.items():
+            src_phase = phase_of_state[state]
+            dst_phase = phase_of_state[dst]
+            automaton.phases[src_phase].transitions.setdefault(label, dst_phase)
+        return automaton
+
+    # ------------------------------------------------------------------
+    # Back-propagation (§4.7, needed for plain seccomp enforcement)
+    # ------------------------------------------------------------------
+
+    def back_propagate(self) -> dict[int, set[int]]:
+        """allowed'(P) = allowed(P) ∪ ⋃ allowed'(successors of P)."""
+        allowed = {pid: set(phase.allowed) for pid, phase in self.phases.items()}
+        succs = {
+            pid: {dst for dst in phase.transitions.values() if dst != pid}
+            for pid, phase in self.phases.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for pid in self.phases:
+                union = set(allowed[pid])
+                for dst in succs[pid]:
+                    union |= allowed[dst]
+                if union != allowed[pid]:
+                    allowed[pid] = union
+                    changed = True
+        self.propagated = allowed
+        return allowed
+
+    # ------------------------------------------------------------------
+    # Reporting (Table 4 analogue)
+    # ------------------------------------------------------------------
+
+    def transition_matrix(self) -> dict[tuple[int, int], int]:
+        """(src phase, dst phase) -> number of syscall types triggering it."""
+        matrix: dict[tuple[int, int], int] = {}
+        for pid, phase in self.phases.items():
+            for __, dst in phase.transitions.items():
+                matrix[(pid, dst)] = matrix.get((pid, dst), 0) + 1
+        return matrix
+
+    def strictness_summary(self, total_syscalls: int) -> dict:
+        """Per-phase allowed counts and the average strictness gain (§5.4)."""
+        per_phase = {
+            pid: len(self.phase_allowed(pid)) for pid in self.phases
+        }
+        if not per_phase or not total_syscalls:
+            return {"per_phase": {}, "avg_allowed": 0, "strictness_gain": 0.0}
+        avg = sum(per_phase.values()) / len(per_phase)
+        return {
+            "per_phase": per_phase,
+            "avg_allowed": avg,
+            "strictness_gain": 1.0 - (avg / total_syscalls),
+        }
+
+
+class PhaseTracker:
+    """Runtime companion: tracks the current phase from observed syscalls.
+
+    Used by the emulator-backed enforcement simulation: a syscall outside
+    the current phase's allowed list is a violation; an allowed syscall
+    may move the tracker to the next phase.
+
+    ``extra_allowed`` carries syscalls permitted in *every* phase without
+    triggering transitions — the sound treatment of code the automaton
+    cannot place, such as dlopen-loaded modules (§4.5).
+    """
+
+    def __init__(
+        self,
+        automaton: PhaseAutomaton,
+        use_propagated: bool = True,
+        extra_allowed: set[int] | None = None,
+    ):
+        self.automaton = automaton
+        self.current = automaton.start
+        self.use_propagated = use_propagated
+        self.extra_allowed = set(extra_allowed or ())
+        self.violations: list[int] = []
+
+    def allowed_now(self) -> set[int]:
+        if self.use_propagated and self.automaton.propagated is not None:
+            return self.automaton.propagated[self.current] | self.extra_allowed
+        return self.automaton.phases[self.current].allowed | self.extra_allowed
+
+    def observe(self, syscall: int) -> bool:
+        """Feed one syscall; returns True when it was allowed."""
+        if syscall not in self.allowed_now():
+            self.violations.append(syscall)
+            return False
+        dst = self.automaton.phases[self.current].transitions.get(syscall)
+        if dst is not None:
+            self.current = dst
+        return True

@@ -1,0 +1,68 @@
+"""NFA → DFA by powerset construction (§4.7).
+
+The determinisation eliminates ε-transitions and guarantees at most one
+outgoing transition per syscall type per state.  States of the DFA are
+*sets of basic blocks* — the paper's observation that "a basic block can
+belong to several phases" follows directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import BudgetExceeded
+from .nfa import NFA
+
+
+@dataclass
+class DFA:
+    """Deterministic automaton whose states are frozensets of block addrs."""
+
+    start: int  # index into .states
+    states: list[frozenset[int]] = field(default_factory=list)
+    #: (state index, syscall) -> state index
+    transitions: dict[tuple[int, int], int] = field(default_factory=dict)
+    alphabet: set[int] = field(default_factory=set)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def successor(self, state: int, label: int) -> int | None:
+        return self.transitions.get((state, label))
+
+    def out_labels(self, state: int) -> set[int]:
+        return {label for (s, label) in self.transitions if s == state}
+
+
+def determinize(nfa: NFA, max_states: int = 20_000) -> DFA:
+    """Standard subset construction with ε-closures."""
+    start_set = nfa.epsilon_closure(frozenset({nfa.start}))
+    index: dict[frozenset[int], int] = {start_set: 0}
+    dfa = DFA(start=0, states=[start_set], alphabet=set(nfa.alphabet))
+    queue: deque[frozenset[int]] = deque([start_set])
+
+    # Pre-index NFA transitions by state for speed.
+    by_state: dict[int, list[tuple[int, set[int]]]] = {}
+    for (src, label), dsts in nfa.transitions.items():
+        if label != -1:
+            by_state.setdefault(src, []).append((label, dsts))
+
+    while queue:
+        current = queue.popleft()
+        src_idx = index[current]
+        moves: dict[int, set[int]] = {}
+        for state in current:
+            for label, dsts in by_state.get(state, ()):  # non-epsilon only
+                moves.setdefault(label, set()).update(dsts)
+        for label, dsts in sorted(moves.items()):
+            closure = nfa.epsilon_closure(frozenset(dsts))
+            if closure not in index:
+                if len(index) >= max_states:
+                    raise BudgetExceeded("phase-dfa", max_states)
+                index[closure] = len(dfa.states)
+                dfa.states.append(closure)
+                queue.append(closure)
+            dfa.transitions[(src_idx, label)] = index[closure]
+    return dfa

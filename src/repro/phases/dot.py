@@ -1,0 +1,47 @@
+"""Graphviz DOT export of phase automata — the Figure 9 view.
+
+``to_dot`` renders each phase as a node (sized information in the label)
+and one edge per (source, destination) pair labelled with the number of
+syscall types triggering the transition, exactly like the paper's figure.
+"""
+
+from __future__ import annotations
+
+from ..syscalls.table import name_of
+from .automaton import PhaseAutomaton
+
+
+def to_dot(
+    automaton: PhaseAutomaton,
+    *,
+    max_label_syscalls: int = 3,
+    include_self_loops: bool = False,
+) -> str:
+    """Render the automaton in Graphviz DOT format."""
+    lines = [
+        "digraph phases {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=10];',
+    ]
+    for pid in sorted(automaton.phases):
+        phase = automaton.phases[pid]
+        shape = "doublecircle" if pid == automaton.start else "circle"
+        lines.append(
+            f'  p{pid} [label="{pid}\\n{len(phase.allowed)} sys, '
+            f'{len(phase.blocks)} bb", shape={shape}];'
+        )
+
+    # Group transitions per (src, dst) as in Figure 9.
+    grouped: dict[tuple[int, int], list[int]] = {}
+    for pid, phase in automaton.phases.items():
+        for syscall, dst in sorted(phase.transitions.items()):
+            if dst == pid and not include_self_loops:
+                continue
+            grouped.setdefault((pid, dst), []).append(syscall)
+    for (src, dst), syscalls in sorted(grouped.items()):
+        names = ", ".join(name_of(nr) for nr in syscalls[:max_label_syscalls])
+        if len(syscalls) > max_label_syscalls:
+            names += f", … ({len(syscalls)})"
+        lines.append(f'  p{src} -> p{dst} [label="{names}", fontsize=8];')
+    lines.append("}")
+    return "\n".join(lines)

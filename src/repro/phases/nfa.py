@@ -1,0 +1,158 @@
+"""CFG → syscall-labelled NFA (§4.7, first step of phase detection).
+
+States are basic blocks.  Every outgoing edge of a block containing a
+system call site is decorated with the site's identified syscall numbers;
+all other edges become ε-transitions.  The input alphabet is the set of
+syscalls the program can invoke.
+
+Edge semantics differ from the backward-identification view: phase
+detection follows *actual* interprocedural flow, so calls into local
+functions use the call edge plus synthesized **return edges** (callee
+``ret`` block → caller's return site).  The ``callret`` shortcut edge is
+only kept for calls with no local callee (imported functions, unresolved
+indirect calls) — otherwise it would let the automaton bypass every
+syscall inside the callee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.model import (
+    CFG,
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_FALL,
+    EDGE_ICALL,
+    EDGE_JUMP,
+)
+
+EPSILON = -1  # transition label for non-syscall edges
+
+
+@dataclass
+class NFA:
+    """A labelled non-deterministic automaton over basic blocks."""
+
+    start: int
+    states: set[int] = field(default_factory=set)
+    #: (state, label) -> set of successor states; label -1 is epsilon
+    transitions: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+    alphabet: set[int] = field(default_factory=set)
+
+    def add(self, src: int, label: int, dst: int) -> None:
+        self.states.add(src)
+        self.states.add(dst)
+        self.transitions.setdefault((src, label), set()).add(dst)
+        if label != EPSILON:
+            self.alphabet.add(label)
+
+    def successors(self, state: int, label: int) -> set[int]:
+        return self.transitions.get((state, label), set())
+
+    def epsilon_closure(self, states: frozenset[int]) -> frozenset[int]:
+        out = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for nxt in self.successors(s, EPSILON):
+                if nxt not in out:
+                    out.add(nxt)
+                    stack.append(nxt)
+        return frozenset(out)
+
+
+def _flow_successors(cfg: CFG, block_addr: int, restrict_to: set[int] | None) -> list[int]:
+    """Interprocedural successors of a block for phase-detection flow."""
+    block = cfg.blocks[block_addr]
+    out: list[int] = []
+
+    call_edges = cfg.successors(block_addr, kinds=(EDGE_CALL, EDGE_ICALL))
+    plain_edges = cfg.successors(block_addr, kinds=(EDGE_FALL, EDGE_JUMP))
+    callret_edges = cfg.successors(block_addr, kinds=(EDGE_CALLRET,))
+
+    for edge in plain_edges:
+        out.append(edge.dst)
+    if block.ends_in_call or block.terminator.is_indirect_branch:
+        if call_edges:
+            # Flow enters the callee; the return side is synthesized
+            # separately.  The callret shortcut must NOT be taken.
+            out.extend(e.dst for e in call_edges)
+        else:
+            # External or unresolved call: flow continues at the return
+            # site (the callee's syscalls are accounted on this block's
+            # labels when it calls an imported function).
+            out.extend(e.dst for e in callret_edges)
+    else:
+        out.extend(e.dst for e in call_edges)
+
+    if restrict_to is not None:
+        out = [dst for dst in out if dst in restrict_to]
+    return out
+
+
+def _return_edges(cfg: CFG, restrict_to: set[int] | None) -> list[tuple[int, int]]:
+    """(ret block, return site) pairs linking callee exits to callers."""
+    out: list[tuple[int, int]] = []
+    for func_entry, func in cfg.functions.items():
+        # All call sites of this function and their return sites.
+        return_sites: list[int] = []
+        for edge in cfg.predecessors(func_entry, kinds=(EDGE_CALL, EDGE_ICALL)):
+            for cr in cfg.successors(edge.src, kinds=(EDGE_CALLRET,)):
+                return_sites.append(cr.dst)
+        if not return_sites:
+            continue
+        for block_addr in func.block_addrs:
+            block = cfg.blocks.get(block_addr)
+            if block is None or not block.ends_in_ret:
+                continue
+            for site in return_sites:
+                if restrict_to is None or (
+                    block_addr in restrict_to and site in restrict_to
+                ):
+                    out.append((block_addr, site))
+    return out
+
+
+def build_nfa(
+    cfg: CFG,
+    block_syscalls: dict[int, set[int]],
+    start: int,
+    restrict_to: set[int] | None = None,
+) -> NFA:
+    """Build the syscall-labelled NFA from a recovered CFG.
+
+    ``block_syscalls`` maps block addresses to identified syscall numbers
+    (the analyzer's per-block attribution).  ``restrict_to`` optionally
+    limits states to reachable blocks.
+    """
+    nfa = NFA(start=start)
+    nfa.states.add(start)
+
+    def add_block_edges(src: int, dsts: list[int]) -> None:
+        labels = block_syscalls.get(src, set())
+        for dst in dsts:
+            if labels:
+                for label in labels:
+                    nfa.add(src, label, dst)
+            else:
+                nfa.add(src, EPSILON, dst)
+        if labels and not dsts:
+            # Terminal syscall block (e.g. exit): self-loop so the label
+            # still appears in the automaton's alphabet.
+            for label in labels:
+                nfa.add(src, label, src)
+
+    for block in cfg.blocks.values():
+        if restrict_to is not None and block.addr not in restrict_to:
+            continue
+        add_block_edges(block.addr, _flow_successors(cfg, block.addr, restrict_to))
+
+    for ret_block, site in _return_edges(cfg, restrict_to):
+        labels = block_syscalls.get(ret_block, set())
+        if labels:
+            for label in labels:
+                nfa.add(ret_block, label, site)
+        else:
+            nfa.add(ret_block, EPSILON, site)
+    return nfa

@@ -1,0 +1,41 @@
+"""Symbolic execution engine: bitvectors, state, semantics, directed search.
+
+The reproduction's stand-in for angr's symbolic execution (claripy/SimEngine),
+scoped to exactly what system-call identification needs: precise tracking of
+immediates through registers *and memory*, path-sensitive exploration over
+the recovered CFG, and a backward-BFS + directed-forward search (Figure 5).
+"""
+
+from .backward import IdentifyResult, SearchBudget, backward_identify
+from .bitvec import BVS, BVV, BinOp, Expr, binop, concrete_eval, fresh, to_signed, truncate
+from .engine import CALLER_SAVED, ExecContext, read_operand, step, write_operand
+from .explorer import ExploreResult, explore, make_param_query, query_rax
+from .state import STACK_BASE, Flags, MemoryBackend, SymState
+
+__all__ = [
+    "BVV",
+    "BVS",
+    "BinOp",
+    "Expr",
+    "binop",
+    "truncate",
+    "fresh",
+    "to_signed",
+    "concrete_eval",
+    "SymState",
+    "Flags",
+    "MemoryBackend",
+    "STACK_BASE",
+    "ExecContext",
+    "step",
+    "read_operand",
+    "write_operand",
+    "CALLER_SAVED",
+    "explore",
+    "ExploreResult",
+    "query_rax",
+    "make_param_query",
+    "backward_identify",
+    "IdentifyResult",
+    "SearchBudget",
+]

@@ -1,0 +1,144 @@
+"""Backward BFS search driver (§4.4, Figure 5).
+
+From a system call site (or wrapper entry), predecessors are visited in
+BFS order.  Each visited node seeds a *directed forward* symbolic
+execution toward the target; the direction filter is exactly the set of
+nodes already discovered by the backward walk (they are the only blocks
+that can lie on a path from the seed to the target).
+
+A node whose forward exploration determines the queried value on every
+completed path is *immediate-defining*: its own predecessors are not
+expanded (the search "stops for a given path", Figure 5).  If the walk
+runs out of predecessors while some path still yields a symbolic value,
+the result is marked incomplete — the analyzer then over-approximates.
+
+The walk crosses function boundaries in two ways only:
+
+* from a function entry block to its (direct or resolved-indirect) call
+  sites — how a search escapes a wrapper to its callers;
+* from a call-return site to the calling block (``callret`` edges) —
+  which *skips* callee bodies backwards, avoiding the predecessor
+  explosion of popular functions (Figure 2A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..cfg.model import CFG
+from ..errors import BudgetExceeded
+from .bitvec import Expr
+from .engine import ExecContext
+from .explorer import ExploreResult, explore
+from .state import MemoryBackend, SymState
+
+
+@dataclass(slots=True)
+class IdentifyResult:
+    """Outcome of one site's backward identification."""
+
+    values: set[int] = field(default_factory=set)
+    complete: bool = True
+    nodes_explored: int = 0
+    steps_used: int = 0
+
+
+@dataclass(slots=True)
+class SearchBudget:
+    """Deterministic budgets standing in for the paper's timeouts."""
+
+    max_nodes: int = 512
+    max_total_steps: int = 200_000
+    per_exploration_steps: int = 4000
+
+    def check(self, nodes: int, steps: int) -> None:
+        if nodes > self.max_nodes:
+            raise BudgetExceeded("backward-search-nodes", self.max_nodes)
+        if steps > self.max_total_steps:
+            raise BudgetExceeded("backward-search-steps", self.max_total_steps)
+
+
+def _block_of_insn_map(cfg: CFG) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for block in cfg.blocks.values():
+        for insn in block.insns:
+            out[insn.addr] = block.addr
+    return out
+
+
+def backward_identify(
+    cfg: CFG,
+    ctx: ExecContext,
+    site_block_addr: int,
+    target_addr: int,
+    query: Callable[[SymState], Expr],
+    *,
+    backend: MemoryBackend | None = None,
+    budget: SearchBudget | None = None,
+    directed: bool = True,
+) -> IdentifyResult:
+    """Identify all concrete values the query can take at ``target_addr``.
+
+    ``site_block_addr`` is the block containing the target (for plain
+    syscall sites) or the wrapper's entry block (for wrapper-mediated
+    identification, where ``target_addr`` equals the block address).
+
+    ``directed=False`` disables the direction filter on the forward
+    searches (the ablation of §2.4/Figure 2 A): exploration may then
+    wander into paths that cannot reach the target, burning budget.
+    """
+    budget = budget or SearchBudget()
+    result = IdentifyResult()
+    insn_block = _block_of_insn_map(cfg)
+
+    visited: set[int] = {site_block_addr}
+    frontier: deque[int] = deque([site_block_addr])
+    total_steps = 0
+
+    def allowed(pc: int) -> bool:
+        if pc == target_addr:
+            return True
+        block = insn_block.get(pc)
+        return block is not None and block in visited
+
+    if not directed:
+        allowed = None  # type: ignore[assignment]
+
+    while frontier:
+        budget.check(result.nodes_explored, total_steps)
+        node = frontier.popleft()
+        result.nodes_explored += 1
+
+        exploration: ExploreResult = explore(
+            ctx,
+            node,
+            target_addr,
+            query,
+            allowed=allowed,
+            backend=backend,
+            max_steps=budget.per_exploration_steps,
+        )
+        total_steps += exploration.steps_used
+        result.values |= exploration.values
+
+        if exploration.fully_concrete and not exploration.budget_exhausted:
+            # Immediate-defining node: stop this path of the backward walk.
+            continue
+
+        preds = cfg.predecessors(node)
+        if not preds and not exploration.fully_concrete:
+            # Ran out of predecessors with the value still symbolic on
+            # some path (e.g. program entry reached, or value flows from
+            # data we cannot see): incomplete.
+            if not exploration.values or exploration.saw_symbolic \
+                    or exploration.paths_completed == 0:
+                result.complete = False
+        for edge in preds:
+            if edge.src not in visited:
+                visited.add(edge.src)
+                frontier.append(edge.src)
+
+    result.steps_used = total_steps
+    return result

@@ -1,0 +1,199 @@
+"""Bitvector expressions for the symbolic execution engine.
+
+A deliberately small expression language: concrete values (:class:`BVV`),
+free symbols (:class:`BVS`) and binary operations with eager constant
+folding.  The identification algorithm only ever asks one question of an
+expression — *is it concrete, and what is its value?* — so no SMT solving
+is needed; simplification keeps concrete data flowing through registers
+and memory folded down to :class:`BVV` nodes.
+
+All values are stored as unsigned 64-bit integers; operation width (32/64)
+is applied by masking, which models x86-64's implicit zero extension of
+32-bit results.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+MASK64 = (1 << 64) - 1
+
+_fresh_ids = itertools.count()
+
+
+class Expr:
+    """Base class for bitvector expressions."""
+
+    __slots__ = ()
+
+    @property
+    def is_concrete(self) -> bool:
+        return isinstance(self, BVV)
+
+    def value_or_none(self) -> int | None:
+        return self.value if isinstance(self, BVV) else None
+
+
+class BVV(Expr):
+    """A concrete 64-bit value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value & MASK64
+
+    def __repr__(self) -> str:
+        return f"BVV({self.value:#x})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BVV) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("BVV", self.value))
+
+
+class BVS(Expr):
+    """A free symbol (unknown 64-bit value)."""
+
+    __slots__ = ("name", "uid")
+
+    def __init__(self, name: str, uid: int | None = None):
+        self.name = name
+        self.uid = next(_fresh_ids) if uid is None else uid
+
+    def __repr__(self) -> str:
+        return f"BVS({self.name})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BVS) and other.uid == self.uid
+
+    def __hash__(self) -> int:
+        return hash(("BVS", self.uid))
+
+
+class BinOp(Expr):
+    """``(a op b) mod 2^width`` for op in +,-,^,&,|,<<,>>,*."""
+
+    __slots__ = ("op", "a", "b", "width")
+
+    def __init__(self, op: str, a: Expr, b: Expr, width: int):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.op} {self.b!r})[{self.width}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and other.op == self.op
+            and other.width == self.width
+            and other.a == self.a
+            and other.b == self.b
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.width, self.a, self.b))
+
+
+ZERO = BVV(0)
+
+def _sext(a: int, src_width: int) -> int:
+    """Sign-extend the low ``src_width`` bits of ``a`` to 64 bits."""
+    a &= (1 << src_width) - 1
+    if a & (1 << (src_width - 1)):
+        a -= 1 << src_width
+    return a & MASK64
+
+
+_FOLDS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "xor": lambda a, b: a ^ b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+    "mul": lambda a, b: a * b,
+    # b is the *source width* for sign extension (8, 16 or 32).
+    "sext": _sext,
+}
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def binop(op: str, a: Expr, b: Expr, width: int = 64) -> Expr:
+    """Build ``a op b`` with constant folding and algebraic shortcuts."""
+    if op not in _FOLDS:
+        raise ValueError(f"unknown bitvector op {op!r}")
+
+    if isinstance(a, BVV) and isinstance(b, BVV):
+        return BVV(_mask(_FOLDS[op](a.value, b.value), width))
+
+    # x ^ x = 0, x - x = 0 — even for symbolic x.  The xor form is the
+    # classic register-zeroing idiom the engine must fold to track syscall
+    # numbers through ``xor eax, eax``.
+    if op in ("xor", "sub") and a == b:
+        return ZERO
+
+    if isinstance(b, BVV) and b.value == 0:
+        if op in ("add", "sub", "xor", "or", "shl", "shr"):
+            return _truncate(a, width)
+        if op in ("and", "mul"):
+            return ZERO
+    if isinstance(a, BVV) and a.value == 0:
+        if op in ("add", "xor", "or"):
+            return _truncate(b, width)
+        if op in ("and", "mul", "shl", "shr"):
+            return ZERO
+
+    return BinOp(op, a, b, width)
+
+
+def _truncate(e: Expr, width: int) -> Expr:
+    """Mask ``e`` to ``width`` bits (no-op for 64)."""
+    if width >= 64:
+        return e
+    if isinstance(e, BVV):
+        return BVV(_mask(e.value, width))
+    return BinOp("and", e, BVV((1 << width) - 1), 64)
+
+
+def truncate(e: Expr, width: int) -> Expr:
+    """Public truncation helper."""
+    return _truncate(e, width)
+
+
+def fresh(name: str) -> BVS:
+    """A new unique symbol."""
+    return BVS(name)
+
+
+def to_signed(value: int, width: int = 64) -> int:
+    """Reinterpret an unsigned value as signed at the given width."""
+    sign_bit = 1 << (width - 1)
+    return (value & ((1 << width) - 1)) - ((value & sign_bit) << 1)
+
+
+def concrete_eval(e: Expr, bindings: dict[int, int] | None = None) -> int | None:
+    """Evaluate ``e`` to an int, optionally substituting symbol uids.
+
+    Used by property tests to check the simplifier against a reference
+    evaluation; returns None if a symbol has no binding.
+    """
+    if isinstance(e, BVV):
+        return e.value
+    if isinstance(e, BVS):
+        if bindings and e.uid in bindings:
+            return bindings[e.uid] & MASK64
+        return None
+    assert isinstance(e, BinOp)
+    a = concrete_eval(e.a, bindings)
+    b = concrete_eval(e.b, bindings)
+    if a is None or b is None:
+        return None
+    return _mask(_FOLDS[e.op](a, b), e.width)

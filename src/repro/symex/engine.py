@@ -1,0 +1,348 @@
+"""Per-instruction symbolic semantics.
+
+:func:`step` advances one :class:`~repro.symex.state.SymState` by one
+instruction and returns the list of successor states (two for a
+conditional branch with undecidable flags, zero when the path dies).
+
+Call handling (within one image, as identification is decoupled per image
+— §4.5):
+
+* direct calls to local code are executed for real (push return address,
+  jump) — this is what lets immediates travel through memory and through
+  "popular functions" (Figure 2A);
+* calls/jumps through an imported GOT slot model an external function:
+  caller-saved registers and ``rax`` are clobbered with fresh unknowns and
+  execution resumes at the return site;
+* indirect calls whose target expression is concrete and local are
+  executed; anything else is treated like an external call.
+
+``syscall`` instructions encountered mid-path clobber ``rax``/``rcx``/
+``r11`` per the Linux ABI and fall through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SymexError
+from ..x86.insn import Immediate, Instruction, Memory
+from ..x86.registers import Register
+from .bitvec import BVV, Expr, binop, fresh
+from .state import Flags, SymState
+
+#: System V AMD64 caller-saved (volatile) registers.
+CALLER_SAVED = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+
+_ALU_OPS = {"add": "add", "sub": "sub", "xor": "xor", "and": "and",
+            "or": "or", "shl": "shl", "shr": "shr", "imul": "mul"}
+
+
+@dataclass
+class ExecContext:
+    """Everything :func:`step` needs besides the state itself."""
+
+    insn_at: dict[int, Instruction]
+    text_base: int = 0
+    text_end: int = 0
+    got_imports: dict[int, str] = field(default_factory=dict)
+    #: addresses of local function entries (for indirect call sanity)
+    function_entries: frozenset[int] = frozenset()
+
+    def is_local_code(self, addr: int) -> bool:
+        return self.text_base <= addr < self.text_end
+
+    def fetch(self, addr: int) -> Instruction | None:
+        return self.insn_at.get(addr)
+
+    @classmethod
+    def for_image(cls, cfg, image) -> "ExecContext":
+        """Build a context for one image's recovered CFG."""
+        insn_at = {
+            insn.addr: insn
+            for block in cfg.blocks.values()
+            for insn in block.insns
+        }
+        return cls(
+            insn_at=insn_at,
+            text_base=image.text_base,
+            text_end=image.text_end,
+            got_imports=dict(image.got_imports),
+            function_entries=frozenset(cfg.functions),
+        )
+
+
+def _mem_address(state: SymState, mem: Memory) -> Expr:
+    if mem.rip_relative:
+        return BVV(mem.disp)
+    if mem.base is None and mem.index is None:
+        return BVV(mem.disp)
+    total: Expr = BVV(mem.disp)
+    if mem.base is not None:
+        total = binop("add", total, state.regs[mem.base.name])
+    if mem.index is not None:
+        scaled = binop("mul", state.regs[mem.index.name], BVV(mem.scale))
+        total = binop("add", total, scaled)
+    return total
+
+
+def read_operand(state: SymState, op) -> Expr:
+    if isinstance(op, Register):
+        return state.read_reg(op.name, op.width)
+    if isinstance(op, Immediate):
+        return BVV(op.value)
+    if isinstance(op, Memory):
+        addr = _mem_address(state, op)
+        return state.read_mem(addr, op.width // 8)
+    raise SymexError(f"cannot read operand {op!r}")
+
+
+def write_operand(state: SymState, op, value: Expr) -> None:
+    if isinstance(op, Register):
+        state.write_reg(op.name, value, op.width)
+        return
+    if isinstance(op, Memory):
+        addr = _mem_address(state, op)
+        state.write_mem(addr, value, op.width // 8)
+        return
+    raise SymexError(f"cannot write operand {op!r}")
+
+
+def _external_symbol_for(ctx: ExecContext, insn: Instruction) -> str | None:
+    """Imported-symbol name if ``insn`` branches through a GOT import slot."""
+    if not insn.is_indirect_branch:
+        return None
+    op = insn.operands[0]
+    if isinstance(op, Memory) and (op.rip_relative or (op.base is None and op.index is None)):
+        return ctx.got_imports.get(op.disp)
+    return None
+
+
+def _clobber_external_call(state: SymState) -> None:
+    for name in CALLER_SAVED:
+        state.regs[name] = fresh(f"ext_{name}")
+    state.flags = None
+
+
+def step(state: SymState, ctx: ExecContext) -> list[SymState]:
+    """Execute the instruction at ``state.pc``; returns successor states."""
+    insn = ctx.fetch(state.pc)
+    if insn is None:
+        return []
+    state.steps += 1
+    m = insn.mnemonic
+
+    if m in ("mov", "movabs"):
+        dst, src = insn.operands
+        write_operand(state, dst, read_operand(state, src))
+        state.pc = insn.end
+        return [state]
+
+    if m == "movzx":
+        dst, src = insn.operands
+        # Memory reads are already zero-extended to the read size.
+        write_operand(state, dst, read_operand(state, src))
+        state.pc = insn.end
+        return [state]
+
+    if m in ("movsx", "movsxd"):
+        dst, src = insn.operands
+        src_width = src.width if isinstance(src, (Memory, Register)) else 32
+        value = read_operand(state, src)
+        write_operand(state, dst, binop("sext", value, BVV(src_width)))
+        state.pc = insn.end
+        return [state]
+
+    if m.startswith("cmov") and m not in ("cmov",):
+        cc = m[4:]
+        dst, src = insn.operands
+        verdict = state.flags.condition(cc) if state.flags is not None else None
+        if verdict is True:
+            write_operand(state, dst, read_operand(state, src))
+        elif verdict is None:
+            # Undecidable: the destination becomes unknown (sound merge).
+            write_operand(state, dst, fresh("cmov"))
+        state.pc = insn.end
+        return [state]
+
+    if m in ("inc", "dec"):
+        (dst,) = insn.operands
+        width = dst.width if isinstance(dst, (Register, Memory)) else 64
+        result = binop("add" if m == "inc" else "sub",
+                       read_operand(state, dst), BVV(1), width)
+        write_operand(state, dst, result)
+        state.flags = Flags("sub", result, BVV(0))
+        state.pc = insn.end
+        return [state]
+
+    if m == "neg":
+        (dst,) = insn.operands
+        width = dst.width if isinstance(dst, (Register, Memory)) else 64
+        value = read_operand(state, dst)
+        result = binop("sub", BVV(0), value, width)
+        write_operand(state, dst, result)
+        state.flags = Flags("sub", BVV(0), value)
+        state.pc = insn.end
+        return [state]
+
+    if m == "not":
+        (dst,) = insn.operands
+        width = dst.width if isinstance(dst, (Register, Memory)) else 64
+        mask = (1 << width) - 1
+        write_operand(state, dst, binop("xor", read_operand(state, dst), BVV(mask), width))
+        state.pc = insn.end
+        return [state]
+
+    if m == "lea":
+        dst, src = insn.operands
+        assert isinstance(src, Memory)
+        write_operand(state, dst, _mem_address(state, src))
+        state.pc = insn.end
+        return [state]
+
+    if m in _ALU_OPS:
+        dst, src = insn.operands
+        width = dst.width if isinstance(dst, (Register, Memory)) else 64
+        a = read_operand(state, dst)
+        b = read_operand(state, src)
+        result = binop(_ALU_OPS[m], a, b, width)
+        write_operand(state, dst, result)
+        if m in ("add", "sub", "xor", "and", "or"):
+            if m == "sub":
+                state.flags = Flags("sub", a, b)
+            elif m in ("and", "xor", "or"):
+                state.flags = Flags("and", result, BVV((1 << 64) - 1))
+            else:
+                state.flags = Flags("sub", result, BVV(0))
+        state.pc = insn.end
+        return [state]
+
+    if m == "cmp":
+        a = read_operand(state, insn.operands[0])
+        b = read_operand(state, insn.operands[1])
+        state.flags = Flags("sub", a, b)
+        state.pc = insn.end
+        return [state]
+
+    if m == "test":
+        a = read_operand(state, insn.operands[0])
+        b = read_operand(state, insn.operands[1])
+        state.flags = Flags("and", a, b)
+        state.pc = insn.end
+        return [state]
+
+    if m == "push":
+        state.push(read_operand(state, insn.operands[0]))
+        state.pc = insn.end
+        return [state]
+
+    if m == "pop":
+        write_operand(state, insn.operands[0], state.pop())
+        state.pc = insn.end
+        return [state]
+
+    if m in ("cdq", "cqo"):
+        # Sign-extension of rax into rdx: rdx becomes unknown unless rax
+        # is concrete.
+        rax = state.regs["rax"].value_or_none()
+        if rax is not None:
+            from .bitvec import to_signed
+
+            state.regs["rdx"] = BVV(0 if to_signed(rax) >= 0 else (1 << 64) - 1)
+        else:
+            state.regs["rdx"] = fresh("cqo_rdx")
+        state.pc = insn.end
+        return [state]
+
+    if m == "nop":
+        state.pc = insn.end
+        return [state]
+
+    if m == "syscall":
+        # Mid-path syscall: Linux clobbers rax (return value), rcx and r11.
+        state.regs["rax"] = fresh("sys_ret")
+        state.regs["rcx"] = fresh("sys_rcx")
+        state.regs["r11"] = fresh("sys_r11")
+        state.pc = insn.end
+        return [state]
+
+    if insn.is_conditional:
+        cc = m[1:]
+        target = insn.branch_target()
+        assert target is not None
+        verdict = state.flags.condition(cc) if state.flags is not None else None
+        if verdict is True:
+            state.pc = target
+            return [state]
+        if verdict is False:
+            state.pc = insn.end
+            return [state]
+        taken = state.clone()
+        taken.pc = target
+        state.pc = insn.end
+        return [taken, state]
+
+    if m == "jmp":
+        target = insn.branch_target()
+        if target is not None:
+            state.pc = target
+            return [state]
+        symbol = _external_symbol_for(ctx, insn)
+        if symbol is not None:
+            # External tail call: clobber, then behave like ret.
+            _clobber_external_call(state)
+            return _do_ret(state)
+        dest = read_operand(state, insn.operands[0])
+        concrete = dest.value_or_none()
+        if concrete is not None and ctx.is_local_code(concrete):
+            state.pc = concrete
+            return [state]
+        # Unknown indirect jump: path cannot be followed.
+        return []
+
+    if m == "call":
+        return _do_call(state, ctx, insn)
+
+    if m == "ret":
+        return _do_ret(state)
+
+    if insn.is_halt:
+        return []
+
+    raise SymexError(f"no semantics for mnemonic {m!r}")
+
+
+def _do_call(state: SymState, ctx: ExecContext, insn: Instruction) -> list[SymState]:
+    return_addr = insn.end
+    target = insn.branch_target()
+    if target is not None and ctx.is_local_code(target):
+        state.push(BVV(return_addr))
+        state.depth += 1
+        state.pc = target
+        return [state]
+
+    symbol = _external_symbol_for(ctx, insn)
+    if symbol is None:
+        dest = read_operand(state, insn.operands[0])
+        concrete = dest.value_or_none()
+        if concrete is not None and ctx.is_local_code(concrete):
+            state.push(BVV(return_addr))
+            state.depth += 1
+            state.pc = concrete
+            return [state]
+    # External (or unresolvable) call: clobber and continue at return site.
+    _clobber_external_call(state)
+    state.pc = return_addr
+    return [state]
+
+
+def _do_ret(state: SymState) -> list[SymState]:
+    value = state.pop()
+    concrete = value.value_or_none()
+    if concrete is None:
+        # Returning past the start of the exploration frame: the return
+        # address slot was never written in this state.  The explorer
+        # treats an empty successor list as path end.
+        return []
+    state.pc = concrete
+    state.depth = max(0, state.depth - 1)
+    return [state]

@@ -1,0 +1,140 @@
+"""Directed forward symbolic execution (§4.4, Figure 5).
+
+Given a start block and a target address, the explorer runs states forward
+and *directs* the search: at frame depth 0 (the frame the exploration
+started in), a state whose program counter leaves the set of blocks known
+to lead to the target is discarded.  Inside callees (depth > 0) execution
+is unrestricted — the paper's Figure 2A scenario, where a popular function
+sits between the immediate definition and the syscall, requires running
+straight through the callee.
+
+When a state reaches the target, ``query`` extracts the expression of
+interest (``%rax`` for plain syscall sites, the wrapper's number parameter
+for wrapper entries).  The result records every concrete value found and
+whether any path arrived with a symbolic value — the signal for the
+backward search to keep widening (Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .bitvec import Expr
+from .engine import ExecContext, step
+from .state import MemoryBackend, SymState
+
+
+@dataclass(slots=True)
+class ExploreResult:
+    """Outcome of one directed forward exploration."""
+
+    values: set[int] = field(default_factory=set)
+    saw_symbolic: bool = False
+    paths_completed: int = 0
+    steps_used: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def fully_concrete(self) -> bool:
+        """True when at least one path completed and none were symbolic."""
+        return self.paths_completed > 0 and not self.saw_symbolic
+
+
+def explore(
+    ctx: ExecContext,
+    start_addr: int,
+    target_addr: int,
+    query: Callable[[SymState], Expr],
+    *,
+    allowed: Callable[[int], bool] | None = None,
+    backend: MemoryBackend | None = None,
+    max_steps: int = 4000,
+    max_states: int = 256,
+    max_depth: int = 24,
+    state_tag: str = "init",
+) -> ExploreResult:
+    """Run directed forward execution from ``start_addr`` to ``target_addr``.
+
+    ``allowed(pc)`` implements the direction: depth-0 states stepping onto
+    a disallowed pc are dropped.  ``max_steps`` bounds the *total* number
+    of instruction steps across all states (the deterministic stand-in for
+    the paper's wall-clock timeout).
+    """
+    result = ExploreResult()
+    initial = SymState.initial(start_addr, backend=backend, tag=state_tag)
+    worklist: deque[SymState] = deque([initial])
+    total_steps = 0
+
+    while worklist:
+        if total_steps >= max_steps:
+            result.budget_exhausted = True
+            break
+        state = worklist.popleft()
+
+        if state.pc == target_addr:
+            value = query(state)
+            concrete = value.value_or_none()
+            result.paths_completed += 1
+            if concrete is not None:
+                result.values.add(concrete)
+            else:
+                result.saw_symbolic = True
+            continue
+
+        if state.depth == 0 and allowed is not None and not allowed(state.pc):
+            continue
+        if state.depth > max_depth:
+            # Deep recursion: give up on this path, flag as incomplete so
+            # the caller does not treat the result as exhaustive.
+            result.saw_symbolic = True
+            continue
+
+        successors = step(state, ctx)
+        total_steps += 1
+        for succ in successors:
+            if len(worklist) < max_states:
+                worklist.append(succ)
+            else:
+                result.budget_exhausted = True
+        if not successors and state.pc != target_addr:
+            # Path died (ret out of frame, halt, unresolved jump) without
+            # reaching the target: irrelevant to the question asked.
+            pass
+
+    result.steps_used = total_steps
+    return result
+
+
+def query_rax(state: SymState) -> Expr:
+    """The value of ``%rax`` — what the kernel reads at ``syscall``."""
+    return state.regs["rax"]
+
+
+def make_param_query(location: tuple[str, int | str]) -> Callable[[SymState], Expr]:
+    """Query for a wrapper's syscall-number parameter.
+
+    ``location`` is ``("reg", name)`` or ``("stack", offset)`` with the
+    offset relative to ``%rsp`` at function entry (so offset 8 is the
+    first Go-style stack argument, 0 being the return address).
+    """
+    kind, where = location
+
+    if kind == "reg":
+        def reg_query(state: SymState) -> Expr:
+            return state.regs[where]  # type: ignore[index]
+        return reg_query
+
+    if kind != "stack":
+        raise ValueError(f"unknown parameter location kind {kind!r}")
+
+    offset = int(where)
+
+    def stack_query(state: SymState) -> Expr:
+        from .bitvec import BVV, binop
+
+        addr = binop("add", state.regs["rsp"], BVV(offset))
+        return state.read_mem(addr, 8)
+
+    return stack_query

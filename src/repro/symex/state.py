@@ -1,0 +1,225 @@
+"""Symbolic machine state: registers, lazy flags, memory.
+
+Memory model
+------------
+
+Writes with concrete addresses land in a per-state store keyed by address,
+with the value's byte width recorded.  Reads:
+
+* exact-match (same address and size) returns the stored expression;
+* otherwise, if the address falls in a loaded image segment, the concrete
+  bytes back the read;
+* otherwise a *fresh symbol* is returned and memoised, so re-reading the
+  same never-written slot yields the same unknown.
+
+Stack-argument symbols get recognisable names (``stackarg_<off>``) so the
+wrapper detector can tell "the syscall number came from the function's
+stack arguments" apart from arbitrary unknowns (§4.4).
+
+Writes through *symbolic* addresses are recorded but do not alias concrete
+reads — a documented over-approximation that matches how the corpus'
+compiled code behaves (frame-local, constant-offset addressing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..x86.registers import GPR64
+from .bitvec import BVS, BVV, Expr, fresh
+
+STACK_BASE = 0x7FFF_FFF0_0000
+
+
+@dataclass(slots=True)
+class Flags:
+    """Lazy flag state: the last flag-setting operation and its operands."""
+
+    kind: str  # "sub" (cmp/sub), "and" (test/and), "result" (other ALU)
+    a: Expr
+    b: Expr
+
+    def condition(self, cc: str) -> bool | None:
+        """Evaluate a condition code; None when undecidable."""
+        from .bitvec import to_signed
+
+        a = self.a.value_or_none()
+        b = self.b.value_or_none()
+        if a is None or b is None:
+            return None
+        if self.kind == "and":
+            masked = a & b
+            lhs, rhs = masked, 0
+        else:
+            lhs, rhs = a, b
+        if cc == "e":
+            return lhs == rhs
+        if cc == "ne":
+            return lhs != rhs
+        if cc in ("l", "ge", "le", "g"):
+            sa, sb = to_signed(lhs), to_signed(rhs)
+            return {
+                "l": sa < sb, "ge": sa >= sb, "le": sa <= sb, "g": sa > sb,
+            }[cc]
+        if cc in ("b", "ae", "be", "a"):
+            return {
+                "b": lhs < rhs, "ae": lhs >= rhs, "be": lhs <= rhs, "a": lhs > rhs,
+            }[cc]
+        if cc == "s":
+            return to_signed(lhs - rhs) < 0
+        if cc == "ns":
+            return to_signed(lhs - rhs) >= 0
+        return None
+
+
+class MemoryBackend:
+    """Read-only concrete memory backing (image segments)."""
+
+    def __init__(self, images=()):
+        self._images = list(images)
+
+    def add_image(self, image) -> None:
+        self._images.append(image)
+
+    def read(self, addr: int, size: int) -> int | None:
+        for image in self._images:
+            seg = image.elf.segment_containing(addr)
+            if seg is not None and addr + size <= seg.end:
+                raw = seg.data[addr - seg.vaddr:addr - seg.vaddr + size]
+                return int.from_bytes(raw, "little")
+        return None
+
+
+EMPTY_BACKEND = MemoryBackend()
+
+
+@dataclass(slots=True)
+class SymState:
+    """One symbolic execution state."""
+
+    pc: int
+    regs: dict[str, Expr]
+    memory: dict[int, tuple[Expr, int]]
+    unknown_reads: dict[tuple[int, int], Expr]
+    flags: Flags | None
+    backend: MemoryBackend
+    entry_rsp: int
+    depth: int = 0
+    steps: int = 0
+    trail: tuple = ()
+
+    @classmethod
+    def initial(
+        cls,
+        pc: int,
+        backend: MemoryBackend | None = None,
+        concrete_rsp: int = STACK_BASE,
+        tag: str = "init",
+    ) -> "SymState":
+        regs: dict[str, Expr] = {
+            name: BVS(f"{tag}_{name}") for name in GPR64
+        }
+        regs["rsp"] = BVV(concrete_rsp)
+        return cls(
+            pc=pc,
+            regs=regs,
+            memory={},
+            unknown_reads={},
+            flags=None,
+            backend=backend or EMPTY_BACKEND,
+            entry_rsp=concrete_rsp,
+        )
+
+    def clone(self) -> "SymState":
+        return SymState(
+            pc=self.pc,
+            regs=dict(self.regs),
+            memory=dict(self.memory),
+            unknown_reads=dict(self.unknown_reads),
+            flags=self.flags,
+            backend=self.backend,
+            entry_rsp=self.entry_rsp,
+            depth=self.depth,
+            steps=self.steps,
+            trail=self.trail,
+        )
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+
+    def read_reg(self, name: str, width: int = 64) -> Expr:
+        value = self.regs[name]
+        if width == 32:
+            from .bitvec import truncate
+
+            return truncate(value, 32)
+        return value
+
+    def write_reg(self, name: str, value: Expr, width: int = 64) -> None:
+        if width == 32:
+            from .bitvec import truncate
+
+            value = truncate(value, 32)
+        self.regs[name] = value
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def read_mem(self, addr: Expr, size: int) -> Expr:
+        concrete = addr.value_or_none()
+        if concrete is None:
+            return fresh("mem_symaddr")
+        if concrete in self.memory:
+            value, stored_size = self.memory[concrete]
+            if stored_size == size:
+                return value
+            if stored_size > size:
+                from .bitvec import truncate
+
+                return truncate(value, size * 8)
+            # Partial overwrite of a wider slot: give up precisely.
+            return self._unknown_read(concrete, size)
+        backed = self.backend.read(concrete, size)
+        if backed is not None:
+            return BVV(backed)
+        return self._unknown_read(concrete, size)
+
+    def _unknown_read(self, addr: int, size: int) -> Expr:
+        key = (addr, size)
+        if key not in self.unknown_reads:
+            offset = addr - self.entry_rsp
+            if 0 <= offset <= 0x200:
+                name = f"stackarg_{offset}"
+            else:
+                name = f"mem_{addr:#x}"
+            self.unknown_reads[key] = BVS(name)
+        return self.unknown_reads[key]
+
+    def write_mem(self, addr: Expr, value: Expr, size: int) -> None:
+        concrete = addr.value_or_none()
+        if concrete is None:
+            # Symbolic store: no aliasing with the concrete store
+            # (documented over-approximation).
+            return
+        self.memory[concrete] = (value, size)
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+
+    def push(self, value: Expr) -> None:
+        from .bitvec import binop
+
+        rsp = binop("sub", self.regs["rsp"], BVV(8))
+        self.regs["rsp"] = rsp
+        self.write_mem(rsp, value, 8)
+
+    def pop(self) -> Expr:
+        from .bitvec import binop
+
+        rsp = self.regs["rsp"]
+        value = self.read_mem(rsp, 8)
+        self.regs["rsp"] = binop("add", rsp, BVV(8))
+        return value

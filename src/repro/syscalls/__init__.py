@@ -1,0 +1,28 @@
+"""System call knowledge: the x86-64 table, categories, the CVE database."""
+
+from .categories import CATEGORIES, categorize, category_of, category_summary
+from .table import (
+    ALL_SYSCALLS,
+    DANGEROUS_SYSCALLS,
+    NR_SYSCALLS,
+    SYSCALL_NAMES,
+    SYSCALL_NUMBERS,
+    name_of,
+    number_of,
+    numbers_of,
+)
+
+__all__ = [
+    "ALL_SYSCALLS",
+    "DANGEROUS_SYSCALLS",
+    "NR_SYSCALLS",
+    "SYSCALL_NAMES",
+    "SYSCALL_NUMBERS",
+    "name_of",
+    "number_of",
+    "numbers_of",
+    "CATEGORIES",
+    "categorize",
+    "category_of",
+    "category_summary",
+]

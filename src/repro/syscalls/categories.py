@@ -1,0 +1,138 @@
+"""Functional categories over the syscall table.
+
+Policy review tools group syscalls by subsystem (what does this binary
+touch: files? network? process control?).  The categories follow the
+kernel's own grouping of ``syscall_64.tbl`` entries; everything not
+explicitly listed falls into ``other``.
+"""
+
+from __future__ import annotations
+
+from .table import SYSCALL_NAMES, SYSCALL_NUMBERS
+
+
+def _nums(*names: str) -> frozenset[int]:
+    return frozenset(
+        SYSCALL_NUMBERS[n] for n in names if n in SYSCALL_NUMBERS
+    )
+
+
+CATEGORIES: dict[str, frozenset[int]] = {
+    "file": _nums(
+        "read", "write", "open", "close", "stat", "fstat", "lstat",
+        "lseek", "pread64", "pwrite64", "readv", "writev", "access",
+        "dup", "dup2", "dup3", "fcntl", "flock", "fsync", "fdatasync",
+        "truncate", "ftruncate", "getdents", "getdents64", "getcwd",
+        "chdir", "fchdir", "rename", "renameat", "renameat2", "mkdir",
+        "rmdir", "creat", "link", "unlink", "symlink", "readlink",
+        "chmod", "fchmod", "chown", "fchown", "lchown", "umask",
+        "openat", "mkdirat", "mknodat", "fchownat", "newfstatat",
+        "unlinkat", "linkat", "symlinkat", "readlinkat", "fchmodat",
+        "faccessat", "faccessat2", "utimensat", "fallocate", "statx",
+        "copy_file_range", "sendfile", "splice", "tee", "sync",
+        "sync_file_range", "syncfs", "mknod", "utime", "utimes",
+        "futimesat", "statfs", "fstatfs", "openat2", "close_range",
+    ),
+    "network": _nums(
+        "socket", "connect", "accept", "accept4", "sendto", "recvfrom",
+        "sendmsg", "recvmsg", "sendmmsg", "recvmmsg", "shutdown", "bind",
+        "listen", "getsockname", "getpeername", "socketpair",
+        "setsockopt", "getsockopt",
+    ),
+    "memory": _nums(
+        "mmap", "mprotect", "munmap", "brk", "mremap", "msync",
+        "mincore", "madvise", "mlock", "munlock", "mlockall",
+        "munlockall", "memfd_create", "mbind", "migrate_pages",
+        "move_pages", "pkey_mprotect", "pkey_alloc", "pkey_free",
+        "userfaultfd", "remap_file_pages", "process_madvise",
+    ),
+    "process": _nums(
+        "clone", "clone3", "fork", "vfork", "execve", "execveat", "exit",
+        "exit_group", "wait4", "waitid", "kill", "tkill", "tgkill",
+        "getpid", "getppid", "gettid", "setsid", "setpgid", "getpgid",
+        "getpgrp", "prctl", "arch_prctl", "ptrace", "set_tid_address",
+        "sched_yield", "sched_setparam", "sched_getparam",
+        "sched_setscheduler", "sched_getscheduler", "sched_setaffinity",
+        "sched_getaffinity", "sched_setattr", "sched_getattr",
+        "setpriority", "getpriority", "personality", "prlimit64",
+        "getrlimit", "setrlimit", "getrusage", "pidfd_open",
+        "pidfd_getfd", "pidfd_send_signal",
+    ),
+    "signals": _nums(
+        "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "rt_sigpending",
+        "rt_sigtimedwait", "rt_sigqueueinfo", "rt_sigsuspend",
+        "rt_tgsigqueueinfo", "sigaltstack", "pause", "signalfd",
+        "signalfd4", "restart_syscall",
+    ),
+    "ipc": _nums(
+        "pipe", "pipe2", "shmget", "shmat", "shmctl", "shmdt", "semget",
+        "semop", "semctl", "semtimedop", "msgget", "msgsnd", "msgrcv",
+        "msgctl", "mq_open", "mq_unlink", "mq_timedsend",
+        "mq_timedreceive", "mq_notify", "mq_getsetattr", "eventfd",
+        "eventfd2", "futex",
+    ),
+    "time": _nums(
+        "nanosleep", "clock_nanosleep", "gettimeofday", "settimeofday",
+        "time", "times", "clock_gettime", "clock_settime", "clock_getres",
+        "clock_adjtime", "adjtimex", "alarm", "getitimer", "setitimer",
+        "timer_create", "timer_settime", "timer_gettime",
+        "timer_getoverrun", "timer_delete", "timerfd_create",
+        "timerfd_settime", "timerfd_gettime",
+    ),
+    "events": _nums(
+        "poll", "ppoll", "select", "pselect6", "epoll_create",
+        "epoll_create1", "epoll_wait", "epoll_pwait", "epoll_ctl",
+        "epoll_ctl_old", "epoll_wait_old", "inotify_init",
+        "inotify_init1", "inotify_add_watch", "inotify_rm_watch",
+        "fanotify_init", "fanotify_mark", "io_setup", "io_destroy",
+        "io_getevents", "io_submit", "io_cancel", "io_pgetevents",
+        "io_uring_setup", "io_uring_enter", "io_uring_register",
+    ),
+    "identity": _nums(
+        "getuid", "getgid", "geteuid", "getegid", "setuid", "setgid",
+        "setreuid", "setregid", "getgroups", "setgroups", "setresuid",
+        "getresuid", "setresgid", "getresgid", "setfsuid", "setfsgid",
+        "capget", "capset",
+    ),
+    "admin": _nums(
+        "mount", "umount2", "swapon", "swapoff", "reboot", "sethostname",
+        "setdomainname", "init_module", "finit_module", "delete_module",
+        "kexec_load", "kexec_file_load", "pivot_root", "chroot", "acct",
+        "quotactl", "sysfs", "ustat", "syslog", "vhangup", "iopl",
+        "ioperm", "modify_ldt", "bpf", "perf_event_open", "seccomp",
+        "setns", "unshare", "nfsservctl", "sysinfo", "uname",
+    ),
+    "keys": _nums("add_key", "request_key", "keyctl"),
+    "xattr": _nums(
+        "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+        "fgetxattr", "listxattr", "llistxattr", "flistxattr",
+        "removexattr", "lremovexattr", "fremovexattr",
+    ),
+    "random": _nums("getrandom"),
+}
+
+
+def category_of(nr: int) -> str:
+    """The category of one syscall number (``other`` when unlisted)."""
+    for name, members in CATEGORIES.items():
+        if nr in members:
+            return name
+    return "other"
+
+
+def categorize(syscalls: set[int]) -> dict[str, set[int]]:
+    """Split a syscall set by category; empty categories omitted."""
+    out: dict[str, set[int]] = {}
+    for nr in syscalls:
+        out.setdefault(category_of(nr), set()).add(nr)
+    return out
+
+
+def category_summary(syscalls: set[int]) -> str:
+    """One-line profile like ``file:12 network:8 process:5 …``."""
+    grouped = categorize(syscalls)
+    parts = [
+        f"{name}:{len(grouped[name])}"
+        for name in sorted(grouped, key=lambda n: -len(grouped[n]))
+    ]
+    return " ".join(parts)

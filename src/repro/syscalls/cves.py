@@ -1,0 +1,99 @@
+"""The CVE database of Table 5 (§5.5).
+
+36 kernel-level CVEs triggered through system calls, collected by the
+paper from SysFilter, Confine and Kite (2014+).  Each entry maps the CVE
+to the syscall(s) involved in the attack and its impact class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .table import SYSCALL_NUMBERS
+
+#: impact classes, as in Table 5's legend
+CVE_TYPES = {
+    "B": "check bypass",
+    "L": "info leak",
+    "UaF": "use after free",
+    "R": "memory read primitive",
+    "W": "memory write primitive",
+    "DoS": "denial of service",
+    "P": "privilege escalation",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Cve:
+    """One kernel CVE and the syscalls its exploitation requires."""
+
+    ident: str
+    syscalls: tuple[str, ...]
+    types: tuple[str, ...]
+
+    @property
+    def numbers(self) -> set[int]:
+        return {SYSCALL_NUMBERS[name] for name in self.syscalls
+                if name in SYSCALL_NUMBERS}
+
+
+#: Table 5, verbatim.  compat_* entries map to their 64-bit counterparts
+#: (the compat path is reached through the same syscall number under
+#: x86-64's 64-bit ABI table used here).
+CVE_DATABASE: tuple[Cve, ...] = (
+    Cve("2021-35039", ("init_module",), ("B",)),
+    Cve("2019-13272", ("ptrace",), ("P",)),
+    Cve("2019-11815", ("clone", "unshare"), ("UaF",)),
+    Cve("2019-10125", ("io_submit",), ("UaF",)),
+    Cve("2019-9857", ("inotify_add_watch",), ("DoS",)),
+    Cve("2019-3901", ("execve",), ("L",)),
+    Cve("2018-18281", ("ftruncate", "mremap"), ("UaF",)),
+    Cve("2018-14634", ("execve", "execveat"), ("P",)),
+    Cve("2018-13053", ("clock_nanosleep",), ("DoS",)),
+    Cve("2018-12233", ("setxattr",), ("P", "L", "DoS")),
+    Cve("2018-11508", ("adjtimex",), ("L",)),
+    Cve("2018-1068", ("setsockopt",), ("W",)),
+    Cve("2017-18509", ("setsockopt", "getsockopt"), ("P", "DoS")),
+    Cve("2017-18344", ("timer_create",), ("R",)),
+    Cve("2017-17712", ("sendto", "sendmsg"), ("P",)),
+    Cve("2017-17053", ("modify_ldt", "clone"), ("UaF",)),
+    Cve("2017-14954", ("waitid",), ("B", "P", "L")),
+    Cve("2017-11176", ("mq_notify",), ("DoS",)),
+    Cve("2017-6001", ("perf_event_open",), ("P",)),
+    Cve("2016-7911", ("ioprio_get",), ("P", "DoS")),
+    Cve("2016-6198", ("rename",), ("DoS",)),
+    Cve("2016-6197", ("rename", "unlink"), ("DoS",)),
+    Cve("2016-4998", ("setsockopt",), ("P", "DoS")),
+    Cve("2016-4997", ("setsockopt",), ("P", "DoS")),
+    Cve("2016-3134", ("setsockopt",), ("P", "DoS")),
+    Cve("2016-2383", ("bpf",), ("L",)),
+    Cve("2016-0728", ("keyctl",), ("P", "DoS")),
+    Cve("2015-8543", ("socket",), ("P", "DoS")),
+    Cve("2015-7613", ("semget", "msgget", "shmget"), ("P",)),
+    Cve("2014-9903", ("sched_getattr",), ("L",)),
+    Cve("2014-9529", ("keyctl",), ("DoS",)),
+    Cve("2014-8133", ("set_thread_area",), ("B",)),
+    Cve("2014-7970", ("pivot_root",), ("DoS",)),
+    Cve("2014-5207", ("mount",), ("P",)),
+    Cve("2014-4699", ("fork", "clone", "ptrace"), ("P", "DoS")),
+    Cve("2014-3180", ("nanosleep",), ("R",)),
+)
+
+assert len(CVE_DATABASE) == 36
+
+
+def protection_rate(cve: Cve, identified_sets: list[set[int]]) -> float:
+    """Fraction of programs protected against ``cve`` by allow-list filters.
+
+    A program is protected when at least one of the CVE's trigger syscalls
+    is absent from its identified set (hence blocked by the derived
+    filter) — §5.5's criterion.
+    """
+    if not identified_sets:
+        return 0.0
+    numbers = cve.numbers
+    protected = sum(
+        1 for identified in identified_sets
+        if any(nr not in identified for nr in numbers)
+    )
+    return protected / len(identified_sets)

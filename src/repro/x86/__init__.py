@@ -1,0 +1,71 @@
+"""x86-64 subset toolchain: registers, instruction IR, encoder, decoder, assembler.
+
+This package is the reproduction's stand-in for Capstone (decoding) and for
+a compiler back-end (the corpus generator assembles binaries with it).
+"""
+
+from .asm import Assembler, LabelRef
+from .decoder import decode, decode_all
+from .encoder import encode, encoded_size
+from .insn import (
+    CC_NUMBERS,
+    CONDITION_CODES,
+    Immediate,
+    Instruction,
+    Memory,
+    Operand,
+)
+from .registers import (
+    ARG_REGISTERS,
+    EAX,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    ESI,
+    GPR32,
+    GPR64,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    RAX,
+    RBP,
+    RBX,
+    RCX,
+    RDI,
+    RDX,
+    RSI,
+    RSP,
+    SYSCALL_ARG_REGISTERS,
+    Register,
+    reg,
+)
+
+__all__ = [
+    "Assembler",
+    "LabelRef",
+    "decode",
+    "decode_all",
+    "encode",
+    "encoded_size",
+    "CC_NUMBERS",
+    "CONDITION_CODES",
+    "Immediate",
+    "Instruction",
+    "Memory",
+    "Operand",
+    "Register",
+    "reg",
+    "ARG_REGISTERS",
+    "SYSCALL_ARG_REGISTERS",
+    "GPR32",
+    "GPR64",
+    "RAX", "RBX", "RCX", "RDX", "RSP", "RBP", "RSI", "RDI",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+    "EAX", "EBX", "ECX", "EDX", "ESI", "EDI",
+]

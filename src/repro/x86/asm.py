@@ -1,0 +1,313 @@
+"""Two-pass label-based assembler for the x86-64 subset.
+
+The assembler produces a flat code segment plus a symbol table.  Labels can
+be referenced by direct branches, RIP-relative ``lea``/``mov`` (PIC-style
+address formation), and ``movabs`` absolute loads (non-PIC-style address
+formation) — the two styles matter to the evaluation because SysFilter's
+address-taken scan only understands the former.
+
+External symbols (data objects, imported functions laid out by the ELF
+writer) are resolved at :meth:`Assembler.assemble` time through the
+``externs`` mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AsmError
+from .encoder import encode
+from .insn import CONDITION_CODES, Immediate, Instruction, Memory, Operand
+from .registers import Register
+
+#: Marker operand kinds for unresolved label references.
+_BRANCH = "branch"
+_ABS64 = "abs64"
+_RIP = "rip"
+
+
+@dataclass(frozen=True, slots=True)
+class LabelRef:
+    """An unresolved reference to a label or extern symbol."""
+
+    name: str
+    kind: str
+    addend: int = 0
+
+
+@dataclass(slots=True)
+class _Item:
+    kind: str  # "insn" | "label" | "bytes" | "align"
+    mnemonic: str = ""
+    operands: tuple = ()
+    name: str = ""
+    raw: bytes = b""
+    amount: int = 0
+    size: int = 0
+    addr: int = 0
+
+
+class Assembler:
+    """Accumulates instructions and resolves labels in two passes."""
+
+    def __init__(self, base: int = 0x401000):
+        self.base = base
+        self._items: list[_Item] = []
+        self._label_names: set[str] = set()
+        self._resolved: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position."""
+        if name in self._label_names:
+            raise AsmError(f"duplicate label {name!r}")
+        self._label_names.add(name)
+        self._items.append(_Item("label", name=name))
+
+    def emit(self, mnemonic: str, *operands: Operand | LabelRef) -> None:
+        """Append an instruction (operands destination-first)."""
+        self._items.append(_Item("insn", mnemonic=mnemonic, operands=tuple(operands)))
+
+    def raw_bytes(self, raw: bytes) -> None:
+        """Append raw bytes verbatim (e.g. hand-rolled encodings)."""
+        self._items.append(_Item("bytes", raw=raw))
+
+    def align(self, boundary: int) -> None:
+        """Pad with ``nop`` to the given power-of-two boundary."""
+        if boundary & (boundary - 1):
+            raise AsmError("alignment must be a power of two")
+        self._items.append(_Item("align", amount=boundary))
+
+    # ------------------------------------------------------------------
+    # Instruction sugar
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> Operand:
+        if isinstance(value, int):
+            return Immediate(value)
+        return value
+
+    def mov(self, dst, src) -> None:
+        self.emit("mov", self._coerce(dst), self._coerce(src))
+
+    def movabs(self, dst: Register, value: int) -> None:
+        self.emit("movabs", dst, Immediate(value, 64))
+
+    def load_addr(self, dst: Register, label: str, addend: int = 0) -> None:
+        """``movabs dst, &label`` — non-PIC absolute address formation."""
+        self.emit("movabs", dst, LabelRef(label, _ABS64, addend))
+
+    def lea_rip(self, dst: Register, label: str, addend: int = 0) -> None:
+        """``lea dst, [rip + label]`` — PIC address formation (address taken)."""
+        self.emit("lea", dst, LabelRef(label, _RIP, addend))
+
+    def mov_from_rip(self, dst: Register, label: str, addend: int = 0) -> None:
+        """``mov dst, [rip + label]`` — load a 64-bit value from a data label."""
+        self.emit("mov", dst, _RipMem(LabelRef(label, _RIP, addend)))
+
+    def mov_to_rip(self, label: str, src: Register, addend: int = 0) -> None:
+        """``mov [rip + label], src`` — store to a data label."""
+        self.emit("mov", _RipMem(LabelRef(label, _RIP, addend)), src)
+
+    def lea(self, dst, mem: Memory) -> None:
+        self.emit("lea", dst, mem)
+
+    def add(self, dst, src) -> None:
+        self.emit("add", dst, self._coerce(src))
+
+    def sub(self, dst, src) -> None:
+        self.emit("sub", dst, self._coerce(src))
+
+    def xor(self, dst, src) -> None:
+        self.emit("xor", dst, self._coerce(src))
+
+    def and_(self, dst, src) -> None:
+        self.emit("and", dst, self._coerce(src))
+
+    def or_(self, dst, src) -> None:
+        self.emit("or", dst, self._coerce(src))
+
+    def shl(self, dst, count: int) -> None:
+        self.emit("shl", dst, Immediate(count, 8))
+
+    def shr(self, dst, count: int) -> None:
+        self.emit("shr", dst, Immediate(count, 8))
+
+    def imul(self, dst, src) -> None:
+        self.emit("imul", dst, src)
+
+    def cmp(self, a, b) -> None:
+        self.emit("cmp", a, self._coerce(b))
+
+    def test(self, a, b) -> None:
+        self.emit("test", a, self._coerce(b))
+
+    def push(self, op) -> None:
+        self.emit("push", self._coerce(op))
+
+    def pop(self, op: Register) -> None:
+        self.emit("pop", op)
+
+    def call(self, target) -> None:
+        self.emit("call", self._branch_target(target))
+
+    def jmp(self, target) -> None:
+        self.emit("jmp", self._branch_target(target))
+
+    def jcc(self, cc: str, target) -> None:
+        if cc not in CONDITION_CODES.values():
+            raise AsmError(f"unknown condition code {cc!r}")
+        self.emit(f"j{cc}", self._branch_target(target))
+
+    def call_reg(self, r: Register) -> None:
+        self.emit("call", r)
+
+    def jmp_reg(self, r: Register) -> None:
+        self.emit("jmp", r)
+
+    def call_mem(self, mem: Memory) -> None:
+        self.emit("call", mem)
+
+    def jmp_mem(self, mem: Memory) -> None:
+        self.emit("jmp", mem)
+
+    def ret(self) -> None:
+        self.emit("ret")
+
+    def syscall(self) -> None:
+        self.emit("syscall")
+
+    def nop(self) -> None:
+        self.emit("nop")
+
+    def hlt(self) -> None:
+        self.emit("hlt")
+
+    def ud2(self) -> None:
+        self.emit("ud2")
+
+    @staticmethod
+    def _branch_target(target) -> Operand | LabelRef:
+        if isinstance(target, str):
+            return LabelRef(target, _BRANCH)
+        if isinstance(target, int):
+            return Immediate(target, 64)
+        return target
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def assemble(self, externs: dict[str, int] | None = None) -> bytes:
+        """Resolve labels and encode everything; returns the code bytes."""
+        externs = externs or {}
+
+        # Pass 1: lay out addresses using shape-stable dummy operands.
+        addr = self.base
+        local: dict[str, int] = {}
+        for item in self._items:
+            item.addr = addr
+            if item.kind == "label":
+                local[item.name] = addr
+                continue
+            if item.kind == "bytes":
+                item.size = len(item.raw)
+            elif item.kind == "align":
+                item.size = (-addr) % item.amount
+            else:
+                insn = self._materialise(item, addr, None, None, sizing=True)
+                item.size = len(encode(insn, addr))
+            addr += item.size
+
+        # Pass 2: encode with real label values.
+        self._resolved = dict(local)
+        out = bytearray()
+        for item in self._items:
+            if item.kind == "label":
+                continue
+            if item.kind == "bytes":
+                out += item.raw
+            elif item.kind == "align":
+                out += b"\x90" * item.size
+            else:
+                insn = self._materialise(item, item.addr, local, externs, sizing=False)
+                code = encode(insn, item.addr)
+                if len(code) != item.size:
+                    raise AsmError(
+                        f"size drift for '{item.mnemonic}' at {item.addr:#x}: "
+                        f"{item.size} -> {len(code)}"
+                    )
+                out += code
+        return bytes(out)
+
+    def labels(self) -> dict[str, int]:
+        """Label addresses (valid after :meth:`assemble`)."""
+        if self._resolved is None:
+            raise AsmError("assemble() has not been called yet")
+        return dict(self._resolved)
+
+    @property
+    def size(self) -> int:
+        """Total encoded size (valid after :meth:`assemble`)."""
+        if self._resolved is None:
+            raise AsmError("assemble() has not been called yet")
+        return sum(i.size for i in self._items)
+
+    def _materialise(
+        self,
+        item: _Item,
+        addr: int,
+        local: dict[str, int] | None,
+        externs: dict[str, int] | None,
+        sizing: bool,
+    ) -> Instruction:
+        operands = tuple(
+            self._resolve_operand(op, addr, local, externs, sizing)
+            for op in item.operands
+        )
+        return Instruction(item.mnemonic, operands)
+
+    def _resolve_operand(
+        self,
+        op,
+        addr: int,
+        local: dict[str, int] | None,
+        externs: dict[str, int] | None,
+        sizing: bool,
+    ) -> Operand:
+        if isinstance(op, _RipMem):
+            inner = self._resolve_operand(op.ref, addr, local, externs, sizing)
+            assert isinstance(inner, (Immediate, Memory))
+            target = inner.disp if isinstance(inner, Memory) else inner.value
+            return Memory(disp=target, width=64, rip_relative=True)
+        if not isinstance(op, LabelRef):
+            return op
+        if sizing:
+            value = addr  # benign placeholder: keeps rel32/disp32 in range
+        else:
+            assert local is not None and externs is not None
+            if op.name in local:
+                value = local[op.name]
+            elif op.name in externs:
+                value = externs[op.name]
+            else:
+                raise AsmError(f"undefined label {op.name!r}")
+            value += op.addend
+        if op.kind == _BRANCH:
+            return Immediate(value, 64)
+        if op.kind == _ABS64:
+            return Immediate(value, 64)
+        if op.kind == _RIP:
+            return Memory(disp=value, width=64, rip_relative=True)
+        raise AsmError(f"unknown label-ref kind {op.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class _RipMem:
+    """Wrapper marking 'memory access through a RIP-relative label'."""
+
+    ref: LabelRef

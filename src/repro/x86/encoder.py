@@ -1,0 +1,452 @@
+"""x86-64 instruction encoder.
+
+Produces genuine x86-64 machine code (REX prefixes, ModRM/SIB forms,
+RIP-relative addressing) for the instruction subset in :mod:`repro.x86.insn`.
+Relative branches and RIP-relative memory operands carry *absolute* target
+addresses in the IR; the encoder converts them to displacements using the
+instruction's address.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodeError
+from .insn import CC_NUMBERS, Immediate, Instruction, Memory, Operand
+from .registers import Register
+
+#: /digit group numbers for the classic ALU immediate group (0x80/0x81/0x83).
+_ALU_GROUP = {"add": 0, "or": 1, "and": 4, "sub": 5, "xor": 6, "cmp": 7}
+
+#: opcode for "op r/m, r" per ALU mnemonic.
+_ALU_MR = {"add": 0x01, "or": 0x09, "and": 0x21, "sub": 0x29, "xor": 0x31, "cmp": 0x39}
+
+#: opcode for "op r, r/m" per ALU mnemonic.
+_ALU_RM = {"add": 0x03, "or": 0x0B, "and": 0x23, "sub": 0x2B, "xor": 0x33, "cmp": 0x3B}
+
+_SCALE_BITS = {1: 0, 2: 1, 4: 2, 8: 3}
+
+
+def _i8(value: int) -> bytes:
+    return struct.pack("<b", value)
+
+
+def _i32(value: int) -> bytes:
+    return struct.pack("<i", value)
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def _u64(value: int) -> bytes:
+    return struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF)
+
+
+def _fits_i8(value: int) -> bool:
+    return -128 <= value <= 127
+
+
+def _fits_i32(value: int) -> bool:
+    return -(2**31) <= value <= 2**31 - 1
+
+
+def _fits_u_or_i32(value: int) -> bool:
+    return -(2**31) <= value <= 2**32 - 1
+
+
+class _ModRM:
+    """Accumulates ModRM/SIB/displacement bytes plus REX bits."""
+
+    def __init__(self) -> None:
+        self.rex_r = 0
+        self.rex_x = 0
+        self.rex_b = 0
+        self.body = b""
+
+
+def _encode_modrm(reg_field: int, rm: Operand, insn_end_delta: int = 0) -> _ModRM:
+    """Encode the ModRM (and SIB/disp) bytes for ``rm`` with ``reg_field``.
+
+    ``insn_end_delta`` is the number of immediate bytes that follow the
+    ModRM block; it matters only for RIP-relative operands, whose
+    displacement is measured from the *end* of the instruction.  The caller
+    patches RIP-relative displacement afterwards via :func:`_encode`.
+    """
+    out = _ModRM()
+    out.rex_r = (reg_field >> 3) & 1
+    reg3 = reg_field & 7
+
+    if isinstance(rm, Register):
+        out.rex_b = (rm.number >> 3) & 1
+        out.body = bytes([0xC0 | (reg3 << 3) | (rm.number & 7)])
+        return out
+
+    if not isinstance(rm, Memory):
+        raise EncodeError(f"cannot use {rm!r} as ModRM r/m")
+
+    if rm.rip_relative:
+        # mod=00 rm=101: disp32 is RIP-relative; placeholder patched later.
+        out.body = bytes([(reg3 << 3) | 0x05]) + b"\x00\x00\x00\x00"
+        return out
+
+    if rm.base is None and rm.index is None:
+        # Absolute 32-bit address: mod=00 rm=100, SIB base=101 index=none.
+        if not _fits_u_or_i32(rm.disp):
+            raise EncodeError(f"absolute address {rm.disp:#x} does not fit in 32 bits")
+        out.body = bytes([(reg3 << 3) | 0x04, 0x25]) + _u32(rm.disp)
+        return out
+
+    if rm.base is None:
+        # Index without base: mod=00 rm=100, SIB base=101, disp32 mandatory.
+        assert rm.index is not None
+        if rm.index.number & 7 == 4 and rm.index.number < 8:
+            raise EncodeError("rsp cannot be an index register")
+        out.rex_x = (rm.index.number >> 3) & 1
+        sib = (_SCALE_BITS[rm.scale] << 6) | ((rm.index.number & 7) << 3) | 0x05
+        out.body = bytes([(reg3 << 3) | 0x04, sib]) + _i32(rm.disp)
+        return out
+
+    base_num = rm.base.number
+    out.rex_b = (base_num >> 3) & 1
+    need_sib = rm.index is not None or (base_num & 7) == 4
+
+    # Pick the mod field from the displacement size.  base rbp/r13 cannot
+    # use mod=00 (that encoding means RIP-relative / SIB-absolute).
+    if rm.disp == 0 and (base_num & 7) != 5:
+        mod, disp = 0x00, b""
+    elif _fits_i8(rm.disp):
+        mod, disp = 0x40, _i8(rm.disp)
+    elif _fits_i32(rm.disp):
+        mod, disp = 0x80, _i32(rm.disp)
+    else:
+        raise EncodeError(f"displacement {rm.disp:#x} does not fit in 32 bits")
+
+    if need_sib:
+        if rm.index is None:
+            sib = (0x04 << 3) | (base_num & 7)  # index=100: none
+        else:
+            if rm.index.number == 4:
+                raise EncodeError("rsp cannot be an index register")
+            out.rex_x = (rm.index.number >> 3) & 1
+            sib = (
+                (_SCALE_BITS[rm.scale] << 6)
+                | ((rm.index.number & 7) << 3)
+                | (base_num & 7)
+            )
+        out.body = bytes([mod | (reg3 << 3) | 0x04, sib]) + disp
+    else:
+        out.body = bytes([mod | (reg3 << 3) | (base_num & 7)]) + disp
+    return out
+
+
+def _rex(w: int, r: int, x: int, b: int) -> bytes:
+    """Emit a REX prefix byte if any bit is set (or W demanded)."""
+    if w or r or x or b:
+        return bytes([0x40 | (w << 3) | (r << 2) | (x << 1) | b])
+    return b""
+
+
+def _with_modrm(
+    opcode: bytes, reg_field: int, rm: Operand, width: int, tail: bytes = b""
+) -> bytes:
+    modrm = _encode_modrm(reg_field, rm)
+    w = 1 if width == 64 else 0
+    return _rex(w, modrm.rex_r, modrm.rex_x, modrm.rex_b) + opcode + modrm.body + tail
+
+
+def _operand_width(insn: Instruction) -> int:
+    for op in insn.operands:
+        if isinstance(op, Register):
+            return op.width
+        if isinstance(op, Memory):
+            return op.width
+    return 64
+
+
+def encode(insn: Instruction, addr: int = 0) -> bytes:
+    """Encode ``insn`` as machine code, assuming it is placed at ``addr``.
+
+    Branch targets and RIP-relative operands are interpreted as absolute
+    addresses and converted to displacements relative to the instruction's
+    end.
+    """
+    code = _encode_body(insn, addr)
+    return code
+
+
+def encoded_size(insn: Instruction) -> int:
+    """Size of the instruction's encoding (independent of placement)."""
+    return len(_encode_body(insn, 0))
+
+
+def _rip_fixup(code: bytes, addr: int, target: int, tail_len: int) -> bytes:
+    """Patch the RIP-relative disp32 located ``tail_len+4`` bytes from the end."""
+    end = addr + len(code)
+    disp = target - end
+    if not _fits_i32(disp):
+        raise EncodeError(f"RIP-relative target {target:#x} out of range from {addr:#x}")
+    pos = len(code) - tail_len - 4
+    return code[:pos] + _i32(disp) + code[pos + 4:]
+
+
+def _encode_body(insn: Instruction, addr: int) -> bytes:
+    m = insn.mnemonic
+    ops = insn.operands
+
+    if m == "syscall":
+        return b"\x0f\x05"
+    if m == "ret":
+        return b"\xc3"
+    if m == "nop":
+        return b"\x90"
+    if m == "hlt":
+        return b"\xf4"
+    if m == "ud2":
+        return b"\x0f\x0b"
+    if m == "int3":
+        return b"\xcc"
+    if m == "cdq":
+        return b"\x99"
+    if m == "cqo":
+        return b"\x48\x99"
+
+    if m in ("mov", "movabs"):
+        return _encode_mov(insn, addr)
+    if m == "lea":
+        return _encode_lea(insn, addr)
+    if m in _ALU_GROUP:
+        return _encode_alu(insn, addr)
+    if m == "test":
+        return _encode_test(insn)
+    if m in ("shl", "shr"):
+        return _encode_shift(insn)
+    if m == "imul":
+        return _encode_imul(insn)
+    if m in ("inc", "dec"):
+        group = 0 if m == "inc" else 1
+        width = _operand_width(insn)
+        return _with_modrm(b"\xff", group, insn.operands[0], width)
+    if m in ("neg", "not"):
+        group = 3 if m == "neg" else 2
+        width = _operand_width(insn)
+        return _with_modrm(b"\xf7", group, insn.operands[0], width)
+    if m in ("movzx", "movsx"):
+        return _encode_movx(insn, addr)
+    if m == "movsxd":
+        dst, src = insn.operands
+        if not isinstance(dst, Register):
+            raise EncodeError("movsxd destination must be a register")
+        code = _with_modrm(b"\x63", dst.number, src, 64)
+        if isinstance(src, Memory) and src.rip_relative:
+            code = _rip_fixup(code, addr, src.disp, 0)
+        return code
+    if m.startswith("cmov"):
+        cc = CC_NUMBERS.get(m[4:])
+        if cc is None:
+            raise EncodeError(f"unknown cmov condition {m!r}")
+        dst, src = insn.operands
+        if not isinstance(dst, Register):
+            raise EncodeError("cmov destination must be a register")
+        width = _operand_width(insn)
+        code = _with_modrm(bytes([0x0F, 0x40 | cc]), dst.number, src, width)
+        if isinstance(src, Memory) and src.rip_relative:
+            code = _rip_fixup(code, addr, src.disp, 0)
+        return code
+    if m == "push":
+        return _encode_push(ops[0])
+    if m == "pop":
+        return _encode_pop(ops[0])
+    if m == "call":
+        return _encode_branch(0xE8, None, 2, insn, addr)
+    if m == "jmp":
+        return _encode_branch(0xE9, None, 4, insn, addr)
+    if insn.is_conditional:
+        cc = CC_NUMBERS[m[1:]]
+        return _encode_jcc(cc, insn, addr)
+
+    raise EncodeError(f"cannot encode mnemonic {m!r}")
+
+
+def _encode_mov(insn: Instruction, addr: int) -> bytes:
+    dst, src = insn.operands
+    width = _operand_width(insn)
+
+    if isinstance(dst, Register) and isinstance(src, Immediate):
+        if insn.mnemonic == "movabs" or src.width == 64 or (
+            width == 64 and not _fits_i32(src.value)
+        ):
+            # REX.W B8+rd io — the only 64-bit immediate form.
+            rexb = (dst.number >> 3) & 1
+            return _rex(1, 0, 0, rexb) + bytes([0xB8 | (dst.number & 7)]) + _u64(src.value)
+        if width == 64:
+            # REX.W C7 /0 id — sign-extended imm32.
+            return _with_modrm(b"\xc7", 0, dst, 64, _i32(src.value))
+        # B8+rd id — 32-bit move (zero-extends in hardware).
+        rexb = (dst.number >> 3) & 1
+        return _rex(0, 0, 0, rexb) + bytes([0xB8 | (dst.number & 7)]) + _u32(src.value)
+
+    if isinstance(dst, Register) and isinstance(src, Register):
+        return _with_modrm(b"\x89", src.number, dst, width)
+
+    if isinstance(dst, Register) and isinstance(src, Memory):
+        code = _with_modrm(b"\x8b", dst.number, src, width)
+        if src.rip_relative:
+            code = _rip_fixup(code, addr, src.disp, 0)
+        return code
+
+    if isinstance(dst, Memory) and isinstance(src, Register):
+        code = _with_modrm(b"\x89", src.number, dst, width)
+        if dst.rip_relative:
+            code = _rip_fixup(code, addr, dst.disp, 0)
+        return code
+
+    if isinstance(dst, Memory) and isinstance(src, Immediate):
+        if not _fits_i32(src.value):
+            raise EncodeError("mov mem, imm only supports 32-bit immediates")
+        code = _with_modrm(b"\xc7", 0, dst, width, _i32(src.value))
+        if dst.rip_relative:
+            code = _rip_fixup(code, addr, dst.disp, 4)
+        return code
+
+    raise EncodeError(f"unsupported mov form: {insn}")
+
+
+def _encode_lea(insn: Instruction, addr: int) -> bytes:
+    dst, src = insn.operands
+    if not (isinstance(dst, Register) and isinstance(src, Memory)):
+        raise EncodeError("lea requires a register destination and memory source")
+    code = _with_modrm(b"\x8d", dst.number, src, 64)
+    if src.rip_relative:
+        code = _rip_fixup(code, addr, src.disp, 0)
+    return code
+
+
+def _encode_alu(insn: Instruction, addr: int) -> bytes:
+    m = insn.mnemonic
+    dst, src = insn.operands
+    width = _operand_width(insn)
+
+    if isinstance(src, Immediate):
+        group = _ALU_GROUP[m]
+        if _fits_i8(src.value):
+            tail, opcode = _i8(src.value), b"\x83"
+        elif _fits_i32(src.value):
+            tail, opcode = _i32(src.value), b"\x81"
+        else:
+            raise EncodeError(f"{m} immediate {src.value:#x} does not fit in 32 bits")
+        code = _with_modrm(opcode, group, dst, width, tail)
+        if isinstance(dst, Memory) and dst.rip_relative:
+            code = _rip_fixup(code, addr, dst.disp, len(tail))
+        return code
+
+    if isinstance(src, Register) and isinstance(dst, (Register, Memory)):
+        code = _with_modrm(bytes([_ALU_MR[m]]), src.number, dst, width)
+        if isinstance(dst, Memory) and dst.rip_relative:
+            code = _rip_fixup(code, addr, dst.disp, 0)
+        return code
+
+    if isinstance(src, Memory) and isinstance(dst, Register):
+        code = _with_modrm(bytes([_ALU_RM[m]]), dst.number, src, width)
+        if src.rip_relative:
+            code = _rip_fixup(code, addr, src.disp, 0)
+        return code
+
+    raise EncodeError(f"unsupported {m} form: {insn}")
+
+
+def _encode_test(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    width = _operand_width(insn)
+    if isinstance(src, Register):
+        return _with_modrm(b"\x85", src.number, dst, width)
+    if isinstance(src, Immediate):
+        if not _fits_i32(src.value):
+            raise EncodeError("test imm must fit in 32 bits")
+        return _with_modrm(b"\xf7", 0, dst, width, _i32(src.value))
+    raise EncodeError(f"unsupported test form: {insn}")
+
+
+def _encode_shift(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if not isinstance(src, Immediate) or not 0 <= src.value <= 63:
+        raise EncodeError("shifts take an imm8 count between 0 and 63")
+    group = 4 if insn.mnemonic == "shl" else 5
+    width = _operand_width(insn)
+    return _with_modrm(b"\xc1", group, dst, width, bytes([src.value]))
+
+
+def _encode_movx(insn: Instruction, addr: int) -> bytes:
+    """movzx/movsx from an 8- or 16-bit memory operand."""
+    dst, src = insn.operands
+    if not isinstance(dst, Register):
+        raise EncodeError(f"{insn.mnemonic} destination must be a register")
+    if not isinstance(src, Memory) or src.width not in (8, 16):
+        raise EncodeError(
+            f"{insn.mnemonic} source must be an 8- or 16-bit memory operand"
+        )
+    if insn.mnemonic == "movzx":
+        opcode = 0xB6 if src.width == 8 else 0xB7
+    else:
+        opcode = 0xBE if src.width == 8 else 0xBF
+    code = _with_modrm(bytes([0x0F, opcode]), dst.number, src, dst.width)
+    if src.rip_relative:
+        code = _rip_fixup(code, addr, src.disp, 0)
+    return code
+
+
+def _encode_imul(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if not isinstance(dst, Register):
+        raise EncodeError("imul destination must be a register")
+    width = _operand_width(insn)
+    return _with_modrm(b"\x0f\xaf", dst.number, src, width)
+
+
+def _encode_push(op: Operand) -> bytes:
+    if isinstance(op, Register):
+        rexb = (op.number >> 3) & 1
+        return _rex(0, 0, 0, rexb) + bytes([0x50 | (op.number & 7)])
+    if isinstance(op, Immediate):
+        if not _fits_i32(op.value):
+            raise EncodeError("push imm must fit in 32 bits")
+        return b"\x68" + _i32(op.value)
+    raise EncodeError("push supports register or immediate operands")
+
+
+def _encode_pop(op: Operand) -> bytes:
+    if isinstance(op, Register):
+        rexb = (op.number >> 3) & 1
+        return _rex(0, 0, 0, rexb) + bytes([0x58 | (op.number & 7)])
+    raise EncodeError("pop supports register operands only")
+
+
+def _encode_branch(
+    direct_opcode: int, prefix: bytes | None, ff_group: int, insn: Instruction, addr: int
+) -> bytes:
+    (op,) = insn.operands
+    if isinstance(op, Immediate):
+        # Direct near branch: opcode + rel32, target stored absolute.
+        size = 5
+        rel = op.value - (addr + size)
+        if not _fits_i32(rel):
+            raise EncodeError(f"branch target {op.value:#x} out of rel32 range")
+        return bytes([direct_opcode]) + _i32(rel)
+    if isinstance(op, (Register, Memory)):
+        # FF /2 (call) or FF /4 (jmp); operand size fixed at 64 in long mode.
+        code = _with_modrm(b"\xff", ff_group, op, 32)
+        if isinstance(op, Memory) and op.rip_relative:
+            code = _rip_fixup(code, addr, op.disp, 0)
+        return code
+    raise EncodeError(f"unsupported branch operand {op!r}")
+
+
+def _encode_jcc(cc: int, insn: Instruction, addr: int) -> bytes:
+    (op,) = insn.operands
+    if not isinstance(op, Immediate):
+        raise EncodeError("conditional jumps must be direct")
+    size = 6
+    rel = op.value - (addr + size)
+    if not _fits_i32(rel):
+        raise EncodeError(f"jcc target {op.value:#x} out of rel32 range")
+    return bytes([0x0F, 0x80 | cc]) + _i32(rel)

@@ -1,0 +1,195 @@
+"""Instruction intermediate representation for the x86-64 subset.
+
+The IR is shared by the encoder, decoder, symbolic engine and concrete
+emulator.  It models the slice of x86-64 that compiled code uses around
+system-call invocation: integer moves, address formation (``lea``), ALU
+operations, stack traffic, control flow, and ``syscall`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .registers import Register
+
+#: Condition codes, keyed by the low nibble of the Jcc opcode.
+CONDITION_CODES = {
+    0x0: "o", 0x1: "no", 0x2: "b", 0x3: "ae",
+    0x4: "e", 0x5: "ne", 0x6: "be", 0x7: "a",
+    0x8: "s", 0x9: "ns", 0xA: "p", 0xB: "np",
+    0xC: "l", 0xD: "ge", 0xE: "le", 0xF: "g",
+}
+CC_NUMBERS = {name: num for num, name in CONDITION_CODES.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class Immediate:
+    """An immediate operand.
+
+    Attributes:
+        value: the signed Python integer value.
+        width: encoded width in bits (8, 32 or 64).
+    """
+
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"${self.value:#x}" if self.value >= 0 else f"$-{-self.value:#x}"
+
+
+@dataclass(frozen=True, slots=True)
+class Memory:
+    """A memory operand: ``disp(base, index, scale)`` or RIP-relative.
+
+    ``rip_relative`` memory uses only ``disp`` (relative to the *next*
+    instruction's address).  An absolute 32-bit address is expressed with
+    ``base=None, index=None``.
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+    width: int = 64
+    rip_relative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid SIB scale {self.scale}")
+        if self.rip_relative and (self.base or self.index):
+            raise ValueError("RIP-relative memory cannot have base/index")
+
+    def __str__(self) -> str:
+        if self.rip_relative:
+            return f"{self.disp:#x}(%rip)"
+        parts = ""
+        if self.base is not None:
+            parts += str(self.base)
+        if self.index is not None:
+            parts += f", {self.index}, {self.scale}"
+        return f"{self.disp:#x}({parts})"
+
+
+Operand = Union[Register, Immediate, Memory]
+
+
+#: Mnemonics understood by the toolchain, grouped by behaviour.
+DATA_MNEMONICS = frozenset(
+    {"mov", "lea", "movabs", "movzx", "movsx", "movsxd"}
+    | {f"cmov{cc}" for cc in CONDITION_CODES.values()}
+)
+ALU_MNEMONICS = frozenset({
+    "add", "sub", "xor", "and", "or", "shl", "shr", "imul",
+    "inc", "dec", "neg", "not",
+})
+COMPARE_MNEMONICS = frozenset({"cmp", "test"})
+STACK_MNEMONICS = frozenset({"push", "pop"})
+BRANCH_MNEMONICS = frozenset(
+    {"jmp", "call", "ret", "syscall", "hlt", "ud2", "int3"}
+    | {f"j{cc}" for cc in CONDITION_CODES.values()}
+)
+MISC_MNEMONICS = frozenset({"nop", "cdq", "cqo"})
+
+ALL_MNEMONICS = (
+    DATA_MNEMONICS | ALU_MNEMONICS | COMPARE_MNEMONICS
+    | STACK_MNEMONICS | BRANCH_MNEMONICS | MISC_MNEMONICS
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A decoded (or to-be-encoded) instruction.
+
+    Attributes:
+        mnemonic: lower-case mnemonic (``mov``, ``jne``, ``syscall``...).
+        operands: destination-first operand tuple (AT&T readers beware).
+        addr: virtual address of the instruction (0 when free-standing).
+        size: encoded size in bytes (0 when not yet encoded).
+        raw: the encoded bytes (empty when not yet encoded).
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    addr: int = 0
+    size: int = 0
+    raw: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in ALL_MNEMONICS:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+
+    # -- classification helpers ------------------------------------------
+
+    @property
+    def end(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.addr + self.size
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.mnemonic == "syscall"
+
+    @property
+    def is_call(self) -> bool:
+        return self.mnemonic == "call"
+
+    @property
+    def is_ret(self) -> bool:
+        return self.mnemonic == "ret"
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic == "jmp" or self.is_conditional
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.mnemonic.startswith("j") and self.mnemonic != "jmp"
+
+    @property
+    def is_halt(self) -> bool:
+        return self.mnemonic in ("hlt", "ud2", "int3")
+
+    @property
+    def terminates_block(self) -> bool:
+        """Whether this instruction ends a basic block."""
+        return (
+            self.is_jump or self.is_ret or self.is_call
+            or self.is_syscall or self.is_halt
+        )
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """Direct call/jmp/jcc (immediate target)."""
+        return (
+            (self.is_call or self.is_jump)
+            and len(self.operands) == 1
+            and isinstance(self.operands[0], Immediate)
+        )
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        """Indirect call/jmp through a register or memory operand."""
+        return (
+            (self.is_call or self.mnemonic == "jmp")
+            and len(self.operands) == 1
+            and not isinstance(self.operands[0], Immediate)
+        )
+
+    def branch_target(self) -> int | None:
+        """Absolute target of a direct branch, else ``None``.
+
+        Relative branches are stored with their *resolved absolute* target
+        in the immediate operand, which requires ``addr``/``size`` to have
+        been fixed by the decoder or assembler.
+        """
+        if self.is_direct_branch:
+            target = self.operands[0]
+            assert isinstance(target, Immediate)
+            return target.value
+        return None
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in reversed(self.operands))
+        return f"{self.mnemonic} {ops}".strip()

@@ -1,0 +1,111 @@
+"""x86-64 general-purpose register definitions.
+
+Registers are modelled as (canonical 64-bit name, width) pairs.  The encoder
+and decoder need the hardware register number (0-15); the symbolic engine
+needs the canonical name so that ``eax`` writes alias ``rax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Canonical 64-bit register names in hardware-encoding order (0..15).
+GPR64 = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: 32-bit views, index-aligned with :data:`GPR64`.
+GPR32 = (
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+)
+
+_NUM_BY_NAME = {name: i for i, name in enumerate(GPR64)}
+_NUM_BY_NAME.update({name: i for i, name in enumerate(GPR32)})
+
+_CANONICAL = {name: name for name in GPR64}
+_CANONICAL.update({n32: GPR64[i] for i, n32 in enumerate(GPR32)})
+
+_WIDTH_BY_NAME = {name: 64 for name in GPR64}
+_WIDTH_BY_NAME.update({name: 32 for name in GPR32})
+
+
+@dataclass(frozen=True, slots=True)
+class Register:
+    """A general-purpose register operand.
+
+    Attributes:
+        name: canonical 64-bit name (``rax`` even for an ``eax`` operand).
+        width: operand width in bits (64 or 32).
+    """
+
+    name: str
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.name not in _NUM_BY_NAME:
+            raise ValueError(f"unknown register {self.name!r}")
+        if self.width not in (32, 64):
+            raise ValueError(f"unsupported register width {self.width}")
+        # Normalise: always store the canonical 64-bit name.
+        object.__setattr__(self, "name", _CANONICAL[self.name])
+
+    @property
+    def number(self) -> int:
+        """Hardware encoding number (0-15)."""
+        return _NUM_BY_NAME[self.name]
+
+    @property
+    def display(self) -> str:
+        """Width-appropriate assembly spelling (``eax`` for 32-bit rax)."""
+        if self.width == 32:
+            return GPR32[self.number]
+        return self.name
+
+    def as_width(self, width: int) -> "Register":
+        """Return the same register at a different operand width."""
+        return Register(self.name, width)
+
+    def __str__(self) -> str:
+        return f"%{self.display}"
+
+
+def reg(name: str) -> Register:
+    """Build a :class:`Register` from any spelling (``rax``, ``eax``...)."""
+    if name not in _NUM_BY_NAME:
+        raise ValueError(f"unknown register {name!r}")
+    return Register(_CANONICAL[name], _WIDTH_BY_NAME[name])
+
+
+# Convenience singletons for the 64-bit registers (used pervasively by the
+# assembler-facing corpus builders).
+RAX = reg("rax")
+RCX = reg("rcx")
+RDX = reg("rdx")
+RBX = reg("rbx")
+RSP = reg("rsp")
+RBP = reg("rbp")
+RSI = reg("rsi")
+RDI = reg("rdi")
+R8 = reg("r8")
+R9 = reg("r9")
+R10 = reg("r10")
+R11 = reg("r11")
+R12 = reg("r12")
+R13 = reg("r13")
+R14 = reg("r14")
+R15 = reg("r15")
+
+EAX = reg("eax")
+ECX = reg("ecx")
+EDX = reg("edx")
+EBX = reg("ebx")
+ESI = reg("esi")
+EDI = reg("edi")
+
+#: System V AMD64 ABI: integer argument registers, in order.
+ARG_REGISTERS = (RDI, RSI, RDX, RCX, R8, R9)
+
+#: Linux syscall ABI: argument registers for syscall parameters.
+SYSCALL_ARG_REGISTERS = (RDI, RSI, RDX, R10, R8, R9)

@@ -1,0 +1,194 @@
+"""Baseline behaviour tests: each tool's documented strengths and failure
+modes must reproduce on crafted binaries."""
+
+import pytest
+
+from repro.baselines import (
+    CHESTNUT_FALLBACK,
+    ChestnutAnalyzer,
+    NaiveAnalyzer,
+    SysFilterAnalyzer,
+)
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.loader import LibraryResolver
+from repro.x86 import EAX, Memory, RAX, RDI, RSP
+
+
+def simple_static(name="s", wrapper=False, pic=False, has_eh_frame=True):
+    p = ProgramBuilder(name, pic=pic, has_eh_frame=has_eh_frame)
+    if wrapper:
+        with p.function("sysw"):
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+    with p.function("_start", exported=pic):
+        p.asm.mov(EAX, 39)
+        p.asm.syscall()
+        if wrapper:
+            p.asm.mov(RDI, 1)
+            p.asm.call("sysw")
+        p.asm.mov(EAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+class TestChestnutFallback:
+    def test_fallback_size_matches_paper(self):
+        # "Chestnut always identifies more than 268 system calls" (§5.2).
+        assert 268 <= len(CHESTNUT_FALLBACK) <= 280
+
+    def test_resolves_direct_sites_exactly(self):
+        prog = simple_static(pic=True)
+        report = ChestnutAnalyzer().analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {39, 60}
+
+    def test_wrapper_triggers_fallback_on_dynamic(self):
+        prog = simple_static(wrapper=True, pic=True)
+        report = ChestnutAnalyzer().analyze(prog.image)
+        assert report.success
+        # Unresolvable wrapper site -> permissive fallback: huge FP set.
+        assert len(report.syscalls) >= 268
+        assert not report.complete
+
+    def test_wrapper_crashes_on_static(self):
+        prog = simple_static(wrapper=True, pic=False)
+        report = ChestnutAnalyzer().analyze(prog.image)
+        assert not report.success
+        assert report.failure_stage == "binalyzer"
+
+    def test_hardcoded_glibc_syscall_wrapper_understood(self):
+        p = ProgramBuilder("glibcish", pic=True)
+        with p.function("syscall", exported=True):  # the magic name
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start", exported=True):
+            p.asm.mov(RDI, 12)  # brk
+            p.asm.call("syscall")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = ChestnutAnalyzer().analyze(p.build().image)
+        assert report.success
+        assert report.syscalls == {12, 60}
+        assert report.complete
+
+    def test_go_style_wrapper_crashes_binalyzer(self):
+        # Stack-passed numbers crash Chestnut's pipeline (the paper's
+        # dynamic-binary failure class, §5.2), even on dynamic binaries.
+        p = ProgramBuilder("goish", pic=True)
+        with p.function("gosys"):
+            p.asm.mov(RAX, Memory(base=RSP, disp=8))
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start", exported=True):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=0), 41)
+            p.asm.call("gosys")
+            p.asm.add(RSP, 0x10)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = ChestnutAnalyzer().analyze(p.build().image)
+        assert not report.success
+        assert "memory" in report.failure_reason
+
+    def test_register_wrapper_falls_back_on_dynamic(self):
+        # musl-style register wrappers do not crash it: the unresolved
+        # site triggers the permissive fallback instead.
+        prog = simple_static(wrapper=True, pic=True)
+        report = ChestnutAnalyzer().analyze(prog.image)
+        assert report.success
+        assert not report.complete
+        assert len(report.syscalls) >= 268
+
+
+class TestSysFilter:
+    def test_rejects_non_pic_static(self):
+        prog = simple_static(pic=False)
+        report = SysFilterAnalyzer().analyze(prog.image)
+        assert not report.success
+        assert "non-PIC" in report.failure_reason
+
+    def test_rejects_missing_eh_frame(self):
+        prog = simple_static(pic=True, has_eh_frame=False)
+        report = SysFilterAnalyzer().analyze(prog.image)
+        assert not report.success
+        assert "eh_frame" in report.failure_reason
+
+    def test_resolves_direct_sites(self):
+        prog = simple_static(pic=True)
+        report = SysFilterAnalyzer().analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {39, 60}
+
+    def test_wrapper_syscalls_silently_missed(self):
+        prog = simple_static(wrapper=True, pic=True)
+        report = SysFilterAnalyzer().analyze(prog.image)
+        assert report.success
+        # write(1) went through the wrapper: false negative.
+        assert 1 not in report.syscalls
+        assert not report.complete
+
+    def test_vacuum_includes_unreachable_library_code(self):
+        lib = ProgramBuilder("libx.so", soname="libx.so", text_base=0x7F0000001000)
+        with lib.function("used", exported=True):
+            lib.asm.mov(EAX, 0)
+            lib.asm.syscall()
+            lib.asm.ret()
+        with lib.function("unused", exported=True):
+            lib.asm.mov(EAX, 87)  # unlink: never imported by the app
+            lib.asm.syscall()
+            lib.asm.ret()
+        libb = lib.build()
+        p = ProgramBuilder("app", pic=True, needed=["libx.so"])
+        with p.function("_start", exported=True):
+            p.call_import("used")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        resolver = LibraryResolver(library_map={"libx.so": libb.elf_bytes})
+        report = SysFilterAnalyzer(resolver).analyze(p.build().image)
+        assert report.success
+        # SysFilter vacuums the whole library: unlink appears (FP)...
+        assert 87 in report.syscalls
+        # ...whereas B-Side's reachable-exports analysis excludes it.
+        from repro.core import AnalysisBudget, BSideAnalyzer
+
+        bside = BSideAnalyzer(
+            resolver=LibraryResolver(library_map={"libx.so": libb.elf_bytes}),
+            budget=AnalysisBudget.generous(),
+        )
+        bside_report = bside.analyze(p.build().image)
+        assert 87 not in bside_report.syscalls
+
+
+class TestNaive:
+    def test_same_block_found(self):
+        prog = simple_static(pic=True)
+        report = NaiveAnalyzer().analyze(prog.image)
+        assert {39, 60} <= report.syscalls
+
+    def test_cross_block_missed_without_predecessors(self):
+        p = ProgramBuilder("crossblock")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)  # open - defined here
+            p.asm.test(RDI, RDI)
+            p.asm.jcc("e", "go")
+            p.asm.nop()
+            p.asm.label("go")
+            p.asm.syscall()  # value set two blocks earlier
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = NaiveAnalyzer(look_at_predecessors=False).analyze(p.build().image)
+        # The "go" block has no rax definition: false negative for open.
+        assert 2 not in report.syscalls
+        assert not report.complete

@@ -1,0 +1,224 @@
+"""CFG recovery tests: blocks, edges, functions, indirect resolution."""
+
+import pytest
+
+from repro.cfg import (
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_FALL,
+    EDGE_ICALL,
+    EDGE_JUMP,
+    all_addresses_taken,
+    build_cfg,
+    called_external_symbols,
+    reachable_blocks,
+    resolve_indirect_active,
+    resolve_indirect_all,
+)
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.x86 import RAX, RDI, RSI
+
+
+def build_simple():
+    """exit(0) program with a helper function and a conditional."""
+    p = ProgramBuilder("simple")
+    with p.function("helper"):
+        p.asm.mov(RAX, 1)
+        p.asm.ret()
+    with p.function("_start"):
+        p.asm.test(RDI, RDI)
+        p.asm.jcc("e", "skip")
+        p.asm.call("helper")
+        p.asm.label("skip")
+        p.asm.mov(RAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+class TestBlocksAndEdges:
+    def test_blocks_partition_text(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        covered = sorted((b.addr, b.end) for b in cfg.blocks.values())
+        for (a1, e1), (a2, __) in zip(covered, covered[1:]):
+            assert e1 <= a2  # no overlap
+
+    def test_conditional_edges(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        start = prog.image.symbol_addr("_start")
+        block = cfg.blocks[start]
+        kinds = {e.kind for e in cfg.successors(block.addr)}
+        assert kinds == {EDGE_JUMP, EDGE_FALL}
+
+    def test_call_and_callret_edges(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        helper = prog.image.symbol_addr("helper")
+        call_edges = cfg.predecessors(helper, kinds=(EDGE_CALL,))
+        assert len(call_edges) == 1
+        call_block = call_edges[0].src
+        rets = cfg.successors(call_block, kinds=(EDGE_CALLRET,))
+        assert len(rets) == 1
+        # The return site continues to the syscall block.
+        assert cfg.blocks[rets[0].dst] is not None
+
+    def test_function_assignment(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        helper = prog.image.symbol_addr("helper")
+        start = prog.image.symbol_addr("_start")
+        assert cfg.blocks[helper].function == helper
+        assert cfg.blocks[start].function == start
+        assert set(cfg.functions) >= {helper, start}
+
+    def test_syscall_block_found(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        sys_blocks = cfg.syscall_blocks()
+        assert len(sys_blocks) == 1
+        assert sys_blocks[0].terminator.is_syscall
+
+    def test_reachability_from_entry(self):
+        prog = build_simple()
+        cfg = build_cfg(prog.image)
+        reach = reachable_blocks(cfg, [prog.image.entry])
+        helper = prog.image.symbol_addr("helper")
+        assert helper in reach
+        assert prog.image.entry in reach
+
+
+def build_with_fptr(style: str, reachable: bool = True):
+    """A program calling a handler through a function pointer.
+
+    style: "lea" (PIC-style address taken), "movabs" (non-PIC), or
+    "data" (pointer table in the data segment).
+    """
+    p = ProgramBuilder("fptr")
+    with p.function("handler"):
+        p.asm.mov(RAX, 39)  # getpid
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("taker"):
+        if style == "lea":
+            p.asm.lea_rip(RSI, "handler")
+        elif style == "movabs":
+            p.asm.load_addr(RSI, "handler")
+        p.asm.ret()
+    with p.function("_start"):
+        if reachable:
+            p.asm.call("taker")
+        p.asm.call_reg(RSI)
+        p.asm.mov(RAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    if style == "data":
+        p.add_quads("table", ["handler"])
+    p.set_entry("_start")
+    return p.build()
+
+
+class TestIndirectResolution:
+    @pytest.mark.parametrize("style", ["lea", "movabs", "data"])
+    def test_addresses_taken_found(self, style):
+        prog = build_with_fptr(style)
+        cfg = build_cfg(prog.image)
+        taken = all_addresses_taken(cfg, prog.image)
+        assert prog.image.symbol_addr("handler") in taken
+
+    def test_resolve_all_adds_icall_edges(self):
+        prog = build_with_fptr("lea")
+        cfg = build_cfg(prog.image)
+        resolve_indirect_all(cfg, prog.image)
+        handler = prog.image.symbol_addr("handler")
+        assert any(
+            e.kind == EDGE_ICALL
+            for e in cfg.predecessors(handler)
+        )
+
+    def test_active_resolution_reaches_handler(self):
+        prog = build_with_fptr("lea")
+        cfg = build_cfg(prog.image)
+        active, iters = resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+        handler = prog.image.symbol_addr("handler")
+        assert handler in active
+        assert iters >= 1
+        reach = reachable_blocks(cfg, [prog.image.entry])
+        assert handler in reach
+
+    def test_active_excludes_unreachable_taker(self):
+        # The lea that takes handler's address sits in a function that is
+        # never called: active addresses taken must NOT include handler.
+        prog = build_with_fptr("lea", reachable=False)
+        cfg = build_cfg(prog.image)
+        active, __ = resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+        handler = prog.image.symbol_addr("handler")
+        assert handler not in active
+        # ... while the SysFilter-style overestimation does include it.
+        cfg2 = build_cfg(prog.image)
+        assert handler in all_addresses_taken(cfg2, prog.image)
+
+    def test_iterative_discovery_through_indirection(self):
+        # handler2's address is only taken inside handler1, which itself is
+        # only reachable through an indirect call: needs >1 iteration.
+        p = ProgramBuilder("iter")
+        with p.function("handler2"):
+            p.asm.mov(RAX, 41)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("handler1"):
+            p.asm.lea_rip(RSI, "handler2")
+            p.asm.call_reg(RSI)
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.lea_rip(RSI, "handler1")
+            p.asm.call_reg(RSI)
+            p.asm.mov(RAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        active, iters = resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+        assert prog.image.symbol_addr("handler2") in active
+        assert iters >= 2
+
+
+class TestExternalCalls:
+    def test_got_call_resolves_to_symbol(self):
+        p = ProgramBuilder("dyn", pic=True, needed=["libc.so"])
+        with p.function("main", exported=True):
+            p.call_import("write")
+            p.asm.ret()
+        p.set_entry("main")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        reach = reachable_blocks(cfg, [prog.image.entry])
+        assert called_external_symbols(cfg, reach) == {"write"}
+
+    def test_plt_stub_resolves_to_symbol(self):
+        p = ProgramBuilder("dyn2", pic=True, needed=["libc.so"])
+        p.make_plt_stub("read")
+        with p.function("main", exported=True):
+            p.call_plt("read")
+            p.asm.ret()
+        p.set_entry("main")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        reach = reachable_blocks(cfg, [prog.image.entry])
+        assert called_external_symbols(cfg, reach) == {"read"}
+
+    def test_unreachable_import_not_reported(self):
+        p = ProgramBuilder("dyn3", pic=True, needed=["libc.so"])
+        with p.function("dead"):
+            p.call_import("unlink")
+            p.asm.ret()
+        with p.function("main", exported=True):
+            p.asm.ret()
+        p.set_entry("main")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        reach = reachable_blocks(cfg, [prog.image.entry])
+        assert called_external_symbols(cfg, reach) == set()

@@ -1,0 +1,145 @@
+"""CFG invariants as property tests over generated programs.
+
+The invariants every downstream consumer (identification, phases,
+baselines) silently relies on:
+
+* blocks partition the decoded instruction stream (no overlap, no gap);
+* every edge references existing blocks; predecessor and successor views
+  mirror each other exactly;
+* every block belongs to the function whose [entry, end) range covers it;
+* active addresses taken are a subset of all addresses taken;
+* reachability is monotone in the edge set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    all_addresses_taken,
+    build_cfg,
+    reachable_blocks,
+    resolve_indirect_active,
+    resolve_indirect_all,
+)
+from repro.corpus import ProgramBuilder
+from repro.x86 import EAX, Immediate, RAX, RDI, RSI
+
+
+@st.composite
+def _program(draw):
+    """A random multi-function program with branches, calls, fptrs."""
+    n_funcs = draw(st.integers(1, 4))
+    ops_per_func = [draw(st.integers(1, 6)) for __ in range(n_funcs)]
+    branchy = draw(st.lists(st.booleans(), min_size=n_funcs, max_size=n_funcs))
+    take_addr = draw(st.lists(st.booleans(), min_size=n_funcs, max_size=n_funcs))
+    return n_funcs, ops_per_func, branchy, take_addr
+
+
+_COUNTER = [0]
+
+
+def _build(spec):
+    n_funcs, ops_per_func, branchy, take_addr = spec
+    _COUNTER[0] += 1
+    p = ProgramBuilder(f"cfgprop{_COUNTER[0]}")
+    for i in range(n_funcs):
+        with p.function(f"fn{i}"):
+            for k in range(ops_per_func[i]):
+                if branchy[i] and k == 0:
+                    p.asm.cmp(RDI, k)
+                    p.asm.jcc("e", f"fn{i}.l{k}")
+                    p.asm.nop()
+                    p.asm.label(f"fn{i}.l{k}")
+                p.asm.mov(EAX, 39)
+                p.asm.syscall()
+            p.asm.ret()
+    with p.function("_start"):
+        for i in range(n_funcs):
+            if take_addr[i]:
+                p.asm.lea_rip(RSI, f"fn{i}")
+                p.asm.call_reg(RSI)
+            else:
+                p.asm.call(f"fn{i}")
+        p.asm.mov(EAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_program())
+def test_blocks_partition_instruction_stream(spec):
+    prog = _build(spec)
+    cfg = build_cfg(prog.image)
+    spans = sorted((b.addr, b.end) for b in cfg.blocks.values())
+    # No overlap, no gap between consecutive blocks.
+    for (a1, e1), (a2, __) in zip(spans, spans[1:]):
+        assert e1 == a2, "blocks must tile the text segment"
+    assert spans[0][0] == prog.image.text_base
+    assert spans[-1][1] == prog.image.text_end
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_program())
+def test_edges_mirror_and_reference_blocks(spec):
+    prog = _build(spec)
+    cfg = build_cfg(prog.image)
+    resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+    for addr in cfg.blocks:
+        for edge in cfg.successors(addr):
+            assert edge.src == addr
+            assert edge.dst in cfg.blocks
+            assert edge in cfg.predecessors(edge.dst)
+        for edge in cfg.predecessors(addr):
+            assert edge.dst == addr
+            assert edge in cfg.successors(edge.src)
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_program())
+def test_blocks_assigned_to_covering_function(spec):
+    """Blocks inside a function's extent belong to it; alignment-padding
+    blocks in inter-function gaps attach to the preceding function."""
+    prog = _build(spec)
+    cfg = build_cfg(prog.image)
+    starts = sorted(cfg.functions)
+    for block in cfg.blocks.values():
+        func = cfg.functions[block.function]
+        assert func.entry <= block.addr
+        later = [s for s in starts if s > func.entry]
+        upper = later[0] if later else prog.image.text_end
+        assert block.addr < upper
+        if block.addr >= func.end:
+            # Padding gap: must be pure nops and unreachable.
+            assert all(i.mnemonic == "nop" for i in block.insns)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=_program())
+def test_active_subset_of_all_addresses_taken(spec):
+    prog = _build(spec)
+    cfg1 = build_cfg(prog.image)
+    active, __ = resolve_indirect_active(cfg1, prog.image, [prog.image.entry])
+    cfg2 = build_cfg(prog.image)
+    everything = all_addresses_taken(cfg2, prog.image)
+    assert active <= everything
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=_program())
+def test_reachability_monotone_in_resolution(spec):
+    """Resolving indirect branches can only grow the reachable set."""
+    prog = _build(spec)
+    cfg_bare = build_cfg(prog.image)
+    bare = reachable_blocks(cfg_bare, [prog.image.entry])
+
+    cfg_active = build_cfg(prog.image)
+    resolve_indirect_active(cfg_active, prog.image, [prog.image.entry])
+    active = reachable_blocks(cfg_active, [prog.image.entry])
+
+    cfg_all = build_cfg(prog.image)
+    resolve_indirect_all(cfg_all, prog.image)
+    everything = reachable_blocks(cfg_all, [prog.image.entry])
+
+    assert bare <= active <= everything

@@ -1,0 +1,99 @@
+"""CLI tests: every subcommand exercised end to end on real files."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import ProgramBuilder, build_app
+from repro.x86 import EAX, RDI
+
+
+@pytest.fixture(scope="module")
+def demo_binary(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    p = ProgramBuilder("demo")
+    with p.function("_start"):
+        p.asm.mov(EAX, 39)
+        p.asm.syscall()
+        p.asm.mov(EAX, 60)
+        p.asm.xor(RDI, RDI)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    prog = p.build()
+    path = str(tmp / "demo")
+    prog.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def dynamic_binary(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli-dyn")
+    bundle = build_app("sqlite")
+    binpath = str(tmp / "sqlite-like")
+    bundle.program.save(binpath)
+    libdir = str(tmp / "libs")
+    os.makedirs(libdir, exist_ok=True)
+    from repro.corpus import build_libc
+
+    libc = build_libc()
+    libc.save(os.path.join(libdir, "libc.so"))
+    return binpath, libdir
+
+
+class TestAnalyze:
+    def test_plain_output(self, demo_binary, capsys):
+        assert main(["analyze", demo_binary]) == 0
+        out = capsys.readouterr().out
+        assert "getpid" in out and "exit" in out
+
+    def test_json_output(self, demo_binary, capsys):
+        assert main(["analyze", demo_binary, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["success"] is True
+        assert 39 in doc["syscalls"] and 60 in doc["syscalls"]
+
+    def test_dynamic_with_libdir(self, dynamic_binary, capsys):
+        binpath, libdir = dynamic_binary
+        assert main(["analyze", binpath, "--libdir", libdir]) == 0
+        out = capsys.readouterr().out
+        assert "syscalls" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/bin"]) == 2
+
+
+class TestOtherCommands:
+    def test_phases(self, demo_binary, capsys):
+        assert main(["phases", demo_binary]) == 0
+        assert "phases over" in capsys.readouterr().out
+
+    def test_filter(self, demo_binary, capsys):
+        assert main(["filter", demo_binary]) == 0
+        out = capsys.readouterr().out
+        assert "jeq" in out and "ret kill" in out
+
+    def test_interface(self, tmp_path, capsys):
+        from repro.corpus import build_libc
+
+        libc = build_libc()
+        path = str(tmp_path / "libc.so")
+        libc.save(path)
+        assert main(["interface", path]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["library"] == "libc.so"
+        assert "syscall" in doc["exports"]
+
+    def test_trace(self, demo_binary, capsys):
+        assert main(["trace", demo_binary]) == 0
+        out = capsys.readouterr().out
+        assert "getpid" in out and "exited with 0" in out
+
+    def test_corpus_generate(self, tmp_path, capsys):
+        outdir = str(tmp_path / "corpus")
+        assert main(["corpus", "generate", outdir, "--scale", "0.02"]) == 0
+        assert os.path.isdir(os.path.join(outdir, "bin"))
+        assert os.path.isdir(os.path.join(outdir, "lib"))
+        assert os.listdir(os.path.join(outdir, "bin"))

@@ -1,0 +1,287 @@
+"""End-to-end analyzer tests: static, dynamic, wrappers, modules.
+
+The cardinal invariant (paper §5.1): for every program, the set of
+syscalls observed at runtime must be a subset of the statically
+identified set (no false negatives).
+"""
+
+import pytest
+
+from repro.core import AnalysisBudget, BSideAnalyzer, InterfaceStore
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.emu import run_traced
+from repro.loader import LibraryResolver
+from repro.syscalls import number_of
+from repro.x86 import EAX, Memory, RAX, RDI, RSI, RSP
+
+
+def make_analyzer(library_map=None):
+    return BSideAnalyzer(
+        resolver=LibraryResolver(library_map=library_map or {}),
+        budget=AnalysisBudget.generous(),
+    )
+
+
+class TestStaticAnalysis:
+    def test_simple_static_exact(self):
+        p = ProgramBuilder("app")
+        with p.function("_start"):
+            p.asm.mov(EAX, 39)  # getpid
+            p.asm.syscall()
+            p.asm.mov(EAX, 60)  # exit
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        report = make_analyzer().analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {39, 60}
+        assert report.complete
+        # Ground truth containment.
+        trace = run_traced(prog.image)
+        assert trace.syscall_numbers <= report.syscalls
+
+    def test_unreachable_code_excluded(self):
+        p = ProgramBuilder("app")
+        with p.function("dead"):
+            p.asm.mov(EAX, 59)  # execve - never called
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = make_analyzer().analyze(p.build().image)
+        assert report.syscalls == {60}
+
+    def test_local_wrapper_identified_per_callsite(self):
+        p = ProgramBuilder("app")
+        with p.function("sysw"):
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(RDI, 1)  # write
+            p.asm.call("sysw")
+            p.asm.mov(RDI, 3)  # close
+            p.asm.call("sysw")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        report = make_analyzer().analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {1, 3, 60}
+        trace = run_traced(prog.image)
+        assert trace.syscall_numbers <= report.syscalls
+
+    def test_go_style_stack_wrapper(self):
+        p = ProgramBuilder("app")
+        with p.function("gosys"):
+            p.asm.mov(RAX, Memory(base=RSP, disp=8))
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=0), 41)  # socket
+            p.asm.call("gosys")
+            p.asm.mov(Memory(base=RSP, disp=0), 3)  # close
+            p.asm.call("gosys")
+            p.asm.add(RSP, 0x10)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = make_analyzer().analyze(p.build().image)
+        assert report.syscalls == {41, 3, 60}
+
+    def test_function_pointer_target_included(self):
+        p = ProgramBuilder("app")
+        with p.function("handler"):
+            p.asm.mov(EAX, 102)  # getuid
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.lea_rip(RSI, "handler")
+            p.asm.call_reg(RSI)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = make_analyzer().analyze(p.build().image)
+        assert {102, 60} <= report.syscalls
+
+
+def build_libc():
+    """Small libc with direct exports and an exported register wrapper."""
+    lib = ProgramBuilder("libmini.so", soname="libmini.so", text_base=0x7F0000000000 + 0x1000)
+    with lib.function("__syscall1"):
+        lib.asm.mov(RAX, RDI)
+        lib.asm.syscall()
+        lib.asm.ret()
+    with lib.function("c_read", exported=True):
+        lib.asm.mov(RDI, 0)
+        lib.asm.call("__syscall1")
+        lib.asm.ret()
+    with lib.function("c_write", exported=True):
+        lib.asm.mov(RDI, 1)
+        lib.asm.call("__syscall1")
+        lib.asm.ret()
+    with lib.function("c_unused", exported=True):
+        lib.asm.mov(RDI, 87)  # unlink - exported but never imported
+        lib.asm.call("__syscall1")
+        lib.asm.ret()
+    with lib.function("syscall", exported=True):
+        # glibc-style exported wrapper.
+        lib.asm.mov(RAX, RDI)
+        lib.asm.syscall()
+        lib.asm.ret()
+    return lib.build()
+
+
+class TestDynamicAnalysis:
+    def test_imported_functions_resolved_via_interface(self):
+        lib = build_libc()
+        p = ProgramBuilder("app", pic=True, needed=["libmini.so"])
+        with p.function("_start", exported=True):
+            p.call_import("c_read")
+            p.call_import("c_write")
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        analyzer = make_analyzer({"libmini.so": lib.elf_bytes})
+        report = analyzer.analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {0, 1, 60}
+        # c_unused's unlink must NOT appear (reachable-exports precision).
+        assert number_of("unlink") not in report.syscalls
+        # Ground truth containment.
+        resolver = LibraryResolver(library_map={"libmini.so": lib.elf_bytes})
+        trace = run_traced(prog.image, resolver)
+        assert trace.syscall_numbers <= report.syscalls
+
+    def test_imported_wrapper_identified_per_callsite(self):
+        lib = build_libc()
+        p = ProgramBuilder("app", pic=True, needed=["libmini.so"])
+        with p.function("_start", exported=True):
+            p.asm.mov(RDI, 39)  # getpid via libc syscall()
+            p.call_import("syscall")
+            p.asm.mov(RDI, 186)  # gettid
+            p.call_import("syscall")
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        analyzer = make_analyzer({"libmini.so": lib.elf_bytes})
+        report = analyzer.analyze(prog.image)
+        assert report.success
+        assert report.syscalls == {39, 186, 60}
+
+    def test_interface_cached_across_programs(self):
+        lib = build_libc()
+        analyzer = make_analyzer({"libmini.so": lib.elf_bytes})
+
+        def build_app(name, func):
+            p = ProgramBuilder(name, pic=True, needed=["libmini.so"])
+            with p.function("_start", exported=True):
+                p.call_import(func)
+                p.asm.mov(EAX, 60)
+                p.asm.syscall()
+                p.asm.hlt()
+            p.set_entry("_start")
+            return p.build()
+
+        r1 = analyzer.analyze(build_app("app1", "c_read").image)
+        assert len(analyzer.interfaces) == 1
+        r2 = analyzer.analyze(build_app("app2", "c_write").image)
+        assert len(analyzer.interfaces) == 1  # reused, not re-analysed
+        assert r1.syscalls == {0, 60}
+        assert r2.syscalls == {1, 60}
+
+    def test_plt_stub_wrapper_import(self):
+        lib = build_libc()
+        p = ProgramBuilder("app", pic=True, needed=["libmini.so"])
+        p.make_plt_stub("syscall")
+        with p.function("_start", exported=True):
+            p.asm.mov(RDI, 12)  # brk
+            p.call_plt("syscall")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        analyzer = make_analyzer({"libmini.so": lib.elf_bytes})
+        report = analyzer.analyze(p.build().image)
+        assert report.success
+        assert 12 in report.syscalls and 60 in report.syscalls
+
+    def test_dlopen_module_included_wholesale(self):
+        lib = build_libc()
+        mod = ProgramBuilder("mod.so", soname="mod.so", text_base=0x7F0000100000)
+        with mod.function("mod_entry", exported=True):
+            mod.asm.mov(EAX, 16)  # ioctl
+            mod.asm.syscall()
+            mod.asm.ret()
+        module = mod.build()
+        p = ProgramBuilder("app", pic=True, needed=["libmini.so"])
+        with p.function("_start", exported=True):
+            p.call_import("c_read")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        analyzer = make_analyzer({"libmini.so": lib.elf_bytes})
+        report = analyzer.analyze(p.build().image, modules=[module.image])
+        assert {0, 16, 60} <= report.syscalls
+
+
+class TestInterfaceArtifact:
+    def test_interface_json_roundtrip(self):
+        from repro.core import SharedInterface
+
+        lib = build_libc()
+        analyzer = make_analyzer()
+        interface = analyzer.analyze_library(lib.image)
+        assert interface.exports["c_read"].syscalls == {0}
+        assert interface.exports["c_write"].syscalls == {1}
+        assert interface.exports["syscall"].is_wrapper
+        assert interface.exports["syscall"].wrapper_param == ("reg", "rdi")
+        back = SharedInterface.from_json(interface.to_json())
+        assert back.exports["c_read"].syscalls == {0}
+        assert back.exports["syscall"].wrapper_param == ("reg", "rdi")
+        assert back.library == interface.library
+
+    def test_wrapper_function_listed(self):
+        lib = build_libc()
+        analyzer = make_analyzer()
+        interface = analyzer.analyze_library(lib.image)
+        assert any("__syscall1" in w or "syscall" in w
+                   for w in interface.wrapper_functions)
+
+
+class TestBudgets:
+    def test_budget_failure_reported_not_raised(self):
+        from repro.core import AnalysisBudget
+        from repro.symex import SearchBudget
+
+        p = ProgramBuilder("hard")
+        with p.function("_start"):
+            p.asm.mov(EAX, 0)
+            for i in range(40):
+                p.asm.jmp(f"x{i}")
+                p.asm.label(f"x{i}")
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        tight = AnalysisBudget(search=SearchBudget(max_nodes=3))
+        analyzer = BSideAnalyzer(budget=tight)
+        report = analyzer.analyze(p.build().image)
+        assert not report.success
+        assert report.failure_stage != ""

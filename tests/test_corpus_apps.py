@@ -1,0 +1,137 @@
+"""Application-profile tests: the §5.1 validation invariants.
+
+These are the core experimental claims, asserted as tests:
+
+* B-Side has **zero false negatives** on every app (ground truth from the
+  emulated test suite is contained in the identified set);
+* SysFilter misses exactly the wrapper-routed syscalls;
+* Chestnut misses the internal-wrapper syscalls in its denylist;
+* B-Side's F1 beats both competitors on every app.
+"""
+
+import pytest
+
+from repro.baselines import ChestnutAnalyzer, SysFilterAnalyzer
+from repro.core import AnalysisBudget, BSideAnalyzer
+from repro.corpus import APP_NAMES, build_app
+from repro.emu import trace_test_suite
+from repro.filters import FilterProgram
+from repro.metrics import score
+from repro.syscalls import SYSCALL_NUMBERS
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    """Analyze all apps once with a shared analyzer (interface caching)."""
+    analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+    out = {}
+    for name in APP_NAMES:
+        bundle = build_app(name)
+        analyzer.resolver = bundle.resolver
+        report = analyzer.analyze(bundle.program.image,
+                                  modules=bundle.module_images)
+        truth, __ = trace_test_suite(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        out[name] = (bundle, report, truth)
+    return out
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+class TestPerApp:
+    def test_analysis_succeeds(self, analyzed, app):
+        __, report, __t = analyzed[app]
+        assert report.success
+        assert report.complete
+
+    def test_ground_truth_matches_spec(self, analyzed, app):
+        bundle, __, truth = analyzed[app]
+        assert truth == bundle.expected_runtime_syscalls()
+
+    def test_no_false_negatives(self, analyzed, app):
+        """The §5.1 validity invariant for B-Side."""
+        __, report, truth = analyzed[app]
+        missing = truth - report.syscalls
+        assert not missing, f"false negatives: {sorted(missing)}"
+
+    def test_reasonable_overestimation(self, analyzed, app):
+        __, report, truth = analyzed[app]
+        s = score(report.syscalls, truth)
+        assert s.is_valid
+        assert 0.6 <= s.f1 <= 1.0
+
+    def test_filter_does_not_kill_test_suite(self, analyzed, app):
+        """Enforce the derived filter while replaying the whole suite."""
+        bundle, report, __ = analyzed[app]
+        allowed = FilterProgram.from_report(report).allowed
+        __, runs = trace_test_suite(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            filter_allowed=allowed, extra_images=bundle.module_images,
+        )
+        assert all(r.killed_by_filter is None for r in runs)
+
+    def test_sysfilter_misses_wrapper_syscalls(self, analyzed, app):
+        bundle, __, truth = analyzed[app]
+        report = SysFilterAnalyzer(bundle.resolver).analyze(bundle.program.image)
+        assert report.success
+        expected_missing = {
+            SYSCALL_NUMBERS[n]
+            for n in bundle.spec.via_syscall_export + bundle.spec.via_wrapped_import
+        }
+        s = score(report.syscalls, truth)
+        assert s.false_negatives >= len(expected_missing) > 0 or not expected_missing
+        assert expected_missing <= (truth - report.syscalls)
+
+    def test_chestnut_huge_overestimation(self, analyzed, app):
+        bundle, __, truth = analyzed[app]
+        report = ChestnutAnalyzer(bundle.resolver).analyze(bundle.program.image)
+        assert report.success
+        assert len(report.syscalls) >= 268
+
+    def test_chestnut_expected_false_negatives(self, analyzed, app):
+        from repro.baselines import CHESTNUT_FALLBACK
+
+        bundle, __, truth = analyzed[app]
+        report = ChestnutAnalyzer(bundle.resolver).analyze(bundle.program.image)
+        fn = truth - report.syscalls
+        expected = {
+            SYSCALL_NUMBERS[n]
+            for n in bundle.spec.via_wrapped_import
+            if SYSCALL_NUMBERS[n] not in CHESTNUT_FALLBACK
+        }
+        assert fn == expected
+
+    def test_bside_f1_beats_competitors(self, analyzed, app):
+        bundle, bside_report, truth = analyzed[app]
+        sysf = SysFilterAnalyzer(bundle.resolver).analyze(bundle.program.image)
+        chest = ChestnutAnalyzer(bundle.resolver).analyze(bundle.program.image)
+        f1_bside = score(bside_report.syscalls, truth).f1
+        f1_sysf = score(sysf.syscalls, truth).f1
+        f1_chest = score(chest.syscalls, truth).f1
+        assert f1_bside > f1_sysf > f1_chest
+
+
+class TestCrossApp:
+    def test_execve_absent_for_nginx_and_memcached(self, analyzed):
+        """§5.2: B-Side filters out execve on Nginx and Memcached."""
+        execve = SYSCALL_NUMBERS["execve"]
+        for app in ("nginx", "memcached"):
+            __, report, __t = analyzed[app]
+            assert execve not in report.syscalls
+
+    def test_execveat_absent_everywhere(self, analyzed):
+        execveat = SYSCALL_NUMBERS["execveat"]
+        for app in APP_NAMES:
+            __, report, __t = analyzed[app]
+            assert execveat not in report.syscalls
+
+    def test_nginx_module_included_via_dlopen_handling(self, analyzed):
+        __, report, truth = analyzed["nginx"]
+        assert SYSCALL_NUMBERS["mknod"] in report.syscalls
+        assert SYSCALL_NUMBERS["mknod"] in truth
+
+    def test_ground_truth_sizes_in_paper_range(self, analyzed):
+        for app in APP_NAMES:
+            __b, __r, truth = analyzed[app]
+            assert 30 <= len(truth) <= 100, f"{app}: |GT|={len(truth)}"

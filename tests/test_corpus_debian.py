@@ -1,0 +1,143 @@
+"""Debian-corpus tests: population structure, tool behaviour, validity.
+
+Uses a scaled-down corpus so the suite stays fast; the full-population
+run lives in ``benchmarks/bench_table2_debian.py``.
+"""
+
+import pytest
+
+from repro.baselines import ChestnutAnalyzer, SysFilterAnalyzer
+from repro.core import BSideAnalyzer
+from repro.corpus import make_debian_corpus
+from repro.emu import run_traced
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_debian_corpus(scale=SCALE, seed=99)
+
+
+@pytest.fixture(scope="module")
+def bside_results(corpus):
+    analyzer = BSideAnalyzer(resolver=corpus.make_resolver())
+    return [(b, analyzer.analyze(b.image)) for b in corpus.binaries]
+
+
+class TestPopulation:
+    def test_counts_scale(self, corpus):
+        assert len(corpus.binaries) >= 50
+        assert len(corpus.static_binaries) >= 20
+        assert len(corpus.dynamic_binaries) >= 30
+        assert len(corpus.libraries) >= 6
+
+    def test_static_binaries_are_non_pic_except_pie(self, corpus):
+        for binary in corpus.static_binaries:
+            if binary.kind == "static-pie":
+                assert binary.image.is_pic
+            else:
+                assert not binary.image.is_pic
+
+    def test_dynamic_binaries_link_libc(self, corpus):
+        for binary in corpus.dynamic_binaries:
+            assert "libc.so" in binary.image.needed
+
+    def test_deterministic_generation(self):
+        a = make_debian_corpus(scale=0.05, seed=5)
+        b = make_debian_corpus.__wrapped__(scale=0.05, seed=5)
+        assert [x.name for x in a.binaries] == [y.name for y in b.binaries]
+        assert a.binaries[0].program.elf_bytes == b.binaries[0].program.elf_bytes
+
+
+class TestToolBehaviourAtScale:
+    def test_bside_failures_only_on_hard(self, bside_results):
+        for binary, report in bside_results:
+            if binary.hardness is None:
+                assert report.success, (binary.name, report.failure_reason)
+            else:
+                assert not report.success, binary.name
+
+    def test_bside_failure_stages_match_hardness(self, bside_results):
+        stage_of = {
+            "cfg": "cfg-recovery",
+            "wrapper": "wrapper-detection",
+        }
+        for binary, report in bside_results:
+            if binary.hardness in stage_of:
+                assert report.failure_stage == stage_of[binary.hardness]
+            elif binary.hardness == "ident":
+                assert report.failure_stage.startswith("backward-search")
+
+    def test_bside_identifies_planned_syscalls(self, bside_results):
+        for binary, report in bside_results:
+            if report.success and binary.planned_syscalls:
+                missing = binary.planned_syscalls - report.syscalls
+                assert not missing, (binary.name, sorted(missing))
+
+    def test_chestnut_fails_on_wrappered_static(self, corpus):
+        analyzer = ChestnutAnalyzer(corpus.make_resolver())
+        for binary in corpus.static_binaries:
+            report = analyzer.analyze(binary.image)
+            pure = binary.name.startswith(("st-pure", "st-pie"))
+            assert report.success == pure, binary.name
+
+    def test_chestnut_fails_on_go_dynamic(self, corpus):
+        analyzer = ChestnutAnalyzer(corpus.make_resolver())
+        for binary in corpus.dynamic_binaries:
+            report = analyzer.analyze(binary.image)
+            if binary.language == "go" and binary.hardness is None:
+                assert not report.success, binary.name
+
+    def test_sysfilter_success_iff_pic_and_unwind(self, corpus):
+        analyzer = SysFilterAnalyzer(corpus.make_resolver())
+        for binary in corpus.binaries:
+            report = analyzer.analyze(binary.image)
+            expected = binary.image.is_pic and binary.image.has_eh_frame
+            assert report.success == expected, binary.name
+
+    def test_precision_ordering(self, corpus, bside_results):
+        """avg(B-Side) < avg(SysFilter) < avg(Chestnut) on shared successes."""
+        resolver = corpus.make_resolver()
+        chestnut = ChestnutAnalyzer(resolver)
+        sysfilter = SysFilterAnalyzer(resolver)
+        b_ok, c_ok, s_ok = [], [], []
+        for binary, bside_report in bside_results:
+            if not binary.is_static:
+                c = chestnut.analyze(binary.image)
+                s = sysfilter.analyze(binary.image)
+                if bside_report.success and c.success and s.success:
+                    b_ok.append(len(bside_report.syscalls))
+                    c_ok.append(len(c.syscalls))
+                    s_ok.append(len(s.syscalls))
+        assert b_ok, "no common successes"
+        avg = lambda xs: sum(xs) / len(xs)
+        assert avg(b_ok) < avg(s_ok) < avg(c_ok)
+
+
+class TestRuntimeValidity:
+    def test_normal_binaries_run_and_stay_inside_identified_sets(
+        self, corpus, bside_results
+    ):
+        """Sampled §5.1-style validity over the corpus: the runtime trace
+        of every successfully-analysed binary is contained in its
+        identified set (no false negatives)."""
+        resolver = corpus.make_resolver()
+        checked = 0
+        for binary, report in bside_results:
+            if not report.success or binary.hardness is not None:
+                continue
+            trace = run_traced(binary.image, resolver)
+            assert trace.exit_status == 0, binary.name
+            assert trace.syscall_numbers <= report.syscalls, binary.name
+            checked += 1
+            if checked >= 25:
+                break
+        assert checked >= 10
+
+    def test_hard_binaries_still_run(self, corpus):
+        resolver = corpus.make_resolver()
+        hard = [b for b in corpus.binaries if b.hardness is not None]
+        for binary in hard[:4]:
+            trace = run_traced(binary.image, resolver, max_steps=5_000_000)
+            assert trace.exit_status == 0, binary.name

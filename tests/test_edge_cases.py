@@ -1,0 +1,347 @@
+"""Edge-case coverage: wrapper variants, memory-model corners, flag
+semantics, language-style × tool matrix, resolver cycles, tracker extras."""
+
+import pytest
+
+from repro.cfg import build_cfg, resolve_indirect_active
+from repro.core import AnalysisBudget, BSideAnalyzer, detect_wrapper, find_sites
+from repro.corpus import ProgramBuilder
+from repro.emu import run_traced
+from repro.symex import BVV, ExecContext, MemoryBackend, SymState
+from repro.x86 import EAX, Immediate, Memory, RAX, RBX, RDI, RDX, RSI, RSP, Register
+
+
+def generous():
+    return BSideAnalyzer(budget=AnalysisBudget.generous())
+
+
+def cfg_ctx(prog):
+    cfg = build_cfg(prog.image)
+    resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+    return cfg, ExecContext.for_image(cfg, prog.image), MemoryBackend([prog.image])
+
+
+class TestWrapperVariants:
+    def test_nested_wrappers(self):
+        """wrapper2 forwards its argument to wrapper1: values still resolve
+        at the outermost call sites."""
+        p = ProgramBuilder("nested")
+        with p.function("wrapper1"):
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("wrapper2"):
+            # Forwards rdi unchanged, plus bookkeeping.
+            p.asm.mov(RBX, RDI)
+            p.asm.mov(RDI, RBX)
+            p.asm.call("wrapper1")
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(RDI, 39)
+            p.asm.call("wrapper2")
+            p.asm.mov(RDI, 102)
+            p.asm.call("wrapper2")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = generous().analyze(p.build().image)
+        assert report.success
+        assert report.syscalls == {39, 102, 60}
+
+    def test_wrapper_with_default_fastpath(self):
+        """A wrapper that sometimes overrides the number locally: both the
+        parameter values and the local immediate must be found."""
+        p = ProgramBuilder("fastpath")
+        with p.function("wrap"):
+            p.asm.test(RDI, RDI)
+            p.asm.jcc("ne", "use_arg")
+            p.asm.mov(EAX, 24)  # sched_yield fast path
+            p.asm.syscall()
+            p.asm.ret()
+            p.asm.label("use_arg")
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(RDI, 0)
+            p.asm.call("wrap")
+            p.asm.mov(RDI, 186)
+            p.asm.call("wrap")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = generous().analyze(p.build().image)
+        assert report.success
+        # 24 from the fast path, 0/186 through the argument, 60 at exit.
+        assert {24, 186, 60} <= report.syscalls
+
+    def test_wrapper_detection_on_non_wrapper_with_moves(self):
+        """Register shuffles before a local immediate must NOT classify the
+        function as a wrapper (phase 2 disproves phase 1)."""
+        p = ProgramBuilder("shuffle")
+        with p.function("notwrap"):
+            p.asm.mov(RBX, RDI)      # looks like argument use
+            p.asm.mov(RAX, RBX)      # phase 1: rax <- rbx <- rdi: candidate
+            p.asm.mov(EAX, 12)       # ...but then overwritten by an imm
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.call("notwrap")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        cfg, ctx, backend = cfg_ctx(prog)
+        site = [s for s in find_sites(cfg)
+                if s.func_entry == prog.image.symbol_addr("notwrap")][0]
+        assert detect_wrapper(cfg, ctx, site, backend) is None
+        report = generous().analyze(prog.image)
+        assert report.syscalls == {12, 60}
+
+    def test_third_argument_register_wrapper(self):
+        """Wrappers taking the number in a non-rdi register still resolve."""
+        p = ProgramBuilder("rdx_wrap")
+        with p.function("wrap"):
+            p.asm.mov(RAX, RDX)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(RDX, 39)
+            p.asm.call("wrap")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = generous().analyze(p.build().image)
+        assert report.syscalls == {39, 60}
+
+
+class TestSymbolicMemoryModel:
+    def _state(self):
+        return SymState.initial(0x1000)
+
+    def test_exact_match_read(self):
+        state = self._state()
+        state.write_mem(BVV(0x5000), BVV(0xAB), 8)
+        assert state.read_mem(BVV(0x5000), 8) == BVV(0xAB)
+
+    def test_narrow_read_of_wide_write(self):
+        state = self._state()
+        state.write_mem(BVV(0x5000), BVV(0x11223344), 8)
+        narrow = state.read_mem(BVV(0x5000), 4)
+        assert narrow.value_or_none() == 0x11223344
+
+    def test_wide_read_of_narrow_write_is_unknown(self):
+        state = self._state()
+        state.write_mem(BVV(0x5000), BVV(0xFF), 4)
+        wide = state.read_mem(BVV(0x5000), 8)
+        assert wide.value_or_none() is None
+
+    def test_unwritten_read_is_stable(self):
+        state = self._state()
+        first = state.read_mem(BVV(0x6000), 8)
+        second = state.read_mem(BVV(0x6000), 8)
+        assert first == second  # memoised unknown
+
+    def test_symbolic_address_write_does_not_corrupt(self):
+        from repro.symex import fresh
+
+        state = self._state()
+        state.write_mem(BVV(0x5000), BVV(1), 8)
+        state.write_mem(fresh("wild"), BVV(2), 8)
+        assert state.read_mem(BVV(0x5000), 8) == BVV(1)
+
+    def test_stackarg_naming(self):
+        state = SymState.initial(0x1000, concrete_rsp=0x7FFF0000)
+        value = state.read_mem(BVV(0x7FFF0008), 8)
+        assert "stackarg_8" in repr(value)
+
+
+class TestEmulatorFlagSemantics:
+    @pytest.mark.parametrize("a,b,cc,taken", [
+        (5, 5, "e", True),
+        (5, 6, "ne", True),
+        (2**63, 1, "l", True),      # negative < positive (signed)
+        (2**63, 1, "b", False),     # huge unsigned not below 1
+        (1, 2**63, "a", False),     # 1 not above huge unsigned
+        (7, 7, "ge", True),
+        (6, 7, "le", True),
+        (8, 7, "g", True),
+    ])
+    def test_cmp_conditions(self, a, b, cc, taken):
+        p = ProgramBuilder("flags")
+        with p.function("_start"):
+            p.asm.movabs(RBX, a)
+            p.asm.movabs(RDX, b)
+            p.asm.cmp(RBX, RDX)
+            p.asm.mov(RDI, 0)
+            p.asm.jcc(cc, "yes")
+            p.asm.jmp("out")
+            p.asm.label("yes")
+            p.asm.mov(RDI, 1)
+            p.asm.label("out")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == (1 if taken else 0)
+
+    def test_test_sets_zero_flag(self):
+        p = ProgramBuilder("tst")
+        with p.function("_start"):
+            p.asm.mov(RBX, 0)
+            p.asm.test(RBX, RBX)
+            p.asm.mov(RDI, 0)
+            p.asm.jcc("e", "zero")
+            p.asm.jmp("out")
+            p.asm.label("zero")
+            p.asm.mov(RDI, 1)
+            p.asm.label("out")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 1
+
+
+class TestLanguageStyleMatrix:
+    """Every invocation style identified by B-Side; register-only tools
+    degrade exactly on the styles that defeat them."""
+
+    @pytest.mark.parametrize("style", ["direct", "split", "stack"])
+    def test_bside_handles_all_plain_styles(self, style):
+        from repro.corpus.langstyles import emit_syscall
+
+        p = ProgramBuilder(f"style-{style}")
+        with p.function("_start"):
+            emit_syscall(p, 39, style, "t")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = generous().analyze(p.build().image)
+        assert report.syscalls == {39, 60}
+
+    @pytest.mark.parametrize("style,wrapper_kind", [
+        ("reg-wrap", "reg"), ("stk-wrap", "stack"),
+    ])
+    def test_bside_handles_wrapper_styles(self, style, wrapper_kind):
+        from repro.corpus.langstyles import (
+            define_reg_wrapper,
+            define_stack_wrapper,
+            emit_syscall,
+        )
+
+        p = ProgramBuilder(f"wstyle-{wrapper_kind}")
+        if wrapper_kind == "reg":
+            define_reg_wrapper(p, "w")
+        else:
+            define_stack_wrapper(p, "w")
+        with p.function("_start"):
+            emit_syscall(p, 39, style, "t", reg_wrapper="w", stack_wrapper="w")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        report = generous().analyze(p.build().image)
+        assert report.syscalls == {39, 60}
+
+    def test_every_style_executes_correctly(self):
+        """All styles must also *run*: trace equals the intended syscall."""
+        from repro.corpus.langstyles import (
+            ALL_STYLES,
+            define_reg_wrapper,
+            define_stack_wrapper,
+            emit_syscall,
+        )
+
+        for style in ALL_STYLES:
+            p = ProgramBuilder(f"exec-{style}")
+            define_reg_wrapper(p, "rw")
+            define_stack_wrapper(p, "sw")
+            with p.function("_start"):
+                emit_syscall(p, 39, style, "t", reg_wrapper="rw", stack_wrapper="sw")
+                p.asm.mov(EAX, 60)
+                p.asm.xor(RDI, RDI)
+                p.asm.syscall()
+                p.asm.hlt()
+            p.set_entry("_start")
+            trace = run_traced(p.build().image)
+            assert 39 in trace.syscall_numbers, style
+
+
+class TestResolverAndInterfaces:
+    def test_dependency_cycle_detected(self):
+        from repro.errors import LoaderError
+        from repro.loader import LibraryResolver, LoadedImage
+
+        def lib(name, needs):
+            p = ProgramBuilder(name, soname=name, needed=[needs],
+                               text_base=0x7F0000001000 if name == "a.so" else 0x7F0000100000)
+            with p.function(f"f_{name[0]}", exported=True):
+                p.asm.ret()
+            return p.build()
+
+        a = lib("a.so", "b.so")
+        b = lib("b.so", "a.so")
+        resolver = LibraryResolver(library_map={"a.so": a.elf_bytes, "b.so": b.elf_bytes})
+        exe = ProgramBuilder("app", pic=True, needed=["a.so"])
+        with exe.function("_start", exported=True):
+            exe.asm.ret()
+        exe.set_entry("_start")
+        with pytest.raises(LoaderError):
+            resolver.topological_order(exe.build().image)
+
+    def test_interface_store_symbol_precedence(self):
+        from repro.core import ExportInfo, InterfaceStore, SharedInterface
+
+        store = InterfaceStore()
+        first = SharedInterface(library="one.so")
+        first.exports["f"] = ExportInfo(name="f", addr=1, syscalls={1})
+        second = SharedInterface(library="two.so")
+        second.exports["f"] = ExportInfo(name="f", addr=2, syscalls={2})
+        store.put(first)
+        store.put(second)
+        table = store.symbol_table(["one.so", "two.so"])
+        assert table["f"].syscalls == {1}  # first definition wins
+
+
+class TestPhaseTrackerExtras:
+    def test_extra_allowed_never_transitions(self):
+        from repro.phases import PhaseTracker
+
+        p = ProgramBuilder("pt")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)
+            p.asm.syscall()
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        __, automaton = generous().analyze_phases(p.build().image)
+        tracker = PhaseTracker(automaton, extra_allowed={999})
+        start = tracker.current
+        assert tracker.observe(999)
+        assert tracker.current == start  # no transition for extras
+
+    def test_back_propagation_idempotent(self):
+        p = ProgramBuilder("bp")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)
+            p.asm.syscall()
+            p.asm.label("l")
+            p.asm.mov(EAX, 0)
+            p.asm.syscall()
+            p.asm.cmp(RDI, 0)
+            p.asm.jcc("ne", "l")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        __, automaton = generous().analyze_phases(p.build().image)
+        once = {k: set(v) for k, v in automaton.back_propagate().items()}
+        twice = automaton.back_propagate()
+        assert once == twice

@@ -1,0 +1,242 @@
+"""ELF writer/reader round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elf import (
+    ET_DYN,
+    ET_EXEC,
+    ElfImageSpec,
+    RelocSpec,
+    SymbolSpec,
+    read_elf,
+    write_elf,
+)
+from repro.errors import ElfError
+from repro.loader import LibraryResolver, LoadedImage
+
+
+def make_static_spec() -> ElfImageSpec:
+    return ElfImageSpec(
+        elf_type=ET_EXEC,
+        text_vaddr=0x401000,
+        text=b"\x0f\x05\xc3" + b"\x90" * 13,
+        data_vaddr=0x404000,
+        data=b"\x00" * 32,
+        entry=0x401000,
+        symbols=[
+            SymbolSpec("_start", 0x401000, 3, "func", "global"),
+            SymbolSpec("helper", 0x401003, 4, "func", "local"),
+            SymbolSpec("buf", 0x404000, 32, "object", "global"),
+        ],
+    )
+
+
+class TestStaticRoundTrip:
+    def test_header_fields(self):
+        elf = read_elf(write_elf(make_static_spec()))
+        assert elf.elf_type == ET_EXEC
+        assert elf.entry == 0x401000
+        assert not elf.is_pic
+
+    def test_segments(self):
+        elf = read_elf(write_elf(make_static_spec()))
+        assert len(elf.segments) == 2
+        assert elf.text.vaddr == 0x401000
+        assert elf.text.data[:3] == b"\x0f\x05\xc3"
+        assert elf.data_segment.vaddr == 0x404000
+        assert elf.data_segment.writable
+
+    def test_symbols(self):
+        elf = read_elf(write_elf(make_static_spec()))
+        by_name = {sym.name: sym for sym in elf.symbols}
+        assert by_name["_start"].value == 0x401000
+        assert by_name["_start"].is_function
+        assert by_name["helper"].binding == "local"
+        assert by_name["buf"].kind == "object"
+
+    def test_no_dynamic_info(self):
+        elf = read_elf(write_elf(make_static_spec()))
+        assert elf.needed == []
+        assert elf.dynamic_symbols == []
+        assert elf.relocations == {}
+
+    def test_read_mem(self):
+        elf = read_elf(write_elf(make_static_spec()))
+        assert elf.read_mem(0x401000, 2) == b"\x0f\x05"
+        with pytest.raises(ElfError):
+            elf.read_mem(0x500000, 1)
+
+    def test_misaligned_text_rejected(self):
+        spec = make_static_spec()
+        spec.text_vaddr = 0x401008
+        with pytest.raises(ElfError):
+            write_elf(spec)
+
+    def test_overlapping_data_rejected(self):
+        spec = make_static_spec()
+        spec.data_vaddr = 0x401000
+        with pytest.raises(ElfError):
+            write_elf(spec)
+
+
+def make_dynamic_spec() -> ElfImageSpec:
+    return ElfImageSpec(
+        elf_type=ET_DYN,
+        text_vaddr=0x401000,
+        text=b"\xff\x25\x00\x00\x00\x00" + b"\x90" * 10,
+        data_vaddr=0x404000,
+        data=b"\x00" * 64,
+        entry=0x401006,
+        needed=["libc.so"],
+        symbols=[
+            SymbolSpec("main", 0x401006, 10, "func", "global", exported=True),
+            SymbolSpec("write", defined=False),
+            SymbolSpec("read", defined=False),
+        ],
+        relocations=[
+            RelocSpec(0x404000, "write"),
+            RelocSpec(0x404008, "read"),
+        ],
+    )
+
+
+class TestDynamicRoundTrip:
+    def test_needed(self):
+        elf = read_elf(write_elf(make_dynamic_spec()))
+        assert elf.needed == ["libc.so"]
+        assert elf.is_pic
+
+    def test_imports_and_relocs(self):
+        elf = read_elf(write_elf(make_dynamic_spec()))
+        undefined = {sym.name for sym in elf.dynamic_symbols if not sym.defined}
+        assert undefined == {"write", "read"}
+        assert elf.relocations == {0x404000: "write", 0x404008: "read"}
+
+    def test_exports(self):
+        elf = read_elf(write_elf(make_dynamic_spec()))
+        exported = {sym.name for sym in elf.dynamic_symbols if sym.defined}
+        assert "main" in exported
+
+    def test_soname(self):
+        spec = make_dynamic_spec()
+        spec.soname = "libfoo.so"
+        elf = read_elf(write_elf(spec))
+        assert elf.soname == "libfoo.so"
+
+    def test_reloc_against_unknown_symbol_rejected(self):
+        spec = make_dynamic_spec()
+        spec.relocations.append(RelocSpec(0x404010, "ghost"))
+        with pytest.raises(ElfError):
+            write_elf(spec)
+
+
+class TestLoadedImage:
+    def test_static_classification(self):
+        img = LoadedImage.from_bytes("a.out", write_elf(make_static_spec()))
+        assert img.is_static_executable
+        assert not img.is_dynamic_executable
+        assert not img.is_shared_library
+
+    def test_dynamic_classification(self):
+        img = LoadedImage.from_bytes("b.out", write_elf(make_dynamic_spec()))
+        assert img.is_dynamic_executable
+        assert img.got_imports == {0x404000: "write", 0x404008: "read"}
+
+    def test_library_classification(self):
+        spec = make_dynamic_spec()
+        spec.soname = "libx.so"
+        img = LoadedImage.from_bytes("libx.so", write_elf(spec))
+        assert img.is_shared_library
+
+    def test_function_boundaries(self):
+        img = LoadedImage.from_bytes("a.out", write_elf(make_static_spec()))
+        bounds = img.function_boundaries
+        assert (0x401000, 0x401003) in bounds
+        assert img.function_containing(0x401004) == (0x401003, 0x401007)
+        assert img.function_containing(0x500000) is None
+
+    def test_symbol_addr(self):
+        img = LoadedImage.from_bytes("a.out", write_elf(make_static_spec()))
+        assert img.symbol_addr("helper") == 0x401003
+        assert img.symbol_addr("buf") == 0x404000
+
+
+class TestResolver:
+    def _lib(self, soname: str, needed=()) -> bytes:
+        return write_elf(ElfImageSpec(
+            elf_type=ET_DYN,
+            text_vaddr=0x7F0000000000 // 0x1000 * 0x1000,
+            text=b"\xc3" + b"\x90" * 7,
+            soname=soname,
+            needed=list(needed),
+            symbols=[SymbolSpec("f", 0x7F0000000000, 1, "func", "global", exported=True)],
+        ))
+
+    def test_closure_and_caching(self):
+        resolver = LibraryResolver(library_map={
+            "liba.so": self._lib("liba.so", ["libb.so"]),
+            "libb.so": self._lib("libb.so"),
+        })
+        exe = LoadedImage.from_bytes("app", write_elf(ElfImageSpec(
+            elf_type=ET_DYN, text_vaddr=0x401000, text=b"\xc3",
+            entry=0x401000, needed=["liba.so"],
+            symbols=[SymbolSpec("x", defined=False)],
+        )))
+        closure = resolver.dependency_closure(exe)
+        assert [lib.name for lib in closure] == ["liba.so", "libb.so"]
+        assert resolver.resolve("liba.so") is closure[0]  # cached
+
+    def test_topological_order_leaves_first(self):
+        resolver = LibraryResolver(library_map={
+            "liba.so": self._lib("liba.so", ["libb.so", "libc.so"]),
+            "libb.so": self._lib("libb.so", ["libc.so"]),
+            "libc.so": self._lib("libc.so"),
+        })
+        exe = LoadedImage.from_bytes("app", write_elf(ElfImageSpec(
+            elf_type=ET_DYN, text_vaddr=0x401000, text=b"\xc3",
+            entry=0x401000, needed=["liba.so"],
+            symbols=[SymbolSpec("x", defined=False)],
+        )))
+        order = [lib.name for lib in resolver.topological_order(exe)]
+        assert order.index("libc.so") < order.index("libb.so") < order.index("liba.so")
+
+    def test_missing_library(self):
+        from repro.errors import LoaderError
+        resolver = LibraryResolver(library_map={})
+        exe = LoadedImage.from_bytes("app", write_elf(ElfImageSpec(
+            elf_type=ET_DYN, text_vaddr=0x401000, text=b"\xc3",
+            entry=0x401000, needed=["nope.so"],
+            symbols=[SymbolSpec("x", defined=False)],
+        )))
+        with pytest.raises(LoaderError):
+            resolver.dependency_closure(exe)
+
+
+class TestPropertyElf:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        text=st.binary(min_size=1, max_size=512),
+        data=st.binary(min_size=0, max_size=256),
+        nsyms=st.integers(0, 10),
+    )
+    def test_arbitrary_payload_roundtrip(self, text, data, nsyms):
+        symbols = [
+            SymbolSpec(f"f{i}", 0x401000 + i, 1, "func", "global")
+            for i in range(nsyms)
+        ]
+        spec = ElfImageSpec(
+            elf_type=ET_EXEC,
+            text_vaddr=0x401000,
+            text=text,
+            data_vaddr=0x500000 if data else 0,
+            data=data,
+            entry=0x401000,
+            symbols=symbols,
+        )
+        elf = read_elf(write_elf(spec))
+        assert elf.text.data == text
+        if data:
+            assert elf.data_segment.data == data
+        assert len(elf.symbols) == nsyms

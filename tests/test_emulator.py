@@ -1,0 +1,218 @@
+"""Concrete emulator tests: execution, tracing, linking, filtering."""
+
+import pytest
+
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.errors import EmulationError
+from repro.loader import LibraryResolver
+from repro.emu import run_traced, trace_test_suite
+from repro.syscalls import number_of
+from repro.x86 import EAX, Memory, RAX, RBX, RDI, RDX, RSI, RSP
+
+
+def build_exit42():
+    p = ProgramBuilder("exit42")
+    with p.function("_start"):
+        p.asm.mov(EAX, 60)
+        p.asm.mov(RDI, 42)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+class TestBasicExecution:
+    def test_exit_status(self):
+        result = run_traced(build_exit42().image)
+        assert result.exit_status == 42
+        assert result.syscall_names == {"exit"}
+
+    def test_trace_records_args(self):
+        result = run_traced(build_exit42().image)
+        rec = result.records[0]
+        assert rec.nr == 60
+        assert rec.args[0] == 42
+
+    def test_arithmetic_and_branches(self):
+        p = ProgramBuilder("arith")
+        with p.function("_start"):
+            p.asm.mov(RBX, 10)
+            p.asm.mov(RDI, 0)
+            p.asm.label("loop")
+            p.asm.add(RDI, RBX)
+            p.asm.sub(RBX, 1)
+            p.asm.cmp(RBX, 0)
+            p.asm.jcc("ne", "loop")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        result = run_traced(p.build().image)
+        assert result.exit_status == 55  # sum(1..10)
+
+    def test_stack_and_calls(self):
+        p = ProgramBuilder("calls")
+        with p.function("callee"):
+            p.asm.mov(RDI, 7)
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.call("callee")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 7
+
+    def test_memory_roundtrip(self):
+        p = ProgramBuilder("mem")
+        with p.function("_start"):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=8), 99)
+            p.asm.mov(RDI, Memory(base=RSP, disp=8))
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 99
+
+    def test_function_pointer_dispatch(self):
+        p = ProgramBuilder("fptr")
+        with p.function("handler"):
+            p.asm.mov(RDI, 5)
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.lea_rip(RSI, "handler")
+            p.asm.call_reg(RSI)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 5
+
+    def test_inputs_drive_branches(self):
+        p = ProgramBuilder("branchy")
+        with p.function("_start"):
+            p.asm.cmp(RDI, 1)
+            p.asm.jcc("e", "one")
+            p.asm.mov(EAX, 39)  # getpid
+            p.asm.syscall()
+            p.asm.jmp("out")
+            p.asm.label("one")
+            p.asm.mov(EAX, 102)  # getuid
+            p.asm.syscall()
+            p.asm.label("out")
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        r0 = run_traced(prog.image, inputs=(0,))
+        r1 = run_traced(prog.image, inputs=(1,))
+        assert "getpid" in r0.syscall_names and "getuid" not in r0.syscall_names
+        assert "getuid" in r1.syscall_names and "getpid" not in r1.syscall_names
+
+    def test_test_suite_union(self):
+        p = ProgramBuilder("suite")
+        with p.function("_start"):
+            p.asm.cmp(RDI, 1)
+            p.asm.jcc("e", "one")
+            p.asm.mov(EAX, 39)
+            p.asm.syscall()
+            p.asm.jmp("out")
+            p.asm.label("one")
+            p.asm.mov(EAX, 102)
+            p.asm.syscall()
+            p.asm.label("out")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        union, runs = trace_test_suite(prog.image, [(0,), (1,)])
+        assert union == {39, 102, 60}
+        assert len(runs) == 2
+
+
+class TestDynamicLinking:
+    def _libc(self):
+        lib = ProgramBuilder("libtiny.so", soname="libtiny.so", text_base=0x7F0000001000)
+        with lib.function("do_write", exported=True):
+            lib.asm.mov(EAX, 1)
+            lib.asm.syscall()
+            lib.asm.ret()
+        return lib.build()
+
+    def test_cross_image_call_via_got(self):
+        lib = self._libc()
+        p = ProgramBuilder("app", pic=True, needed=["libtiny.so"])
+        with p.function("_start", exported=True):
+            p.call_import("do_write")
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        resolver = LibraryResolver(library_map={"libtiny.so": lib.elf_bytes})
+        result = run_traced(prog.image, resolver)
+        assert result.syscall_names == {"write", "exit"}
+
+    def test_plt_stub_call(self):
+        lib = self._libc()
+        p = ProgramBuilder("app2", pic=True, needed=["libtiny.so"])
+        p.make_plt_stub("do_write")
+        with p.function("_start", exported=True):
+            p.call_plt("do_write")
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        resolver = LibraryResolver(library_map={"libtiny.so": lib.elf_bytes})
+        result = run_traced(prog.image, resolver)
+        assert result.syscall_names == {"write", "exit"}
+
+    def test_unresolved_import_fails_at_link(self):
+        p = ProgramBuilder("app3", pic=True, needed=["libtiny.so"])
+        with p.function("_start", exported=True):
+            p.call_import("missing_fn")
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        lib = self._libc()
+        resolver = LibraryResolver(library_map={"libtiny.so": lib.elf_bytes})
+        with pytest.raises(EmulationError):
+            run_traced(prog.image, resolver)
+
+
+class TestFiltering:
+    def test_filter_allows_traced_set(self):
+        prog = build_exit42()
+        result = run_traced(prog.image, filter_allowed={60})
+        assert result.exit_status == 42
+        assert result.killed_by_filter is None
+
+    def test_filter_kills_on_violation(self):
+        prog = build_exit42()
+        result = run_traced(prog.image, filter_allowed={number_of("read")})
+        assert result.exit_status is None
+        assert result.killed_by_filter == 60
+
+    def test_read_script(self):
+        p = ProgramBuilder("reader")
+        p.add_zeroed("buf", 16)
+        with p.function("_start"):
+            p.asm.xor(EAX, EAX)  # read
+            p.asm.xor(RDI, RDI)
+            p.asm.lea_rip(RSI, "buf")
+            p.asm.mov(RDX, 4)
+            p.asm.syscall()
+            p.asm.mov(RDI, RAX)  # exit status = bytes read
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        result = run_traced(p.build().image, read_script=b"abcd")
+        assert result.exit_status == 4

@@ -1,0 +1,240 @@
+"""Unit coverage for the symbolic engine's interprocedural semantics and
+the emulated kernel's syscall behaviours."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.corpus import ProgramBuilder
+from repro.emu import EmulatedKernel, Machine, run_traced
+from repro.symex import BVV, CALLER_SAVED, ExecContext, MemoryBackend, SymState, step
+from repro.x86 import EAX, Memory, RAX, RBX, RDI, RDX, RSI
+
+
+def _ctx_and_state(build, start_label="_start"):
+    p = ProgramBuilder("unit")
+    build(p)
+    p.set_entry(start_label)
+    prog = p.build()
+    cfg = build_cfg(prog.image)
+    ctx = ExecContext.for_image(cfg, prog.image)
+    state = SymState.initial(
+        prog.image.symbol_addr(start_label),
+        backend=MemoryBackend([prog.image]),
+    )
+    return prog, ctx, state
+
+
+def _run_steps(ctx, state, n):
+    for __ in range(n):
+        states = step(state, ctx)
+        if not states:
+            return None
+        state = states[0]
+    return state
+
+
+class TestEngineExternalCalls:
+    def test_external_call_clobbers_caller_saved(self):
+        def build(p):
+            with p.function("_start", exported=True):
+                p.asm.mov(RAX, 7)
+                p.asm.mov(RBX, 9)
+                p.call_import("ext_fn")
+                p.asm.ret()
+        prog, ctx, state = _ctx_and_state(
+            lambda p: (setattr(p, "needed", ["l.so"]),
+                       setattr(p, "pic", True), build(p))[-1]
+        )
+        state = _run_steps(ctx, state, 3)  # mov, mov, call[got]
+        # Caller-saved rax is now unknown; callee-saved rbx survives.
+        assert state.regs["rax"].value_or_none() is None
+        assert state.regs["rbx"] == BVV(9)
+        assert state.flags is None
+
+    def test_midpath_syscall_clobbers_linux_abi_registers(self):
+        def build(p):
+            with p.function("_start"):
+                p.asm.mov(EAX, 39)
+                p.asm.mov(RBX, 5)
+                p.asm.syscall()
+                p.asm.ret()
+        __, ctx, state = _ctx_and_state(build)
+        state = _run_steps(ctx, state, 3)
+        assert state.regs["rax"].value_or_none() is None  # return value
+        assert state.regs["rcx"].value_or_none() is None
+        assert state.regs["r11"].value_or_none() is None
+        assert state.regs["rbx"] == BVV(5)
+
+    def test_ret_out_of_frame_ends_path(self):
+        def build(p):
+            with p.function("_start"):
+                p.asm.ret()  # return address never written: path dies
+        __, ctx, state = _ctx_and_state(build)
+        assert step(state, ctx) == []
+
+    def test_unresolved_indirect_jump_ends_path(self):
+        def build(p):
+            with p.function("_start"):
+                p.asm.jmp_reg(RSI)  # rsi symbolic at entry
+        __, ctx, state = _ctx_and_state(build)
+        assert step(state, ctx) == []
+
+    def test_concrete_indirect_call_executes_locally(self):
+        def build(p):
+            with p.function("callee"):
+                p.asm.mov(RBX, 0x77)
+                p.asm.ret()
+            with p.function("_start"):
+                p.asm.lea_rip(RSI, "callee")
+                p.asm.call_reg(RSI)
+                p.asm.ret()
+        __, ctx, state = _ctx_and_state(build)
+        state = _run_steps(ctx, state, 4)  # lea, call, mov, ret
+        assert state.regs["rbx"] == BVV(0x77)
+
+    def test_conditional_with_symbolic_flags_forks(self):
+        def build(p):
+            with p.function("_start"):
+                p.asm.cmp(RDI, 3)
+                p.asm.jcc("e", "x")
+                p.asm.nop()
+                p.asm.label("x")
+                p.asm.ret()
+        __, ctx, state = _ctx_and_state(build)
+        state = _run_steps(ctx, state, 1)  # cmp
+        forks = step(state, ctx)           # jcc with unknown rdi
+        assert len(forks) == 2
+        assert forks[0].pc != forks[1].pc
+
+    def test_conditional_with_concrete_flags_single_successor(self):
+        def build(p):
+            with p.function("_start"):
+                p.asm.mov(RDI, 3)
+                p.asm.cmp(RDI, 3)
+                p.asm.jcc("e", "x")
+                p.asm.nop()
+                p.asm.label("x")
+                p.asm.ret()
+        __, ctx, state = _ctx_and_state(build)
+        state = _run_steps(ctx, state, 2)
+        forks = step(state, ctx)
+        assert len(forks) == 1
+
+
+class TestEmulatedKernel:
+    def test_unknown_syscall_returns_enosys(self):
+        p = ProgramBuilder("enosys")
+        with p.function("_start"):
+            p.asm.mov(EAX, 9999)
+            p.asm.syscall()
+            p.asm.mov(RDI, RAX)
+            p.asm.emit("neg", RDI)  # exit status = -rax = 38
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        result = run_traced(p.build().image)
+        assert result.exit_status == 38  # ENOSYS
+
+    def test_fd_allocation_monotone(self):
+        p = ProgramBuilder("fds")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)  # open -> fd 3
+            p.asm.syscall()
+            p.asm.mov(EAX, 41)  # socket -> fd 4
+            p.asm.syscall()
+            p.asm.mov(RDI, RAX)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 4
+
+    def test_read_script_consumed_incrementally(self):
+        p = ProgramBuilder("reads")
+        p.add_zeroed("buf", 8)
+        with p.function("_start"):
+            for __ in range(2):
+                p.asm.xor(EAX, EAX)
+                p.asm.xor(RDI, RDI)
+                p.asm.lea_rip(RSI, "buf")
+                p.asm.mov(RDX, 3)
+                p.asm.syscall()
+            p.asm.mov(RDI, RAX)  # second read returns remaining 2 bytes
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        result = run_traced(p.build().image, read_script=b"abcde")
+        assert result.exit_status == 2
+
+    def test_write_reports_full_length(self):
+        p = ProgramBuilder("writes")
+        with p.function("_start"):
+            p.asm.mov(EAX, 1)
+            p.asm.mov(RDX, 17)
+            p.asm.syscall()
+            p.asm.mov(RDI, RAX)
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        assert run_traced(p.build().image).exit_status == 17
+
+    def test_trace_records_rip(self):
+        p = ProgramBuilder("rip")
+        with p.function("_start"):
+            p.asm.mov(EAX, 39)
+            p.asm.syscall()
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        result = run_traced(prog.image)
+        for record in result.records:
+            assert prog.image.is_code_addr(record.rip - 2)  # rip after syscall insn
+
+
+class TestElfDetails:
+    def test_eh_frame_presence_flag(self):
+        for flag in (True, False):
+            p = ProgramBuilder("ehf", has_eh_frame=flag)
+            with p.function("_start"):
+                p.asm.ret()
+            p.set_entry("_start")
+            image = p.build().image
+            assert image.has_eh_frame == flag
+            assert (".eh_frame" in image.elf.section_names) == flag
+
+    def test_section_names_exposed(self):
+        p = ProgramBuilder("sections")
+        p.add_bytes("blob", b"hi")
+        with p.function("_start"):
+            p.asm.ret()
+        p.set_entry("_start")
+        names = p.build().image.elf.section_names
+        assert {".text", ".data", ".symtab", ".strtab", ".shstrtab"} <= names
+
+    def test_locals_ordered_before_globals_in_symtab(self):
+        from repro.elf import ElfImageSpec, ET_EXEC, SymbolSpec, read_elf, write_elf
+
+        spec = ElfImageSpec(
+            elf_type=ET_EXEC, text_vaddr=0x401000, text=b"\xc3",
+            entry=0x401000,
+            symbols=[
+                SymbolSpec("g1", 0x401000, 1, "func", "global"),
+                SymbolSpec("l1", 0x401000, 1, "func", "local"),
+                SymbolSpec("g2", 0x401000, 1, "func", "global"),
+            ],
+        )
+        elf = read_elf(write_elf(spec))
+        bindings = [s.binding for s in elf.symbols]
+        assert bindings == sorted(bindings, key=lambda b: b != "local")
+
+    def test_data_segment_zero_fill_on_memsz(self):
+        from repro.elf.reader import Segment
+
+        seg = Segment(0x1000, b"ab", 6)
+        assert seg.contains(0x1001)
+        assert not seg.contains(0x1002)

@@ -1,0 +1,258 @@
+"""Extension-feature tests: Docker profiles, DOT export, argument
+identification, and failure injection on malformed inputs."""
+
+import json
+
+import pytest
+
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.x86 import EAX, Memory, RDI, RSI, RDX
+
+
+class TestDockerProfiles:
+    def _report(self, syscalls, complete=True, success=True):
+        from repro.core.report import AnalysisReport
+
+        if not success:
+            return AnalysisReport.failed("b-side", "x", "cfg-recovery", "boom")
+        return AnalysisReport(tool="b-side", binary="x", success=True,
+                              syscalls=set(syscalls), complete=complete)
+
+    def test_profile_structure(self):
+        from repro.filters.docker import ACT_ALLOW, ACT_ERRNO, profile_from_report
+
+        profile = profile_from_report(self._report({0, 1, 60}))
+        assert profile["defaultAction"] == ACT_ERRNO
+        assert profile["architectures"] == ["SCMP_ARCH_X86_64"]
+        names = profile["syscalls"][0]["names"]
+        assert names == ["exit", "read", "write"]
+        assert profile["syscalls"][0]["action"] == ACT_ALLOW
+
+    def test_profile_round_trip(self):
+        from repro.filters.docker import parse_profile, profile_from_report, render_profile
+
+        profile = profile_from_report(self._report({0, 1, 60, 231}))
+        back = parse_profile(render_profile(profile))
+        assert back.allowed == frozenset({0, 1, 60, 231})
+
+    def test_failed_report_yields_allow_all(self):
+        from repro.filters.docker import profile_from_report
+        from repro.syscalls import NR_SYSCALLS
+
+        profile = profile_from_report(self._report(set(), success=False))
+        assert len(profile["syscalls"][0]["names"]) == NR_SYSCALLS
+
+    def test_render_is_valid_json(self):
+        from repro.filters.docker import profile_from_report, render_profile
+
+        text = render_profile(profile_from_report(self._report({2})))
+        assert json.loads(text)["syscalls"][0]["names"] == ["open"]
+
+
+class TestDotExport:
+    def _automaton(self):
+        from repro.core import AnalysisBudget, BSideAnalyzer
+
+        p = ProgramBuilder("dotapp")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)
+            p.asm.syscall()
+            p.asm.label("loop")
+            p.asm.mov(EAX, 0)
+            p.asm.syscall()
+            p.asm.cmp(RDI, 0)
+            p.asm.jcc("ne", "loop")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+        __, automaton = analyzer.analyze_phases(p.build().image)
+        return automaton
+
+    def test_dot_structure(self):
+        from repro.phases.dot import to_dot
+
+        automaton = self._automaton()
+        dot = to_dot(automaton)
+        assert dot.startswith("digraph phases {")
+        assert dot.rstrip().endswith("}")
+        # One node per phase, start phase double-circled.
+        assert dot.count("[label=") >= automaton.n_phases
+        assert "doublecircle" in dot
+        # Syscall names appear on edges.
+        assert "open" in dot or "read" in dot or "exit" in dot
+
+    def test_self_loops_off_by_default(self):
+        from repro.phases.dot import to_dot
+
+        automaton = self._automaton()
+        without = to_dot(automaton)
+        with_loops = to_dot(automaton, include_self_loops=True)
+        assert len(with_loops) >= len(without)
+
+
+class TestArgumentIdentification:
+    def _site_setup(self, build):
+        from repro.cfg import build_cfg, resolve_indirect_active
+        from repro.core import find_sites
+        from repro.symex import ExecContext, MemoryBackend
+
+        p = ProgramBuilder("args")
+        with p.function("_start"):
+            build(p)
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+        ctx = ExecContext.for_image(cfg, prog.image)
+        sites = find_sites(cfg)
+        return cfg, ctx, sites, MemoryBackend([prog.image])
+
+    def test_socket_domain_identified(self):
+        from repro.core.arguments import identify_argument
+
+        def body(p):
+            p.asm.mov(EAX, 41)   # socket
+            p.asm.mov(RDI, 2)    # AF_INET
+            p.asm.mov(RSI, 1)    # SOCK_STREAM
+            p.asm.syscall()
+
+        cfg, ctx, sites, backend = self._site_setup(body)
+        arg0 = identify_argument(cfg, ctx, sites[0], 0, backend)
+        assert arg0.values == {2}
+        assert arg0.complete and arg0.is_constrained
+        arg1 = identify_argument(cfg, ctx, sites[0], 1, backend)
+        assert arg1.values == {1}
+
+    def test_multiple_domains_across_paths(self):
+        from repro.core.arguments import identify_argument
+
+        def body(p):
+            p.asm.test(RDX, RDX)
+            p.asm.jcc("e", "inet6")
+            p.asm.mov(RDI, 2)    # AF_INET
+            p.asm.jmp("go")
+            p.asm.label("inet6")
+            p.asm.mov(RDI, 10)   # AF_INET6
+            p.asm.label("go")
+            p.asm.mov(EAX, 41)
+            p.asm.syscall()
+
+        cfg, ctx, sites, backend = self._site_setup(body)
+        arg0 = identify_argument(cfg, ctx, sites[0], 0, backend)
+        assert arg0.values == {2, 10}
+
+    def test_unknown_argument_not_constrained(self):
+        from repro.core.arguments import identify_argument
+
+        def body(p):
+            p.asm.mov(EAX, 0)    # read
+            # rdi arrives from the environment: never defined locally.
+            p.asm.syscall()
+
+        cfg, ctx, sites, backend = self._site_setup(body)
+        arg0 = identify_argument(cfg, ctx, sites[0], 0, backend)
+        assert not arg0.is_constrained
+
+    def test_argument_rules(self):
+        from repro.core.arguments import ArgumentRule, build_argument_rules, identify_site_arguments
+
+        def body(p):
+            p.asm.mov(EAX, 41)
+            p.asm.mov(RDI, 2)
+            p.asm.mov(RSI, 1)
+            p.asm.mov(RDX, 0)
+            p.asm.syscall()
+
+        cfg, ctx, sites, backend = self._site_setup(body)
+        args = identify_site_arguments(cfg, ctx, sites[0], n_args=3, backend=backend)
+        rules = build_argument_rules({sites[0]: {41}}, {sites[0]: args})
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.permits(41, (2, 1, 0))
+        assert not rule.permits(41, (17, 1, 0))  # AF_PACKET blocked
+        assert not rule.permits(59, (2, 1, 0))   # wrong syscall
+
+
+class TestFailureInjection:
+    def test_bad_elf_magic(self):
+        from repro.elf import read_elf
+        from repro.errors import ElfError
+
+        with pytest.raises(ElfError):
+            read_elf(b"\x7fBAD" + b"\x00" * 100)
+
+    def test_truncated_elf(self):
+        from repro.elf import read_elf
+
+        p = ProgramBuilder("trunc")
+        with p.function("_start"):
+            p.asm.ret()
+        p.set_entry("_start")
+        data = p.build().elf_bytes
+        with pytest.raises(Exception):
+            read_elf(data[:80])
+
+    def test_analyzer_handles_garbage_code(self):
+        """A binary whose text is random bytes must fail cleanly, not crash."""
+        from repro.core import BSideAnalyzer
+        from repro.elf import ElfImageSpec, ET_EXEC, write_elf
+        from repro.loader import LoadedImage
+
+        spec = ElfImageSpec(
+            elf_type=ET_EXEC,
+            text_vaddr=0x401000,
+            text=bytes(range(7, 250, 7)) * 3,
+            entry=0x401000,
+        )
+        image = LoadedImage.from_bytes("garbage", write_elf(spec))
+        report = BSideAnalyzer().analyze(image)
+        assert not report.success
+        assert report.failure_stage == "load"
+
+    def test_decoder_fuzz_no_crashes(self):
+        """Random byte soup either decodes or raises DecodeError — never
+        anything else."""
+        import random
+
+        from repro.errors import DecodeError
+        from repro.x86 import decode
+
+        rng = random.Random(1234)
+        for __ in range(3000):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+            try:
+                insn = decode(blob, 0, 0x1000)
+                assert insn.size >= 1
+            except DecodeError:
+                pass
+
+    def test_emulator_rejects_wild_jump(self):
+        from repro.emu import run_traced
+        from repro.errors import EmulationError
+
+        p = ProgramBuilder("wild")
+        with p.function("_start"):
+            p.asm.mov(RDI, 0x123456)
+            p.asm.jmp_reg(RDI)
+        p.set_entry("_start")
+        prog = p.build()
+        with pytest.raises(EmulationError):
+            run_traced(prog.image)
+
+    def test_stack_overflow_detected(self):
+        from repro.emu import run_traced
+        from repro.errors import EmulationError
+
+        p = ProgramBuilder("recur")
+        with p.function("boom"):
+            p.asm.call("boom")
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.call("boom")
+            p.asm.hlt()
+        p.set_entry("_start")
+        with pytest.raises(EmulationError):
+            run_traced(p.build().image)

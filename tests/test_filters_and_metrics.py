@@ -1,0 +1,194 @@
+"""Filters, phase policies, CVE database, and scoring tests."""
+
+import pytest
+
+from repro.core.report import AnalysisReport
+from repro.filters import ACTION_ALLOW, ACTION_KILL, FilterProgram, PhasePolicy, protected_against
+from repro.metrics import Score, histogram, score
+from repro.syscalls import ALL_SYSCALLS, number_of
+from repro.syscalls.cves import CVE_DATABASE, Cve, protection_rate
+
+
+class TestFilterProgram:
+    def test_allow_list_semantics(self):
+        f = FilterProgram.allow_list({0, 1, 60})
+        assert f.permits(0) and f.permits(60)
+        assert f.blocks(59)
+        assert f.execute(60) == ACTION_ALLOW
+        assert f.execute(59) == ACTION_KILL
+
+    def test_from_successful_report(self):
+        report = AnalysisReport(tool="x", binary="b", success=True,
+                                syscalls={1, 2}, complete=True)
+        f = FilterProgram.from_report(report)
+        assert f.allowed == {1, 2}
+
+    def test_from_failed_report_allows_all(self):
+        report = AnalysisReport.failed("x", "b", "timeout", "budget")
+        f = FilterProgram.from_report(report)
+        assert f.allowed == frozenset(ALL_SYSCALLS)
+        assert f.n_blocked == 0
+
+    def test_from_incomplete_report_allows_all(self):
+        report = AnalysisReport(tool="x", binary="b", success=True,
+                                syscalls={1}, complete=False)
+        f = FilterProgram.from_report(report)
+        assert f.n_blocked == 0
+
+    def test_render_mentions_names(self):
+        f = FilterProgram.allow_list({number_of("execve")})
+        assert "execve" in f.render()
+
+    def test_enforced_in_emulator(self):
+        from repro.corpus.progbuilder import ProgramBuilder
+        from repro.emu import run_traced
+        from repro.x86 import EAX
+
+        p = ProgramBuilder("victim")
+        with p.function("_start"):
+            p.asm.mov(EAX, 39)
+            p.asm.syscall()
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        ok = run_traced(prog.image, filter_allowed=FilterProgram.allow_list({39, 60}).allowed)
+        assert ok.exit_status == 0 or ok.exit_status is not None
+        killed = run_traced(prog.image, filter_allowed=FilterProgram.allow_list({60}).allowed)
+        assert killed.killed_by_filter == 39
+
+
+class TestCveDatabase:
+    def test_exactly_36_cves(self):
+        assert len(CVE_DATABASE) == 36
+
+    def test_all_syscall_names_valid(self):
+        for cve in CVE_DATABASE:
+            assert cve.numbers, f"{cve.ident} resolves no syscalls"
+
+    def test_protection_rate_blocked(self):
+        cve = Cve("test-1", ("bpf",), ("L",))
+        # Three programs, none identifying bpf: all protected.
+        rate = protection_rate(cve, [{0, 1}, {60}, {2, 3}])
+        assert rate == 1.0
+
+    def test_protection_rate_exposed(self):
+        bpf = number_of("bpf")
+        cve = Cve("test-2", ("bpf",), ("L",))
+        rate = protection_rate(cve, [{bpf}, {0}])
+        assert rate == 0.5
+
+    def test_multi_syscall_cve_partial_block_protects(self):
+        # Blocking ANY of the involved syscalls protects (§5.5).
+        clone, unshare = number_of("clone"), number_of("unshare")
+        cve = Cve("test-3", ("clone", "unshare"), ("UaF",))
+        assert protection_rate(cve, [{clone}]) == 1.0  # unshare blocked
+        assert protection_rate(cve, [{clone, unshare}]) == 0.0
+
+
+class TestScores:
+    def test_perfect(self):
+        s = score({1, 2, 3}, {1, 2, 3})
+        assert s.precision == s.recall == s.f1 == 1.0
+        assert s.is_valid
+
+    def test_false_positives_reduce_precision(self):
+        s = score({1, 2, 3, 4, 5, 6}, {1, 2, 3})
+        assert s.recall == 1.0
+        assert s.precision == 0.5
+        assert s.is_valid
+        assert abs(s.f1 - 2 / 3) < 1e-9
+
+    def test_false_negatives_invalidate(self):
+        s = score({1}, {1, 2})
+        assert not s.is_valid
+        assert s.false_negatives == 1
+
+    def test_paper_shaped_f1(self):
+        # identified ~1.5x ground truth with full recall -> F1 ~0.8.
+        truth = set(range(50))
+        identified = set(range(74))
+        s = score(identified, truth)
+        assert 0.75 <= s.f1 <= 0.85
+
+    def test_empty_sets(self):
+        s = score(set(), set())
+        assert s.f1 == 0.0
+        assert s.is_valid
+
+    def test_histogram(self):
+        h = histogram([3, 7, 43, 271, 272, 95], bin_width=10, top=280)
+        assert h[0] == 2
+        assert h[40] == 1
+        assert h[270] == 2
+        assert h[90] == 1
+
+
+class TestPhasePolicy:
+    def _automaton(self):
+        from repro.core import AnalysisBudget, BSideAnalyzer
+        from repro.corpus.progbuilder import ProgramBuilder
+        from repro.x86 import EAX, RDI
+
+        p = ProgramBuilder("phased")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)
+            p.asm.syscall()
+            p.asm.label("loop")
+            p.asm.mov(EAX, 0)
+            p.asm.syscall()
+            p.asm.cmp(RDI, 0)
+            p.asm.jcc("ne", "loop")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+        report, automaton = analyzer.analyze_phases(p.build().image)
+        return report, automaton
+
+    def test_policy_filters_per_phase(self):
+        report, automaton = self._automaton()
+        policy = PhasePolicy.from_automaton(automaton)
+        assert len(policy.filters) == automaton.n_phases
+
+    def test_phase_hook_accepts_legal_run(self):
+        from repro.corpus.progbuilder import ProgramBuilder
+        from repro.emu import EmulatedKernel, Machine
+        from repro.x86 import EAX, RDI
+
+        report, automaton = self._automaton()
+        policy = PhasePolicy.from_automaton(automaton)
+
+        p = ProgramBuilder("phased2")
+        with p.function("_start"):
+            p.asm.mov(EAX, 2)
+            p.asm.syscall()
+            p.asm.mov(EAX, 0)
+            p.asm.syscall()
+            p.asm.mov(EAX, 60)
+            p.asm.xor(RDI, RDI)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        kernel = EmulatedKernel()
+        kernel.filter_hook = policy.make_kernel_hook()
+        machine = Machine(kernel)
+        machine.load(prog.image)
+        status = machine.run()
+        assert status == 0
+
+    def test_strictness_gain_positive_without_propagation(self):
+        report, automaton = self._automaton()
+        automaton.propagated = None  # measure raw phase strictness
+        policy = PhasePolicy.from_automaton(automaton, use_propagated=False)
+        whole = FilterProgram.allow_list(report.syscalls)
+        gain = policy.strictness_gain_over(whole)
+        assert gain > 0.0
+
+    def test_protected_against_helper(self):
+        f = FilterProgram.allow_list({0, 1, 60})
+        assert protected_against(f, {number_of("bpf")})
+        assert not protected_against(f, {0})

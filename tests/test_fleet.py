@@ -1,0 +1,117 @@
+"""Fleet analysis tests: batch runs, statistics, JSON inventory, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.fleet import FleetAnalyzer, FleetReport
+from repro.corpus import ProgramBuilder, make_debian_corpus
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return make_debian_corpus(scale=0.06, seed=31)
+
+
+@pytest.fixture(scope="module")
+def fleet_report(small_corpus):
+    fleet = FleetAnalyzer(resolver=small_corpus.make_resolver())
+    return fleet.analyze_images([b.image for b in small_corpus.binaries])
+
+
+class TestFleetAnalysis:
+    def test_entry_per_binary(self, small_corpus, fleet_report):
+        assert len(fleet_report.entries) == len(small_corpus.binaries)
+
+    def test_success_rate_in_expected_band(self, fleet_report):
+        assert 0.5 <= fleet_report.success_rate() <= 1.0
+
+    def test_average_syscalls_plausible(self, fleet_report):
+        assert 10 <= fleet_report.average_syscalls() <= 90
+
+    def test_failure_stages_match_hardness(self, small_corpus, fleet_report):
+        hard = sum(1 for b in small_corpus.binaries if b.hardness is not None)
+        assert sum(fleet_report.failure_stages().values()) == hard
+
+    def test_common_syscalls_subset_of_everyones(self, fleet_report):
+        common = fleet_report.common_syscalls(threshold=1.0)
+        for entry in fleet_report.successes:
+            assert common <= entry.report.syscalls
+
+    def test_cve_exposure_rates_valid(self, fleet_report):
+        exposure = fleet_report.cve_exposure()
+        assert len(exposure) == 36
+        assert all(0.0 <= rate <= 1.0 for rate in exposure.values())
+
+    def test_json_inventory(self, fleet_report):
+        doc = json.loads(fleet_report.to_json())
+        assert doc["fleet_size"] == len(fleet_report.entries)
+        assert len(doc["binaries"]) == doc["fleet_size"]
+        assert "cve_exposure" in doc
+        first = doc["binaries"][0]
+        assert {"binary", "success", "syscalls"} <= set(first)
+
+
+class TestFleetDirectory:
+    def test_directory_sweep_skips_non_elf(self, tmp_path, small_corpus):
+        bindir = tmp_path / "bin"
+        bindir.mkdir()
+        chosen = [b for b in small_corpus.binaries if b.hardness is None][:4]
+        for binary in chosen:
+            binary.program.save(str(bindir / binary.name))
+        (bindir / "README.txt").write_text("not an elf")
+        (bindir / "script.sh").write_text("#!/bin/sh\necho hi\n")
+
+        fleet = FleetAnalyzer(resolver=small_corpus.make_resolver())
+        report = fleet.analyze_directory(str(bindir))
+        assert len(report.entries) == len(chosen)
+
+    def test_cli_fleet_command(self, tmp_path, small_corpus, capsys):
+        from repro.cli import main
+
+        bindir = tmp_path / "fleetbin"
+        bindir.mkdir()
+        libdir = tmp_path / "fleetlib"
+        libdir.mkdir()
+        for binary in [b for b in small_corpus.binaries if b.hardness is None][:3]:
+            binary.program.save(str(bindir / binary.name))
+        for name, lib in small_corpus.libraries.items():
+            lib.save(str(libdir / name))
+
+        assert main(["fleet", str(bindir), "--libdir", str(libdir)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 3 binaries" in out
+
+    def test_cli_fleet_json(self, tmp_path, small_corpus, capsys):
+        from repro.cli import main
+
+        bindir = tmp_path / "fleetjson"
+        bindir.mkdir()
+        libdir = tmp_path / "fleetjsonlib"
+        libdir.mkdir()
+        binary = next(b for b in small_corpus.binaries if b.hardness is None)
+        binary.program.save(str(bindir / binary.name))
+        for name, lib in small_corpus.libraries.items():
+            lib.save(str(libdir / name))
+
+        assert main(["fleet", str(bindir), "--libdir", str(libdir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fleet_size"] == 1
+
+    def test_cli_docker_profile(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = ProgramBuilder("dp")
+        with p.function("_start"):
+            from repro.x86 import EAX
+
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        path = str(tmp_path / "dp")
+        p.build().save(path)
+        assert main(["docker-profile", path]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["syscalls"][0]["names"] == ["exit"]

@@ -1,0 +1,139 @@
+"""On-disk interface caching, syscall categories, and libc golden checks."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import AnalysisBudget, BSideAnalyzer, InterfaceStore
+from repro.corpus import LIBC_NAME, build_libc, libc_direct_numbers
+from repro.corpus.libc import LIBC_COMPOSITES, LIBC_DIRECT_SYSCALLS, LIBC_WRAPPED_SYSCALLS
+from repro.loader import LibraryResolver
+from repro.syscalls import SYSCALL_NUMBERS, numbers_of
+from repro.syscalls.categories import CATEGORIES, categorize, category_of, category_summary
+
+
+class TestDiskInterfaceCache:
+    def test_interface_persisted_and_reloaded(self, tmp_path):
+        cache_dir = str(tmp_path / "ifaces")
+        libc = build_libc()
+
+        store1 = InterfaceStore(cache_dir=cache_dir)
+        analyzer1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store1,
+        )
+        first = analyzer1.analyze_library(libc.image)
+        path = os.path.join(cache_dir, f"{LIBC_NAME}.interface.json")
+        assert os.path.exists(path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["library"] == LIBC_NAME
+
+        # A fresh session must load from disk without re-analysis.
+        store2 = InterfaceStore(cache_dir=cache_dir)
+        assert LIBC_NAME in store2
+        reloaded = store2.get(LIBC_NAME)
+        assert reloaded.exports.keys() == first.exports.keys()
+        for name in first.exports:
+            assert reloaded.exports[name].syscalls == first.exports[name].syscalls
+
+    def test_analyzer_uses_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "ifaces2")
+        libc = build_libc()
+        resolver = LibraryResolver(library_map={LIBC_NAME: libc.elf_bytes})
+
+        a1 = BSideAnalyzer(
+            resolver=resolver, budget=AnalysisBudget.generous(),
+            interface_store=InterfaceStore(cache_dir=cache_dir),
+        )
+        a1.analyze_library(libc.image)
+
+        store = InterfaceStore(cache_dir=cache_dir)
+        a2 = BSideAnalyzer(
+            resolver=resolver, budget=AnalysisBudget.generous(),
+            interface_store=store,
+        )
+        # get() hits disk: no fresh analysis object needed.
+        cached = a2.analyze_library(libc.image)
+        assert cached.exports["c_read"].syscalls == {0}
+
+
+class TestLibcGolden:
+    """Structural golden checks over the corpus libc's interface."""
+
+    @pytest.fixture(scope="class")
+    def interface(self):
+        analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+        return analyzer.analyze_library(build_libc().image)
+
+    def test_every_direct_export_maps_to_its_syscall(self, interface):
+        for name in LIBC_DIRECT_SYSCALLS:
+            export = interface.exports[f"c_{name}"]
+            assert export.syscalls == {SYSCALL_NUMBERS[name]}, name
+
+    def test_every_wrapped_export_maps_to_its_syscall(self, interface):
+        for name in LIBC_WRAPPED_SYSCALLS:
+            export = interface.exports[f"c_{name}"]
+            assert export.syscalls == {SYSCALL_NUMBERS[name]}, name
+
+    def test_composites_union_their_callees(self, interface):
+        for comp, callees in LIBC_COMPOSITES.items():
+            expected = set()
+            for callee in callees:
+                expected |= interface.exports[callee].syscalls
+            assert interface.exports[comp].syscalls == expected, comp
+
+    def test_syscall_export_is_wrapper(self, interface):
+        export = interface.exports["syscall"]
+        assert export.is_wrapper
+        assert export.wrapper_param == ("reg", "rdi")
+        assert export.syscalls == set()
+
+    def test_fptr_dispatch_export(self, interface):
+        assert interface.exports["c_run_atexit"].syscalls == \
+            {SYSCALL_NUMBERS["munmap"]}
+
+    def test_direct_numbers_helper_consistent(self, interface):
+        all_direct = set()
+        for name in LIBC_DIRECT_SYSCALLS:
+            all_direct |= interface.exports[f"c_{name}"].syscalls
+        all_direct.add(SYSCALL_NUMBERS["munmap"])
+        assert all_direct == libc_direct_numbers()
+
+
+class TestCategories:
+    def test_categories_are_disjoint(self):
+        seen: dict[int, str] = {}
+        for name, members in CATEGORIES.items():
+            for nr in members:
+                assert nr not in seen, f"{nr} in both {seen.get(nr)} and {name}"
+                seen[nr] = name
+
+    def test_category_of(self):
+        assert category_of(SYSCALL_NUMBERS["read"]) == "file"
+        assert category_of(SYSCALL_NUMBERS["socket"]) == "network"
+        assert category_of(SYSCALL_NUMBERS["execve"]) == "process"
+        assert category_of(SYSCALL_NUMBERS["bpf"]) == "admin"
+
+    def test_categorize_partition(self):
+        syscalls = numbers_of("read", "write", "socket", "execve", "getrandom")
+        grouped = categorize(syscalls)
+        assert grouped["file"] == numbers_of("read", "write")
+        assert grouped["network"] == numbers_of("socket")
+        total = set()
+        for members in grouped.values():
+            total |= members
+        assert total == syscalls
+
+    def test_summary_ordering(self):
+        syscalls = numbers_of("read", "write", "open", "socket")
+        summary = category_summary(syscalls)
+        assert summary.startswith("file:3")
+        assert "network:1" in summary
+
+    def test_most_of_table_categorized(self):
+        from repro.syscalls import ALL_SYSCALLS
+
+        uncategorized = [nr for nr in ALL_SYSCALLS if category_of(nr) == "other"]
+        # The long tail is fine, but the bulk must be categorized.
+        assert len(uncategorized) < 0.25 * len(ALL_SYSCALLS)

@@ -1,0 +1,141 @@
+"""The paper's central claim as a property test.
+
+For *any* program, the set of syscalls observed at runtime must be a
+subset of B-Side's statically identified set (§5.1's validity).  Programs
+are generated from a grammar covering the identification-relevant
+constructs: direct/split/stack invocation styles, register and stack
+wrappers, forward branches on inputs, helper calls, and function
+pointers.  Each generated program is analyzed once and executed under
+several input vectors; every trace must be contained in the identified
+set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalysisBudget, BSideAnalyzer
+from repro.corpus import ProgramBuilder
+from repro.emu import run_traced
+from repro.x86 import EAX, Immediate, Memory, RAX, RDI, RSI, RSP
+
+# exit/exit_group excluded: a mid-program exit would end the run early
+# (legitimate, but it would make the exit-status assertion meaningless).
+_SYSCALLS = (0, 1, 2, 3, 9, 12, 39, 41, 102, 186, 228)
+
+
+@st.composite
+def _program_spec(draw):
+    n_ops = draw(st.integers(2, 8))
+    ops = []
+    for __ in range(n_ops):
+        kind = draw(st.sampled_from(
+            ["direct", "split", "stack", "reg_wrap", "stk_wrap",
+             "helper", "fptr", "guarded"]
+        ))
+        nr = draw(st.sampled_from(_SYSCALLS))
+        guard = draw(st.integers(0, 2))
+        ops.append((kind, nr, guard))
+    return ops
+
+
+_COUNTER = [0]
+
+
+def _build(ops):
+    _COUNTER[0] += 1
+    p = ProgramBuilder(f"prop{_COUNTER[0]}")
+    with p.function("regw"):
+        p.asm.mov(RAX, RDI)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("stkw"):
+        p.asm.mov(RAX, Memory(base=RSP, disp=8))
+        p.asm.syscall()
+        p.asm.ret()
+
+    helpers = []
+    for i, (kind, nr, __) in enumerate(ops):
+        if kind in ("helper", "fptr"):
+            with p.function(f"helper{i}"):
+                p.asm.mov(EAX, nr)
+                p.asm.syscall()
+                p.asm.ret()
+            helpers.append(i)
+
+    with p.function("_start"):
+        for i, (kind, nr, guard) in enumerate(ops):
+            tag = f"op{i}"
+            if kind == "direct":
+                p.asm.mov(EAX, nr)
+                p.asm.syscall()
+            elif kind == "split":
+                p.asm.mov(EAX, nr)
+                p.asm.test(RDI, RDI)
+                p.asm.jcc("ns", f"{tag}.go")
+                p.asm.nop()
+                p.asm.label(f"{tag}.go")
+                p.asm.syscall()
+            elif kind == "stack":
+                p.asm.sub(RSP, 0x10)
+                p.asm.mov(Memory(base=RSP, disp=0), nr)
+                p.asm.mov(RAX, Memory(base=RSP, disp=0))
+                p.asm.add(RSP, 0x10)
+                p.asm.syscall()
+            elif kind == "reg_wrap":
+                p.asm.mov(RDI, nr)
+                p.asm.call("regw")
+            elif kind == "stk_wrap":
+                p.asm.sub(RSP, 0x10)
+                p.asm.mov(Memory(base=RSP, disp=0), nr)
+                p.asm.call("stkw")
+                p.asm.add(RSP, 0x10)
+            elif kind in ("helper", "fptr"):
+                if kind == "helper":
+                    p.asm.call(f"helper{i}")
+                else:
+                    p.asm.lea_rip(RSI, f"helper{i}")
+                    p.asm.call_reg(RSI)
+            elif kind == "guarded":
+                # Input-dependent: only runs when input0 == guard.
+                p.asm.cmp(RDI, guard)
+                p.asm.jcc("ne", f"{tag}.skip")
+                p.asm.mov(EAX, nr)
+                p.asm.syscall()
+                p.asm.label(f"{tag}.skip")
+        p.asm.mov(EAX, 231)
+        p.asm.xor(RDI, RDI)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_program_spec(), inputs=st.lists(st.integers(0, 2), min_size=1, max_size=3))
+def test_runtime_trace_contained_in_identified_set(ops, inputs):
+    prog = _build(ops)
+    analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+    report = analyzer.analyze(prog.image)
+    assert report.success, report.failure_reason
+    assert report.complete
+
+    for value in inputs:
+        trace = run_traced(prog.image, inputs=(value,))
+        assert trace.exit_status == 0
+        missing = trace.syscall_numbers - report.syscalls
+        assert not missing, (
+            f"false negatives {sorted(missing)} with input {value} for {ops}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_program_spec())
+def test_identified_set_is_the_union_of_intended_syscalls(ops):
+    """Precision on the grammar: identification finds exactly the emitted
+    numbers (plus exit_group) — nothing is invented."""
+    prog = _build(ops)
+    analyzer = BSideAnalyzer(budget=AnalysisBudget.generous())
+    report = analyzer.analyze(prog.image)
+    assert report.success
+    intended = {nr for __, nr, __g in ops} | {231}
+    assert report.syscalls == intended

@@ -1,0 +1,91 @@
+"""Bitvector expression tests, including simplifier soundness properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symex import BVS, BVV, binop, concrete_eval, to_signed, truncate
+from repro.symex.bitvec import _FOLDS, _mask
+
+
+class TestFolding:
+    def test_concrete_fold(self):
+        assert binop("add", BVV(2), BVV(3)) == BVV(5)
+        assert binop("sub", BVV(2), BVV(3)) == BVV((2 - 3) % 2**64)
+        assert binop("xor", BVV(0xFF), BVV(0x0F)) == BVV(0xF0)
+
+    def test_width_masking(self):
+        assert binop("add", BVV(0xFFFFFFFF), BVV(1), width=32) == BVV(0)
+        assert binop("shl", BVV(1), BVV(40), width=32) == BVV(0)
+
+    def test_xor_self_symbolic_is_zero(self):
+        x = BVS("x")
+        assert binop("xor", x, x) == BVV(0)
+        assert binop("sub", x, x) == BVV(0)
+
+    def test_identity_elimination(self):
+        x = BVS("x")
+        assert binop("add", x, BVV(0)) is x
+        assert binop("or", BVV(0), x) is x
+        assert binop("and", x, BVV(0)) == BVV(0)
+        assert binop("mul", BVV(0), x) == BVV(0)
+
+    def test_symbolic_stays_symbolic(self):
+        x = BVS("x")
+        e = binop("add", x, BVV(4))
+        assert not e.is_concrete
+        assert e.value_or_none() is None
+
+    def test_truncate(self):
+        assert truncate(BVV(0x1_0000_0001), 32) == BVV(1)
+        x = BVS("x")
+        t = truncate(x, 32)
+        assert not t.is_concrete
+
+    def test_distinct_symbols_not_equal(self):
+        assert BVS("x") != BVS("x")  # fresh uids
+        x = BVS("x")
+        assert binop("xor", x, BVS("x")).value_or_none() is None
+
+
+class TestSigned:
+    def test_to_signed(self):
+        assert to_signed(2**64 - 1) == -1
+        assert to_signed(5) == 5
+        assert to_signed(0x80000000, 32) == -(2**31)
+
+
+_OPS = ["add", "sub", "xor", "and", "or", "mul", "shl", "shr"]
+
+
+class TestSimplifierSoundness:
+    @settings(max_examples=500, deadline=None)
+    @given(
+        op=st.sampled_from(_OPS),
+        a=st.integers(0, 2**64 - 1),
+        b=st.integers(0, 2**64 - 1),
+        width=st.sampled_from([32, 64]),
+    )
+    def test_fold_matches_reference(self, op, a, b, width):
+        expr = binop(op, BVV(a), BVV(b), width)
+        assert expr.is_concrete
+        assert expr.value_or_none() == _mask(_FOLDS[op](a, b), width)
+
+    @settings(max_examples=500, deadline=None)
+    @given(
+        op=st.sampled_from(_OPS),
+        a=st.integers(0, 2**64 - 1),
+        x=st.integers(0, 2**64 - 1),
+        width=st.sampled_from([32, 64]),
+        sym_on_left=st.booleans(),
+    )
+    def test_simplified_symbolic_matches_substitution(self, op, a, x, width, sym_on_left):
+        """Simplifications must preserve the value under any substitution."""
+        sym = BVS("x")
+        if sym_on_left:
+            expr = binop(op, sym, BVV(a), width)
+            expected = _mask(_FOLDS[op](x, a), width)
+        else:
+            expr = binop(op, BVV(a), sym, width)
+            expected = _mask(_FOLDS[op](a, x), width)
+        evaluated = concrete_eval(expr, {sym.uid: x})
+        assert evaluated == expected

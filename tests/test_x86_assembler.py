@@ -1,0 +1,131 @@
+"""Tests for the two-pass label assembler."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.x86 import Assembler, Memory, RAX, RDI, RSI, decode_all
+
+
+class TestLabels:
+    def test_forward_and_backward_branches(self):
+        a = Assembler(base=0x1000)
+        a.label("start")
+        a.mov(RAX, 1)
+        a.jmp("end")
+        a.label("mid")
+        a.mov(RAX, 2)
+        a.jmp("start")
+        a.label("end")
+        a.ret()
+        code = a.assemble()
+        insns = decode_all(code, 0x1000)
+        jumps = [i for i in insns if i.mnemonic == "jmp"]
+        labels = a.labels()
+        assert jumps[0].branch_target() == labels["end"]
+        assert jumps[1].branch_target() == labels["start"]
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(AsmError):
+            a.label("x")
+
+    def test_undefined_label_rejected(self):
+        a = Assembler()
+        a.jmp("nowhere")
+        with pytest.raises(AsmError):
+            a.assemble()
+
+    def test_extern_resolution(self):
+        a = Assembler(base=0x1000)
+        a.call("puts")
+        code = a.assemble(externs={"puts": 0x2000})
+        insn = decode_all(code, 0x1000)[0]
+        assert insn.branch_target() == 0x2000
+
+    def test_local_shadows_nothing_but_wins(self):
+        a = Assembler(base=0x1000)
+        a.label("f")
+        a.call("f")
+        code = a.assemble(externs={"f": 0x9999})
+        insn = decode_all(code, 0x1000)[0]
+        assert insn.branch_target() == 0x1000
+
+
+class TestAddressFormation:
+    def test_lea_rip_label(self):
+        a = Assembler(base=0x1000)
+        a.lea_rip(RDI, "data")
+        a.ret()
+        a.label("data")
+        a.nop()
+        code = a.assemble()
+        insns = decode_all(code, 0x1000)
+        assert insns[0].mnemonic == "lea"
+        assert insns[0].operands[1].disp == a.labels()["data"]
+
+    def test_load_addr_is_movabs(self):
+        a = Assembler(base=0x1000)
+        a.load_addr(RAX, "target")
+        a.label("target")
+        a.ret()
+        code = a.assemble()
+        insns = decode_all(code, 0x1000)
+        assert insns[0].mnemonic == "mov"
+        assert insns[0].operands[1].width == 64
+        assert insns[0].operands[1].value == a.labels()["target"]
+
+    def test_mov_from_rip(self):
+        a = Assembler(base=0x1000)
+        a.mov_from_rip(RSI, "blob", addend=8)
+        a.label("blob")
+        a.ret()
+        code = a.assemble()
+        insn = decode_all(code, 0x1000)[0]
+        assert insn.operands[1].rip_relative
+        assert insn.operands[1].disp == a.labels()["blob"] + 8
+
+    def test_mov_to_rip(self):
+        a = Assembler(base=0x1000)
+        a.mov_to_rip("slot", RAX)
+        a.label("slot")
+        a.ret()
+        code = a.assemble()
+        insn = decode_all(code, 0x1000)[0]
+        assert isinstance(insn.operands[0], Memory)
+        assert insn.operands[0].rip_relative
+
+
+class TestLayout:
+    def test_align_pads_with_nops(self):
+        a = Assembler(base=0x1000)
+        a.ret()
+        a.align(16)
+        a.label("aligned")
+        a.ret()
+        a.assemble()
+        assert a.labels()["aligned"] % 16 == 0
+
+    def test_raw_bytes_passthrough(self):
+        a = Assembler(base=0)
+        a.raw_bytes(b"\x0f\x05")
+        code = a.assemble()
+        assert code == b"\x0f\x05"
+
+    def test_size_reported(self):
+        a = Assembler(base=0)
+        a.mov(RAX, 60)
+        a.syscall()
+        code = a.assemble()
+        assert a.size == len(code)
+
+    def test_full_function_roundtrips(self):
+        a = Assembler(base=0x401000)
+        a.label("exit_group")
+        a.mov(RAX, 231)
+        a.xor(RDI, RDI)
+        a.syscall()
+        a.ret()
+        code = a.assemble()
+        mnems = [i.mnemonic for i in decode_all(code, 0x401000)]
+        assert mnems == ["mov", "xor", "syscall", "ret"]

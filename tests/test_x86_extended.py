@@ -1,0 +1,196 @@
+"""Extended ISA tests: inc/dec/neg/not, movzx/movsx/movsxd, cmovcc —
+round-trips plus concrete and symbolic semantics."""
+
+import pytest
+
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.emu import run_traced
+from repro.x86 import (
+    EAX,
+    Immediate,
+    Instruction,
+    Memory,
+    RAX,
+    RBX,
+    RDI,
+    RSI,
+    RSP,
+    Register,
+    decode,
+    encode,
+)
+
+
+def roundtrip(insn: Instruction, addr: int = 0x400000) -> Instruction:
+    code = encode(insn, addr)
+    back = decode(code, 0, addr)
+    assert encode(back, addr) == code
+    return back
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("mn", ["inc", "dec", "neg", "not"])
+    def test_unary_reg(self, mn):
+        back = roundtrip(Instruction(mn, (RAX,)))
+        assert back.mnemonic == mn
+
+    @pytest.mark.parametrize("mn", ["inc", "dec"])
+    def test_unary_mem(self, mn):
+        mem = Memory(base=RSP, disp=8)
+        back = roundtrip(Instruction(mn, (mem,)))
+        assert back.operands[0] == mem
+
+    @pytest.mark.parametrize("mn,width", [
+        ("movzx", 8), ("movzx", 16), ("movsx", 8), ("movsx", 16),
+    ])
+    def test_movx(self, mn, width):
+        mem = Memory(base=RDI, disp=4, width=width)
+        back = roundtrip(Instruction(mn, (RAX, mem)))
+        assert back.mnemonic == mn
+        assert back.operands[1].width == width
+
+    def test_movsxd(self):
+        back = roundtrip(Instruction("movsxd", (RAX, Register("rdi", 32))))
+        assert back.mnemonic == "movsxd"
+
+    @pytest.mark.parametrize("cc", ["e", "ne", "l", "g", "b", "a"])
+    def test_cmov(self, cc):
+        back = roundtrip(Instruction(f"cmov{cc}", (RAX, RDI)))
+        assert back.mnemonic == f"cmov{cc}"
+
+    def test_cmov_mem_source(self):
+        mem = Memory(base=RSI, disp=0x10)
+        back = roundtrip(Instruction("cmove", (RAX, mem)))
+        assert back.operands[1] == mem
+
+
+def run_exit_status(build) -> int:
+    """Build a tiny program with ``build(p)`` and return its exit status."""
+    p = ProgramBuilder("t")
+    with p.function("_start"):
+        build(p)
+        p.asm.mov(EAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return run_traced(p.build().image).exit_status
+
+
+class TestConcreteSemantics:
+    def test_inc_dec(self):
+        def body(p):
+            p.asm.mov(RDI, 5)
+            p.asm.emit("inc", RDI)
+            p.asm.emit("inc", RDI)
+            p.asm.emit("dec", RDI)
+        assert run_exit_status(body) == 6
+
+    def test_neg(self):
+        def body(p):
+            p.asm.mov(RDI, 7)
+            p.asm.emit("neg", RDI)
+            p.asm.emit("neg", RDI)
+        assert run_exit_status(body) == 7
+
+    def test_not(self):
+        def body(p):
+            p.asm.mov(RDI, 0)
+            p.asm.emit("not", RDI)
+            p.asm.and_(RDI, 0xFF)
+        assert run_exit_status(body) == 0xFF
+
+    def test_movzx_from_memory(self):
+        def body(p):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=0), 0x1234ABCD)
+            p.asm.emit("movzx", RDI, Memory(base=RSP, disp=0, width=8))
+            p.asm.add(RSP, 0x10)
+        assert run_exit_status(body) == 0xCD
+
+    def test_movsx_from_memory(self):
+        def body(p):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=0), 0x80)  # -128 as int8
+            p.asm.emit("movsx", RDI, Memory(base=RSP, disp=0, width=8))
+            p.asm.emit("neg", RDI)
+            p.asm.add(RSP, 0x10)
+        assert run_exit_status(body) == 128
+
+    def test_movsxd(self):
+        def body(p):
+            p.asm.mov(RBX, 0xFFFFFFFF)  # -1 as int32
+            p.asm.emit("movsxd", RDI, Register("rbx", 32))
+            p.asm.emit("neg", RDI)  # 1
+        assert run_exit_status(body) == 1
+
+    def test_cmov_taken_and_skipped(self):
+        def body(p):
+            p.asm.mov(RDI, 1)
+            p.asm.mov(RBX, 42)
+            p.asm.cmp(RDI, 1)
+            p.asm.emit("cmove", RDI, RBX)   # taken: rdi = 42
+            p.asm.mov(RBX, 99)
+            p.asm.cmp(RDI, 0)
+            p.asm.emit("cmove", RDI, RBX)   # not taken
+        assert run_exit_status(body) == 42
+
+
+class TestSymbolicSemantics:
+    def _identify(self, build):
+        from repro.cfg import build_cfg, resolve_indirect_active
+        from repro.symex import ExecContext, MemoryBackend, backward_identify, query_rax
+
+        p = ProgramBuilder("sym")
+        with p.function("_start"):
+            build(p)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        resolve_indirect_active(cfg, prog.image, [prog.image.entry])
+        ctx = ExecContext.for_image(cfg, prog.image)
+        block = cfg.syscall_blocks()[0]
+        return backward_identify(
+            cfg, ctx, block.addr, block.terminator.addr, query_rax,
+            backend=MemoryBackend([prog.image]),
+        )
+
+    def test_inc_chain_tracked(self):
+        def body(p):
+            p.asm.mov(EAX, 0)
+            p.asm.emit("inc", RAX)  # rax = 1 (write)
+        assert self._identify(body).values == {1}
+
+    def test_neg_tracked(self):
+        def body(p):
+            p.asm.mov(RAX, -39)
+            p.asm.emit("neg", RAX)  # getpid
+        assert self._identify(body).values == {39}
+
+    def test_movzx_tracked_through_memory(self):
+        def body(p):
+            p.asm.sub(RSP, 0x10)
+            p.asm.mov(Memory(base=RSP, disp=0), 0x27)  # 39 in low byte
+            p.asm.emit("movzx", RAX, Memory(base=RSP, disp=0, width=8))
+            p.asm.add(RSP, 0x10)
+        assert self._identify(body).values == {39}
+
+    def test_cmov_with_concrete_flags_tracked(self):
+        def body(p):
+            p.asm.mov(EAX, 0)
+            p.asm.mov(RBX, 60)
+            p.asm.cmp(RBX, 60)
+            p.asm.emit("cmove", RAX, RBX)  # taken: rax = 60
+        assert self._identify(body).values == {60}
+
+    def test_cmov_with_symbolic_flags_is_unknown(self):
+        def body(p):
+            p.asm.mov(EAX, 0)
+            p.asm.mov(RBX, 60)
+            p.asm.cmp(RDI, 1)  # rdi symbolic at entry
+            p.asm.emit("cmove", RAX, RBX)
+        result = self._identify(body)
+        # The destination is unknowable: identification must not invent a
+        # single concrete value silently.
+        assert not result.complete or result.values >= {0, 60} or result.values == set()

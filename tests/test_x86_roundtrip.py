@@ -1,0 +1,241 @@
+"""Encoder/decoder round-trip tests for the x86-64 subset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86 import (
+    GPR64,
+    Immediate,
+    Instruction,
+    Memory,
+    RAX,
+    RBP,
+    RDI,
+    RSP,
+    Register,
+    decode,
+    encode,
+)
+
+REGS = [Register(name) for name in GPR64]
+
+
+def roundtrip(insn: Instruction, addr: int = 0x400000) -> Instruction:
+    code = encode(insn, addr)
+    back = decode(code, 0, addr)
+    assert back.size == len(code)
+    # Re-encoding the decoded instruction must be byte-identical.
+    assert encode(back, addr) == code
+    return back
+
+
+class TestMovForms:
+    def test_mov_reg_imm32(self):
+        back = roundtrip(Instruction("mov", (Register("rax", 32), Immediate(60, 32))))
+        assert back.mnemonic == "mov"
+        assert back.operands[1].value == 60
+        # Classic "mov eax, 60" must be the 5-byte B8 form.
+        assert encode(Instruction("mov", (Register("rax", 32), Immediate(60, 32)))) == \
+            b"\xb8\x3c\x00\x00\x00"
+
+    def test_mov_reg64_imm32_sign_extended(self):
+        back = roundtrip(Instruction("mov", (RAX, Immediate(-1, 32))))
+        assert back.operands[1].value == -1
+
+    def test_movabs(self):
+        insn = Instruction("movabs", (RAX, Immediate(0x1122334455667788, 64)))
+        back = roundtrip(insn)
+        assert back.operands[1].value == 0x1122334455667788
+        assert back.operands[1].width == 64
+
+    @pytest.mark.parametrize("dst", REGS)
+    @pytest.mark.parametrize("src", [REGS[0], REGS[7], REGS[8], REGS[15]])
+    def test_mov_reg_reg_all(self, dst, src):
+        back = roundtrip(Instruction("mov", (dst, src)))
+        assert back.operands == (dst, src)
+
+    @pytest.mark.parametrize("base", REGS)
+    def test_mov_reg_mem_every_base(self, base):
+        mem = Memory(base=base, disp=0x10)
+        back = roundtrip(Instruction("mov", (RAX, mem)))
+        assert back.operands[1] == mem
+
+    def test_mov_mem_zero_disp_rbp_keeps_disp8(self):
+        # [rbp] must be encoded as [rbp+0] (mod=01).
+        mem = Memory(base=RBP)
+        code = encode(Instruction("mov", (RAX, mem)))
+        back = decode(code)
+        assert back.operands[1] == mem
+
+    def test_mov_mem_imm(self):
+        mem = Memory(base=RSP, disp=8)
+        back = roundtrip(Instruction("mov", (mem, Immediate(42, 32))))
+        assert back.operands[0] == mem
+        assert back.operands[1].value == 42
+
+    def test_mov_rip_relative(self):
+        mem = Memory(disp=0x404000, width=64, rip_relative=True)
+        back = roundtrip(Instruction("mov", (RAX, mem)), addr=0x401000)
+        assert back.operands[1].rip_relative
+        assert back.operands[1].disp == 0x404000
+
+    def test_mov_absolute(self):
+        mem = Memory(disp=0x604000, width=64)
+        back = roundtrip(Instruction("mov", (RAX, mem)))
+        assert back.operands[1].disp == 0x604000
+        assert back.operands[1].base is None
+
+    def test_sib_base_index_scale(self):
+        mem = Memory(base=RDI, index=RAX, scale=8, disp=0x20)
+        back = roundtrip(Instruction("mov", (Register("rdx"), mem)))
+        assert back.operands[1] == mem
+
+
+class TestLea:
+    def test_lea_rip(self):
+        mem = Memory(disp=0x402000, rip_relative=True)
+        back = roundtrip(Instruction("lea", (RDI, mem)), addr=0x401000)
+        assert back.mnemonic == "lea"
+        assert back.operands[1].disp == 0x402000
+
+    def test_lea_base_disp(self):
+        mem = Memory(base=RSP, disp=0x40)
+        back = roundtrip(Instruction("lea", (RAX, mem)))
+        assert back.operands[1] == mem
+
+
+class TestAluAndFlags:
+    @pytest.mark.parametrize("mn", ["add", "sub", "xor", "and", "or", "cmp"])
+    def test_alu_reg_reg(self, mn):
+        back = roundtrip(Instruction(mn, (RAX, RDI)))
+        assert back.mnemonic == mn
+
+    @pytest.mark.parametrize("mn", ["add", "sub", "xor", "and", "or", "cmp"])
+    @pytest.mark.parametrize("value", [1, -1, 127, 128, -129, 0x1000])
+    def test_alu_reg_imm(self, mn, value):
+        back = roundtrip(Instruction(mn, (RAX, Immediate(value))))
+        assert back.operands[1].value == value
+
+    def test_alu_mem_imm(self):
+        mem = Memory(base=RSP, disp=16)
+        back = roundtrip(Instruction("cmp", (mem, Immediate(3))))
+        assert back.operands[0] == mem
+
+    def test_xor_self_32(self):
+        # xor eax, eax — the classic zeroing idiom, 2 bytes.
+        r32 = Register("rax", 32)
+        code = encode(Instruction("xor", (r32, r32)))
+        assert code == b"\x31\xc0"
+
+    def test_test_reg_reg(self):
+        back = roundtrip(Instruction("test", (RAX, RAX)))
+        assert back.mnemonic == "test"
+
+    def test_shifts(self):
+        back = roundtrip(Instruction("shl", (RAX, Immediate(4, 8))))
+        assert back.mnemonic == "shl" and back.operands[1].value == 4
+        back = roundtrip(Instruction("shr", (RAX, Immediate(3, 8))))
+        assert back.mnemonic == "shr"
+
+    def test_imul(self):
+        back = roundtrip(Instruction("imul", (RAX, RDI)))
+        assert back.mnemonic == "imul"
+
+
+class TestStackAndBranches:
+    @pytest.mark.parametrize("r", REGS)
+    def test_push_pop(self, r):
+        assert roundtrip(Instruction("push", (r,))).operands == (r,)
+        assert roundtrip(Instruction("pop", (r,))).operands == (r,)
+
+    def test_push_imm(self):
+        back = roundtrip(Instruction("push", (Immediate(0x1234),)))
+        assert back.operands[0].value == 0x1234
+
+    def test_call_rel32(self):
+        insn = Instruction("call", (Immediate(0x401500, 64),))
+        back = roundtrip(insn, addr=0x401000)
+        assert back.branch_target() == 0x401500
+
+    def test_jmp_rel32_backward(self):
+        insn = Instruction("jmp", (Immediate(0x400800, 64),))
+        back = roundtrip(insn, addr=0x401000)
+        assert back.branch_target() == 0x400800
+
+    @pytest.mark.parametrize("cc", ["e", "ne", "l", "ge", "le", "g", "b", "ae", "a", "be", "s", "ns"])
+    def test_jcc(self, cc):
+        insn = Instruction(f"j{cc}", (Immediate(0x401100, 64),))
+        back = roundtrip(insn, addr=0x401000)
+        assert back.mnemonic == f"j{cc}"
+        assert back.branch_target() == 0x401100
+
+    def test_jcc_rel8_decodes(self):
+        # 74 10 = je +0x10
+        back = decode(b"\x74\x10", 0, 0x1000)
+        assert back.mnemonic == "je"
+        assert back.branch_target() == 0x1000 + 2 + 0x10
+
+    def test_jmp_rel8_decodes(self):
+        back = decode(b"\xeb\xfe", 0, 0x1000)  # jmp self
+        assert back.branch_target() == 0x1000
+
+    def test_indirect_call_reg(self):
+        back = roundtrip(Instruction("call", (RAX,)))
+        assert back.is_indirect_branch
+
+    def test_indirect_jmp_mem(self):
+        mem = Memory(base=RDI, disp=8)
+        back = roundtrip(Instruction("jmp", (mem,)))
+        assert back.is_indirect_branch
+
+    def test_indirect_call_rip_mem(self):
+        # call [rip+disp] — PLT-style indirection.
+        mem = Memory(disp=0x404018, rip_relative=True)
+        back = roundtrip(Instruction("call", (mem,)), addr=0x401000)
+        assert back.operands[0].disp == 0x404018
+
+    def test_syscall_ret_nop(self):
+        assert encode(Instruction("syscall")) == b"\x0f\x05"
+        assert encode(Instruction("ret")) == b"\xc3"
+        assert encode(Instruction("nop")) == b"\x90"
+        assert decode(b"\x0f\x05").is_syscall
+
+
+@st.composite
+def _any_instruction(draw):
+    kind = draw(st.sampled_from(["mov_ri", "mov_rr", "mov_rm", "mov_mr", "alu", "lea", "branch"]))
+    r1 = draw(st.sampled_from(REGS))
+    r2 = draw(st.sampled_from(REGS))
+    disp = draw(st.integers(-0x7000, 0x7000))
+    if kind == "mov_ri":
+        value = draw(st.integers(0, 2**63 - 1))
+        width = 64 if value > 2**31 - 1 else draw(st.sampled_from([32, 64]))
+        return Instruction("mov", (Register(r1.name, width if width == 32 else 64),
+                                   Immediate(value, width)))
+    if kind == "mov_rr":
+        return Instruction("mov", (r1, r2))
+    mem = Memory(base=r2, disp=disp)
+    if kind == "mov_rm":
+        return Instruction("mov", (r1, mem))
+    if kind == "mov_mr":
+        return Instruction("mov", (mem, r1))
+    if kind == "alu":
+        mn = draw(st.sampled_from(["add", "sub", "xor", "and", "or", "cmp"]))
+        return Instruction(mn, (r1, draw(st.sampled_from([r2, Immediate(disp)]))))
+    if kind == "lea":
+        return Instruction("lea", (r1, mem))
+    target = 0x400000 + draw(st.integers(0, 0x10000))
+    mn = draw(st.sampled_from(["jmp", "call", "je", "jne", "jl", "jg"]))
+    return Instruction(mn, (Immediate(target, 64),))
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(insn=_any_instruction())
+    def test_encode_decode_encode_stable(self, insn):
+        addr = 0x400000
+        code = encode(insn, addr)
+        back = decode(code, 0, addr)
+        assert encode(back, addr) == code
+        assert back.mnemonic == insn.mnemonic
