@@ -1,0 +1,39 @@
+# Build/verify entry points. The tree ships no third-party runtime deps;
+# everything runs with PYTHONPATH=src and the stock python toolchain.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
+
+.PHONY: test bench lint smoke clean
+
+## tier-1: the suite the driver enforces (ROADMAP.md)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## regenerate every paper table/figure + timing stats (benchmarks/results/)
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## fast syntax/bytecode check (no third-party linters in this environment)
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m pytest --collect-only -q >/dev/null
+
+## end-to-end: generate a tiny corpus, fleet-analyze it cold, then warm
+smoke:
+	rm -rf $(SMOKE_DIR)
+	$(PYTHON) -m repro.cli corpus generate $(SMOKE_DIR)/corpus --scale 0.04
+	$(PYTHON) -m repro.cli fleet $(SMOKE_DIR)/corpus/bin \
+		--libdir $(SMOKE_DIR)/corpus/lib \
+		--cache-dir $(SMOKE_DIR)/cache --workers 2
+	@echo "--- warm run ---"
+	$(PYTHON) -m repro.cli fleet $(SMOKE_DIR)/corpus/bin \
+		--libdir $(SMOKE_DIR)/corpus/lib \
+		--cache-dir $(SMOKE_DIR)/cache --workers 2
+	rm -rf $(SMOKE_DIR)
+
+clean:
+	rm -rf benchmarks/results $(SMOKE_DIR)
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

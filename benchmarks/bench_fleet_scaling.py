@@ -1,0 +1,100 @@
+"""Fleet engine scaling: cold vs warm interface cache, 1 vs N workers.
+
+The production claim behind the fleet engine, measured:
+
+* a **warm** run performs *zero* library re-analysis — the persistent
+  cache's hit counter equals the number of distinct libraries in the
+  fleet's dependency DAG and its miss counter is zero;
+* a **multi-worker** run produces a byte-identical
+  ``FleetReport.to_json()`` (modulo the run-dependent timing/cache
+  fields) to the serial run — parallelism changes wall-clock, never
+  results.
+"""
+
+import time
+
+from repro.core.fleet import FleetAnalyzer
+from repro.corpus import make_debian_corpus
+
+SCALE = 0.12
+WORKERS = 4
+
+
+def _fleet(corpus, cache_dir, workers=1) -> FleetAnalyzer:
+    return FleetAnalyzer(
+        resolver=corpus.make_resolver(),
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+
+
+def _timed_run(corpus, images, cache_dir, workers=1):
+    fleet = _fleet(corpus, cache_dir, workers)
+    started = time.perf_counter()
+    report = fleet.analyze_images(images)
+    stats = fleet.interfaces.stats() if cache_dir else None
+    return report, time.perf_counter() - started, stats
+
+
+def test_fleet_scaling(tmp_path, report_emitter, benchmark):
+    corpus = make_debian_corpus(scale=SCALE, seed=2024)
+    images = [b.image for b in corpus.binaries]
+    cache_dir = str(tmp_path / "iface-cache")
+
+    cold_report, cold_s, cold_stats = _timed_run(corpus, images, cache_dir)
+    warm_report, warm_s, warm_stats = _timed_run(corpus, images, cache_dir)
+    par_report, par_s, par_stats = _timed_run(
+        corpus, images, cache_dir, workers=WORKERS,
+    )
+    nocache_report, nocache_s, __ = _timed_run(corpus, images, None)
+
+    n_libraries = warm_stats["resident"]
+
+    # --- correctness invariants ---------------------------------------
+    # Warm run: every library interface came from the cache, none were
+    # re-analyzed.
+    assert warm_stats["misses"] == 0
+    assert warm_stats["hits"] == n_libraries
+    assert cold_stats["misses"] == n_libraries
+    # Parallelism and caching never change results.
+    canonical = cold_report.to_json(include_runtime=False)
+    assert warm_report.to_json(include_runtime=False) == canonical
+    assert par_report.to_json(include_runtime=False) == canonical
+    assert nocache_report.to_json(include_runtime=False) == canonical
+
+    rows = [
+        f"fleet: {len(images)} binaries, {n_libraries} shared libraries "
+        f"(corpus scale {SCALE})",
+        "",
+        f"{'configuration':<28} {'seconds':>9} {'binaries/s':>11} "
+        f"{'cache hits':>11} {'cache misses':>13}",
+    ]
+    for label, secs, stats in (
+        ("no cache, 1 worker", nocache_s, None),
+        ("cold cache, 1 worker", cold_s, cold_stats),
+        ("warm cache, 1 worker", warm_s, warm_stats),
+        (f"warm cache, {WORKERS} workers", par_s, par_stats),
+    ):
+        hits = "-" if stats is None else stats["hits"]
+        misses = "-" if stats is None else stats["misses"]
+        rows.append(
+            f"{label:<28} {secs:>9.3f} {len(images) / secs:>11.1f} "
+            f"{hits!s:>11} {misses!s:>13}"
+        )
+    rows += [
+        "",
+        f"warm run library re-analysis: 0 "
+        f"(hits {warm_stats['hits']} == {n_libraries} libraries)",
+        f"serial == {WORKERS}-worker report (modulo timing fields): "
+        f"{par_report.to_json(include_runtime=False) == canonical}",
+    ]
+    report_emitter(
+        "fleet_scaling",
+        "Fleet scaling: persistent interface cache and worker fan-out",
+        "\n".join(rows),
+    )
+
+    # Timed unit: a warm-cache serial fleet pass.
+    benchmark(
+        lambda: _fleet(corpus, cache_dir).analyze_images(images)
+    )

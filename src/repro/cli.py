@@ -20,6 +20,14 @@ Commands
 
 ``trace <binary> [--libdir DIR] [--inputs a,b,c]``
     Run the binary under the emulator and print its syscall trace.
+
+``fleet <dir> [--workers N] [--cache-dir DIR] [--no-cache] [--json]``
+    Batch-analyze every ELF in a directory: library interfaces are
+    computed once (and cached persistently with ``--cache-dir``), then
+    per-binary analysis fans out over ``--workers`` processes.
+
+``docker-profile <binary> [--libdir DIR]``
+    Emit an OCI/Docker seccomp JSON profile for the binary.
 """
 
 from __future__ import annotations
@@ -135,7 +143,11 @@ def cmd_corpus_generate(args) -> int:
 def cmd_fleet(args) -> int:
     from .core.fleet import FleetAnalyzer
 
-    fleet = FleetAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    cache_dir = None if args.no_cache else args.cache_dir
+    fleet = FleetAnalyzer(
+        resolver=_resolver(args), budget=AnalysisBudget(),
+        workers=args.workers, cache_dir=cache_dir,
+    )
     report = fleet.analyze_directory(args.directory)
     if args.json:
         print(report.to_json())
@@ -143,6 +155,13 @@ def cmd_fleet(args) -> int:
     print(f"fleet: {len(report.entries)} binaries, "
           f"{report.success_rate():.1%} analyzed, "
           f"avg {report.average_syscalls():.1f} syscalls")
+    if report.skipped:
+        print(f"  skipped {len(report.skipped)} non-ELF files")
+    if report.interface_stats:
+        stats = report.interface_stats
+        print(f"  interface cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses, "
+              f"{stats['invalidations']} invalidations")
     for stage, count in sorted(report.failure_stages().items()):
         print(f"  failures in {stage}: {count}")
     exposure = report.cve_exposure()
@@ -222,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fleet", help="batch-analyze a directory of binaries")
     p.add_argument("directory")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for per-binary analysis")
+    p.add_argument("--cache-dir",
+                   help="persistent interface cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir and analyze everything fresh")
     common(p)
     p.set_defaults(func=cmd_fleet)
 

@@ -25,6 +25,7 @@ from .identify import (
     make_callsite_param_query,
     wrapper_call_blocks,
 )
+from .ifacecache import CACHE_VERSION, PersistentInterfaceStore
 from .interface import ExportInfo, InterfaceStore, SharedInterface
 from .report import AnalysisBudget, AnalysisReport, StageStats
 from .sites import SyscallSite, find_sites
@@ -50,6 +51,8 @@ __all__ = [
     "SharedInterface",
     "ExportInfo",
     "InterfaceStore",
+    "PersistentInterfaceStore",
+    "CACHE_VERSION",
     "ArgumentValues",
     "ArgumentRule",
     "identify_argument",

@@ -176,10 +176,12 @@ class BSideAnalyzer:
 
     def analyze_library(self, image: LoadedImage) -> SharedInterface:
         """Analyze one shared library (cached; §4.5 phase 1)."""
+        self.interfaces.bind_image(image)
         cached = self.interfaces.get(image.name)
         if cached is not None:
             return cached
         for dep in self.resolver.topological_order(image):
+            self.interfaces.bind_image(dep)
             if dep.name not in self.interfaces:
                 self.interfaces.put(self._build_interface(dep))
         interface = self._build_interface(image)
@@ -201,6 +203,7 @@ class BSideAnalyzer:
         interfaces_complete = True
         if image.needed:
             for dep in self.resolver.topological_order(image):
+                self.interfaces.bind_image(dep)
                 if dep.name not in self.interfaces:
                     self.interfaces.put(self._build_interface(dep))
                 interfaces_complete &= self.interfaces.get(dep.name).complete

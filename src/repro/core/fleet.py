@@ -1,27 +1,53 @@
-"""Fleet analysis: batch identification over many binaries.
+"""Fleet analysis: parallel batch identification over many binaries.
 
 The deployment loop of the paper's §1 scenario at scale: a provider walks
 a directory of tenant binaries, analyzes each against a shared library
-pool (interfaces cached once), derives filters, and wants an inventory —
-per-binary outcomes, fleet-wide statistics, and CVE exposure.
+pool, derives filters, and wants an inventory — per-binary outcomes,
+fleet-wide statistics, and CVE exposure.
 
-``FleetAnalyzer`` wraps :class:`BSideAnalyzer` with exactly that loop;
+``FleetAnalyzer`` runs that loop as a two-phase schedule:
+
+1. **Interface phase** — the union of every binary's shared-library
+   dependency DAG is walked leaves-first (libc before its users) and each
+   library's §4.5 interface is computed exactly once.  With a
+   ``cache_dir`` the interfaces land in a
+   :class:`~repro.core.ifacecache.PersistentInterfaceStore`, so later
+   runs load them from disk instead of re-analyzing.
+2. **Binary phase** — per-binary analysis fans out over a
+   ``ProcessPoolExecutor`` when ``workers > 1``; each worker rebuilds the
+   resolver from raw library bytes and receives the phase-1 interfaces
+   pre-computed, so no worker ever re-analyzes a library.
+   ``workers=1`` keeps the original in-process loop, and
+   per-binary results are ordered by input position either way, so the
+   deterministic portion of :meth:`FleetReport.to_json` is byte-identical
+   across worker counts.
+
 ``FleetReport`` serialises to JSON for dashboards / diffing between
-releases.
+releases and merges stably across sharded runs via
+:meth:`FleetReport.merge`.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..errors import BudgetExceeded, CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
 from ..syscalls.cves import CVE_DATABASE, protection_rate
 from ..syscalls.table import name_of
 from .analyzer import BSideAnalyzer
+from .ifacecache import PersistentInterfaceStore
+from .interface import InterfaceStore
 from .report import AnalysisBudget, AnalysisReport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -30,9 +56,14 @@ class FleetEntry:
 
     name: str
     report: AnalysisReport
+    #: wall-clock seconds spent analyzing this binary
+    seconds: float = 0.0
+    #: persistent-cache hits/misses observed while analyzing this binary
+    cache_hits: int = 0
+    cache_misses: int = 0
 
-    def to_doc(self) -> dict:
-        return {
+    def to_doc(self, include_runtime: bool = True) -> dict:
+        doc = {
             "binary": self.name,
             "success": self.report.success,
             "complete": self.report.complete,
@@ -40,6 +71,11 @@ class FleetEntry:
             "n_syscalls": len(self.report.syscalls),
             "syscalls": sorted(self.report.syscalls),
         }
+        if include_runtime:
+            doc["seconds"] = round(self.seconds, 6)
+            doc["cache_hits"] = self.cache_hits
+            doc["cache_misses"] = self.cache_misses
+        return doc
 
 
 @dataclass
@@ -47,6 +83,10 @@ class FleetReport:
     """Aggregated fleet outcome."""
 
     entries: list[FleetEntry] = field(default_factory=list)
+    #: directory-sweep files that did not parse as ELF (deterministic)
+    skipped: list[str] = field(default_factory=list)
+    #: persistent interface-cache counters for the whole run (runtime)
+    interface_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def successes(self) -> list[FleetEntry]:
@@ -64,6 +104,9 @@ class FleetReport:
     def average_syscalls(self) -> float:
         sizes = [len(e.report.syscalls) for e in self.successes]
         return statistics.mean(sizes) if sizes else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.entries)
 
     def failure_stages(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -92,52 +135,290 @@ class FleetReport:
             for cve in CVE_DATABASE
         }
 
-    def to_json(self) -> str:
+    def to_json(self, include_runtime: bool = True) -> str:
+        """Serialise the inventory.
+
+        ``include_runtime=False`` drops the run-dependent fields (wall
+        times, cache counters) and yields a byte-stable document: the
+        same fleet analyzed serially, with N workers, or sharded and
+        merged produces the identical string.
+        """
         exposure = self.cve_exposure()
         doc = {
             "fleet_size": len(self.entries),
             "success_rate": self.success_rate(),
             "average_syscalls": self.average_syscalls(),
             "failure_stages": self.failure_stages(),
+            "skipped_files": sorted(self.skipped),
             "common_syscalls": sorted(
                 name_of(nr) for nr in self.common_syscalls()
             ),
             "cve_exposure": {
                 ident: round(rate, 4) for ident, rate in sorted(exposure.items())
             },
-            "binaries": [entry.to_doc() for entry in self.entries],
+            "binaries": [
+                entry.to_doc(include_runtime=include_runtime)
+                for entry in self.entries
+            ],
         }
+        if include_runtime:
+            doc["total_seconds"] = round(self.total_seconds(), 6)
+            doc["interface_cache"] = dict(self.interface_stats)
         return json.dumps(doc, indent=2)
+
+    @classmethod
+    def merge(cls, reports: list["FleetReport"]) -> "FleetReport":
+        """Merge sharded runs into one canonical report.
+
+        Stable: entries are ordered by binary name, so the merged report
+        is independent of how the fleet was partitioned into shards (as
+        long as binary names are unique across shards).
+        """
+        merged = cls()
+        for report in reports:
+            merged.entries.extend(report.entries)
+            merged.skipped.extend(report.skipped)
+            for key, value in report.interface_stats.items():
+                merged.interface_stats[key] = (
+                    merged.interface_stats.get(key, 0) + value
+                )
+        merged.entries.sort(key=lambda e: e.name)
+        merged.skipped.sort()
+        return merged
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module level: must be picklable by name)
+# ----------------------------------------------------------------------
+
+_worker_state: dict = {}
+
+
+def _init_worker(config: dict) -> None:
+    """Build this worker's analyzer once; reused for every task.
+
+    The parent already ran the interface phase, so the warmed
+    interfaces arrive pre-computed in ``config`` and are seeded into
+    this worker's in-memory store — workers never re-analyze (or even
+    disk-load) a library.
+    """
+    resolver = LibraryResolver.from_spec(config["resolver"])
+    store = InterfaceStore()
+    for interface in config["interfaces"]:
+        store.put(interface)
+    _worker_state["analyzer"] = BSideAnalyzer(
+        resolver=resolver,
+        budget=config["budget"],
+        interface_store=store,
+        detect_wrappers=config["detect_wrappers"],
+        directed_search=config["directed_search"],
+        use_active_addresses_taken=config["use_active_addresses_taken"],
+    )
+
+
+def _worker_analyze(name: str, data: bytes) -> tuple:
+    analyzer: BSideAnalyzer = _worker_state["analyzer"]
+    store = analyzer.interfaces
+    hits0 = getattr(store, "hits", 0)
+    misses0 = getattr(store, "misses", 0)
+    started = time.perf_counter()
+    outcome = analyzer.analyze(LoadedImage.from_bytes(name, data))
+    return (
+        outcome,
+        time.perf_counter() - started,
+        getattr(store, "hits", 0) - hits0,
+        getattr(store, "misses", 0) - misses0,
+    )
 
 
 class FleetAnalyzer:
-    """Batch driver over a shared :class:`BSideAnalyzer`.
+    """Parallel batch driver over a shared :class:`BSideAnalyzer`.
 
     Library interfaces are computed once and reused across the whole
-    fleet (the §4.5 amortisation, measured in the interface-cache tests).
+    fleet (the §4.5 amortisation); with ``cache_dir`` they also survive
+    across runs and are shared with worker processes.
     """
 
     def __init__(
         self,
         resolver: LibraryResolver | None = None,
         budget: AnalysisBudget | None = None,
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        interface_store: InterfaceStore | None = None,
     ):
-        self.analyzer = BSideAnalyzer(resolver=resolver, budget=budget)
+        self.resolver = resolver if resolver is not None else LibraryResolver()
+        self.budget = budget if budget is not None else AnalysisBudget()
+        self.workers = max(1, int(workers))
+        self.cache_dir = cache_dir
+        if interface_store is None:
+            interface_store = (
+                PersistentInterfaceStore(cache_dir)
+                if cache_dir is not None
+                else InterfaceStore()
+            )
+        self.analyzer = BSideAnalyzer(
+            resolver=self.resolver,
+            budget=self.budget,
+            interface_store=interface_store,
+        )
+
+    @property
+    def interfaces(self) -> InterfaceStore:
+        return self.analyzer.interfaces
+
+    # ------------------------------------------------------------------
+    # Phase 1: shared-library interfaces, leaves first
+    # ------------------------------------------------------------------
+
+    def _library_schedule(self, images: list[LoadedImage]) -> list[LoadedImage]:
+        """Topological order of the *union* dependency DAG, leaves first.
+
+        Each image's own closure is already topologically sorted; because
+        closures are transitively closed, concatenating them with
+        name-deduplication preserves the leaves-first invariant for the
+        union.
+        """
+        seen: set[str] = set()
+        schedule: list[LoadedImage] = []
+        for image in images:
+            if not image.needed:
+                continue
+            try:
+                closure = self.resolver.topological_order(image)
+            except LoaderError:
+                # Unresolvable/cyclic deps: per-binary analysis reports
+                # the failure with the proper failed AnalysisReport.
+                continue
+            for dep in closure:
+                if dep.name not in seen:
+                    seen.add(dep.name)
+                    schedule.append(dep)
+        return schedule
+
+    def warm_interfaces(self, images: list[LoadedImage]) -> int:
+        """Populate the interface store for every library the fleet needs.
+
+        Returns the number of distinct libraries in the schedule.  After
+        this returns, per-binary analysis (local or in a worker) performs
+        no library analysis at all — it finds every interface in the
+        store (workers receive them pre-computed via the pool
+        initializer), so the store's hit/miss counters describe the
+        entire run.
+        """
+        schedule = self._library_schedule(images)
+        for library in schedule:
+            try:
+                self.analyzer.analyze_library(library)
+            except (BudgetExceeded, CfgError, DecodeError, ElfError,
+                    LoaderError) as error:
+                # Leave the interface unbuilt; each dependent binary's
+                # own analysis will hit the same error and record it as
+                # that binary's failure, matching the serial semantics.
+                logger.warning(
+                    "fleet: interface analysis of %s failed (%s); "
+                    "deferring to per-binary analysis", library.name, error,
+                )
+        return len(schedule)
+
+    # ------------------------------------------------------------------
+    # Phase 2: per-binary fan-out
+    # ------------------------------------------------------------------
 
     def analyze_images(self, images: list[LoadedImage]) -> FleetReport:
         report = FleetReport()
-        for image in images:
-            outcome = self.analyzer.analyze(image)
-            report.entries.append(FleetEntry(name=image.name, report=outcome))
+        self.warm_interfaces(images)
+        if self.workers > 1:
+            entries = self._analyze_parallel(images)
+            if entries is None:  # resolver not shareable: degrade politely
+                entries = [self._analyze_one(image) for image in images]
+        else:
+            entries = [self._analyze_one(image) for image in images]
+        report.entries = entries
+        store = self.analyzer.interfaces
+        if isinstance(store, PersistentInterfaceStore):
+            report.interface_stats = store.stats()
         return report
 
+    def _analyze_one(self, image: LoadedImage) -> FleetEntry:
+        store = self.analyzer.interfaces
+        hits0 = getattr(store, "hits", 0)
+        misses0 = getattr(store, "misses", 0)
+        started = time.perf_counter()
+        outcome = self.analyzer.analyze(image)
+        return FleetEntry(
+            name=image.name,
+            report=outcome,
+            seconds=time.perf_counter() - started,
+            cache_hits=getattr(store, "hits", 0) - hits0,
+            cache_misses=getattr(store, "misses", 0) - misses0,
+        )
+
+    def _analyze_parallel(
+        self, images: list[LoadedImage]
+    ) -> list[FleetEntry] | None:
+        spec = self.resolver.spec()
+        if spec is None:
+            logger.warning(
+                "fleet: resolver cannot be shipped to worker processes "
+                "(callable provider or raw-less cached image); "
+                "falling back to serial analysis"
+            )
+            return None
+        config = {
+            "resolver": spec,
+            "budget": self.budget,
+            "interfaces": self.analyzer.interfaces.all_interfaces(),
+            "detect_wrappers": self.analyzer.detect_wrappers,
+            "directed_search": self.analyzer.directed_search,
+            "use_active_addresses_taken":
+                self.analyzer.use_active_addresses_taken,
+        }
+        entries: list[FleetEntry | None] = [None] * len(images)
+        remote: list[tuple[int, LoadedImage]] = []
+        inline: list[int] = []
+        for index, image in enumerate(images):
+            if image.raw:
+                remote.append((index, image))
+            else:
+                inline.append(index)
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(config,),
+        ) as pool:
+            futures = [
+                (index, pool.submit(_worker_analyze, image.name, image.raw))
+                for index, image in remote
+            ]
+            # Images without raw bytes cannot cross the process boundary;
+            # analyze them here while the pool works.
+            for index in inline:
+                entries[index] = self._analyze_one(images[index])
+            for index, future in futures:
+                outcome, seconds, hits, misses = future.result()
+                entries[index] = FleetEntry(
+                    name=images[index].name,
+                    report=outcome,
+                    seconds=seconds,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+        return entries  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Directory sweep
+    # ------------------------------------------------------------------
+
     def analyze_directory(self, directory: str) -> FleetReport:
-        """Analyze every regular file in ``directory`` that parses as ELF."""
-        import os
+        """Analyze every regular file in ``directory`` that parses as ELF.
 
-        from ..errors import ElfError
-
+        Non-ELF files are recorded in :attr:`FleetReport.skipped` and
+        logged, like a ``file(1)`` sweep that reports what it passed over.
+        """
         images: list[LoadedImage] = []
+        skipped: list[str] = []
         for filename in sorted(os.listdir(directory)):
             path = os.path.join(directory, filename)
             if not os.path.isfile(path):
@@ -145,5 +426,8 @@ class FleetAnalyzer:
             try:
                 images.append(LoadedImage.from_path(path))
             except (ElfError, ValueError):
-                continue  # not an ELF: skip silently, like file(1) sweeps
-        return self.analyze_images(images)
+                skipped.append(filename)
+                logger.info("fleet: skipping non-ELF file %s", path)
+        report = self.analyze_images(images)
+        report.skipped = skipped
+        return report

@@ -1,0 +1,179 @@
+"""Persistent, versioned shared-interface cache (§4.5 across sessions).
+
+The in-memory :class:`~repro.core.interface.InterfaceStore` amortises
+library analysis *within* one process.  Fleet deployments (SYSPART /
+sysfilter-style distro sweeps) re-run the analyzer over thousands of
+binaries that link the same handful of libraries, so the amortisation
+must survive the process: :class:`PersistentInterfaceStore` keeps one
+JSON artifact per library under a cache directory and serves it to any
+later session.
+
+Cache entries are keyed defensively:
+
+* **content hash** — the library image's ``content_hash`` (SHA-256 of
+  the ELF bytes).  A rebuilt/upgraded library never matches a stale
+  entry, and a renamed-but-identical one still hits.
+* **analyzer cache version** — :data:`CACHE_VERSION`, bumped whenever
+  the analysis pipeline changes in a way that alters interfaces.  A
+  version mismatch invalidates the entry on sight.
+
+Corrupted entries (truncated writes, junk files) are treated as misses
+and deleted, never as errors: a cache must degrade to "analyze again",
+not take the fleet run down.
+
+Hit/miss/invalidation counters are exposed for the fleet report and the
+``bench_fleet_scaling`` benchmark, which asserts a warm run performs
+*zero* library re-analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+
+from ..loader.image import LoadedImage
+from .interface import InterfaceStore, SharedInterface
+
+#: Bump when analyzer changes invalidate previously-cached interfaces.
+CACHE_VERSION = 1
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")
+
+
+def _safe_filename(library: str) -> str:
+    """Map a soname to a filesystem-safe, collision-free cache filename.
+
+    Sanitising alone could alias distinct sonames (``lib@1.so`` and
+    ``lib#1.so`` both becoming ``lib_1.so``), which would make the two
+    libraries perpetually invalidate each other's entries; a short
+    digest of the raw soname keeps the mapping injective.
+    """
+    tag = hashlib.sha256(library.encode()).hexdigest()[:8]
+    return f"{_SAFE_NAME.sub('_', library)}.{tag}.iface.json"
+
+
+class PersistentInterfaceStore(InterfaceStore):
+    """Disk-backed interface store keyed by content hash + cache version.
+
+    Layout: one ``<library>.iface.json`` per library under ``cache_dir``,
+    wrapping the §4.5 interface JSON in an envelope::
+
+        {"cache_version": 1, "content_hash": "…", "interface": {…}}
+
+    ``get``/``put`` keep the :class:`InterfaceStore` contract, so the
+    store drops into :class:`~repro.core.analyzer.BSideAnalyzer`
+    unchanged.  The analyzer announces each library image via
+    :meth:`bind_image` before consulting the store; entries whose hash
+    does not match the bound image (or whose version is stale, or whose
+    JSON cannot be parsed) are invalidated and re-analyzed.
+    """
+
+    def __init__(self, cache_dir: str, *, version: int = CACHE_VERSION) -> None:
+        super().__init__()
+        self.cache_dir = cache_dir
+        self.version = version
+        os.makedirs(cache_dir, exist_ok=True)
+        #: library name -> content hash of the image the caller is using
+        self._bound_hashes: dict[str, str] = {}
+        #: disk reads that produced a usable interface
+        self.hits = 0
+        #: lookups that found no usable entry (absent, stale, corrupt)
+        self.misses = 0
+        #: entries deleted because of version/hash mismatch or corruption
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # InterfaceStore contract
+    # ------------------------------------------------------------------
+
+    def bind_image(self, image: LoadedImage) -> None:
+        self._bound_hashes[image.name] = image.content_hash
+
+    def get(self, name: str) -> SharedInterface | None:
+        cached = self._by_name.get(name)
+        if cached is not None:
+            return cached
+        interface = self.load(name)
+        if interface is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._by_name[name] = interface
+        return interface
+
+    def put(self, interface: SharedInterface) -> None:
+        self._by_name[interface.library] = interface
+        self.save(interface)
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.cache_dir, _safe_filename(name))
+
+    def load(self, name: str) -> SharedInterface | None:
+        """Read one entry from disk; ``None`` (and cleanup) when unusable."""
+        path = self._path(name)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                envelope = json.load(f)
+            version = envelope["cache_version"]
+            content_hash = envelope["content_hash"]
+            interface = SharedInterface.from_json(
+                json.dumps(envelope["interface"])
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.invalidate(name)
+            return None
+        if version != self.version:
+            self.invalidate(name)
+            return None
+        bound = self._bound_hashes.get(name)
+        if bound is not None and bound != content_hash:
+            self.invalidate(name)
+            return None
+        return interface
+
+    def save(self, interface: SharedInterface) -> None:
+        envelope = {
+            "cache_version": self.version,
+            "content_hash": self._bound_hashes.get(interface.library, ""),
+            "interface": json.loads(interface.to_json()),
+        }
+        path = self._path(interface.library)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(envelope, f, indent=2)
+        os.replace(tmp, path)  # atomic: readers never see a torn write
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop one entry (or, with ``name=None``, the whole cache)."""
+        if name is None:
+            for entry in list(self._by_name):
+                self.invalidate(entry)
+            for filename in os.listdir(self.cache_dir):
+                if filename.endswith(".iface.json"):
+                    os.remove(os.path.join(self.cache_dir, filename))
+            return
+        self._by_name.pop(name, None)
+        path = self._path(name)
+        if os.path.exists(path):
+            os.remove(path)
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "resident": len(self._by_name),
+        }

@@ -114,8 +114,10 @@ class InterfaceStore:
     Mirrors B-Side's once-per-library amortisation: the analyzer consults
     the store before analysing a dependency.  With ``cache_dir`` set, each
     interface is also persisted as ``<library>.interface.json`` — the
-    on-disk artifact §4.5 describes — and reloaded transparently in later
-    sessions.
+    on-disk artifact §4.5 describes, kept in the paper's exact format
+    (no envelope, no invalidation).  For a production cache with
+    versioning, content-hash validation, and corruption recovery, use
+    :class:`~repro.core.ifacecache.PersistentInterfaceStore` instead.
     """
 
     def __init__(self, cache_dir: str | None = None) -> None:
@@ -125,6 +127,16 @@ class InterfaceStore:
             import os
 
             os.makedirs(cache_dir, exist_ok=True)
+
+    def bind_image(self, image) -> None:
+        """Associate a loaded image with its library name.
+
+        A hook for content-addressed subclasses (see
+        :class:`~repro.core.ifacecache.PersistentInterfaceStore`): the
+        analyzer calls it before consulting the store so the store can
+        validate cached entries against the image's ``content_hash``.
+        The in-memory store needs no such validation.
+        """
 
     def _disk_path(self, name: str) -> str | None:
         if self._cache_dir is None:
@@ -154,6 +166,10 @@ class InterfaceStore:
         if path is not None:
             with open(path, "w") as f:
                 f.write(interface.to_json())
+
+    def all_interfaces(self) -> list[SharedInterface]:
+        """Every interface currently resident in memory."""
+        return list(self._by_name.values())
 
     def __contains__(self, name: str) -> bool:
         return self.get(name) is not None

@@ -8,6 +8,7 @@ GOT relocation map used to resolve PLT-style indirection
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -26,10 +27,16 @@ class LoadedImage:
 
     name: str
     elf: ElfFile
+    #: the original ELF file bytes when loaded from disk/memory; used for
+    #: content-addressed interface caching and for shipping images to
+    #: worker processes.  Empty for images assembled directly from an
+    #: :class:`ElfFile` (``content_hash`` then falls back to a structural
+    #: digest).
+    raw: bytes = b""
 
     @classmethod
     def from_bytes(cls, name: str, data: bytes) -> "LoadedImage":
-        return cls(name=name, elf=read_elf(data))
+        return cls(name=name, elf=read_elf(data), raw=data)
 
     @classmethod
     def from_path(cls, path: str) -> "LoadedImage":
@@ -41,6 +48,39 @@ class LoadedImage:
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
+
+    @cached_property
+    def content_hash(self) -> str:
+        """Hex digest identifying this image's *content* (not its name).
+
+        Two images with identical bytes share a hash, so a persistent
+        interface cache keyed on it survives renames but never serves a
+        stale interface for a modified library.
+        """
+        digest = hashlib.sha256()
+        if self.raw:
+            digest.update(self.raw)
+        else:
+            # Structural fallback for directly-assembled images: every
+            # input the analysis consumes — all segment bytes (code and
+            # data), the dynamic interface, GOT relocations, and both
+            # symbol tables.
+            digest.update(f"{self.elf.elf_type}:{self.elf.entry}".encode())
+            for seg in self.elf.segments:
+                digest.update(f"seg:{seg.vaddr}:{seg.flags}".encode())
+                digest.update(seg.data)
+            digest.update("\0".join(self.elf.needed).encode())
+            for addr, sym_name in sorted(self.elf.relocations.items()):
+                digest.update(f"rel:{addr}:{sym_name}".encode())
+            for sym in sorted(
+                self.elf.symbols + self.elf.dynamic_symbols,
+                key=lambda s: (s.name, s.value),
+            ):
+                digest.update(
+                    f"sym:{sym.name}:{sym.value}:{sym.size}:"
+                    f"{sym.defined}".encode()
+                )
+        return digest.hexdigest()
 
     @property
     def entry(self) -> int:

@@ -38,6 +38,33 @@ class LibraryResolver:
         """Pre-register an already-loaded image under ``name``."""
         self._cache[name] = image
 
+    def spec(self) -> dict | None:
+        """A picklable recipe for rebuilding this resolver elsewhere.
+
+        Worker processes of the parallel fleet engine cannot share this
+        resolver directly (the provider may be a closure; images carry
+        caches), so they rebuild one from raw bytes and the search dir.
+        Returns ``None`` when the resolver cannot be reproduced — a
+        callable provider is in play, or a registered image has no raw
+        bytes — in which case the fleet falls back to serial analysis.
+        """
+        if self._provider is not None:
+            return None
+        library_map = dict(self._library_map)
+        for name, image in self._cache.items():
+            # The cache shadows the map in resolve(); mirror that here,
+            # and refuse when a registered image cannot be reproduced.
+            if not image.raw:
+                return None
+            library_map[name] = image.raw
+        return {"library_map": library_map, "search_dir": self._search_dir}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "LibraryResolver":
+        return cls(
+            library_map=spec["library_map"], search_dir=spec["search_dir"],
+        )
+
     def register_bytes(self, name: str, data: bytes) -> None:
         self._library_map[name] = data
 

@@ -1,0 +1,329 @@
+"""Parallel fleet engine + persistent interface cache tests.
+
+Covers the cache's failure modes (corruption, version skew, content
+drift), the warm-run guarantee (zero library re-analysis), and the
+determinism contract (serial == parallel == merged shards, byte for
+byte, once run-dependent fields are excluded).
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.core import (
+    AnalysisBudget,
+    BSideAnalyzer,
+    CACHE_VERSION,
+    PersistentInterfaceStore,
+)
+from repro.core.fleet import FleetAnalyzer, FleetReport
+from repro.corpus import LIBC_NAME, build_libc, make_debian_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return make_debian_corpus(scale=0.04, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_images(tiny_corpus):
+    return [b.image for b in tiny_corpus.binaries]
+
+
+def _fleet(corpus, **kwargs) -> FleetAnalyzer:
+    return FleetAnalyzer(resolver=corpus.make_resolver(), **kwargs)
+
+
+class TestPersistentStore:
+    def test_round_trip_and_hit_counters(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+
+        store1 = PersistentInterfaceStore(cache_dir)
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store1,
+        )
+        built = a1.analyze_library(libc.image)
+        assert store1.hits == 0 and store1.misses == 1
+
+        store2 = PersistentInterfaceStore(cache_dir)
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store2,
+        )
+        reloaded = a2.analyze_library(libc.image)
+        assert store2.hits == 1 and store2.misses == 0
+        assert reloaded.exports.keys() == built.exports.keys()
+        for name in built.exports:
+            assert reloaded.exports[name].syscalls == built.exports[name].syscalls
+
+    def test_corrupted_cache_file_recovers(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            interface_store=PersistentInterfaceStore(cache_dir),
+        )
+        a1.analyze_library(libc.image)
+        (cache_file,) = [
+            f for f in os.listdir(cache_dir) if f.endswith(".iface.json")
+        ]
+        path = os.path.join(cache_dir, cache_file)
+        with open(path, "w") as f:
+            f.write('{"cache_version": 1, "content_hash": TRUNCATED')
+
+        store = PersistentInterfaceStore(cache_dir)
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store,
+        )
+        interface = a2.analyze_library(libc.image)  # must re-analyze, not crash
+        assert interface.exports["c_read"].syscalls == {0}
+        assert store.misses == 1 and store.invalidations == 1
+        # The recovered analysis re-wrote a valid entry.
+        with open(path) as f:
+            assert json.load(f)["interface"]["library"] == LIBC_NAME
+
+    def test_version_mismatch_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            interface_store=PersistentInterfaceStore(cache_dir),
+        )
+        a1.analyze_library(libc.image)
+
+        stale = PersistentInterfaceStore(cache_dir, version=CACHE_VERSION + 1)
+        stale.bind_image(libc.image)
+        assert stale.get(LIBC_NAME) is None
+        assert stale.misses == 1 and stale.invalidations == 1
+        # The stale file is gone; a rebuilt entry uses the new version.
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=stale,
+        )
+        a2.analyze_library(libc.image)
+        fresh = PersistentInterfaceStore(cache_dir, version=CACHE_VERSION + 1)
+        fresh.bind_image(libc.image)
+        assert fresh.get(LIBC_NAME) is not None
+
+    def test_content_hash_mismatch_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+        store1 = PersistentInterfaceStore(cache_dir)
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store1,
+        )
+        a1.analyze_library(libc.image)
+
+        # Same soname, different content: entry must not be served.
+        from repro.loader.image import LoadedImage
+
+        changed = LoadedImage.from_bytes(LIBC_NAME, libc.elf_bytes + b"\x00")
+        assert changed.content_hash != libc.image.content_hash
+        store2 = PersistentInterfaceStore(cache_dir)
+        store2.bind_image(changed)
+        assert store2.get(LIBC_NAME) is None
+        assert store2.invalidations == 1
+
+    def test_invalidate_all_clears_directory(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+        store = PersistentInterfaceStore(cache_dir)
+        analyzer = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), interface_store=store,
+        )
+        analyzer.analyze_library(libc.image)
+        assert any(f.endswith(".iface.json") for f in os.listdir(cache_dir))
+        store.invalidate()
+        assert not any(
+            f.endswith(".iface.json") for f in os.listdir(cache_dir)
+        )
+        assert len(store) == 0
+
+
+class TestResolverSpec:
+    def test_spec_prefers_registered_images_like_resolve_does(self):
+        from repro.loader import LibraryResolver, LoadedImage
+
+        libc = build_libc()
+        resolver = LibraryResolver(library_map={LIBC_NAME: b"stale bytes"})
+        resolver.register(
+            LIBC_NAME, LoadedImage.from_bytes(LIBC_NAME, libc.elf_bytes),
+        )
+        spec = resolver.spec()
+        assert spec["library_map"][LIBC_NAME] == libc.elf_bytes
+
+    def test_spec_refuses_unreproducible_registered_image(self):
+        from repro.elf import read_elf
+        from repro.loader import LibraryResolver, LoadedImage
+
+        libc = build_libc()
+        resolver = LibraryResolver(library_map={LIBC_NAME: libc.elf_bytes})
+        raw_less = LoadedImage(name=LIBC_NAME, elf=read_elf(libc.elf_bytes))
+        resolver.register(LIBC_NAME, raw_less)
+        assert resolver.spec() is None
+
+    def test_cache_filenames_injective_after_sanitising(self):
+        from repro.core.ifacecache import _safe_filename
+
+        assert _safe_filename("lib@1.so") != _safe_filename("lib#1.so")
+
+
+class TestWarmRunEquivalence:
+    def test_warm_run_zero_reanalysis_and_same_results(
+        self, tmp_path, tiny_corpus, tiny_images
+    ):
+        cache_dir = str(tmp_path / "cache")
+        cold = _fleet(tiny_corpus, cache_dir=cache_dir)
+        cold_report = cold.analyze_images(tiny_images)
+        assert cold.interfaces.hits == 0
+        n_libraries = cold.interfaces.stats()["resident"]
+        assert cold.interfaces.misses == n_libraries
+
+        warm = _fleet(tiny_corpus, cache_dir=cache_dir)
+        warm_report = warm.analyze_images(tiny_images)
+        # Zero library re-analysis: every library came from the cache.
+        assert warm.interfaces.misses == 0
+        assert warm.interfaces.hits == n_libraries
+
+        assert cold_report.to_json(include_runtime=False) == \
+            warm_report.to_json(include_runtime=False)
+
+    def test_serial_and_parallel_reports_identical(
+        self, tmp_path, tiny_corpus, tiny_images
+    ):
+        cache_dir = str(tmp_path / "cache")
+        serial = _fleet(tiny_corpus, cache_dir=cache_dir, workers=1)
+        serial_report = serial.analyze_images(tiny_images)
+        parallel = _fleet(tiny_corpus, cache_dir=cache_dir, workers=2)
+        parallel_report = parallel.analyze_images(tiny_images)
+        assert serial_report.to_json(include_runtime=False) == \
+            parallel_report.to_json(include_runtime=False)
+
+    def test_parallel_without_cache_dir_still_matches(
+        self, tiny_corpus, tiny_images
+    ):
+        serial_report = _fleet(tiny_corpus).analyze_images(tiny_images)
+        parallel_report = _fleet(tiny_corpus, workers=2).analyze_images(
+            tiny_images
+        )
+        assert serial_report.to_json(include_runtime=False) == \
+            parallel_report.to_json(include_runtime=False)
+
+    def test_runtime_fields_present_by_default(self, tiny_corpus, tiny_images):
+        report = _fleet(tiny_corpus).analyze_images(tiny_images[:3])
+        doc = json.loads(report.to_json())
+        assert "total_seconds" in doc
+        assert {"seconds", "cache_hits", "cache_misses"} <= set(
+            doc["binaries"][0]
+        )
+        lean = json.loads(report.to_json(include_runtime=False))
+        assert "total_seconds" not in lean
+        assert "seconds" not in lean["binaries"][0]
+
+
+class TestDegradedFleets:
+    def test_missing_library_fails_per_binary_not_whole_fleet(
+        self, tiny_corpus
+    ):
+        dynamic = [b.image for b in tiny_corpus.binaries if not b.is_static][:2]
+        fleet = FleetAnalyzer()  # empty resolver: every dep unresolvable
+        report = fleet.analyze_images(dynamic)
+        assert len(report.entries) == len(dynamic)
+        assert all(not e.report.success for e in report.entries)
+        assert set(report.failure_stages()) == {"load"}
+
+    def test_provider_resolver_falls_back_to_serial(
+        self, tiny_corpus, tiny_images, caplog
+    ):
+        from repro.loader import LibraryResolver
+
+        bytes_by_name = {
+            name: prog.elf_bytes
+            for name, prog in tiny_corpus.libraries.items()
+        }
+        resolver = LibraryResolver(provider=bytes_by_name.__getitem__)
+        assert resolver.spec() is None
+        fleet = FleetAnalyzer(resolver=resolver, workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro.core.fleet"):
+            report = fleet.analyze_images(tiny_images)
+        assert any(
+            "falling back to serial" in r.message for r in caplog.records
+        )
+        serial = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver()
+        ).analyze_images(tiny_images)
+        assert report.to_json(include_runtime=False) == \
+            serial.to_json(include_runtime=False)
+
+
+class TestShardMerge:
+    def test_merge_is_partition_independent(self, tiny_corpus, tiny_images):
+        whole = _fleet(tiny_corpus).analyze_images(tiny_images)
+        half = len(tiny_images) // 2
+        shard_a = _fleet(tiny_corpus).analyze_images(tiny_images[:half])
+        shard_b = _fleet(tiny_corpus).analyze_images(tiny_images[half:])
+        merged = FleetReport.merge([shard_a, shard_b])
+        canonical = FleetReport.merge([whole])
+        assert merged.to_json(include_runtime=False) == \
+            canonical.to_json(include_runtime=False)
+
+    def test_merge_sums_interface_stats(self):
+        a = FleetReport(interface_stats={"hits": 2, "misses": 1})
+        b = FleetReport(interface_stats={"hits": 3, "invalidations": 4})
+        merged = FleetReport.merge([a, b])
+        assert merged.interface_stats == {
+            "hits": 5, "misses": 1, "invalidations": 4,
+        }
+
+
+class TestDirectorySweep:
+    def test_non_elf_files_are_counted_and_logged(
+        self, tmp_path, tiny_corpus, caplog
+    ):
+        bindir = tmp_path / "bin"
+        bindir.mkdir()
+        chosen = [b for b in tiny_corpus.binaries if b.hardness is None][:2]
+        for binary in chosen:
+            binary.program.save(str(bindir / binary.name))
+        (bindir / "README.txt").write_text("not an elf")
+        (bindir / "notes.md").write_text("# also not an elf")
+
+        fleet = _fleet(tiny_corpus)
+        with caplog.at_level(logging.INFO, logger="repro.core.fleet"):
+            report = fleet.analyze_directory(str(bindir))
+        assert len(report.entries) == len(chosen)
+        assert sorted(report.skipped) == ["README.txt", "notes.md"]
+        assert sum(
+            "skipping non-ELF" in record.message for record in caplog.records
+        ) == 2
+        doc = json.loads(report.to_json(include_runtime=False))
+        assert doc["skipped_files"] == ["README.txt", "notes.md"]
+
+    def test_cli_fleet_cache_and_workers(self, tmp_path, tiny_corpus, capsys):
+        from repro.cli import main
+
+        bindir = tmp_path / "bin"
+        bindir.mkdir()
+        libdir = tmp_path / "lib"
+        libdir.mkdir()
+        cache_dir = tmp_path / "cache"
+        for binary in [
+            b for b in tiny_corpus.binaries
+            if b.hardness is None and not b.is_static
+        ][:2]:
+            binary.program.save(str(bindir / binary.name))
+        for name, lib in tiny_corpus.libraries.items():
+            lib.save(str(libdir / name))
+
+        argv = ["fleet", str(bindir), "--libdir", str(libdir),
+                "--cache-dir", str(cache_dir), "--workers", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "interface cache:" in out
+
+        # Second (warm) run: the cache reports hits and no misses.
+        assert main(argv + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["interface_cache"]["misses"] == 0
+        assert doc["interface_cache"]["hits"] > 0
