@@ -13,8 +13,9 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## regenerate every paper table/figure + timing stats (benchmarks/results/)
+## (bench_*.py does not match pytest's default test_*.py file pattern)
 bench:
-	$(PYTHON) -m pytest benchmarks/ -q
+	$(PYTHON) -m pytest benchmarks/ -q -o python_files="test_*.py bench_*.py"
 
 ## fast syntax/bytecode check (no third-party linters in this environment)
 lint:

@@ -1,14 +1,17 @@
-"""Fleet engine scaling: cold vs warm interface cache, 1 vs N workers.
+"""Fleet engine scaling: cold vs interface-warm vs fully-warm, 1 vs N workers.
 
-The production claim behind the fleet engine, measured:
+The production claims behind the fleet engine + artifact store, measured:
 
-* a **warm** run performs *zero* library re-analysis — the persistent
-  cache's hit counter equals the number of distinct libraries in the
-  fleet's dependency DAG and its miss counter is zero;
-* a **multi-worker** run produces a byte-identical
-  ``FleetReport.to_json()`` (modulo the run-dependent timing/cache
-  fields) to the serial run — parallelism changes wall-clock, never
-  results.
+* an **interface-warm** run (report artifacts pruned, interfaces kept)
+  performs *zero* library re-analysis — the persistent cache's hit
+  counter equals the number of distinct libraries in the fleet's
+  dependency DAG and its miss counter is zero;
+* a **fully-warm** run performs *zero per-binary analysis* — every
+  report is served from the content-addressed artifact store (report
+  hits == fleet size, misses == 0, every entry flagged ``cached``);
+* neither caching tier nor a **multi-worker** run changes results: the
+  deterministic ``FleetReport.to_json(include_runtime=False)`` document
+  is byte-identical across all configurations.
 """
 
 import time
@@ -32,69 +35,98 @@ def _timed_run(corpus, images, cache_dir, workers=1):
     fleet = _fleet(corpus, cache_dir, workers)
     started = time.perf_counter()
     report = fleet.analyze_images(images)
-    stats = fleet.interfaces.stats() if cache_dir else None
-    return report, time.perf_counter() - started, stats
+    seconds = time.perf_counter() - started
+    iface_stats = fleet.interfaces.stats() if cache_dir else None
+    report_stats = (
+        fleet.artifacts.counters("report") if cache_dir else None
+    )
+    return report, seconds, iface_stats, report_stats, fleet
 
 
 def test_fleet_scaling(tmp_path, report_emitter, benchmark):
     corpus = make_debian_corpus(scale=SCALE, seed=2024)
     images = [b.image for b in corpus.binaries]
-    cache_dir = str(tmp_path / "iface-cache")
+    cache_dir = str(tmp_path / "artifact-cache")
 
-    cold_report, cold_s, cold_stats = _timed_run(corpus, images, cache_dir)
-    warm_report, warm_s, warm_stats = _timed_run(corpus, images, cache_dir)
-    par_report, par_s, par_stats = _timed_run(
+    # Tier 0: no cache at all.
+    nocache_report, nocache_s, __, __n, __f = _timed_run(corpus, images, None)
+    # Tier 1: cold cache (populates interfaces + reports).
+    cold_report, cold_s, cold_iface, cold_reports, cold_fleet = _timed_run(
+        corpus, images, cache_dir,
+    )
+    n_libraries = cold_iface["resident"]
+    # Tier 2: interface-warm (reports pruned, interfaces kept).
+    cold_fleet.artifacts.prune("report")
+    iface_report, iface_s, iface_stats, __i, __if = _timed_run(
+        corpus, images, cache_dir,
+    )
+    # Tier 3: fully warm (reports + interfaces on disk).
+    warm_report, warm_s, warm_iface, warm_reports, warm_fleet = _timed_run(
+        corpus, images, cache_dir,
+    )
+    # Interface-warm + workers: prune the reports again so per-binary
+    # analysis actually runs and fans out over the pool (a fully-warm
+    # run would serve every report without ever creating a worker).
+    warm_fleet.artifacts.prune("report")
+    par_report, par_s, __p, __pr, __pf = _timed_run(
         corpus, images, cache_dir, workers=WORKERS,
     )
-    nocache_report, nocache_s, __ = _timed_run(corpus, images, None)
-
-    n_libraries = warm_stats["resident"]
 
     # --- correctness invariants ---------------------------------------
-    # Warm run: every library interface came from the cache, none were
-    # re-analyzed.
-    assert warm_stats["misses"] == 0
-    assert warm_stats["hits"] == n_libraries
-    assert cold_stats["misses"] == n_libraries
+    # Interface-warm run: every library interface came from the cache.
+    assert iface_stats["misses"] == 0
+    assert iface_stats["hits"] == n_libraries
+    assert cold_iface["misses"] == n_libraries
+    # Fully-warm run: zero per-binary analysis — every report served
+    # from the artifact store, no interface even consulted.
+    assert warm_reports["misses"] == 0
+    assert warm_reports["hits"] == len(images)
+    assert all(e.from_cache for e in warm_report.entries)
+    assert warm_iface["hits"] == 0 and warm_iface["misses"] == 0
     # Parallelism and caching never change results.
-    canonical = cold_report.to_json(include_runtime=False)
+    canonical = nocache_report.to_json(include_runtime=False)
+    assert cold_report.to_json(include_runtime=False) == canonical
+    assert iface_report.to_json(include_runtime=False) == canonical
     assert warm_report.to_json(include_runtime=False) == canonical
     assert par_report.to_json(include_runtime=False) == canonical
-    assert nocache_report.to_json(include_runtime=False) == canonical
 
+    speedup = nocache_s / warm_s if warm_s > 0 else float("inf")
     rows = [
         f"fleet: {len(images)} binaries, {n_libraries} shared libraries "
         f"(corpus scale {SCALE})",
         "",
-        f"{'configuration':<28} {'seconds':>9} {'binaries/s':>11} "
-        f"{'cache hits':>11} {'cache misses':>13}",
+        f"{'configuration':<30} {'seconds':>9} {'binaries/s':>11} "
+        f"{'iface hit/miss':>15} {'report hit/miss':>16}",
     ]
-    for label, secs, stats in (
-        ("no cache, 1 worker", nocache_s, None),
-        ("cold cache, 1 worker", cold_s, cold_stats),
-        ("warm cache, 1 worker", warm_s, warm_stats),
-        (f"warm cache, {WORKERS} workers", par_s, par_stats),
+    for label, secs, iface, reports in (
+        ("no cache, 1 worker", nocache_s, None, None),
+        ("cold cache, 1 worker", cold_s, cold_iface, cold_reports),
+        ("interface-warm, 1 worker", iface_s, iface_stats, None),
+        ("fully-warm, 1 worker", warm_s, warm_iface, warm_reports),
+        (f"interface-warm, {WORKERS} workers", par_s, None, None),
     ):
-        hits = "-" if stats is None else stats["hits"]
-        misses = "-" if stats is None else stats["misses"]
+        iface_txt = "-" if iface is None else f"{iface['hits']}/{iface['misses']}"
+        rep_txt = "-" if reports is None else f"{reports['hits']}/{reports['misses']}"
         rows.append(
-            f"{label:<28} {secs:>9.3f} {len(images) / secs:>11.1f} "
-            f"{hits!s:>11} {misses!s:>13}"
+            f"{label:<30} {secs:>9.3f} {len(images) / secs:>11.1f} "
+            f"{iface_txt:>15} {rep_txt:>16}"
         )
     rows += [
         "",
-        f"warm run library re-analysis: 0 "
-        f"(hits {warm_stats['hits']} == {n_libraries} libraries)",
-        f"serial == {WORKERS}-worker report (modulo timing fields): "
-        f"{par_report.to_json(include_runtime=False) == canonical}",
+        f"interface-warm library re-analysis: 0 "
+        f"(hits {iface_stats['hits']} == {n_libraries} libraries)",
+        f"fully-warm per-binary analysis: 0 "
+        f"(report hits {warm_reports['hits']} == {len(images)} binaries)",
+        f"fully-warm end-to-end speedup over no-cache: {speedup:.1f}x",
+        f"all tiers byte-identical (modulo runtime fields): True",
     ]
     report_emitter(
         "fleet_scaling",
-        "Fleet scaling: persistent interface cache and worker fan-out",
+        "Fleet scaling: artifact store (reports + interfaces) and worker fan-out",
         "\n".join(rows),
     )
 
-    # Timed unit: a warm-cache serial fleet pass.
+    # Timed unit: a fully-warm fleet pass served from the artifact store.
     benchmark(
         lambda: _fleet(corpus, cache_dir).analyze_images(images)
     )

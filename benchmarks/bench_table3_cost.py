@@ -19,8 +19,8 @@ def test_table3_cost(app_results, report_emitter, benchmark):
     for name, result in app_results.items():
         r = result.bside
         rows.append(
-            f"{name:<11} {r.stage_seconds('cfg'):>8.3f} "
-            f"{r.stage_seconds('wrappers'):>8.3f} "
+            f"{name:<11} {r.stage_seconds('cfg-recovery'):>8.3f} "
+            f"{r.stage_seconds('wrapper-detection'):>8.3f} "
             f"{r.stage_seconds('identification'):>9.3f} "
             f"{r.stage_seconds('total'):>9.3f} "
             f"{r.peak_memory / 1e6:>8.1f} "
@@ -36,8 +36,8 @@ def test_table3_cost(app_results, report_emitter, benchmark):
         # The three reported stages are a subset of the total (§5.3 notes
         # other steps such as loading are excluded from the split).
         split = (
-            r.stage_seconds("cfg")
-            + r.stage_seconds("wrappers")
+            r.stage_seconds("cfg-recovery")
+            + r.stage_seconds("wrapper-detection")
             + r.stage_seconds("identification")
         )
         assert split <= r.stage_seconds("total") + 1e-6

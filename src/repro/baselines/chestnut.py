@@ -21,15 +21,14 @@ from __future__ import annotations
 
 import time
 
-from ..cfg.builder import build_cfg
-from ..cfg.indirect import resolve_indirect_all
 from ..cfg.model import CFG, EDGE_CALL, EDGE_ICALL
+from ..core.pipeline import AnalysisContext
 from ..core.report import AnalysisReport, StageStats
 from ..errors import AnalysisFailure, CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
 from ..syscalls.table import ALL_SYSCALLS, DANGEROUS_SYSCALLS, SYSCALL_NAMES, numbers_of
-from .common import collect_register_values, full_image_sites
+from .common import RegisterScanPass, collect_register_values, run_image_scan
 
 TOOL_NAME = "chestnut"
 
@@ -123,29 +122,16 @@ class ChestnutAnalyzer:
 
     def _scan_image(self, image: LoadedImage) -> tuple[set[int], bool, bool]:
         """Returns (values, every site resolved?, memory-sourced number seen?)."""
-        cfg = build_cfg(image)
-        resolve_indirect_all(cfg, image)
-        syscalls: set[int] = set()
-        resolved_all = True
-        saw_memory = False
-
-        glibc_wrapper = self._glibc_wrapper_entry(image)
-
-        for __, insn_addr, func_entry in full_image_sites(cfg):
-            if glibc_wrapper is not None and func_entry == glibc_wrapper:
-                values, ok = self._scan_wrapper_callers(cfg, glibc_wrapper)
-                syscalls |= values
-                resolved_all = resolved_all and ok
-                continue
-            tracked = collect_register_values(
-                cfg, func_entry, insn_addr, "rax", insn_limit=SCAN_WINDOW,
-            )
-            syscalls |= tracked.values
-            if not tracked.resolved:
-                resolved_all = False
-            if tracked.from_memory:
-                saw_memory = True
-        return syscalls, resolved_all, saw_memory
+        # Alternate pipeline config: shares B-Side's cfg-recovery pass
+        # (all-addresses-taken mode) and the whole-image site vacuum;
+        # identification is the 30-instruction bounded scan with the
+        # hard-coded glibc-wrapper special case.
+        ctx = run_image_scan(image, ChestnutScanPass(), indirect="all")
+        return (
+            ctx.extras["scan_values"],
+            ctx.extras["scan_resolved"],
+            ctx.extras["scan_from_memory"],
+        )
 
     @staticmethod
     def _glibc_wrapper_entry(image: LoadedImage) -> int | None:
@@ -154,17 +140,42 @@ class ChestnutAnalyzer:
             or image.exported_functions.get("syscall")
         return sym.value if sym else None
 
-    def _scan_wrapper_callers(self, cfg: CFG, wrapper_entry: int) -> tuple[set[int], bool]:
-        """Scan ``mov edi/rdi, imm`` within the 30-insn window before each
-        call to glibc's ``syscall()``."""
-        values: set[int] = set()
-        ok = True
-        for edge in cfg.predecessors(wrapper_entry, kinds=(EDGE_CALL, EDGE_ICALL)):
-            call_block = cfg.blocks[edge.src]
-            tracked = collect_register_values(
-                cfg, call_block.function, call_block.terminator.addr,
-                "rdi", insn_limit=SCAN_WINDOW,
-            )
-            values |= tracked.values
-            ok = ok and tracked.resolved
-        return values, ok
+
+class ChestnutScanPass(RegisterScanPass):
+    """Chestnut's ``identification`` pass: bounded scans + the one
+    wrapper it understands (glibc's exported ``syscall()``, recognised
+    by symbol name; numbers scanned in ``%rdi`` at its call sites)."""
+
+    def __init__(self):
+        super().__init__(window=SCAN_WINDOW)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        self._wrapper_entry = ChestnutAnalyzer._glibc_wrapper_entry(ctx.image)
+        super().run(ctx)
+
+    def scan_site(
+        self, ctx: AnalysisContext, block_addr: int, insn_addr: int,
+        func_entry: int,
+    ) -> None:
+        if self._wrapper_entry is not None and func_entry == self._wrapper_entry:
+            values, ok = _scan_wrapper_callers(ctx.cfg, self._wrapper_entry)
+            ctx.extras["scan_values"] |= values
+            ctx.extras["scan_resolved"] = ctx.extras["scan_resolved"] and ok
+            return
+        super().scan_site(ctx, block_addr, insn_addr, func_entry)
+
+
+def _scan_wrapper_callers(cfg: CFG, wrapper_entry: int) -> tuple[set[int], bool]:
+    """Scan ``mov edi/rdi, imm`` within the 30-insn window before each
+    call to glibc's ``syscall()``."""
+    values: set[int] = set()
+    ok = True
+    for edge in cfg.predecessors(wrapper_entry, kinds=(EDGE_CALL, EDGE_ICALL)):
+        call_block = cfg.blocks[edge.src]
+        tracked = collect_register_values(
+            cfg, call_block.function, call_block.terminator.addr,
+            "rdi", insn_limit=SCAN_WINDOW,
+        )
+        values |= tracked.values
+        ok = ok and tracked.resolved
+    return values, ok

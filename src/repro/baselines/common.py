@@ -8,6 +8,15 @@ the tracked register through ``mov``/``xor`` register chains.  The walk is
 linear over addresses — the same approximation the originals make for
 straight-line compiler output — and reports whether any definition came
 from memory, a call, or was missing entirely (unresolvable at this site).
+
+Since PR 2 the baselines are expressed as **alternate pipeline
+configurations** over :mod:`repro.core.pipeline`: they share the
+``cfg-recovery`` pass (in ``all``-addresses-taken or ``none`` mode)
+with B-Side and swap in their own implementations of the
+``site-discovery`` (whole-image vacuum, :class:`FullImageSitesPass`)
+and ``identification`` (register-only scans, :class:`RegisterScanPass`)
+passes.  :func:`run_image_scan` assembles and runs such a pipeline over
+one image.
 """
 
 from __future__ import annotations
@@ -15,6 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cfg.model import CFG
+from ..core.pipeline import (
+    AnalysisContext,
+    CfgRecoveryPass,
+    Pass,
+    PassPipeline,
+    PipelineConfig,
+)
+from ..core.report import AnalysisBudget
+from ..loader.image import LoadedImage
 from ..x86.insn import Immediate, Instruction
 from ..x86.registers import Register
 
@@ -124,3 +142,94 @@ def full_image_sites(cfg: CFG) -> list[tuple[int, int, int]]:
             if insn.is_syscall:
                 out.append((block.addr, insn.addr, block.function))
     return sorted(out, key=lambda t: t[1])
+
+
+# ----------------------------------------------------------------------
+# Baseline pass implementations (alternate pipeline configurations)
+# ----------------------------------------------------------------------
+
+
+class FullImageSitesPass(Pass):
+    """``site-discovery``, baseline flavour: vacuum the whole image.
+
+    No reachability restriction — SysFilter and Chestnut analyse every
+    byte of every image (§3)."""
+
+    name = "site-discovery"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        ctx.extras["raw_sites"] = full_image_sites(ctx.cfg)
+
+    def units(self, ctx: AnalysisContext) -> int:
+        return len(ctx.extras["raw_sites"])
+
+
+class RegisterScanPass(Pass):
+    """``identification``, baseline flavour: register-only backward scans.
+
+    ``window=None`` scans the whole containing function (SysFilter's
+    intra-procedural use-define chains); an integer bounds the scan
+    (Chestnut's 30-instruction window).  Results land in
+    ``ctx.extras``: ``scan_values`` (set), ``scan_resolved`` (every site
+    resolved?), ``scan_from_memory`` (memory-sourced number seen?).
+    Chestnut subclasses :meth:`scan_site` for its hard-coded glibc
+    ``syscall()`` wrapper special case.
+    """
+
+    name = "identification"
+
+    def __init__(self, window: int | None = None, register: str = "rax"):
+        self.window = window
+        self.register = register
+
+    def run(self, ctx: AnalysisContext) -> None:
+        ctx.extras.setdefault("scan_values", set())
+        ctx.extras.setdefault("scan_resolved", True)
+        ctx.extras.setdefault("scan_from_memory", False)
+        for block_addr, insn_addr, func_entry in ctx.extras["raw_sites"]:
+            self.scan_site(ctx, block_addr, insn_addr, func_entry)
+        ctx.complete = ctx.complete and ctx.extras["scan_resolved"]
+
+    def scan_site(
+        self, ctx: AnalysisContext, block_addr: int, insn_addr: int,
+        func_entry: int,
+    ) -> None:
+        tracked = collect_register_values(
+            ctx.cfg, func_entry, insn_addr, self.register,
+            insn_limit=self.window,
+        )
+        ctx.extras["scan_values"] |= tracked.values
+        if not tracked.resolved:
+            ctx.extras["scan_resolved"] = False
+        if tracked.from_memory:
+            ctx.extras["scan_from_memory"] = True
+
+    def units(self, ctx: AnalysisContext) -> int:
+        return len(ctx.extras["raw_sites"])
+
+
+def run_image_scan(
+    image: LoadedImage, scan_pass: Pass, *, indirect: str = "all",
+) -> AnalysisContext:
+    """Run a baseline scan pipeline over one whole image.
+
+    Shares B-Side's ``cfg-recovery`` pass (``indirect`` selects the
+    resolution mode, with no symbolic-execution context) and the
+    whole-image site vacuum, then the given identification pass.
+    Baselines are unbudgeted, so the context gets a generous budget.
+    """
+    ctx = AnalysisContext(
+        image=image,
+        roots=[],
+        budget=AnalysisBudget.generous(),
+        config=PipelineConfig(
+            detect_wrappers=False,
+            use_active_addresses_taken=(indirect == "active"),
+        ),
+    )
+    PassPipeline([
+        CfgRecoveryPass(indirect=indirect, make_exec=False),
+        FullImageSitesPass(),
+        scan_pass,
+    ]).run(ctx)
+    return ctx

@@ -11,15 +11,15 @@ from __future__ import annotations
 
 import time
 
-from ..cfg.builder import build_cfg
 from ..cfg.model import CFG
+from ..core.pipeline import AnalysisContext
 from ..core.report import AnalysisReport, StageStats
 from ..errors import CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
 from ..x86.insn import Immediate
 from ..x86.registers import Register
-from .common import full_image_sites
+from .common import RegisterScanPass, run_image_scan
 
 TOOL_NAME = "naive"
 
@@ -76,22 +76,38 @@ class NaiveAnalyzer:
         )
 
     def _scan_image(self, image: LoadedImage) -> tuple[set[int], bool]:
-        cfg = build_cfg(image)
-        syscalls: set[int] = set()
-        complete = True
-        for block_addr, insn_addr, __ in full_image_sites(cfg):
-            value = _block_local_value(cfg, block_addr, insn_addr)
-            if value is not None:
-                syscalls.add(value)
-                continue
-            found = False
-            if self.look_at_predecessors:
-                for edge in cfg.predecessors(block_addr):
-                    pred_value = _block_local_value(
-                        cfg, edge.src, cfg.blocks[edge.src].end,
-                    )
-                    if pred_value is not None:
-                        syscalls.add(pred_value)
-                        found = True
-            complete = complete and found
-        return syscalls, complete
+        # Alternate pipeline config: direct-edge CFG only (no indirect
+        # resolution at all), whole-image vacuum, block-local scans.
+        scan = NaiveScanPass(self.look_at_predecessors)
+        ctx = run_image_scan(image, scan, indirect="none")
+        return ctx.extras["scan_values"], ctx.extras["scan_resolved"]
+
+
+class NaiveScanPass(RegisterScanPass):
+    """Block-local ``identification``: the containing block, optionally
+    plus one level of direct predecessors."""
+
+    def __init__(self, look_at_predecessors: bool = True):
+        super().__init__()
+        self.look_at_predecessors = look_at_predecessors
+
+    def scan_site(
+        self, ctx: AnalysisContext, block_addr: int, insn_addr: int,
+        func_entry: int,
+    ) -> None:
+        cfg = ctx.cfg
+        value = _block_local_value(cfg, block_addr, insn_addr)
+        if value is not None:
+            ctx.extras["scan_values"].add(value)
+            return
+        found = False
+        if self.look_at_predecessors:
+            for edge in cfg.predecessors(block_addr):
+                pred_value = _block_local_value(
+                    cfg, edge.src, cfg.blocks[edge.src].end,
+                )
+                if pred_value is not None:
+                    ctx.extras["scan_values"].add(pred_value)
+                    found = True
+        if not found:
+            ctx.extras["scan_resolved"] = False

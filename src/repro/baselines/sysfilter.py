@@ -21,13 +21,11 @@ from __future__ import annotations
 
 import time
 
-from ..cfg.builder import build_cfg
-from ..cfg.indirect import resolve_indirect_all
 from ..core.report import AnalysisReport, StageStats
 from ..errors import AnalysisFailure, CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
-from .common import collect_register_values, full_image_sites
+from .common import RegisterScanPass, run_image_scan
 
 TOOL_NAME = "sysfilter"
 
@@ -83,15 +81,9 @@ class SysFilterAnalyzer:
         return self._lib_cache[lib.name]
 
     def _scan_image(self, image: LoadedImage) -> tuple[set[int], bool]:
-        cfg = build_cfg(image)
-        resolve_indirect_all(cfg, image)  # all addresses taken, no refinement
-        syscalls: set[int] = set()
-        complete = True
-        for __, insn_addr, func_entry in full_image_sites(cfg):
-            tracked = collect_register_values(cfg, func_entry, insn_addr, "rax")
-            syscalls |= tracked.values
-            if not tracked.resolved:
-                # The site's value is invisible to register-only
-                # intra-procedural analysis: a silent false negative.
-                complete = False
-        return syscalls, complete
+        # Alternate pipeline config: all-addresses-taken CFG recovery
+        # (no refinement), whole-image site vacuum, then unbounded
+        # register-only scans.  Unresolved sites are silent false
+        # negatives — the tool's documented weakness.
+        ctx = run_image_scan(image, RegisterScanPass(window=None), indirect="all")
+        return ctx.extras["scan_values"], ctx.extras["scan_resolved"]

@@ -184,3 +184,27 @@ class CFG:
         if addrs is None:
             return sum(b.size for b in self.blocks.values())
         return sum(self.blocks[a].size for a in addrs if a in self.blocks)
+
+    def summary(self) -> dict:
+        """Deterministic JSON-able summary of the recovered graph.
+
+        This is the ``cfg`` artifact payload the analysis pipeline
+        persists per binary: enough to inspect and diff a recovery
+        (block/edge/function counts, indirect-call surface, addresses
+        taken, external-call symbols) without serialising every block.
+        """
+        return {
+            "n_blocks": self.n_blocks,
+            "n_edges": self.n_edges,
+            "n_functions": len(self.functions),
+            "n_syscall_blocks": sum(
+                1 for b in self.blocks.values() if b.has_syscall
+            ),
+            "indirect_sites": sorted(self.indirect_sites),
+            "addresses_taken": sorted(self.addresses_taken),
+            "external_symbols": sorted({
+                symbol
+                for symbols in self.external_calls.values()
+                for symbol in symbols
+            }),
+        }

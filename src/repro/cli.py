@@ -3,8 +3,10 @@
 Commands
 --------
 
-``analyze <binary> [--libdir DIR] [--json]``
+``analyze <binary> [--libdir DIR] [--json] [--cache-dir DIR] [--no-cache]``
     Identify the syscalls a binary can invoke; print names or JSON.
+    With ``--cache-dir``, a matching cached report is served without
+    re-analysis.
 
 ``phases <binary> [--libdir DIR]``
     Detect execution phases and print the automaton summary.
@@ -22,9 +24,13 @@ Commands
     Run the binary under the emulator and print its syscall trace.
 
 ``fleet <dir> [--workers N] [--cache-dir DIR] [--no-cache] [--json]``
-    Batch-analyze every ELF in a directory: library interfaces are
-    computed once (and cached persistently with ``--cache-dir``), then
-    per-binary analysis fans out over ``--workers`` processes.
+    Batch-analyze every ELF in a directory: cached per-binary reports are
+    served from the artifact store, library interfaces are computed once
+    (and cached persistently with ``--cache-dir``), then per-binary
+    analysis fans out over ``--workers`` processes.
+
+``cache {stats,clear,prune} --cache-dir DIR [--kind K]``
+    Inspect or maintain the content-addressed artifact cache.
 
 ``docker-profile <binary> [--libdir DIR]``
     Emit an OCI/Docker seccomp JSON profile for the binary.
@@ -52,8 +58,31 @@ def _load(path: str) -> LoadedImage:
     return LoadedImage.from_path(path)
 
 
+def _cache_dir(args) -> str | None:
+    """The effective artifact-cache directory (``--no-cache`` wins)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
+def _make_analyzer(args) -> BSideAnalyzer:
+    """Analyzer honouring ``--libdir`` and the cache flags."""
+    cache_dir = _cache_dir(args)
+    if cache_dir is None:
+        return BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    from .core import ArtifactStore, PersistentInterfaceStore
+
+    artifacts = ArtifactStore(cache_dir)
+    return BSideAnalyzer(
+        resolver=_resolver(args),
+        budget=AnalysisBudget(),
+        interface_store=PersistentInterfaceStore(store=artifacts),
+        artifact_store=artifacts,
+    )
+
+
 def cmd_analyze(args) -> int:
-    analyzer = BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+    analyzer = _make_analyzer(args)
     report = analyzer.analyze(_load(args.binary))
     if args.json:
         print(json.dumps({
@@ -157,6 +186,10 @@ def cmd_fleet(args) -> int:
           f"avg {report.average_syscalls():.1f} syscalls")
     if report.skipped:
         print(f"  skipped {len(report.skipped)} non-ELF files")
+    if report.artifact_stats:
+        stats = report.artifact_stats
+        print(f"  report cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses")
     if report.interface_stats:
         stats = report.interface_stats
         print(f"  interface cache: {stats['hits']} hits, "
@@ -171,6 +204,33 @@ def cmd_fleet(args) -> int:
         for ident, rate in worst:
             print(f"    CVE-{ident}: {rate:.1%} protected")
     return 0
+
+
+def cmd_cache(args) -> int:
+    from .core.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.cache_command == "stats":
+        doc = store.stats()
+        if args.json:
+            print(json.dumps(doc, indent=2))
+            return 0
+        print(f"artifact cache at {doc['cache_dir']} "
+              f"(version {doc['version']}): "
+              f"{doc['total_entries']} entries, {doc['total_bytes']} bytes")
+        for kind, stats in sorted(doc["kinds"].items()):
+            print(f"  {kind:<10} {stats['entries']:>6} entries  "
+                  f"{stats['bytes']:>10} bytes")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.prune()
+        print(f"removed {removed} cache entries")
+        return 0
+    if args.cache_command == "prune":
+        removed = store.prune(args.kind)
+        print(f"removed {removed} {args.kind} entries")
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
 def cmd_trace(args) -> int:
@@ -197,10 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--libdir", help="directory with shared-library deps")
 
+    def cache_flags(p):
+        p.add_argument("--cache-dir",
+                       help="persistent artifact cache directory")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir and analyze everything fresh")
+
     p = sub.add_parser("analyze", help="identify a binary's syscalls")
     p.add_argument("binary")
     p.add_argument("--json", action="store_true")
     common(p)
+    cache_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("phases", help="detect execution phases")
@@ -243,12 +310,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for per-binary analysis")
-    p.add_argument("--cache-dir",
-                   help="persistent interface cache directory")
-    p.add_argument("--no-cache", action="store_true",
-                   help="ignore --cache-dir and analyze everything fresh")
     common(p)
+    cache_flags(p)
     p.set_defaults(func=cmd_fleet)
+
+    cache = sub.add_parser("cache", help="artifact-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    p = cache_sub.add_parser("stats", help="per-kind entry counts and sizes")
+    p.add_argument("--cache-dir", required=True)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_cache)
+    p = cache_sub.add_parser("clear", help="delete every cache entry")
+    p.add_argument("--cache-dir", required=True)
+    p.set_defaults(func=cmd_cache)
+    p = cache_sub.add_parser("prune", help="delete one artifact kind")
+    p.add_argument("--cache-dir", required=True)
+    p.add_argument("--kind", required=True,
+                   choices=["iface", "cfg", "wrappers", "report"])
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

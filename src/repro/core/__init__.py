@@ -11,6 +11,15 @@ Typical use::
 """
 
 from .analyzer import BSideAnalyzer, TOOL_NAME
+from .artifacts import ARTIFACT_KINDS, CACHE_VERSION, ArtifactStore
+from .pipeline import (
+    DEFAULT_PASSES,
+    AnalysisContext,
+    Pass,
+    PassPipeline,
+    PipelineConfig,
+    build_pipeline,
+)
 from .arguments import (
     ArgumentRule,
     ArgumentValues,
@@ -25,7 +34,7 @@ from .identify import (
     make_callsite_param_query,
     wrapper_call_blocks,
 )
-from .ifacecache import CACHE_VERSION, PersistentInterfaceStore
+from .ifacecache import PersistentInterfaceStore
 from .interface import ExportInfo, InterfaceStore, SharedInterface
 from .report import AnalysisBudget, AnalysisReport, StageStats
 from .sites import SyscallSite, find_sites
@@ -34,6 +43,14 @@ from .wrappers import WrapperInfo, detect_wrapper, phase1_use_define_scan, phase
 __all__ = [
     "BSideAnalyzer",
     "TOOL_NAME",
+    "ArtifactStore",
+    "ARTIFACT_KINDS",
+    "AnalysisContext",
+    "Pass",
+    "PassPipeline",
+    "PipelineConfig",
+    "DEFAULT_PASSES",
+    "build_pipeline",
     "AnalysisBudget",
     "AnalysisReport",
     "StageStats",

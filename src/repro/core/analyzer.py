@@ -1,19 +1,26 @@
 """B-Side: the end-to-end analyzer (Figure 3).
 
-``BSideAnalyzer`` wires the full pipeline together:
+``BSideAnalyzer`` drives the :mod:`repro.core.pipeline` pass pipeline:
 
-* **Step 1 — disassembly & CFG recovery**: exact decode, basic blocks,
-  direct edges, then the *active addresses taken* fixpoint to resolve
-  indirect branches (budgeted: exceeding the CFG budget is the
+* **Step 1 — disassembly & CFG recovery**: the ``cfg-recovery`` and
+  ``reachability`` passes (budgeted: exceeding the CFG budget is the
   reproduction's "timeout during CFG construction", the paper's dominant
   failure mode).
-* **Step 2 — syscall identification**: reachable-site discovery, the
-  two-phase wrapper heuristic, and per-site backward identification with
-  directed forward symbolic execution.
+* **Step 2 — syscall identification**: ``site-discovery``,
+  ``wrapper-detection`` (the two-phase heuristic), ``identification``
+  (per-site backward identification with directed forward symbolic
+  execution) and ``external-calls``.
 * **Step 3 — shared objects**: per-library shared interfaces computed once
   and cached in an :class:`~repro.core.interface.InterfaceStore`;
   dependency DAGs are processed leaves-first; imported wrappers are
   resolved per call site in the importing binary.
+
+Ablations are pipeline configuration (:class:`PipelineConfig`), not
+if-branches, and with an :class:`~repro.core.artifacts.ArtifactStore`
+bound the analyzer both reuses per-pass artifacts (confirmed wrapper
+tables) and serves entire :class:`AnalysisReport`s from cache — keyed by
+binary content hash, pipeline-config fingerprint, and dependency hashes
+— so a warm run performs zero re-analysis.
 
 The analyzer never executes the target.  Its product is an
 :class:`~repro.core.report.AnalysisReport` whose ``syscalls`` set is a
@@ -25,47 +32,23 @@ from __future__ import annotations
 
 import time
 import tracemalloc
-from dataclasses import dataclass, field
 
-from ..cfg.builder import build_cfg
-from ..cfg.indirect import resolve_indirect_active
-from ..cfg.model import CFG, EDGE_CALL, EDGE_ICALL
 from ..cfg.reachability import reachable_blocks
 from ..errors import BudgetExceeded, CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
-from ..symex.engine import ExecContext
-from ..symex.state import MemoryBackend
-from .identify import (
-    SiteIdentification,
-    identify_plain_site,
-    identify_wrapper_call_site,
-    wrapper_call_blocks,
-)
+from .artifacts import ArtifactStore
 from .interface import ExportInfo, InterfaceStore, SharedInterface
+from .pipeline import (
+    AnalysisContext,
+    PassPipeline,
+    PhaseDetectionPass,
+    PipelineConfig,
+    build_pipeline,
+)
 from .report import AnalysisBudget, AnalysisReport, StageStats
-from .sites import SyscallSite, find_sites
-from .wrappers import WrapperInfo, detect_wrapper
 
 TOOL_NAME = "b-side"
-
-
-@dataclass(slots=True)
-class _ImageAnalysis:
-    """Intermediate per-image artifacts shared by exe and library paths."""
-
-    cfg: CFG
-    ctx: ExecContext
-    backend: MemoryBackend
-    reachable: set[int]
-    sites: list[SyscallSite]
-    wrappers: dict[int, WrapperInfo | None]  # func entry -> info (None = not)
-    #: per-block identified syscall numbers
-    block_syscalls: dict[int, set[int]]
-    complete: bool
-    bbs_explored: int
-    symex_steps: int
-    sites_examined: int
 
 
 class BSideAnalyzer:
@@ -80,6 +63,8 @@ class BSideAnalyzer:
         detect_wrappers: bool = True,
         directed_search: bool = True,
         use_active_addresses_taken: bool = True,
+        pipeline_config: PipelineConfig | None = None,
+        artifact_store: ArtifactStore | None = None,
     ):
         self.resolver = resolver if resolver is not None else LibraryResolver()
         self.budget = budget if budget is not None else AnalysisBudget()
@@ -88,10 +73,35 @@ class BSideAnalyzer:
         self.interfaces = (
             interface_store if interface_store is not None else InterfaceStore()
         )
-        #: ablation switches (§4.3/§4.4 design choices)
-        self.detect_wrappers = detect_wrappers
-        self.directed_search = directed_search
-        self.use_active_addresses_taken = use_active_addresses_taken
+        #: ablation switches (§4.3/§4.4 design choices) as pipeline config
+        self.config = (
+            pipeline_config
+            if pipeline_config is not None
+            else PipelineConfig(
+                detect_wrappers=detect_wrappers,
+                directed_search=directed_search,
+                use_active_addresses_taken=use_active_addresses_taken,
+            )
+        )
+        self.pipeline = build_pipeline(self.config)
+        self.artifacts = artifact_store
+        #: content-address of (pipeline config, budget): keys artifacts
+        self.fingerprint = self.config.fingerprint(self.budget)
+        self.interfaces.bind_fingerprint(self.fingerprint)
+
+    # -- ablation flags kept readable for reporting / worker shipping ----
+
+    @property
+    def detect_wrappers(self) -> bool:
+        return self.config.detect_wrappers
+
+    @property
+    def directed_search(self) -> bool:
+        return self.config.directed_search
+
+    @property
+    def use_active_addresses_taken(self) -> bool:
+        return self.config.use_active_addresses_taken
 
     # ------------------------------------------------------------------
     # Public API
@@ -107,8 +117,17 @@ class BSideAnalyzer:
 
         ``modules`` lists shared objects the program loads at runtime via
         dlopen-style mechanisms (§4.5: the user supplies them).
+
+        With an artifact store bound, a cached report whose content hash,
+        pipeline fingerprint, and dependency hashes all match is served
+        without any analysis.
         """
-        report, __ = self._timed_analysis(image, modules or [], measure_memory)
+        modules = list(modules or [])
+        cached = self.load_cached_report(image, modules)
+        if cached is not None:
+            return cached
+        report, __ = self._timed_analysis(image, modules, measure_memory)
+        self.store_report(image, modules, report)
         return report
 
     def analyze_phases(
@@ -121,43 +140,29 @@ class BSideAnalyzer:
         """Analyze and detect execution phases (§4.7, step N).
 
         Returns ``(report, PhaseAutomaton | None)`` — the automaton is None
-        when the analysis failed.
+        when the analysis failed.  The report cache is bypassed: phase
+        detection needs the in-memory analysis context.
         """
-        from ..phases.merge import detect_phases
-
-        report, analysis = self._timed_analysis(image, modules or [], False)
-        if not report.success or analysis is None:
+        report, ctx = self._timed_analysis(image, modules or [], False)
+        if not report.success or ctx is None:
             return report, None
-        t0 = time.perf_counter()
-        automaton = detect_phases(
-            analysis.cfg,
-            {
-                addr: values
-                for addr, values in analysis.block_syscalls.items()
-                if values and addr in analysis.reachable
-            },
-            image.entry,
-            reachable=analysis.reachable,
-            similarity=similarity,
-            back_propagate=back_propagate,
-        )
-        report.stages["phases"] = StageStats(
-            seconds=time.perf_counter() - t0, units=automaton.n_phases,
-        )
-        return report, automaton
+        PassPipeline([
+            PhaseDetectionPass(similarity=similarity, back_propagate=back_propagate)
+        ]).run(ctx)
+        return report, ctx.automaton
 
     def _timed_analysis(
         self,
         image: LoadedImage,
         modules: list[LoadedImage],
         measure_memory: bool,
-    ) -> tuple[AnalysisReport, "_ImageAnalysis | None"]:
+    ) -> tuple[AnalysisReport, AnalysisContext | None]:
         started = time.perf_counter()
-        analysis: _ImageAnalysis | None = None
+        ctx: AnalysisContext | None = None
         if measure_memory:
             tracemalloc.start()
         try:
-            report, analysis = self._analyze_executable(image, modules)
+            report, ctx = self._analyze_executable(image, modules)
         except BudgetExceeded as exceeded:
             report = AnalysisReport.failed(
                 TOOL_NAME, image.name, exceeded.stage, str(exceeded),
@@ -172,29 +177,130 @@ class BSideAnalyzer:
             __, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
             report.peak_memory = peak
-        return report, analysis
+        return report, ctx
 
     def analyze_library(self, image: LoadedImage) -> SharedInterface:
         """Analyze one shared library (cached; §4.5 phase 1)."""
-        self.interfaces.bind_image(image)
+        self._bind_library(image)
         cached = self.interfaces.get(image.name)
         if cached is not None:
             return cached
-        for dep in self.resolver.topological_order(image):
-            self.interfaces.bind_image(dep)
-            if dep.name not in self.interfaces:
-                self.interfaces.put(self._build_interface(dep))
+        if image.needed:
+            self._ensure_dependency_interfaces(image)
         interface = self._build_interface(image)
         self.interfaces.put(interface)
         return interface
 
     # ------------------------------------------------------------------
+    # Report artifacts (content-addressed whole-binary cache)
+    # ------------------------------------------------------------------
+
+    def dependency_hashes(
+        self, image: LoadedImage, modules: list[LoadedImage] | None = None,
+    ) -> list[str] | None:
+        """Content hashes of the dependency closure (+ dlopen modules).
+
+        The sorted list is part of every report-artifact key: an upgraded
+        library invalidates cached reports of its dependents.  ``None``
+        when the closure cannot be resolved — such analyses depend on the
+        local resolver environment and are not cacheable.
+        """
+        hashes: set[str] = set()
+        try:
+            if image.needed:
+                for dep in self.resolver.topological_order(image):
+                    hashes.add(dep.content_hash)
+            for module in modules or []:
+                hashes.add(module.content_hash)
+                if module.needed:
+                    for dep in self.resolver.topological_order(module):
+                        hashes.add(dep.content_hash)
+        except LoaderError:
+            return None
+        return sorted(hashes)
+
+    def load_cached_report(
+        self,
+        image: LoadedImage,
+        modules: list[LoadedImage] | None = None,
+        store: ArtifactStore | None = None,
+    ) -> AnalysisReport | None:
+        """Serve a binary's full report from the artifact store, if valid.
+
+        ``store`` overrides the analyzer's own store (the fleet engine
+        owns report-cache traffic and passes its store explicitly).
+        """
+        store = store if store is not None else self.artifacts
+        if store is None:
+            return None
+        deps = self.dependency_hashes(image, modules)
+        if deps is None:
+            return None
+        payload = store.get(
+            "report", image.name,
+            content_hash=image.content_hash,
+            fingerprint=self.fingerprint,
+            dep_hashes=deps,
+        )
+        if payload is None:
+            return None
+        return AnalysisReport.from_doc(payload)
+
+    def store_report(
+        self,
+        image: LoadedImage,
+        modules: list[LoadedImage] | None,
+        report: AnalysisReport,
+        store: ArtifactStore | None = None,
+    ) -> None:
+        """Persist a finished report keyed by content + config + deps.
+
+        Load failures are not cached: they describe the resolver
+        environment (a missing library), not the binary.
+        """
+        store = store if store is not None else self.artifacts
+        if store is None:
+            return
+        if not report.success and report.failure_stage == "load":
+            return
+        deps = self.dependency_hashes(image, modules)
+        if deps is None:
+            return
+        store.put(
+            "report", image.name, report.to_doc(),
+            content_hash=image.content_hash,
+            fingerprint=self.fingerprint,
+            dep_hashes=deps,
+        )
+
+    # ------------------------------------------------------------------
     # Executable pipeline
     # ------------------------------------------------------------------
 
+    def _bind_library(self, image: LoadedImage) -> None:
+        """Announce a library image (and its dependency hashes) to the
+        interface store so cached entries can be validated against both:
+        a library's interface folds its dependencies' exports in, so an
+        upgraded dependency must invalidate the dependent's entry too."""
+        self.interfaces.bind_image(image)
+        deps = self.dependency_hashes(image)
+        if deps is not None:
+            self.interfaces.bind_dependencies(image.name, deps)
+
+    def _ensure_dependency_interfaces(self, image: LoadedImage) -> bool:
+        """Walk the dependency DAG leaves-first, building any missing
+        interface; returns whether every interface is complete."""
+        complete = True
+        for dep in self.resolver.topological_order(image):
+            self._bind_library(dep)
+            if dep.name not in self.interfaces:
+                self.interfaces.put(self._build_interface(dep))
+            complete &= self.interfaces.get(dep.name).complete
+        return complete
+
     def _analyze_executable(
         self, image: LoadedImage, modules: list[LoadedImage]
-    ) -> tuple[AnalysisReport, "_ImageAnalysis"]:
+    ) -> tuple[AnalysisReport, AnalysisContext]:
         report = AnalysisReport(tool=TOOL_NAME, binary=image.name, success=True)
 
         # Step 3 preparation: dependencies first (cached across programs).
@@ -202,11 +308,7 @@ class BSideAnalyzer:
         symbol_table: dict[str, ExportInfo] = {}
         interfaces_complete = True
         if image.needed:
-            for dep in self.resolver.topological_order(image):
-                self.interfaces.bind_image(dep)
-                if dep.name not in self.interfaces:
-                    self.interfaces.put(self._build_interface(dep))
-                interfaces_complete &= self.interfaces.get(dep.name).complete
+            interfaces_complete = self._ensure_dependency_interfaces(image)
             symbol_table = self.interfaces.symbol_table(image.needed)
         report.stages["interfaces"] = StageStats(
             seconds=time.perf_counter() - t0, units=len(symbol_table),
@@ -215,12 +317,19 @@ class BSideAnalyzer:
         roots = [image.entry] if image.entry else [
             sym.value for sym in image.exported_functions.values()
         ]
-        analysis = self._analyze_image(image, roots, symbol_table, report)
+        ctx = AnalysisContext(
+            image=image,
+            roots=roots,
+            budget=self.budget,
+            config=self.config,
+            symbol_table=symbol_table,
+            report=report,
+            artifacts=self.artifacts,
+            fingerprint=self.fingerprint,
+        )
+        self.pipeline.run(ctx)
 
-        identified: set[int] = set()
-        for block_addr, values in analysis.block_syscalls.items():
-            if block_addr in analysis.reachable:
-                identified |= values
+        identified = ctx.identified_syscalls()
 
         # dlopen-style modules: analysed like shared libraries, with every
         # export considered potentially invoked (§4.5).
@@ -230,168 +339,11 @@ class BSideAnalyzer:
             interfaces_complete &= module_interface.complete
 
         report.syscalls = identified
-        report.complete = analysis.complete and interfaces_complete
-        report.bbs_explored = analysis.bbs_explored
-        report.symex_steps = analysis.symex_steps
-        report.sites_examined = analysis.sites_examined
-        return report, analysis
-
-    # ------------------------------------------------------------------
-    # Shared per-image machinery
-    # ------------------------------------------------------------------
-
-    def _recover_cfg(
-        self, image: LoadedImage, roots: list[int], report: AnalysisReport | None
-    ) -> tuple[CFG, set[int]]:
-        t0 = time.perf_counter()
-        cfg = build_cfg(image)
-
-        if not self.use_active_addresses_taken:
-            # Ablation: SysFilter-style resolution to *all* addresses taken.
-            from ..cfg.indirect import resolve_indirect_all
-
-            resolve_indirect_all(cfg, image)
-            iterations = 1
-        else:
-            # CFG budget: a dense indirect-call web exceeds it (the paper's
-            # dominant timeout class).
-            __, iterations = resolve_indirect_active(
-                cfg, image, roots, max_iterations=self.budget.max_cfg_iterations,
-            )
-        icall_edges = sum(
-            1
-            for block in cfg.indirect_sites
-            for e in cfg.successors(block, kinds=(EDGE_ICALL,))
-        )
-        if icall_edges > self.budget.max_icall_edges:
-            raise BudgetExceeded("cfg-recovery", self.budget.max_icall_edges)
-        if iterations >= self.budget.max_cfg_iterations:
-            raise BudgetExceeded("cfg-recovery", self.budget.max_cfg_iterations)
-
-        reachable = reachable_blocks(cfg, roots)
-        if report is not None:
-            report.stages["cfg"] = StageStats(
-                seconds=time.perf_counter() - t0,
-                units=cfg.n_edges,
-            )
-        return cfg, reachable
-
-    def _analyze_image(
-        self,
-        image: LoadedImage,
-        roots: list[int],
-        symbol_table: dict[str, ExportInfo],
-        report: AnalysisReport | None,
-    ) -> _ImageAnalysis:
-        cfg, reachable = self._recover_cfg(image, roots, report)
-        ctx = ExecContext.for_image(cfg, image)
-        backend = MemoryBackend([image])
-
-        sites = find_sites(cfg, reachable)
-
-        # ---- wrapper detection (step G) -------------------------------
-        t0 = time.perf_counter()
-        wrappers: dict[int, WrapperInfo | None] = {}
-        confirmations = 0
-        for site in sites:
-            if not self.detect_wrappers:
-                break  # ablation: treat every site as a plain rax site
-            if site.func_entry in wrappers:
-                continue
-            confirmations += 1
-            if confirmations > self.budget.max_wrapper_confirmations:
-                raise BudgetExceeded(
-                    "wrapper-detection", self.budget.max_wrapper_confirmations,
-                )
-            wrappers[site.func_entry] = detect_wrapper(
-                cfg, ctx, site, backend, max_steps=self.budget.wrapper_steps,
-            )
-        if report is not None:
-            report.stages["wrappers"] = StageStats(
-                seconds=time.perf_counter() - t0, units=confirmations,
-            )
-
-        # ---- identification (step H) ------------------------------------
-        t0 = time.perf_counter()
-        block_syscalls: dict[int, set[int]] = {}
-        complete = True
-        bbs = 0
-        steps = 0
-        examined = 0
-
-        def record(block_addr: int, ident: SiteIdentification) -> None:
-            nonlocal complete, bbs, steps, examined
-            block_syscalls.setdefault(block_addr, set()).update(ident.values)
-            complete = complete and ident.complete
-            bbs += ident.nodes_explored
-            steps += ident.steps_used
-            examined += 1
-
-        for site in sites:
-            info = wrappers.get(site.func_entry)
-            if info is not None:
-                continue  # handled from its call sites below
-            ident = identify_plain_site(
-                cfg, ctx, site, backend, budget=self.budget.search,
-                directed=self.directed_search,
-            )
-            record(site.block_addr, ident)
-
-        for func_entry, info in wrappers.items():
-            if info is None:
-                continue
-            if info.param is None:
-                # Wrapper whose parameter could not be localised: the
-                # sound over-approximation is "anything" — flagged via
-                # completeness so filter generation allows everything.
-                complete = False
-                continue
-            for call_block in wrapper_call_blocks(cfg, info):
-                ident = identify_wrapper_call_site(
-                    cfg, ctx, call_block, info.param, backend,
-                    budget=self.budget.search, directed=self.directed_search,
-                )
-                record(call_block, ident)
-
-        # ---- external calls (step J/M) -----------------------------------
-        for block_addr, symbols in cfg.external_calls.items():
-            if block_addr not in reachable:
-                continue
-            for symbol in symbols:
-                info = symbol_table.get(symbol)
-                if info is None:
-                    # Unknown import: cannot be resolved -> incomplete.
-                    complete = False
-                    continue
-                if info.is_wrapper:
-                    ident = identify_wrapper_call_site(
-                        cfg, ctx, block_addr, info.wrapper_param, backend,
-                        budget=self.budget.search, kind="external-wrapper-call",
-                        directed=self.directed_search,
-                    )
-                    record(block_addr, ident)
-                else:
-                    block_syscalls.setdefault(block_addr, set()).update(info.syscalls)
-                    complete = complete and info.complete
-
-        if report is not None:
-            report.stages["identification"] = StageStats(
-                seconds=time.perf_counter() - t0, units=bbs,
-            )
-
-        return _ImageAnalysis(
-            cfg=cfg,
-            ctx=ctx,
-            backend=backend,
-            reachable=reachable,
-            sites=sites,
-            wrappers=wrappers,
-            block_syscalls=block_syscalls,
-            complete=complete,
-            bbs_explored=bbs,
-            symex_steps=steps,
-            sites_examined=examined,
-        )
+        report.complete = ctx.complete and interfaces_complete
+        report.bbs_explored = ctx.bbs_explored
+        report.symex_steps = ctx.symex_steps
+        report.sites_examined = ctx.sites_examined
+        return report, ctx
 
     # ------------------------------------------------------------------
     # Library pipeline (interface construction)
@@ -404,39 +356,44 @@ class BSideAnalyzer:
 
         exports = image.exported_functions
         roots = sorted(sym.value for sym in exports.values())
-        analysis = self._analyze_image(image, roots, dep_symbols, report=None)
+        ctx = AnalysisContext(
+            image=image,
+            roots=roots,
+            budget=self.budget,
+            config=self.config,
+            symbol_table=dep_symbols,
+        )
+        self.pipeline.run(ctx)
 
         interface = SharedInterface(
             library=image.name,
             needed=list(image.needed),
-            complete=analysis.complete,
-            addresses_taken=sorted(analysis.cfg.addresses_taken),
+            complete=ctx.complete,
+            addresses_taken=sorted(ctx.cfg.addresses_taken),
         )
         wrapper_names: list[str] = []
-        for entry, info in analysis.wrappers.items():
+        for entry, info in ctx.wrappers.items():
             if info is not None:
-                func = analysis.cfg.functions.get(entry)
+                func = ctx.cfg.functions.get(entry)
                 wrapper_names.append(func.name if func and func.name else hex(entry))
         interface.wrapper_functions = sorted(wrapper_names)
 
         for name, sym in exports.items():
-            from ..cfg.reachability import reachable_blocks as reach
-
-            export_blocks = reach(analysis.cfg, [sym.value])
+            export_blocks = reachable_blocks(ctx.cfg, [sym.value])
             syscalls: set[int] = set()
             for block_addr in export_blocks:
-                syscalls |= analysis.block_syscalls.get(block_addr, set())
+                syscalls |= ctx.block_syscalls.get(block_addr, set())
             cross = sorted({
                 s
                 for block_addr in export_blocks
-                for s in analysis.cfg.external_calls.get(block_addr, [])
+                for s in ctx.cfg.external_calls.get(block_addr, [])
             })
-            wrapper_info = analysis.wrappers.get(sym.value)
+            wrapper_info = ctx.wrappers.get(sym.value)
             interface.exports[name] = ExportInfo(
                 name=name,
                 addr=sym.value,
                 syscalls=syscalls,
-                complete=analysis.complete,
+                complete=ctx.complete,
                 wrapper_param=(wrapper_info.param if wrapper_info else None),
                 cross_calls=cross,
             )

@@ -1,0 +1,244 @@
+"""Content-addressed, multi-kind analysis artifact store.
+
+PR 1's :class:`~repro.core.ifacecache.PersistentInterfaceStore` persisted
+one artifact kind — per-library shared interfaces — so a warm fleet run
+skipped *library* analysis but still re-analyzed every executable.  The
+:class:`ArtifactStore` generalises that design to every cacheable product
+of the pass pipeline:
+
+========  ====================================================
+kind      payload
+========  ====================================================
+iface     a library's §4.5 :class:`SharedInterface` JSON
+cfg       a binary's recovered-CFG summary (:meth:`CFG.summary`)
+wrappers  a binary's confirmed wrapper table (entry → parameter)
+report    a binary's full :class:`AnalysisReport` JSON
+========  ====================================================
+
+Every entry is keyed defensively by four components:
+
+* **content hash** — ``LoadedImage.content_hash`` of the subject binary.
+  A rebuilt binary never matches a stale entry; a renamed-but-identical
+  one still hits.
+* **pipeline-config fingerprint** — a digest of the analyzer's pass
+  list, ablation flags, and budgets (see
+  :meth:`repro.core.pipeline.PipelineConfig.fingerprint`).  Changing any
+  pipeline knob misses instead of serving a result the current
+  configuration would not produce.
+* **dependency hashes** — the content hashes of the subject's shared
+  library closure (and dlopen modules).  An upgraded libc invalidates
+  every cached executable report that linked it.
+* **cache version** — :data:`CACHE_VERSION`, bumped whenever the
+  envelope format or the analysis itself changes incompatibly.
+
+Corrupted or mismatched entries are deleted and treated as misses, never
+as errors; writes are atomic (write + rename) so concurrent readers
+never observe torn files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+
+#: Bump when analyzer or envelope changes invalidate previous artifacts.
+#: (1 = PR 1's interface-only envelope; 2 = the multi-kind envelope with
+#: config fingerprints and dependency hashes.)
+CACHE_VERSION = 2
+
+#: Recognised artifact kinds and the envelope field each payload lives in.
+ARTIFACT_KINDS: dict[str, str] = {
+    "iface": "interface",
+    "cfg": "cfg_summary",
+    "wrappers": "wrapper_table",
+    "report": "report",
+}
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")
+
+
+def _safe_filename(name: str, kind: str) -> str:
+    """Map (name, kind) to a filesystem-safe, collision-free filename.
+
+    Sanitising alone could alias distinct names (``lib@1.so`` and
+    ``lib#1.so`` both becoming ``lib_1.so``), which would make the two
+    entries perpetually invalidate each other; a short digest of the raw
+    name keeps the mapping injective.
+    """
+    tag = hashlib.sha256(name.encode()).hexdigest()[:8]
+    return f"{_SAFE_NAME.sub('_', name)}.{tag}.{kind}.json"
+
+
+def fingerprint_doc(doc: dict) -> str:
+    """Stable digest of a JSON-able configuration document."""
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """Disk-backed store of per-binary analysis artifacts.
+
+    Layout: one ``<name>.<tag>.<kind>.json`` file per entry under
+    ``cache_dir``, wrapping the payload in an envelope::
+
+        {"cache_version": 2, "kind": "report", "name": "…",
+         "content_hash": "…", "config_fingerprint": "…",
+         "dep_hashes": ["…", …], "report": {…}}
+
+    ``get`` validates every envelope field the caller supplies; a
+    mismatch deletes the entry and counts as an invalidation + miss.
+    Passing ``None`` for a component skips that check (used by
+    introspection commands that have no image at hand).
+    """
+
+    def __init__(self, cache_dir: str, *, version: int = CACHE_VERSION) -> None:
+        self.cache_dir = cache_dir
+        self.version = version
+        os.makedirs(cache_dir, exist_ok=True)
+        #: per-kind counters: kind -> {"hits": n, "misses": n, ...}
+        self._counters: dict[str, dict[str, int]] = {
+            kind: {"hits": 0, "misses": 0, "invalidations": 0, "writes": 0}
+            for kind in ARTIFACT_KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Core get/put
+    # ------------------------------------------------------------------
+
+    def _path(self, kind: str, name: str) -> str:
+        return os.path.join(self.cache_dir, _safe_filename(name, kind))
+
+    def _payload_field(self, kind: str) -> str:
+        try:
+            return ARTIFACT_KINDS[kind]
+        except KeyError:
+            raise ValueError(f"unknown artifact kind {kind!r}") from None
+
+    def get(
+        self,
+        kind: str,
+        name: str,
+        *,
+        content_hash: str | None = None,
+        fingerprint: str | None = None,
+        dep_hashes: list[str] | None = None,
+    ) -> dict | list | None:
+        """Load one validated payload; ``None`` (and cleanup) when unusable."""
+        field = self._payload_field(kind)
+        path = self._path(kind, name)
+        counters = self._counters[kind]
+        if not os.path.exists(path):
+            counters["misses"] += 1
+            return None
+        try:
+            with open(path) as f:
+                envelope = json.load(f)
+            version = envelope["cache_version"]
+            entry_hash = envelope["content_hash"]
+            entry_fingerprint = envelope["config_fingerprint"]
+            entry_deps = envelope["dep_hashes"]
+            payload = envelope[field]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.invalidate(kind, name)
+            counters["misses"] += 1
+            return None
+        stale = (
+            version != self.version
+            or (content_hash is not None and content_hash != entry_hash)
+            or (fingerprint is not None and fingerprint != entry_fingerprint)
+            or (dep_hashes is not None and list(dep_hashes) != entry_deps)
+        )
+        if stale:
+            self.invalidate(kind, name)
+            counters["misses"] += 1
+            return None
+        counters["hits"] += 1
+        return payload
+
+    def put(
+        self,
+        kind: str,
+        name: str,
+        payload: dict | list,
+        *,
+        content_hash: str = "",
+        fingerprint: str = "",
+        dep_hashes: list[str] | None = None,
+    ) -> None:
+        field = self._payload_field(kind)
+        envelope = {
+            "cache_version": self.version,
+            "kind": kind,
+            "name": name,
+            "content_hash": content_hash,
+            "config_fingerprint": fingerprint,
+            "dep_hashes": list(dep_hashes or []),
+            field: payload,
+        }
+        path = self._path(kind, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(envelope, f, indent=2)
+        os.replace(tmp, path)  # atomic: readers never see a torn write
+        self._counters[kind]["writes"] += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation / pruning
+    # ------------------------------------------------------------------
+
+    def invalidate(self, kind: str, name: str) -> None:
+        """Drop one entry if present."""
+        path = self._path(kind, name)
+        if os.path.exists(path):
+            os.remove(path)
+            self._counters[kind]["invalidations"] += 1
+
+    def _entry_files(self, kind: str | None = None) -> list[str]:
+        kinds = ARTIFACT_KINDS if kind is None else (kind,)
+        suffixes = tuple(f".{k}.json" for k in kinds)
+        return sorted(
+            filename
+            for filename in os.listdir(self.cache_dir)
+            if filename.endswith(suffixes)
+        )
+
+    def prune(self, kind: str | None = None) -> int:
+        """Delete every entry of ``kind`` (all kinds when None); returns
+        the number of files removed."""
+        if kind is not None:
+            self._payload_field(kind)  # validate the kind name
+        removed = 0
+        for filename in self._entry_files(kind):
+            os.remove(os.path.join(self.cache_dir, filename))
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self, kind: str) -> dict[str, int]:
+        return dict(self._counters[kind])
+
+    def stats(self) -> dict:
+        """Per-kind disk usage + session counters (the ``bside cache
+        stats`` document)."""
+        out: dict = {"cache_dir": self.cache_dir, "version": self.version}
+        kinds: dict[str, dict] = {}
+        for kind in ARTIFACT_KINDS:
+            files = self._entry_files(kind)
+            size = sum(
+                os.path.getsize(os.path.join(self.cache_dir, f))
+                for f in files
+            )
+            kinds[kind] = {
+                "entries": len(files),
+                "bytes": size,
+                **self._counters[kind],
+            }
+        out["kinds"] = kinds
+        out["total_entries"] = sum(k["entries"] for k in kinds.values())
+        out["total_bytes"] = sum(k["bytes"] for k in kinds.values())
+        return out

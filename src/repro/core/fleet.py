@@ -5,22 +5,29 @@ a directory of tenant binaries, analyzes each against a shared library
 pool, derives filters, and wants an inventory — per-binary outcomes,
 fleet-wide statistics, and CVE exposure.
 
-``FleetAnalyzer`` runs that loop as a two-phase schedule:
+``FleetAnalyzer`` runs that loop as a three-phase schedule:
 
-1. **Interface phase** — the union of every binary's shared-library
-   dependency DAG is walked leaves-first (libc before its users) and each
-   library's §4.5 interface is computed exactly once.  With a
-   ``cache_dir`` the interfaces land in a
-   :class:`~repro.core.ifacecache.PersistentInterfaceStore`, so later
-   runs load them from disk instead of re-analyzing.
-2. **Binary phase** — per-binary analysis fans out over a
+1. **Report phase** — with a ``cache_dir``, each binary's full
+   :class:`AnalysisReport` is looked up in the content-addressed
+   :class:`~repro.core.artifacts.ArtifactStore` (keyed by binary content
+   hash + pipeline-config fingerprint + dependency hashes).  A hit skips
+   that binary entirely: a fully-warm run performs **zero per-binary
+   analysis**, not just zero library analysis.
+2. **Interface phase** — the union of every *remaining* binary's
+   shared-library dependency DAG is walked leaves-first (libc before its
+   users) and each library's §4.5 interface is computed exactly once.
+   With a ``cache_dir`` the interfaces land in a
+   :class:`~repro.core.ifacecache.PersistentInterfaceStore` (kind
+   ``iface`` of the same artifact store), so later runs load them from
+   disk instead of re-analyzing.
+3. **Binary phase** — per-binary analysis fans out over a
    ``ProcessPoolExecutor`` when ``workers > 1``; each worker rebuilds the
-   resolver from raw library bytes and receives the phase-1 interfaces
+   resolver from raw library bytes and receives the phase-2 interfaces
    pre-computed, so no worker ever re-analyzes a library.
    ``workers=1`` keeps the original in-process loop, and
    per-binary results are ordered by input position either way, so the
    deterministic portion of :meth:`FleetReport.to_json` is byte-identical
-   across worker counts.
+   across worker counts and cache states.
 
 ``FleetReport`` serialises to JSON for dashboards / diffing between
 releases and merges stably across sharded runs via
@@ -43,6 +50,7 @@ from ..loader.resolve import LibraryResolver
 from ..syscalls.cves import CVE_DATABASE, protection_rate
 from ..syscalls.table import name_of
 from .analyzer import BSideAnalyzer
+from .artifacts import ArtifactStore
 from .ifacecache import PersistentInterfaceStore
 from .interface import InterfaceStore
 from .report import AnalysisBudget, AnalysisReport
@@ -61,6 +69,8 @@ class FleetEntry:
     #: persistent-cache hits/misses observed while analyzing this binary
     cache_hits: int = 0
     cache_misses: int = 0
+    #: True when the whole report was served from the artifact store
+    from_cache: bool = False
 
     def to_doc(self, include_runtime: bool = True) -> dict:
         doc = {
@@ -75,6 +85,7 @@ class FleetEntry:
             doc["seconds"] = round(self.seconds, 6)
             doc["cache_hits"] = self.cache_hits
             doc["cache_misses"] = self.cache_misses
+            doc["cached"] = self.from_cache
         return doc
 
 
@@ -87,6 +98,8 @@ class FleetReport:
     skipped: list[str] = field(default_factory=list)
     #: persistent interface-cache counters for the whole run (runtime)
     interface_stats: dict[str, int] = field(default_factory=dict)
+    #: report-artifact counters for the whole run (runtime)
+    artifact_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def successes(self) -> list[FleetEntry]:
@@ -164,6 +177,7 @@ class FleetReport:
         if include_runtime:
             doc["total_seconds"] = round(self.total_seconds(), 6)
             doc["interface_cache"] = dict(self.interface_stats)
+            doc["report_cache"] = dict(self.artifact_stats)
         return json.dumps(doc, indent=2)
 
     @classmethod
@@ -181,6 +195,10 @@ class FleetReport:
             for key, value in report.interface_stats.items():
                 merged.interface_stats[key] = (
                     merged.interface_stats.get(key, 0) + value
+                )
+            for key, value in report.artifact_stats.items():
+                merged.artifact_stats[key] = (
+                    merged.artifact_stats.get(key, 0) + value
                 )
         merged.entries.sort(key=lambda e: e.name)
         merged.skipped.sort()
@@ -247,17 +265,24 @@ class FleetAnalyzer:
         workers: int = 1,
         cache_dir: str | None = None,
         interface_store: InterfaceStore | None = None,
+        artifact_store: ArtifactStore | None = None,
     ):
         self.resolver = resolver if resolver is not None else LibraryResolver()
         self.budget = budget if budget is not None else AnalysisBudget()
         self.workers = max(1, int(workers))
         self.cache_dir = cache_dir
+        self.artifacts = artifact_store
+        if self.artifacts is None and cache_dir is not None:
+            self.artifacts = ArtifactStore(cache_dir)
         if interface_store is None:
             interface_store = (
-                PersistentInterfaceStore(cache_dir)
-                if cache_dir is not None
+                PersistentInterfaceStore(store=self.artifacts)
+                if self.artifacts is not None
                 else InterfaceStore()
             )
+        # NB: the fleet owns report-artifact traffic (phase 1), so the
+        # analyzer gets no artifact store of its own — per-binary lookups
+        # would otherwise be double-counted.
         self.analyzer = BSideAnalyzer(
             resolver=self.resolver,
             budget=self.budget,
@@ -328,18 +353,53 @@ class FleetAnalyzer:
 
     def analyze_images(self, images: list[LoadedImage]) -> FleetReport:
         report = FleetReport()
-        self.warm_interfaces(images)
-        if self.workers > 1:
-            entries = self._analyze_parallel(images)
-            if entries is None:  # resolver not shareable: degrade politely
-                entries = [self._analyze_one(image) for image in images]
-        else:
-            entries = [self._analyze_one(image) for image in images]
-        report.entries = entries
+        # Phase 1: serve whole reports from the artifact store.
+        entries: list[FleetEntry | None] = [None] * len(images)
+        pending: list[int] = []
+        for index, image in enumerate(images):
+            entry = self._cached_entry(image)
+            if entry is not None:
+                entries[index] = entry
+            else:
+                pending.append(index)
+        # Phases 2+3: interfaces then per-binary fan-out, misses only.
+        if pending:
+            pending_images = [images[i] for i in pending]
+            self.warm_interfaces(pending_images)
+            if self.workers > 1:
+                analyzed = self._analyze_parallel(pending_images)
+                if analyzed is None:  # resolver not shareable: degrade politely
+                    analyzed = [self._analyze_one(img) for img in pending_images]
+            else:
+                analyzed = [self._analyze_one(img) for img in pending_images]
+            for index, entry in zip(pending, analyzed):
+                entries[index] = entry
+                self._store_entry(images[index], entry)
+        report.entries = entries  # type: ignore[assignment]
         store = self.analyzer.interfaces
         if isinstance(store, PersistentInterfaceStore):
             report.interface_stats = store.stats()
+        if self.artifacts is not None:
+            report.artifact_stats = self.artifacts.counters("report")
         return report
+
+    # ------------------------------------------------------------------
+    # Phase 1: whole-report artifacts
+    # ------------------------------------------------------------------
+
+    def _cached_entry(self, image: LoadedImage) -> FleetEntry | None:
+        """Serve one binary's report from the artifact store, if valid."""
+        if self.artifacts is None:
+            return None
+        report = self.analyzer.load_cached_report(image, store=self.artifacts)
+        if report is None:
+            return None
+        return FleetEntry(name=image.name, report=report, from_cache=True)
+
+    def _store_entry(self, image: LoadedImage, entry: FleetEntry) -> None:
+        if self.artifacts is None:
+            return
+        self.analyzer.store_report(image, None, entry.report, store=self.artifacts)
 
     def _analyze_one(self, image: LoadedImage) -> FleetEntry:
         store = self.analyzer.interfaces

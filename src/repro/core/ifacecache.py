@@ -1,21 +1,28 @@
 """Persistent, versioned shared-interface cache (§4.5 across sessions).
 
 The in-memory :class:`~repro.core.interface.InterfaceStore` amortises
-library analysis *within* one process.  Fleet deployments (SYSPART /
-sysfilter-style distro sweeps) re-run the analyzer over thousands of
-binaries that link the same handful of libraries, so the amortisation
-must survive the process: :class:`PersistentInterfaceStore` keeps one
-JSON artifact per library under a cache directory and serves it to any
-later session.
+library analysis *within* one process.  Fleet deployments re-run the
+analyzer over thousands of binaries that link the same handful of
+libraries, so the amortisation must survive the process:
+:class:`PersistentInterfaceStore` keeps one interface artifact per
+library and serves it to any later session.
 
-Cache entries are keyed defensively:
+Since PR 2 the disk layer is the multi-kind, content-addressed
+:class:`~repro.core.artifacts.ArtifactStore` (kind ``iface``); this
+module adapts it to the :class:`InterfaceStore` contract the analyzer
+consumes.  Entries are keyed defensively:
 
 * **content hash** — the library image's ``content_hash`` (SHA-256 of
   the ELF bytes).  A rebuilt/upgraded library never matches a stale
   entry, and a renamed-but-identical one still hits.
-* **analyzer cache version** — :data:`CACHE_VERSION`, bumped whenever
-  the analysis pipeline changes in a way that alters interfaces.  A
-  version mismatch invalidates the entry on sight.
+* **pipeline-config fingerprint** — bound by the analyzer via
+  :meth:`bind_fingerprint`; changing an ablation flag or budget misses
+  instead of serving an interface the current pipeline would not build.
+* **dependency hashes** — bound via :meth:`bind_dependencies`; a
+  library's interface folds its dependencies' exports in, so an
+  upgraded dependency invalidates the dependent's entry too.
+* **cache version** — :data:`~repro.core.artifacts.CACHE_VERSION`,
+  bumped whenever the analysis or envelope changes incompatibly.
 
 Corrupted entries (truncated writes, junk files) are treated as misses
 and deleted, never as errors: a cache must degrade to "analyze again",
@@ -28,61 +35,53 @@ Hit/miss/invalidation counters are exposed for the fleet report and the
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
-import re
 
 from ..loader.image import LoadedImage
+from .artifacts import CACHE_VERSION, ArtifactStore
+from .artifacts import _safe_filename as _artifact_filename
 from .interface import InterfaceStore, SharedInterface
 
-#: Bump when analyzer changes invalidate previously-cached interfaces.
-CACHE_VERSION = 1
-
-_SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")
+__all__ = ["CACHE_VERSION", "PersistentInterfaceStore"]
 
 
 def _safe_filename(library: str) -> str:
-    """Map a soname to a filesystem-safe, collision-free cache filename.
-
-    Sanitising alone could alias distinct sonames (``lib@1.so`` and
-    ``lib#1.so`` both becoming ``lib_1.so``), which would make the two
-    libraries perpetually invalidate each other's entries; a short
-    digest of the raw soname keeps the mapping injective.
-    """
-    tag = hashlib.sha256(library.encode()).hexdigest()[:8]
-    return f"{_SAFE_NAME.sub('_', library)}.{tag}.iface.json"
+    """Filesystem-safe, collision-free cache filename for one library."""
+    return _artifact_filename(library, "iface")
 
 
 class PersistentInterfaceStore(InterfaceStore):
-    """Disk-backed interface store keyed by content hash + cache version.
-
-    Layout: one ``<library>.iface.json`` per library under ``cache_dir``,
-    wrapping the §4.5 interface JSON in an envelope::
-
-        {"cache_version": 1, "content_hash": "…", "interface": {…}}
+    """Disk-backed interface store over an :class:`ArtifactStore`.
 
     ``get``/``put`` keep the :class:`InterfaceStore` contract, so the
     store drops into :class:`~repro.core.analyzer.BSideAnalyzer`
     unchanged.  The analyzer announces each library image via
-    :meth:`bind_image` before consulting the store; entries whose hash
-    does not match the bound image (or whose version is stale, or whose
-    JSON cannot be parsed) are invalidated and re-analyzed.
+    :meth:`bind_image` (and its pipeline fingerprint via
+    :meth:`bind_fingerprint`) before consulting the store; entries whose
+    hash or fingerprint does not match (or whose version is stale, or
+    whose JSON cannot be parsed) are invalidated and re-analyzed.
     """
 
-    def __init__(self, cache_dir: str, *, version: int = CACHE_VERSION) -> None:
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        *,
+        version: int = CACHE_VERSION,
+        store: ArtifactStore | None = None,
+    ) -> None:
         super().__init__()
-        self.cache_dir = cache_dir
-        self.version = version
-        os.makedirs(cache_dir, exist_ok=True)
+        if store is None:
+            if cache_dir is None:
+                raise ValueError("need cache_dir or an ArtifactStore")
+            store = ArtifactStore(cache_dir, version=version)
+        self.store = store
+        self.cache_dir = store.cache_dir
+        self.version = store.version
         #: library name -> content hash of the image the caller is using
         self._bound_hashes: dict[str, str] = {}
-        #: disk reads that produced a usable interface
-        self.hits = 0
-        #: lookups that found no usable entry (absent, stale, corrupt)
-        self.misses = 0
-        #: entries deleted because of version/hash mismatch or corruption
-        self.invalidations = 0
+        #: library name -> content hashes of its dependency closure
+        self._bound_deps: dict[str, list[str]] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # InterfaceStore contract
@@ -91,15 +90,19 @@ class PersistentInterfaceStore(InterfaceStore):
     def bind_image(self, image: LoadedImage) -> None:
         self._bound_hashes[image.name] = image.content_hash
 
+    def bind_fingerprint(self, fingerprint: str) -> None:
+        self._fingerprint = fingerprint
+
+    def bind_dependencies(self, name: str, dep_hashes: list[str]) -> None:
+        self._bound_deps[name] = list(dep_hashes)
+
     def get(self, name: str) -> SharedInterface | None:
         cached = self._by_name.get(name)
         if cached is not None:
             return cached
         interface = self.load(name)
         if interface is None:
-            self.misses += 1
             return None
-        self.hits += 1
         self._by_name[name] = interface
         return interface
 
@@ -111,64 +114,55 @@ class PersistentInterfaceStore(InterfaceStore):
     # Disk layer
     # ------------------------------------------------------------------
 
-    def _path(self, name: str) -> str:
-        return os.path.join(self.cache_dir, _safe_filename(name))
-
     def load(self, name: str) -> SharedInterface | None:
         """Read one entry from disk; ``None`` (and cleanup) when unusable."""
-        path = self._path(name)
-        if not os.path.exists(path):
+        payload = self.store.get(
+            "iface", name,
+            content_hash=self._bound_hashes.get(name),
+            fingerprint=self._fingerprint,
+            dep_hashes=self._bound_deps.get(name),
+        )
+        if payload is None:
             return None
         try:
-            with open(path) as f:
-                envelope = json.load(f)
-            version = envelope["cache_version"]
-            content_hash = envelope["content_hash"]
-            interface = SharedInterface.from_json(
-                json.dumps(envelope["interface"])
-            )
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            self.invalidate(name)
+            return SharedInterface.from_json(json.dumps(payload))
+        except (KeyError, TypeError, ValueError):
+            self.store.invalidate("iface", name)
             return None
-        if version != self.version:
-            self.invalidate(name)
-            return None
-        bound = self._bound_hashes.get(name)
-        if bound is not None and bound != content_hash:
-            self.invalidate(name)
-            return None
-        return interface
 
     def save(self, interface: SharedInterface) -> None:
-        envelope = {
-            "cache_version": self.version,
-            "content_hash": self._bound_hashes.get(interface.library, ""),
-            "interface": json.loads(interface.to_json()),
-        }
-        path = self._path(interface.library)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as f:
-            json.dump(envelope, f, indent=2)
-        os.replace(tmp, path)  # atomic: readers never see a torn write
+        self.store.put(
+            "iface", interface.library,
+            json.loads(interface.to_json()),
+            content_hash=self._bound_hashes.get(interface.library, ""),
+            fingerprint=self._fingerprint or "",
+            dep_hashes=self._bound_deps.get(interface.library),
+        )
 
     def invalidate(self, name: str | None = None) -> None:
-        """Drop one entry (or, with ``name=None``, the whole cache)."""
+        """Drop one entry (or, with ``name=None``, the whole iface cache)."""
         if name is None:
-            for entry in list(self._by_name):
-                self.invalidate(entry)
-            for filename in os.listdir(self.cache_dir):
-                if filename.endswith(".iface.json"):
-                    os.remove(os.path.join(self.cache_dir, filename))
+            self._by_name.clear()
+            self.store.prune("iface")
             return
         self._by_name.pop(name, None)
-        path = self._path(name)
-        if os.path.exists(path):
-            os.remove(path)
-            self.invalidations += 1
+        self.store.invalidate("iface", name)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.store.counters("iface")["hits"]
+
+    @property
+    def misses(self) -> int:
+        return self.store.counters("iface")["misses"]
+
+    @property
+    def invalidations(self) -> int:
+        return self.store.counters("iface")["invalidations"]
 
     def stats(self) -> dict[str, int]:
         return {

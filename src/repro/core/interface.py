@@ -138,6 +138,23 @@ class InterfaceStore:
         The in-memory store needs no such validation.
         """
 
+    def bind_fingerprint(self, fingerprint: str) -> None:
+        """Associate the analyzer's pipeline-config fingerprint.
+
+        Content-addressed subclasses validate cached entries against it
+        (an ablation-flag or budget change must miss, not serve a stale
+        interface); the in-memory store needs no such validation.
+        """
+
+    def bind_dependencies(self, name: str, dep_hashes: list[str]) -> None:
+        """Associate a library with its dependency-closure content hashes.
+
+        A library's interface folds its dependencies' exports in, so
+        content-addressed subclasses key entries by these hashes too:
+        an upgraded dependency invalidates the dependent's cached
+        interface.  The in-memory store needs no such validation.
+        """
+
     def _disk_path(self, name: str) -> str | None:
         if self._cache_dir is None:
             return None

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from ..symex.backward import SearchBudget
@@ -92,3 +93,64 @@ class AnalysisReport:
             tool=tool, binary=binary, success=False,
             failure_stage=stage, failure_reason=reason, complete=False,
         )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_json(self, include_runtime: bool = True) -> str:
+        """Serialise the report.
+
+        ``include_runtime=False`` drops the run-dependent fields (stage
+        wall times, peak memory) and yields a byte-stable document: the
+        same binary analyzed twice — or served from the artifact store —
+        produces the identical string.
+        """
+        return json.dumps(self.to_doc(include_runtime), indent=2)
+
+    def to_doc(self, include_runtime: bool = True) -> dict:
+        """The JSON document as a dict (the artifact-store payload)."""
+        doc = {
+            "tool": self.tool,
+            "binary": self.binary,
+            "success": self.success,
+            "complete": self.complete,
+            "failure_stage": self.failure_stage,
+            "failure_reason": self.failure_reason,
+            "syscalls": sorted(self.syscalls),
+            "sites_examined": self.sites_examined,
+            "bbs_explored": self.bbs_explored,
+            "symex_steps": self.symex_steps,
+        }
+        if include_runtime:
+            doc["stages"] = {
+                name: {"seconds": stats.seconds, "units": stats.units}
+                for name, stats in self.stages.items()
+            }
+            doc["peak_memory"] = self.peak_memory
+        return doc
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisReport":
+        return cls.from_doc(json.loads(text))
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "AnalysisReport":
+        report = cls(
+            tool=doc["tool"],
+            binary=doc["binary"],
+            success=doc["success"],
+            syscalls=set(doc["syscalls"]),
+            complete=doc["complete"],
+            failure_stage=doc["failure_stage"],
+            failure_reason=doc["failure_reason"],
+            sites_examined=doc["sites_examined"],
+            bbs_explored=doc["bbs_explored"],
+            symex_steps=doc["symex_steps"],
+            peak_memory=doc.get("peak_memory", 0),
+        )
+        for name, stats in doc.get("stages", {}).items():
+            report.stages[name] = StageStats(
+                seconds=stats["seconds"], units=stats["units"],
+            )
+        return report

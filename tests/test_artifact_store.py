@@ -1,0 +1,371 @@
+"""Artifact-store tests: multi-kind keying, fingerprint invalidation,
+and whole-report caching through analyzer and fleet.
+
+The production claim: a cache entry is served only when binary content,
+pipeline configuration (flags + budgets), and every dependency hash all
+match — anything else is a miss, never a stale result.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    AnalysisBudget,
+    ArtifactStore,
+    BSideAnalyzer,
+    PersistentInterfaceStore,
+    PipelineConfig,
+)
+from repro.core.fleet import FleetAnalyzer
+from repro.corpus import LIBC_NAME, build_libc, make_debian_corpus
+from repro.corpus.progbuilder import ProgramBuilder
+from repro.loader import LibraryResolver
+from repro.x86 import EAX, RAX, RDI
+
+
+def build_static_app(name="app", numbers=(39, 60)):
+    p = ProgramBuilder(name)
+    with p.function("_start"):
+        for nr in numbers:
+            p.asm.mov(EAX, nr)
+            p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return make_debian_corpus(scale=0.04, seed=11)
+
+
+class TestStoreKeying:
+    def test_round_trip_per_kind(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put("report", "app", {"x": 1}, content_hash="h",
+                  fingerprint="f", dep_hashes=["d1"])
+        assert store.get("report", "app", content_hash="h",
+                         fingerprint="f", dep_hashes=["d1"]) == {"x": 1}
+        assert store.counters("report")["hits"] == 1
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.put("bogus", "app", {})
+        with pytest.raises(ValueError):
+            store.get("bogus", "app")
+
+    @pytest.mark.parametrize("mismatch", [
+        {"content_hash": "OTHER"},
+        {"fingerprint": "OTHER"},
+        {"dep_hashes": ["OTHER"]},
+    ])
+    def test_any_key_component_mismatch_invalidates(self, tmp_path, mismatch):
+        store = ArtifactStore(str(tmp_path))
+        key = {"content_hash": "h", "fingerprint": "f", "dep_hashes": ["d"]}
+        store.put("report", "app", {"x": 1}, **key)
+        assert store.get("report", "app", **{**key, **mismatch}) is None
+        assert store.counters("report")["invalidations"] == 1
+        # The entry is gone, not just skipped: the original key misses too.
+        assert store.get("report", "app", **key) is None
+
+    def test_kinds_do_not_collide(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put("cfg", "app", {"n_blocks": 3})
+        store.put("report", "app", {"x": 1})
+        assert store.get("cfg", "app") == {"n_blocks": 3}
+        assert store.get("report", "app") == {"x": 1}
+        assert store.stats()["kinds"]["cfg"]["entries"] == 1
+        assert store.stats()["kinds"]["report"]["entries"] == 1
+
+    def test_prune_per_kind_and_clear(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put("cfg", "a", {})
+        store.put("report", "a", {})
+        store.put("report", "b", {})
+        assert store.prune("report") == 2
+        assert store.stats()["kinds"]["report"]["entries"] == 0
+        assert store.stats()["kinds"]["cfg"]["entries"] == 1
+        assert store.prune() == 1
+        assert store.stats()["total_entries"] == 0
+
+    def test_corrupt_envelope_is_a_miss_and_removed(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put("report", "app", {"x": 1})
+        (path,) = [
+            os.path.join(str(tmp_path), f)
+            for f in os.listdir(str(tmp_path))
+        ]
+        with open(path, "w") as f:
+            f.write('{"cache_version": 2, TRUNCATED')
+        assert store.get("report", "app") is None
+        assert not os.path.exists(path)
+        assert store.counters("report")["invalidations"] == 1
+
+
+class TestAnalyzerReportCache:
+    def test_warm_analyze_serves_identical_report(self, tmp_path):
+        prog = build_static_app()
+        cold_store = ArtifactStore(str(tmp_path))
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=cold_store,
+        )
+        cold = a1.analyze(prog.image)
+        assert cold_store.counters("report")["misses"] == 1
+
+        warm_store = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=warm_store,
+        )
+        warm = a2.analyze(prog.image)
+        assert warm_store.counters("report")["hits"] == 1
+        assert warm.to_json(include_runtime=False) == \
+            cold.to_json(include_runtime=False)
+
+    def test_pipeline_flag_change_misses(self, tmp_path):
+        """The satellite requirement: changing a pipeline flag must miss,
+        not serve a stale report."""
+        prog = build_static_app()
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            artifact_store=ArtifactStore(str(tmp_path)),
+        )
+        a1.analyze(prog.image)
+
+        store = ArtifactStore(str(tmp_path))
+        flipped = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            artifact_store=store,
+            directed_search=False,
+        )
+        flipped.analyze(prog.image)
+        assert store.counters("report")["hits"] == 0
+        assert store.counters("report")["misses"] == 1
+
+    def test_budget_change_misses(self, tmp_path):
+        prog = build_static_app()
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            artifact_store=ArtifactStore(str(tmp_path)),
+        )
+        a1.analyze(prog.image)
+        store = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(budget=AnalysisBudget(), artifact_store=store)
+        a2.analyze(prog.image)
+        assert store.counters("report")["hits"] == 0
+
+    def test_binary_content_change_misses(self, tmp_path):
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            artifact_store=ArtifactStore(str(tmp_path)),
+        )
+        a1.analyze(build_static_app(numbers=(39, 60)).image)
+        store = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=store,
+        )
+        report = a2.analyze(build_static_app(numbers=(41, 60)).image)
+        assert store.counters("report")["hits"] == 0
+        assert report.syscalls == {41, 60}
+
+    def test_dependency_change_invalidates_dependent_report(self, tmp_path):
+        libc = build_libc()
+        p = ProgramBuilder("app", pic=True, needed=[LIBC_NAME])
+        with p.function("_start", exported=True):
+            p.call_import("c_read")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+
+        resolver = LibraryResolver(library_map={LIBC_NAME: libc.elf_bytes})
+        a1 = BSideAnalyzer(
+            resolver=resolver, budget=AnalysisBudget.generous(),
+            artifact_store=ArtifactStore(str(tmp_path)),
+        )
+        a1.analyze(prog.image)
+
+        # "Upgrade" libc: same soname, different bytes.
+        changed = LibraryResolver(
+            library_map={LIBC_NAME: libc.elf_bytes + b"\x00"},
+        )
+        store = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(
+            resolver=changed, budget=AnalysisBudget.generous(),
+            artifact_store=store,
+        )
+        a2.analyze(prog.image)
+        assert store.counters("report")["hits"] == 0
+
+    def test_dependency_change_invalidates_dependent_interface(self, tmp_path):
+        """A library's interface folds its dependencies' exports in, so
+        upgrading a dependency must invalidate the dependent library's
+        cached interface too — not just executable reports."""
+        libc = build_libc()
+        p = ProgramBuilder(
+            "libdep.so", soname="libdep.so", needed=[LIBC_NAME],
+            pic=True, text_base=0x7F0000300000,
+        )
+        with p.function("dep_read", exported=True):
+            p.call_import("c_read")
+            p.asm.ret()
+        dep = p.build()
+
+        resolver = LibraryResolver(library_map={LIBC_NAME: libc.elf_bytes})
+        store1 = ArtifactStore(str(tmp_path))
+        a1 = BSideAnalyzer(
+            resolver=resolver, budget=AnalysisBudget.generous(),
+            interface_store=PersistentInterfaceStore(store=store1),
+        )
+        iface = a1.analyze_library(dep.image)
+        assert iface.exports["dep_read"].syscalls == {0}
+
+        # "Upgrade" libc: same soname, different bytes.  libdep.so itself
+        # is unchanged, but its cached interface must not be served.
+        changed = LibraryResolver(
+            library_map={LIBC_NAME: libc.elf_bytes + b"\x00"},
+        )
+        store2 = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(
+            resolver=changed, budget=AnalysisBudget.generous(),
+            interface_store=PersistentInterfaceStore(store=store2),
+        )
+        a2.analyze_library(dep.image)
+        assert store2.counters("iface")["hits"] == 0
+        assert store2.counters("iface")["invalidations"] >= 2  # libc + libdep
+
+    def test_wrapper_table_artifact_written_and_reused(self, tmp_path):
+        lib = build_libc()
+        p = ProgramBuilder("app")
+        with p.function("sysw"):
+            p.asm.mov(RAX, RDI)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.mov(RDI, 1)
+            p.asm.call("sysw")
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+
+        store = ArtifactStore(str(tmp_path))
+        a1 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=store,
+        )
+        cold = a1.analyze(prog.image)
+        assert store.stats()["kinds"]["wrappers"]["entries"] == 1
+        assert store.stats()["kinds"]["cfg"]["entries"] == 1
+
+        # Drop the report so analysis re-runs, but keep the wrapper
+        # table: phases of the pipeline replay from their artifacts.
+        store.prune("report")
+        store2 = ArtifactStore(str(tmp_path))
+        a2 = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=store2,
+        )
+        warm = a2.analyze(prog.image)
+        assert store2.counters("wrappers")["hits"] == 1
+        assert warm.to_json(include_runtime=False) == \
+            cold.to_json(include_runtime=False)
+
+
+class TestFleetReportCache:
+    def test_fully_warm_fleet_does_zero_binary_analysis(
+        self, tmp_path, tiny_corpus,
+    ):
+        images = [b.image for b in tiny_corpus.binaries]
+        cache_dir = str(tmp_path / "cache")
+        cold = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(), cache_dir=cache_dir,
+        )
+        cold_report = cold.analyze_images(images)
+        assert cold.artifacts.counters("report")["misses"] == len(images)
+
+        warm = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(), cache_dir=cache_dir,
+        )
+        warm_report = warm.analyze_images(images)
+        assert warm.artifacts.counters("report")["hits"] == len(images)
+        assert warm.artifacts.counters("report")["misses"] == 0
+        assert all(e.from_cache for e in warm_report.entries)
+        # No interface traffic at all: nothing was analyzed.
+        assert warm.interfaces.stats()["resident"] == 0
+        assert warm_report.to_json(include_runtime=False) == \
+            cold_report.to_json(include_runtime=False)
+
+    def test_failed_budget_reports_are_cached_too(self, tmp_path, tiny_corpus):
+        hard = [b.image for b in tiny_corpus.binaries if b.hardness][:2]
+        if not hard:
+            pytest.skip("corpus scale produced no hard binaries")
+        cache_dir = str(tmp_path / "cache")
+        cold = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(), cache_dir=cache_dir,
+        )
+        cold_report = cold.analyze_images(hard)
+        assert all(not e.report.success for e in cold_report.entries)
+
+        warm = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(), cache_dir=cache_dir,
+        )
+        warm_report = warm.analyze_images(hard)
+        assert all(e.from_cache for e in warm_report.entries)
+        assert warm_report.to_json(include_runtime=False) == \
+            cold_report.to_json(include_runtime=False)
+
+    def test_load_failures_are_never_cached(self, tmp_path, tiny_corpus):
+        dynamic = [
+            b.image for b in tiny_corpus.binaries if not b.is_static
+        ][:2]
+        cache_dir = str(tmp_path / "cache")
+        # Empty resolver: every dependency unresolvable -> load failures.
+        fleet = FleetAnalyzer(cache_dir=cache_dir)
+        report = fleet.analyze_images(dynamic)
+        assert all(not e.report.success for e in report.entries)
+        assert fleet.artifacts.stats()["kinds"]["report"]["entries"] == 0
+
+    def test_shared_store_between_iface_and_reports(self, tmp_path):
+        """One ArtifactStore serves both kinds without collisions."""
+        cache_dir = str(tmp_path / "cache")
+        libc = build_libc()
+        store = ArtifactStore(cache_dir)
+        analyzer = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            interface_store=PersistentInterfaceStore(store=store),
+            artifact_store=store,
+        )
+        analyzer.analyze_library(libc.image)
+        analyzer.analyze(build_static_app().image)
+        kinds = store.stats()["kinds"]
+        assert kinds["iface"]["entries"] == 1
+        assert kinds["report"]["entries"] == 1
+
+
+class TestPipelineConfigObject:
+    def test_fleet_entries_respect_config_fingerprint(
+        self, tmp_path, tiny_corpus,
+    ):
+        images = [b.image for b in tiny_corpus.binaries][:3]
+        cache_dir = str(tmp_path / "cache")
+        FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(), cache_dir=cache_dir,
+        ).analyze_images(images)
+
+        # A fleet with a different budget must not reuse those reports.
+        other = FleetAnalyzer(
+            resolver=tiny_corpus.make_resolver(),
+            budget=AnalysisBudget.generous(),
+            cache_dir=cache_dir,
+        )
+        other.analyze_images(images)
+        assert other.artifacts.counters("report")["hits"] == 0
+
+    def test_explicit_pipeline_config_param(self):
+        config = PipelineConfig(detect_wrappers=False)
+        analyzer = BSideAnalyzer(pipeline_config=config)
+        assert analyzer.detect_wrappers is False
+        assert "wrapper-detection" not in analyzer.pipeline.pass_names

@@ -182,12 +182,26 @@ class TestWarmRunEquivalence:
 
         warm = _fleet(tiny_corpus, cache_dir=cache_dir)
         warm_report = warm.analyze_images(tiny_images)
-        # Zero library re-analysis: every library came from the cache.
+        # Fully warm: every *report* came from the artifact store, so no
+        # per-binary analysis ran — and therefore no library analysis
+        # (or even interface lookup) happened at all.
+        assert warm.artifacts.counters("report")["misses"] == 0
+        assert warm.artifacts.counters("report")["hits"] == len(tiny_images)
+        assert all(e.from_cache for e in warm_report.entries)
         assert warm.interfaces.misses == 0
-        assert warm.interfaces.hits == n_libraries
 
         assert cold_report.to_json(include_runtime=False) == \
             warm_report.to_json(include_runtime=False)
+
+        # Interface-warm tier: dropping the report artifacts forces
+        # per-binary analysis again, now served by cached interfaces.
+        warm.artifacts.prune("report")
+        iface_warm = _fleet(tiny_corpus, cache_dir=cache_dir)
+        iface_report = iface_warm.analyze_images(tiny_images)
+        assert iface_warm.interfaces.misses == 0
+        assert iface_warm.interfaces.hits == n_libraries
+        assert cold_report.to_json(include_runtime=False) == \
+            iface_report.to_json(include_runtime=False)
 
     def test_serial_and_parallel_reports_identical(
         self, tmp_path, tiny_corpus, tiny_images
@@ -322,8 +336,11 @@ class TestDirectorySweep:
         out = capsys.readouterr().out
         assert "interface cache:" in out
 
-        # Second (warm) run: the cache reports hits and no misses.
+        # Second (warm) run: whole reports come from the artifact store,
+        # so neither binaries nor interfaces are re-analyzed.
         assert main(argv + ["--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["interface_cache"]["misses"] == 0
-        assert doc["interface_cache"]["hits"] > 0
+        assert doc["report_cache"]["misses"] == 0
+        assert doc["report_cache"]["hits"] == len(doc["binaries"])
+        assert all(entry["cached"] for entry in doc["binaries"])

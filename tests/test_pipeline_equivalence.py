@@ -1,0 +1,139 @@
+"""Pass-pipeline equivalence and pipeline-configuration tests.
+
+``tests/golden/pipeline_reports.json`` holds the deterministic
+(``include_runtime=False``) reports the *pre-refactor* seed analyzer
+produced for the six §5.1 validation apps under the default pipeline and
+all three ablation configs.  The refactored pass-pipeline analyzer must
+reproduce every one of them byte for byte: the pipeline is a pure
+re-architecture, never a behaviour change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    AnalysisBudget,
+    AnalysisContext,
+    AnalysisReport,
+    BSideAnalyzer,
+    PassPipeline,
+    PipelineConfig,
+    build_pipeline,
+)
+from repro.corpus import APP_NAMES, build_app
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "pipeline_reports.json")
+
+#: analyzer kwargs per golden config key
+ABLATION_CONFIGS = {
+    "default": {},
+    "no-wrappers": {"detect_wrappers": False},
+    "no-directed": {"directed_search": False},
+    "all-addresses-taken": {"use_active_addresses_taken": False},
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return {name: build_app(name) for name in APP_NAMES}
+
+
+class TestSeedEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(ABLATION_CONFIGS))
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_byte_identical_to_seed(self, golden, bundles, config_name, app):
+        bundle = bundles[app]
+        analyzer = BSideAnalyzer(
+            resolver=bundle.resolver,
+            budget=AnalysisBudget.generous(),
+            **ABLATION_CONFIGS[config_name],
+        )
+        report = analyzer.analyze(
+            bundle.program.image, modules=bundle.module_images,
+        )
+        assert report.to_json(include_runtime=False) == \
+            golden[config_name][app]
+
+    def test_report_json_round_trip(self, golden, bundles):
+        bundle = bundles[APP_NAMES[0]]
+        analyzer = BSideAnalyzer(
+            resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+        )
+        report = analyzer.analyze(
+            bundle.program.image, modules=bundle.module_images,
+        )
+        back = AnalysisReport.from_json(report.to_json())
+        assert back.to_json() == report.to_json()
+        assert back.to_json(include_runtime=False) == \
+            report.to_json(include_runtime=False)
+        assert back.syscalls == report.syscalls
+
+
+class TestPipelineShape:
+    def test_default_pass_order(self):
+        pipeline = build_pipeline(PipelineConfig())
+        assert pipeline.pass_names == [
+            "cfg-recovery", "reachability", "site-discovery",
+            "wrapper-detection", "identification", "external-calls",
+        ]
+
+    def test_wrapper_ablation_drops_the_pass(self):
+        pipeline = build_pipeline(PipelineConfig(detect_wrappers=False))
+        assert "wrapper-detection" not in pipeline.pass_names
+
+    def test_stage_stats_recorded_per_pass(self, bundles):
+        bundle = bundles[APP_NAMES[0]]
+        analyzer = BSideAnalyzer(
+            resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+        )
+        report = analyzer.analyze(bundle.program.image)
+        for name in analyzer.pipeline.pass_names:
+            assert name in report.stages, name
+        assert report.stages["cfg-recovery"].units > 0
+        assert report.stages["reachability"].units > 0
+        # identification units snapshot bbs at end of that pass; the
+        # external-calls pass may add more afterwards
+        assert report.stages["identification"].units <= report.bbs_explored
+
+    def test_fingerprint_sensitive_to_flags_and_budget(self):
+        base = PipelineConfig()
+        budget = AnalysisBudget()
+        assert base.fingerprint(budget) == PipelineConfig().fingerprint(budget)
+        assert base.fingerprint(budget) != \
+            PipelineConfig(directed_search=False).fingerprint(budget)
+        assert base.fingerprint(budget) != \
+            PipelineConfig(detect_wrappers=False).fingerprint(budget)
+        assert base.fingerprint(budget) != \
+            base.fingerprint(AnalysisBudget.generous())
+
+    def test_custom_pipeline_runs_over_shared_context(self):
+        """A pipeline is just passes over a context: a truncated config
+        (CFG + reachability only) runs and produces no sites."""
+        from repro.corpus.progbuilder import ProgramBuilder
+        from repro.x86 import EAX
+
+        p = ProgramBuilder("app")
+        with p.function("_start"):
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        image = p.build().image
+        config = PipelineConfig(passes=("cfg-recovery", "reachability"))
+        ctx = AnalysisContext(
+            image=image, roots=[image.entry],
+            budget=AnalysisBudget.generous(), config=config,
+        )
+        build_pipeline(config).run(ctx)
+        assert ctx.cfg is not None
+        assert ctx.reachable
+        assert ctx.sites == []
