@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
 
-.PHONY: test bench lint smoke clean
+.PHONY: test bench lint smoke smoke-service docs-check clean
 
 ## tier-1: the suite the driver enforces (ROADMAP.md)
 test:
@@ -22,18 +22,31 @@ lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -m pytest --collect-only -q >/dev/null
 
-## end-to-end: generate a tiny corpus, fleet-analyze it cold, then warm
+## end-to-end: generate a tiny corpus, fleet-analyze it cold, then warm.
+## `bside fleet` exits 1 when some binaries fail analysis (docs/cli.md);
+## the corpus includes budget-exceeding binaries by design, so the smoke
+## accepts 0 or 1 and only fails on real errors (exit >= 2).
 smoke:
 	rm -rf $(SMOKE_DIR)
 	$(PYTHON) -m repro.cli corpus generate $(SMOKE_DIR)/corpus --scale 0.04
 	$(PYTHON) -m repro.cli fleet $(SMOKE_DIR)/corpus/bin \
 		--libdir $(SMOKE_DIR)/corpus/lib \
-		--cache-dir $(SMOKE_DIR)/cache --workers 2
+		--cache-dir $(SMOKE_DIR)/cache --workers 2 || test $$? -eq 1
 	@echo "--- warm run ---"
 	$(PYTHON) -m repro.cli fleet $(SMOKE_DIR)/corpus/bin \
 		--libdir $(SMOKE_DIR)/corpus/lib \
-		--cache-dir $(SMOKE_DIR)/cache --workers 2
+		--cache-dir $(SMOKE_DIR)/cache --workers 2 || test $$? -eq 1
 	rm -rf $(SMOKE_DIR)
+
+## end-to-end: drive the service API (spins an ephemeral in-process
+## daemon, submits cold + warm + inline jobs, checks derived artifacts)
+smoke-service:
+	$(PYTHON) examples/service_client.py
+
+## docs invariants: relative links resolve, every CLI subcommand and
+## flag is documented in docs/cli.md, quickstart walkthrough in sync
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 clean:
 	rm -rf benchmarks/results $(SMOKE_DIR)

@@ -3,14 +3,22 @@
 
 Walks the full B-Side loop end to end:
 
-1. assemble a small static x86-64 ELF executable with the corpus builder,
-2. run B-Side on it (no sources, no execution),
+1. assemble a small static x86-64 ELF executable with the corpus
+   builder — it invokes getpid directly, then write and close through a
+   syscall(2)-style wrapper that receives the number in %rdi,
+2. run B-Side on it (no sources, no execution): CFG recovery finds the
+   four syscall sites, wrapper detection localises the wrapper's number
+   parameter, and symbolic identification resolves every number,
 3. derive a seccomp-style allow-list filter from the report,
-4. run the binary under the emulator with the filter installed and show
-   that legitimate behaviour survives while an injected "exploit" syscall
-   is killed.
+4. run the binary under the bundled emulator with the filter installed
+   and show that legitimate behaviour survives while an injected
+   "exploit" variant that suddenly wants execve is killed on its first
+   forbidden syscall.
 
 Run:  python examples/quickstart.py
+
+This walkthrough is embedded verbatim in docs/user-guide.md; `make
+docs-check` fails if the two drift apart.
 """
 
 from repro.core import AnalysisBudget, BSideAnalyzer

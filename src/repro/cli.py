@@ -34,6 +34,20 @@ Commands
 
 ``docker-profile <binary> [--libdir DIR]``
     Emit an OCI/Docker seccomp JSON profile for the binary.
+
+``serve [--host H] [--port P] --state-dir DIR [--cache-dir DIR]
+[--workers N] [--queue-size N] [--libdir DIR]``
+    Run the analysis daemon: an HTTP/JSON job API over the fleet engine
+    and the artifact store (see ``docs/service-api.md``).
+
+``submit <target> [--url URL] [--fleet] [--inline] [--libdir DIR]
+[--no-wait] [--timeout S] [--json] [--filter | --profile]``
+    Submit a binary (or, with ``--fleet``, a directory) to a running
+    daemon; by default waits for completion and prints the result.
+
+Exit codes (documented in ``docs/cli.md``): **0** success, **1** the
+command completed but analysis failed for at least one binary, **2**
+usage / file / service errors.
 """
 
 from __future__ import annotations
@@ -178,9 +192,12 @@ def cmd_fleet(args) -> int:
         workers=args.workers, cache_dir=cache_dir,
     )
     report = fleet.analyze_directory(args.directory)
+    # Exit 1 when any binary's analysis failed, so scripted pipelines
+    # (CI gates, provisioning hooks) can tell "all clean" from "partial".
+    status = 0 if not report.failures else 1
     if args.json:
         print(report.to_json())
-        return 0
+        return status
     print(f"fleet: {len(report.entries)} binaries, "
           f"{report.success_rate():.1%} analyzed, "
           f"avg {report.average_syscalls():.1f} syscalls")
@@ -203,7 +220,7 @@ def cmd_fleet(args) -> int:
         print("  least-covered CVEs:")
         for ident, rate in worst:
             print(f"    CVE-{ident}: {rate:.1%} protected")
-    return 0
+    return status
 
 
 def cmd_cache(args) -> int:
@@ -244,6 +261,101 @@ def cmd_trace(args) -> int:
     print(f"+++ exited with {result.exit_status} "
           f"({len(result.records)} syscalls) +++")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import logging
+
+    from .service import AnalysisService, ServiceServer
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    service = AnalysisService(
+        args.state_dir,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        libdir=args.libdir,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"bside serve: listening on {server.url}")
+    print(f"  state dir:  {service.state_dir}")
+    print(f"  cache dir:  {service.cache_dir}")
+    print(f"  workers:    {service.workers} "
+          f"(batch {service.batch_size}, fan-out {service.fleet_workers})")
+    server.serve_forever()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    libdir = os.path.abspath(args.libdir) if args.libdir else None
+    try:
+        if args.fleet:
+            job = client.submit_directory(
+                os.path.abspath(args.target), libdir=libdir,
+            )
+        elif args.inline:
+            with open(args.target, "rb") as f:
+                data = f.read()
+            job = client.submit_bytes(
+                os.path.basename(args.target), data, libdir=libdir,
+            )
+        else:
+            job = client.submit_path(
+                os.path.abspath(args.target), libdir=libdir,
+            )
+        if args.no_wait:
+            print(json.dumps({"job": job}, indent=2))
+            return 0
+        job = client.wait(job["id"], timeout=args.timeout)
+        if job["status"] == "failed":
+            print(f"error: job {job['id']} failed: {job['error']}",
+                  file=sys.stderr)
+            return 2
+        report = client.report(job["id"])  # one fetch: result + exit code
+        if args.filter:
+            print(json.dumps(client.filter(job["id"]), indent=2))
+        elif args.profile:
+            print(json.dumps(client.profile(job["id"]), indent=2))
+        elif args.json:
+            print(json.dumps({"job": job, "result": report}, indent=2))
+        else:
+            _print_submit_result(job, report)
+        return _submit_status(job, report)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _submit_status(job: dict, report: dict) -> int:
+    """0 all analyses succeeded, 1 at least one failed."""
+    if job["kind"] == "fleet":
+        binaries = report.get("report", {}).get("binaries", [])
+        return 0 if all(b.get("success") for b in binaries) else 1
+    return 0 if report.get("success") else 1
+
+
+def _print_submit_result(job: dict, report: dict) -> None:
+    metrics = job.get("metrics", {})
+    origin = "cache" if metrics.get("from_cache") else "analysis"
+    if job["kind"] == "fleet":
+        doc = report.get("report", {})
+        print(f"job {job['id']}: fleet of {doc.get('fleet_size')} binaries, "
+              f"{doc.get('success_rate', 0):.1%} analyzed "
+              f"({metrics.get('seconds', 0):.3f}s)")
+        return
+    if not report.get("success"):
+        print(f"job {job['id']}: analysis failed in stage "
+              f"{report.get('failure_stage')}: {report.get('failure_reason')}")
+        return
+    names = sorted(name_of(nr) for nr in report.get("syscalls", []))
+    print(f"job {job['id']}: {len(names)} syscalls via {origin} "
+          f"({metrics.get('seconds', 0):.3f}s): {', '.join(names)}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,6 +425,50 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     cache_flags(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8649,
+                   help="bind port; 0 picks an ephemeral port")
+    p.add_argument("--state-dir", required=True,
+                   help="directory for job records, spooled binaries, "
+                        "and the default cache")
+    p.add_argument("--cache-dir",
+                   help="artifact cache directory "
+                        "(default: <state-dir>/cache)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="executor workers: scales admission batches and "
+                        "the per-batch process fan-out")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="max queued jobs before submissions get 429")
+    p.add_argument("--libdir",
+                   help="default shared-library directory for jobs that "
+                        "do not name one")
+    p.add_argument("--log-level", default="info",
+                   help="logging level (debug, info, warning, ...)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running daemon")
+    p.add_argument("target", help="binary path (or directory with --fleet)")
+    p.add_argument("--url", default="http://127.0.0.1:8649",
+                   help="daemon base URL")
+    p.add_argument("--fleet", action="store_true",
+                   help="submit the target directory as one fleet job")
+    p.add_argument("--inline", action="store_true",
+                   help="upload the binary's bytes instead of its path")
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and print the job id without waiting")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for completion")
+    p.add_argument("--json", action="store_true",
+                   help="print the full job + report JSON")
+    p.add_argument("--filter", action="store_true",
+                   help="print the derived seccomp-style filter")
+    p.add_argument("--profile", action="store_true",
+                   help="print the derived OCI/Docker seccomp profile")
+    common(p)
+    p.set_defaults(func=cmd_submit)
 
     cache = sub.add_parser("cache", help="artifact-cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -236,7 +236,10 @@ class BSideAnalyzer:
         deps = self.dependency_hashes(image, modules)
         if deps is None:
             return None
-        payload = store.get(
+        # Content-first lookup (name fast path, then content-hash alias):
+        # a renamed copy of an already-analyzed binary still hits, and a
+        # mismatched same-name entry is left for its own client.
+        payload = store.lookup(
             "report", image.name,
             content_hash=image.content_hash,
             fingerprint=self.fingerprint,
@@ -244,7 +247,9 @@ class BSideAnalyzer:
         )
         if payload is None:
             return None
-        return AnalysisReport.from_doc(payload)
+        report = AnalysisReport.from_doc(payload)
+        report.binary = image.name
+        return report
 
     def store_report(
         self,

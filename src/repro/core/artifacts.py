@@ -102,6 +102,8 @@ class ArtifactStore:
             kind: {"hits": 0, "misses": 0, "invalidations": 0, "writes": 0}
             for kind in ARTIFACT_KINDS
         }
+        #: lazy per-kind index: kind -> {content_hash: entry name}
+        self._hash_index: dict[str, dict[str, str]] = {}
 
     # ------------------------------------------------------------------
     # Core get/put
@@ -125,7 +127,12 @@ class ArtifactStore:
         fingerprint: str | None = None,
         dep_hashes: list[str] | None = None,
     ) -> dict | list | None:
-        """Load one validated payload; ``None`` (and cleanup) when unusable."""
+        """Load one validated payload; ``None`` (and cleanup) when unusable.
+
+        A key mismatch deletes the entry: callers of ``get`` own their
+        names (per-pass artifacts, the interface cache).  Serving paths
+        shared by many clients use :meth:`lookup`, which never deletes.
+        """
         field = self._payload_field(kind)
         path = self._path(kind, name)
         counters = self._counters[kind]
@@ -183,6 +190,111 @@ class ArtifactStore:
             json.dump(envelope, f, indent=2)
         os.replace(tmp, path)  # atomic: readers never see a torn write
         self._counters[kind]["writes"] += 1
+        if content_hash and kind in self._hash_index:
+            self._hash_index[kind][content_hash] = name
+
+    def _validated_payload(
+        self,
+        kind: str,
+        name: str,
+        *,
+        content_hash: str | None,
+        fingerprint: str | None,
+        dep_hashes: list[str] | None,
+    ) -> dict | list | None:
+        """The entry's payload iff it exists and matches every supplied
+        key component; no counters, and mismatches are left on disk
+        (unparseable envelopes are still removed — they are garbage
+        under every key)."""
+        field = self._payload_field(kind)
+        path = self._path(kind, name)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                envelope = json.load(f)
+            version = envelope["cache_version"]
+            entry_hash = envelope["content_hash"]
+            entry_fingerprint = envelope["config_fingerprint"]
+            entry_deps = envelope["dep_hashes"]
+            payload = envelope[field]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.invalidate(kind, name)
+            return None
+        stale = (
+            version != self.version
+            or (content_hash is not None and content_hash != entry_hash)
+            or (fingerprint is not None and fingerprint != entry_fingerprint)
+            or (dep_hashes is not None and list(dep_hashes) != entry_deps)
+        )
+        return None if stale else payload
+
+    def lookup(
+        self,
+        kind: str,
+        name: str,
+        *,
+        content_hash: str,
+        fingerprint: str | None = None,
+        dep_hashes: list[str] | None = None,
+    ) -> dict | list | None:
+        """Serving-path lookup: name fast path, then content-hash alias.
+
+        Unlike :meth:`get`, this is built for caches shared by many
+        clients (the fleet engine and the service daemon):
+
+        * exactly **one** hit or miss is counted per lookup, however it
+          resolves — a renamed warm fleet reads as warm, not half-cold;
+        * mismatched entries are **never deleted** — a different binary
+          that happens to share a basename must not evict another
+          client's valid entry (perpetual thrash), and an alias probe
+          must not destroy an entry still valid under its own key;
+        * when the name-keyed entry does not match, the same validation
+          is retried under the name the content hash was cached as.
+        """
+        counters = self._counters[kind]
+        payload = self._validated_payload(
+            kind, name, content_hash=content_hash,
+            fingerprint=fingerprint, dep_hashes=dep_hashes,
+        )
+        if payload is None and content_hash:
+            alias = self.find_name(kind, content_hash)
+            if alias is not None and alias != name:
+                payload = self._validated_payload(
+                    kind, alias, content_hash=content_hash,
+                    fingerprint=fingerprint, dep_hashes=dep_hashes,
+                )
+        if payload is None:
+            counters["misses"] += 1
+            return None
+        counters["hits"] += 1
+        return payload
+
+    def find_name(self, kind: str, content_hash: str) -> str | None:
+        """Name of a ``kind`` entry whose subject has this content hash.
+
+        Content-hash lookup lets a renamed-but-identical submission hit
+        the cache (the service serves warm resubmissions regardless of
+        the file name the client chose).  The caller still goes through
+        :meth:`get` with the returned name, so fingerprint and dependency
+        validation are never bypassed.  Backed by a lazy per-kind index
+        rebuilt by scanning the entry envelopes once and kept current by
+        :meth:`put`; invalidation drops the index conservatively.
+        """
+        self._payload_field(kind)  # validate the kind name
+        index = self._hash_index.get(kind)
+        if index is None:
+            index = {}
+            for filename in self._entry_files(kind):
+                try:
+                    with open(os.path.join(self.cache_dir, filename)) as f:
+                        envelope = json.load(f)
+                    if envelope.get("kind") == kind and envelope["content_hash"]:
+                        index[envelope["content_hash"]] = envelope["name"]
+                except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                    continue
+            self._hash_index[kind] = index
+        return index.get(content_hash)
 
     # ------------------------------------------------------------------
     # Invalidation / pruning
@@ -191,6 +303,7 @@ class ArtifactStore:
     def invalidate(self, kind: str, name: str) -> None:
         """Drop one entry if present."""
         path = self._path(kind, name)
+        self._hash_index.pop(kind, None)
         if os.path.exists(path):
             os.remove(path)
             self._counters[kind]["invalidations"] += 1
@@ -209,6 +322,9 @@ class ArtifactStore:
         the number of files removed."""
         if kind is not None:
             self._payload_field(kind)  # validate the kind name
+            self._hash_index.pop(kind, None)
+        else:
+            self._hash_index.clear()
         removed = 0
         for filename in self._entry_files(kind):
             os.remove(os.path.join(self.cache_dir, filename))

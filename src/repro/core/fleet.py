@@ -53,6 +53,7 @@ from .analyzer import BSideAnalyzer
 from .artifacts import ArtifactStore
 from .ifacecache import PersistentInterfaceStore
 from .interface import InterfaceStore
+from .pipeline import add_runs, pipeline_runs
 from .report import AnalysisBudget, AnalysisReport
 
 logger = logging.getLogger(__name__)
@@ -239,6 +240,7 @@ def _worker_analyze(name: str, data: bytes) -> tuple:
     store = analyzer.interfaces
     hits0 = getattr(store, "hits", 0)
     misses0 = getattr(store, "misses", 0)
+    runs0 = pipeline_runs()
     started = time.perf_counter()
     outcome = analyzer.analyze(LoadedImage.from_bytes(name, data))
     return (
@@ -246,6 +248,9 @@ def _worker_analyze(name: str, data: bytes) -> tuple:
         time.perf_counter() - started,
         getattr(store, "hits", 0) - hits0,
         getattr(store, "misses", 0) - misses0,
+        # this worker's pipeline executions, folded into the parent's
+        # counter so pipeline_runs() stays truthful across fan-out
+        pipeline_runs() - runs0,
     )
 
 
@@ -266,11 +271,20 @@ class FleetAnalyzer:
         cache_dir: str | None = None,
         interface_store: InterfaceStore | None = None,
         artifact_store: ArtifactStore | None = None,
+        on_entry=None,
     ):
         self.resolver = resolver if resolver is not None else LibraryResolver()
         self.budget = budget if budget is not None else AnalysisBudget()
         self.workers = max(1, int(workers))
         self.cache_dir = cache_dir
+        #: optional ``callable(index, FleetEntry)`` progress hook, invoked
+        #: once per binary as its outcome lands (cached entries first,
+        #: then analyzed ones); ``index`` is the binary's position in the
+        #: input list, so callers map outcomes back to submissions even
+        #: when names collide (the service executor finishes jobs from
+        #: it, making cache-served jobs pollable while the batch is
+        #: still running); hook exceptions are the caller's
+        self.on_entry = on_entry
         self.artifacts = artifact_store
         if self.artifacts is None and cache_dir is not None:
             self.artifacts = ArtifactStore(cache_dir)
@@ -351,8 +365,32 @@ class FleetAnalyzer:
     # Phase 2: per-binary fan-out
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _counter_delta(after: dict, before: dict) -> dict:
+        """Per-run view of monotonic counters (gauges pass through).
+
+        The service daemon shares one artifact store across every batch
+        for its whole lifetime; each run's report must describe *this*
+        run, not the daemon-cumulative totals.
+        """
+        return {
+            key: value - before.get(key, 0)
+            if key in ("hits", "misses", "invalidations", "writes")
+            else value
+            for key, value in after.items()
+        }
+
     def analyze_images(self, images: list[LoadedImage]) -> FleetReport:
         report = FleetReport()
+        store0 = self.analyzer.interfaces
+        iface_before = (
+            store0.stats() if isinstance(store0, PersistentInterfaceStore)
+            else {}
+        )
+        artifacts_before = (
+            self.artifacts.counters("report")
+            if self.artifacts is not None else {}
+        )
         # Phase 1: serve whole reports from the artifact store.
         entries: list[FleetEntry | None] = [None] * len(images)
         pending: list[int] = []
@@ -360,46 +398,101 @@ class FleetAnalyzer:
             entry = self._cached_entry(image)
             if entry is not None:
                 entries[index] = entry
+                self._notify(index, entry)
             else:
                 pending.append(index)
         # Phases 2+3: interfaces then per-binary fan-out, misses only.
         if pending:
             pending_images = [images[i] for i in pending]
-            self.warm_interfaces(pending_images)
+            # Intra-run content dedup: identical bytes submitted under
+            # several names (thundering-herd resubmissions, copies in a
+            # sweep) are analyzed once; twins get a copy of the result.
+            # Same resolver -> same dependency closure, so the copy is
+            # exact.  Decided before fan-out, so results stay identical
+            # across worker counts.
+            unique_pos: list[int] = []
+            twin_of: dict[int, int] = {}
+            first_pos: dict[str, int] = {}
+            for pos, image in enumerate(pending_images):
+                digest = image.content_hash
+                if digest in first_pos:
+                    twin_of[pos] = first_pos[digest]
+                else:
+                    first_pos[digest] = pos
+                    unique_pos.append(pos)
+            unique_images = [pending_images[p] for p in unique_pos]
+            self.warm_interfaces(unique_images)
             if self.workers > 1:
-                analyzed = self._analyze_parallel(pending_images)
-                if analyzed is None:  # resolver not shareable: degrade politely
-                    analyzed = [self._analyze_one(img) for img in pending_images]
+                fresh = self._analyze_parallel(unique_images)
+                if fresh is None:  # resolver not shareable: degrade politely
+                    fresh = [self._analyze_one(img) for img in unique_images]
             else:
-                analyzed = [self._analyze_one(img) for img in pending_images]
+                fresh = [self._analyze_one(img) for img in unique_images]
+            analyzed: list[FleetEntry | None] = [None] * len(pending_images)
+            for pos, entry in zip(unique_pos, fresh):
+                analyzed[pos] = entry
+            for pos, rep_pos in twin_of.items():
+                analyzed[pos] = self._twin_entry(
+                    pending_images[pos], analyzed[rep_pos],
+                )
             for index, entry in zip(pending, analyzed):
                 entries[index] = entry
                 self._store_entry(images[index], entry)
+                self._notify(index, entry)
         report.entries = entries  # type: ignore[assignment]
         store = self.analyzer.interfaces
         if isinstance(store, PersistentInterfaceStore):
-            report.interface_stats = store.stats()
+            report.interface_stats = self._counter_delta(
+                store.stats(), iface_before,
+            )
         if self.artifacts is not None:
-            report.artifact_stats = self.artifacts.counters("report")
+            report.artifact_stats = self._counter_delta(
+                self.artifacts.counters("report"), artifacts_before,
+            )
         return report
 
     # ------------------------------------------------------------------
     # Phase 1: whole-report artifacts
     # ------------------------------------------------------------------
 
+    def _notify(self, index: int, entry: FleetEntry) -> None:
+        if self.on_entry is not None:
+            self.on_entry(index, entry)
+
     def _cached_entry(self, image: LoadedImage) -> FleetEntry | None:
-        """Serve one binary's report from the artifact store, if valid."""
+        """Serve one binary's report from the artifact store, if valid.
+
+        Lookup is keyed by name first, then by content hash (a renamed
+        copy of an already-analyzed binary still hits; see
+        :meth:`ArtifactStore.find_name`).  The lookup is timed into the
+        entry so service metrics show what a warm request actually cost.
+        """
         if self.artifacts is None:
             return None
+        started = time.perf_counter()
         report = self.analyzer.load_cached_report(image, store=self.artifacts)
         if report is None:
             return None
-        return FleetEntry(name=image.name, report=report, from_cache=True)
+        return FleetEntry(
+            name=image.name, report=report, from_cache=True,
+            seconds=time.perf_counter() - started,
+        )
 
     def _store_entry(self, image: LoadedImage, entry: FleetEntry) -> None:
         if self.artifacts is None:
             return
         self.analyzer.store_report(image, None, entry.report, store=self.artifacts)
+
+    def _twin_entry(self, image: LoadedImage, entry: FleetEntry) -> FleetEntry:
+        """A duplicate submission's entry: its twin's report, renamed.
+
+        ``from_cache`` is set — no analysis ran for this binary — so
+        service metrics and the warm-path assertions treat dedup-served
+        entries like store-served ones.
+        """
+        report = AnalysisReport.from_doc(entry.report.to_doc())
+        report.binary = image.name
+        return FleetEntry(name=image.name, report=report, from_cache=True)
 
     def _analyze_one(self, image: LoadedImage) -> FleetEntry:
         store = self.analyzer.interfaces
@@ -457,7 +550,8 @@ class FleetAnalyzer:
             for index in inline:
                 entries[index] = self._analyze_one(images[index])
             for index, future in futures:
-                outcome, seconds, hits, misses = future.result()
+                outcome, seconds, hits, misses, runs = future.result()
+                add_runs(runs)
                 entries[index] = FleetEntry(
                     name=images[index].name,
                     report=outcome,

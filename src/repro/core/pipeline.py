@@ -27,6 +27,7 @@ implementations (whole-image site vacuums, register-only scans); see
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -170,6 +171,28 @@ class Pass:
         return 0
 
 
+#: Process-global pipeline-execution counter.  The service suite and
+#: ``bench_service_throughput`` read it to prove that warm (cache-served)
+#: requests run **zero** analysis passes — a cached report must never
+#: reach this code.  Fleet worker processes measure their own deltas and
+#: the parent folds them back in via :func:`add_runs`, so the counter
+#: stays accurate across process fan-out.
+_RUNS_LOCK = threading.Lock()
+_RUNS = 0
+
+
+def pipeline_runs() -> int:
+    """Pipeline executions observed by this process (fan-out included)."""
+    return _RUNS
+
+
+def add_runs(n: int) -> None:
+    """Fold pipeline executions observed elsewhere (worker processes)."""
+    global _RUNS
+    with _RUNS_LOCK:
+        _RUNS += n
+
+
 class PassPipeline:
     """Ordered pass runner with uniform timing and budget accounting."""
 
@@ -181,6 +204,9 @@ class PassPipeline:
         return [p.name for p in self.passes]
 
     def run(self, ctx: AnalysisContext) -> AnalysisContext:
+        global _RUNS
+        with _RUNS_LOCK:
+            _RUNS += 1
         for step in self.passes:
             t0 = time.perf_counter()
             try:

@@ -1,0 +1,35 @@
+"""Analysis-as-a-service: the ``bside serve`` daemon.
+
+B-Side's consumers — seccomp installers, container profilers, fleet
+inventory dashboards — speak request/response, not batch.  This package
+turns the repo's analysis substrate (the three-phase
+:class:`~repro.core.fleet.FleetAnalyzer` schedule and the
+content-addressed :class:`~repro.core.artifacts.ArtifactStore`) into a
+long-running daemon with an HTTP/JSON API:
+
+* :mod:`repro.service.jobs` — :class:`Job` records and the bounded,
+  disk-persistent :class:`JobQueue` (backpressure, restart recovery).
+* :mod:`repro.service.executor` — :class:`AnalysisService`, the
+  batch-draining worker-pool executor over the fleet engine.
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  exposing the ``/v1`` API (see ``docs/service-api.md``).
+* :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
+  HTTP client used by ``bside submit`` and ``examples/service_client.py``.
+
+Everything is standard library only, like the rest of the repo.
+"""
+
+from .client import ServiceClient, ServiceError
+from .executor import AnalysisService
+from .jobs import Job, JobQueue, QueueFull
+from .server import ServiceServer
+
+__all__ = [
+    "AnalysisService",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+]

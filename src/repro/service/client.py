@@ -1,0 +1,129 @@
+"""Stdlib HTTP client for the ``bside serve`` API.
+
+Used by the ``bside submit`` subcommand, ``examples/service_client.py``,
+the service test-suite, and the throughput benchmark — one shared
+implementation of the submit → poll → fetch conversation so the wire
+protocol is exercised the same way everywhere.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """An API error response (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal JSON client over ``urllib`` (no third-party deps)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode()).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = error.reason
+            raise ServiceError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {error.reason}")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit_path(self, path: str, libdir: str | None = None) -> dict:
+        """Submit a binary by daemon-visible filesystem path."""
+        spec: dict = {"kind": "analyze", "path": path}
+        if libdir:
+            spec["libdir"] = libdir
+        return self.request("POST", "/v1/jobs", spec)["job"]
+
+    def submit_bytes(self, name: str, data: bytes,
+                     libdir: str | None = None) -> dict:
+        """Submit a binary inline (the daemon need not see your disk)."""
+        spec: dict = {
+            "kind": "analyze",
+            "name": name,
+            "binary_b64": base64.b64encode(data).decode(),
+        }
+        if libdir:
+            spec["libdir"] = libdir
+        return self.request("POST", "/v1/jobs", spec)["job"]
+
+    def submit_directory(self, directory: str,
+                         libdir: str | None = None) -> dict:
+        """Submit a whole directory as one fleet job."""
+        spec: dict = {"kind": "fleet", "directory": directory}
+        if libdir:
+            spec["libdir"] = libdir
+        return self.request("POST", "/v1/jobs", spec)["job"]
+
+    # ------------------------------------------------------------------
+    # Polling and results
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict]:
+        return self.request("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns the job.
+
+        Raises :class:`ServiceError` (status 0) on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {job['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def report(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}/report")
+
+    def filter(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}/filter")
+
+    def profile(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}/profile")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/v1/stats")
+
+    def health(self) -> dict:
+        return self.request("GET", "/v1/healthz")

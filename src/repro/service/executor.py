@@ -1,0 +1,301 @@
+"""The analysis service: a batch-draining executor over the fleet engine.
+
+:class:`AnalysisService` owns the daemon's long-lived state — one
+bounded :class:`~repro.service.jobs.JobQueue`, one shared
+content-addressed :class:`~repro.core.artifacts.ArtifactStore` — and a
+dispatcher thread that drains the queue in batches:
+
+1. ``take_batch`` pops up to ``batch_factor × workers`` queued jobs
+   sharing a group key (kind + library directory).
+2. The batch becomes **one** :class:`~repro.core.fleet.FleetAnalyzer`
+   run, which re-uses the engine's three-phase schedule: cached reports
+   are served first (content-hash keyed, so identical resubmissions cost
+   zero analysis), library interfaces are warmed once *per batch* rather
+   than once per request, then per-binary analysis fans out over worker
+   processes.
+3. Each job is finished with its entry's report and per-job metrics
+   (wall seconds, interface-cache hits/misses, ``from_cache``, batch
+   size, queue wait).
+
+Two distinct scaling levers fall out of ``workers=N``:
+
+* **batching** — admission batches grow with N, amortising resolver
+  construction, dependency hashing, and interface warm-up across jobs
+  (this helps even on a single core);
+* **fan-out** — the fleet's phase-3 ``ProcessPoolExecutor`` is sized to
+  ``min(N, cpu_count)``, so the service never oversubscribes the
+  machine with idle worker processes.
+
+A fresh ``FleetAnalyzer`` (and with it a fresh in-memory interface
+store) is built per batch: memory stays bounded no matter how many
+distinct library pools pass through the daemon, while the persistent
+artifact store keeps warm-path costs to a few JSON loads.
+
+Analysis failures (budget exhaustion, unresolvable libraries) are
+*results*: the job completes ``done`` with ``report.success = false``.
+Only service-level faults — unreadable path, non-ELF bytes — mark a job
+``failed``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import os
+import re
+import threading
+import time
+
+from ..core.artifacts import ArtifactStore
+from ..core.fleet import FleetAnalyzer, FleetEntry
+from ..core.pipeline import pipeline_runs
+from ..core.report import AnalysisBudget
+from ..errors import ElfError, LoaderError, ReproError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+from .jobs import STATUS_RUNNING, Job, JobQueue
+
+logger = logging.getLogger(__name__)
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")
+
+#: refuse inline submissions larger than this (the HTTP layer enforces
+#: the same bound on request bodies)
+MAX_INLINE_BYTES = 64 * 1024 * 1024
+
+
+class AnalysisService:
+    """Long-lived analysis daemon state + the batch executor."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        cache_dir: str | None = None,
+        workers: int = 1,
+        queue_size: int = 64,
+        batch_factor: int = 4,
+        libdir: str | None = None,
+        budget: AnalysisBudget | None = None,
+    ) -> None:
+        self.state_dir = state_dir
+        self.workers = max(1, int(workers))
+        self.batch_factor = max(1, int(batch_factor))
+        self.batch_size = self.workers * self.batch_factor
+        #: phase-3 process fan-out, sized to the machine
+        self.fleet_workers = max(1, min(self.workers, os.cpu_count() or 1))
+        self.default_libdir = libdir
+        self.budget = budget if budget is not None else AnalysisBudget()
+        self.cache_dir = cache_dir or os.path.join(state_dir, "cache")
+        self.spool_dir = os.path.join(state_dir, "spool")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.artifacts = ArtifactStore(self.cache_dir)
+        self.queue = JobQueue(os.path.join(state_dir, "jobs"), maxsize=queue_size)
+        self.started_at = time.time()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Submission (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, spec: dict) -> Job:
+        """Validate a job spec and enqueue it.
+
+        Raises :class:`ValueError` for a malformed spec (HTTP 400) and
+        :class:`~repro.service.jobs.QueueFull` on backpressure (429).
+        """
+        spec = dict(spec)
+        if kind == "analyze":
+            if "binary_b64" in spec:
+                spec["path"] = self._spool(spec)
+            if not spec.get("path"):
+                raise ValueError(
+                    "analyze jobs need 'path' or 'binary_b64' (+ 'name')"
+                )
+        elif kind == "fleet":
+            if not spec.get("directory"):
+                raise ValueError("fleet jobs need 'directory'")
+        else:
+            raise ValueError(f"unknown job kind {kind!r}")
+        if not spec.get("libdir") and self.default_libdir:
+            spec["libdir"] = self.default_libdir
+        return self.queue.submit(kind, spec)
+
+    def _spool(self, spec: dict) -> str:
+        """Decode an inline submission into the spool directory.
+
+        Spool files are content-addressed, so resubmitting the same
+        bytes reuses one file and — through the artifact store — one
+        analysis.
+        """
+        try:
+            data = base64.b64decode(spec.pop("binary_b64"), validate=True)
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"binary_b64 is not valid base64: {error}") from None
+        if len(data) > MAX_INLINE_BYTES:
+            raise ValueError(
+                f"inline binary exceeds {MAX_INLINE_BYTES} bytes"
+            )
+        name = _SAFE_NAME.sub("_", str(spec.get("name") or "submitted.bin"))
+        spec.setdefault("name", name)
+        digest = hashlib.sha256(data).hexdigest()[:16]
+        path = os.path.join(self.spool_dir, f"{digest}-{name}")
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._dispatch, name="bside-dispatcher", daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _dispatch(self) -> None:
+        while not self._stop.is_set():
+            self.step(timeout=0.2)
+
+    def step(self, timeout: float | None = 0.0) -> int:
+        """Take and run one batch synchronously; returns its size.
+
+        The dispatcher thread calls this in a loop; tests and the
+        throughput benchmark may call it directly on a stopped service.
+        """
+        batch = self.queue.take_batch(self.batch_size, timeout=timeout)
+        if not batch:
+            return 0
+        try:
+            self._run_batch(batch)
+        except Exception as error:  # never kill the dispatcher
+            logger.exception("service: batch execution failed")
+            for job in batch:
+                if job.status == "running":
+                    self.queue.finish(job, error=f"internal error: {error}")
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def _resolver(self, libdir: str | None) -> LibraryResolver:
+        return LibraryResolver(search_dir=libdir or None)
+
+    def _run_batch(self, batch: list[Job]) -> None:
+        kind = batch[0].kind
+        libdir = batch[0].spec.get("libdir")
+        if kind == "fleet":
+            for job in batch:
+                self._run_fleet_job(job)
+            return
+
+        # One fleet pass over the whole analyze batch: resolver and
+        # interface warm-up are paid once, cached reports are phase 1.
+        images: list[LoadedImage] = []
+        image_jobs: list[Job] = []
+        for job in batch:
+            try:
+                image = LoadedImage.from_path(job.spec["path"])
+            except (OSError, ElfError, ValueError) as error:
+                self.queue.finish(job, error=str(error))
+                continue
+            images.append(image)
+            image_jobs.append(job)
+        if not image_jobs:
+            return
+        batch_n = len(image_jobs)
+
+        def finish_entry(index: int, entry: FleetEntry) -> None:
+            # Fleet entries stream through this hook as they resolve:
+            # cache-served jobs complete (and become pollable) while the
+            # rest of the batch is still analyzing.  Mapping is by input
+            # position — names may collide across submissions.
+            self._finish_analyze(image_jobs[index], entry, batch_n)
+
+        fleet = FleetAnalyzer(
+            resolver=self._resolver(libdir),
+            budget=self.budget,
+            workers=self.fleet_workers,
+            artifact_store=self.artifacts,
+            on_entry=finish_entry,
+        )
+        try:
+            fleet.analyze_images(images)
+        except (ReproError, LoaderError) as error:
+            for job in image_jobs:
+                if job.status == STATUS_RUNNING:
+                    self.queue.finish(job, error=str(error))
+
+    def _finish_analyze(self, job: Job, entry: FleetEntry, batch_size: int) -> None:
+        job.result = entry.report.to_doc()
+        job.metrics = {
+            "seconds": round(entry.seconds, 6),
+            "cache_hits": entry.cache_hits,
+            "cache_misses": entry.cache_misses,
+            "from_cache": entry.from_cache,
+            "batch_size": batch_size,
+            "queue_seconds": round(
+                (job.started_at or job.submitted_at) - job.submitted_at, 6
+            ),
+        }
+        self.queue.finish(job)
+
+    def _run_fleet_job(self, job: Job) -> None:
+        directory = job.spec["directory"]
+        fleet = FleetAnalyzer(
+            resolver=self._resolver(job.spec.get("libdir")),
+            budget=self.budget,
+            workers=self.fleet_workers,
+            artifact_store=self.artifacts,
+        )
+        started = time.perf_counter()
+        try:
+            report = fleet.analyze_directory(directory)
+        except (OSError, ReproError) as error:
+            self.queue.finish(job, error=str(error))
+            return
+        job.result = {
+            "fleet": True,
+            "report": json.loads(report.to_json()),
+        }
+        job.metrics = {
+            "seconds": round(time.perf_counter() - started, 6),
+            "binaries": len(report.entries),
+            "from_cache": all(e.from_cache for e in report.entries)
+            if report.entries else False,
+            "batch_size": 1,
+        }
+        self.queue.finish(job)
+
+    # ------------------------------------------------------------------
+    # Introspection (the /v1/stats document)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "workers": self.workers,
+            "fleet_workers": self.fleet_workers,
+            "batch_size": self.batch_size,
+            "pipeline_runs": pipeline_runs(),
+            "queue": self.queue.stats(),
+            "cache": self.artifacts.stats(),
+        }

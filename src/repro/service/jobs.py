@@ -1,0 +1,272 @@
+"""Job records and the bounded, disk-persistent job queue.
+
+A :class:`Job` is one unit of service work: analyze a single binary
+(kind ``analyze``) or sweep a directory (kind ``fleet``).  Its whole
+lifecycle — spec, status, timestamps, result, metrics — lives in one
+JSON file under ``<state_dir>/<id>.json``, written atomically on every
+transition, so a daemon restart recovers the queue exactly:
+
+* ``done`` / ``failed`` jobs keep serving their results after a restart;
+* ``queued`` jobs are re-enqueued in submission order;
+* ``running`` jobs (the daemon died mid-batch) are re-enqueued too —
+  re-execution is safe because results are content-addressed: a job
+  whose analysis already landed in the artifact store is served from
+  cache the second time.
+
+The queue is **bounded**: :meth:`JobQueue.submit` raises
+:class:`QueueFull` when ``maxsize`` jobs are waiting, which the HTTP
+layer surfaces as ``429 Too Many Requests`` — backpressure instead of
+unbounded memory growth.
+
+Batching: :meth:`take_batch` hands the executor up to ``max_jobs``
+queued jobs that share a *group key* (kind + library directory), so one
+:class:`~repro.core.fleet.FleetAnalyzer` run can amortise resolver
+construction and interface warm-up across the whole batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: job lifecycle states
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+STATUSES = (STATUS_QUEUED, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+
+
+class QueueFull(Exception):
+    """The bounded queue rejected a submission (HTTP 429)."""
+
+
+@dataclass
+class Job:
+    """One service work item and its full lifecycle record."""
+
+    id: str
+    kind: str  # "analyze" | "fleet"
+    spec: dict
+    status: str = STATUS_QUEUED
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: service-level error (bad path, unreadable ELF) — analysis
+    #: failures are *results* (status ``done``, ``report.success=False``)
+    error: str = ""
+    #: AnalysisReport doc (analyze) or FleetReport doc (fleet)
+    result: dict | None = None
+    #: per-job timing / cache metrics filled in by the executor
+    metrics: dict = field(default_factory=dict)
+
+    def group_key(self) -> tuple:
+        """Jobs with equal keys may run in one batched fleet pass."""
+        return (self.kind, self.spec.get("libdir") or "")
+
+    def to_doc(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result": self.result,
+            "metrics": self.metrics,
+        }
+
+    def summary(self) -> dict:
+        """The job listing / status document (result omitted)."""
+        doc = self.to_doc()
+        doc.pop("result")
+        doc["has_result"] = self.result is not None
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Job":
+        return cls(
+            id=doc["id"],
+            kind=doc["kind"],
+            spec=dict(doc["spec"]),
+            status=doc["status"],
+            submitted_at=doc.get("submitted_at", 0.0),
+            started_at=doc.get("started_at"),
+            finished_at=doc.get("finished_at"),
+            error=doc.get("error", ""),
+            result=doc.get("result"),
+            metrics=dict(doc.get("metrics", {})),
+        )
+
+
+class JobQueue:
+    """Bounded FIFO of :class:`Job` records, persisted one file per job.
+
+    Thread-safe: HTTP handler threads submit and read, the executor's
+    dispatcher thread takes batches and records transitions.
+    """
+
+    def __init__(self, state_dir: str, maxsize: int = 64) -> None:
+        self.state_dir = state_dir
+        self.maxsize = max(1, int(maxsize))
+        os.makedirs(state_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queued: list[str] = []  # FIFO of queued job ids
+        self._seq = 0
+        #: session counters for the stats endpoint
+        self.counters = {"submitted": 0, "rejected": 0, "recovered": 0}
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.json")
+
+    def persist(self, job: Job) -> None:
+        """Atomically write one job's current state to disk."""
+        path = self._path(job.id)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(job.to_doc(), f, indent=2)
+        os.replace(tmp, path)
+
+    def _recover(self) -> None:
+        """Reload every job file; re-enqueue interrupted work.
+
+        A ``running`` job means the previous daemon died mid-batch; it
+        is re-queued, which is idempotent because a completed analysis
+        is served from the artifact store on re-execution.
+        """
+        for filename in sorted(os.listdir(self.state_dir)):
+            if not filename.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.state_dir, filename)) as f:
+                    job = Job.from_doc(json.load(f))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # corrupt record: degrade to "job lost", not crash
+            self._jobs[job.id] = job
+            self._seq = max(self._seq, self._seq_of(job.id))
+            if job.status in (STATUS_QUEUED, STATUS_RUNNING):
+                if job.status == STATUS_RUNNING:
+                    job.status = STATUS_QUEUED
+                    job.started_at = None
+                    self.persist(job)
+                self._queued.append(job.id)
+                self.counters["recovered"] += 1
+
+    @staticmethod
+    def _seq_of(job_id: str) -> int:
+        try:
+            return int(job_id.rsplit("-", 1)[-1])
+        except ValueError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Producer side (HTTP handlers)
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, spec: dict) -> Job:
+        """Enqueue one job; raises :class:`QueueFull` on backpressure."""
+        with self._lock:
+            if len(self._queued) >= self.maxsize:
+                self.counters["rejected"] += 1
+                raise QueueFull(
+                    f"queue full ({self.maxsize} jobs waiting); retry later"
+                )
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:06d}",
+                kind=kind,
+                spec=dict(spec),
+                submitted_at=time.time(),
+            )
+            self._jobs[job.id] = job
+            self._queued.append(job.id)
+            self.counters["submitted"] += 1
+            self.persist(job)
+            self._not_empty.notify()
+            return job
+
+    # ------------------------------------------------------------------
+    # Consumer side (executor dispatcher)
+    # ------------------------------------------------------------------
+
+    def take_batch(self, max_jobs: int, timeout: float | None = None) -> list[Job]:
+        """Pop up to ``max_jobs`` queued jobs sharing one group key.
+
+        Blocks up to ``timeout`` seconds for the first job (empty list on
+        timeout).  The batch starts at the head of the FIFO and extends
+        with later compatible jobs — incompatible ones keep their place.
+        """
+        with self._not_empty:
+            if not self._queued:
+                self._not_empty.wait(timeout)
+            if not self._queued:
+                return []
+            head = self._jobs[self._queued[0]]
+            key = head.group_key()
+            batch: list[Job] = []
+            remaining: list[str] = []
+            for job_id in self._queued:
+                job = self._jobs[job_id]
+                if len(batch) < max_jobs and job.group_key() == key:
+                    batch.append(job)
+                else:
+                    remaining.append(job_id)
+            self._queued = remaining
+            for job in batch:
+                job.status = STATUS_RUNNING
+                job.started_at = time.time()
+                self.persist(job)
+            return batch
+
+    def finish(self, job: Job, *, error: str = "") -> None:
+        """Record a job's terminal transition (done, or failed)."""
+        with self._lock:
+            job.finished_at = time.time()
+            if error:
+                job.status = STATUS_FAILED
+                job.error = error
+            else:
+                job.status = STATUS_DONE
+            self.persist(job)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queued)
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_status = {status: 0 for status in STATUSES}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "depth": len(self._queued),
+                "capacity": self.maxsize,
+                "jobs": by_status,
+                **self.counters,
+            }

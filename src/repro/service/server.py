@@ -1,0 +1,226 @@
+"""The HTTP/JSON front end: a stdlib ``ThreadingHTTPServer``.
+
+Endpoint reference (full examples in ``docs/service-api.md``):
+
+=========  ==============================  =====================================
+method     path                            meaning
+=========  ==============================  =====================================
+GET        ``/v1/healthz``                 liveness probe
+GET        ``/v1/stats``                   queue depth, cache + pipeline stats
+POST       ``/v1/jobs``                    submit a job (202; 429 on backpressure)
+GET        ``/v1/jobs``                    list jobs (summaries)
+GET        ``/v1/jobs/<id>``               one job's status + metrics
+GET        ``/v1/jobs/<id>/report``        the AnalysisReport / FleetReport JSON
+GET        ``/v1/jobs/<id>/filter``        derived seccomp-style filter
+GET        ``/v1/jobs/<id>/profile``       derived OCI/Docker seccomp profile
+=========  ==============================  =====================================
+
+Design notes:
+
+* handlers never run analysis — they only enqueue and read; all
+  analysis happens on the executor's dispatcher thread, so a slow
+  binary cannot wedge the API;
+* every response is JSON (errors as ``{"error": ...}``) with the
+  correct status code: 202 accepted, 400 bad spec, 404 unknown,
+  409 not-ready-yet, 413 oversized body, 429 queue full;
+* request bodies are bounded (:data:`~repro.service.executor.MAX_INLINE_BYTES`
+  plus base64 overhead) — backpressure applies to bytes, not just jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.report import AnalysisReport
+from ..filters.docker import profile_from_report
+from ..filters.seccomp import FilterProgram
+from ..syscalls.table import name_of
+from .executor import MAX_INLINE_BYTES, AnalysisService
+from .jobs import QueueFull
+
+logger = logging.getLogger(__name__)
+
+#: request-body cap: the inline-binary bound plus base64 + JSON overhead
+MAX_BODY_BYTES = MAX_INLINE_BYTES * 3 // 2
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1`` requests onto the bound :class:`AnalysisService`."""
+
+    server_version = "bside-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # quiet the default stderr-per-request logging; keep it on DEBUG
+    def log_message(self, fmt: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, status: int, doc: dict, retry_after: int | None = None) -> None:
+        body = (json.dumps(doc, indent=2) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str,
+               retry_after: int | None = None, **extra) -> None:
+        self._send(status, {"error": message, **extra},
+                   retry_after=retry_after)
+
+    def _read_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # The unread body would be parsed as the next request on
+            # this keep-alive connection; drop the connection instead.
+            self.close_connection = True
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            doc = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._error(400, f"request body is not valid JSON: {error}")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return doc
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "healthz"]:
+            return self._send(200, {"status": "ok"})
+        if parts == ["v1", "stats"]:
+            return self._send(200, self.service.stats())
+        if parts == ["v1", "jobs"]:
+            return self._send(
+                200, {"jobs": [j.summary() for j in self.service.queue.jobs()]}
+            )
+        if len(parts) in (3, 4) and parts[:2] == ["v1", "jobs"]:
+            return self._get_job(parts[2], parts[3] if len(parts) == 4 else None)
+        self._error(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts != ["v1", "jobs"]:
+            return self._error(404, f"no such endpoint: {self.path}")
+        doc = self._read_body()
+        if doc is None:
+            return
+        kind = doc.pop("kind", "analyze")
+        try:
+            job = self.service.submit(kind, doc)
+        except QueueFull as full:
+            return self._error(429, str(full), retry_after=1)
+        except ValueError as error:
+            return self._error(400, str(error))
+        self._send(202, {"job": job.summary()})
+
+    # ------------------------------------------------------------------
+    # Job views
+    # ------------------------------------------------------------------
+
+    def _get_job(self, job_id: str, view: str | None) -> None:
+        job = self.service.queue.get(job_id)
+        if job is None:
+            return self._error(404, f"no such job: {job_id}")
+        if view is None:
+            return self._send(200, {"job": job.summary()})
+        if job.status in ("queued", "running"):
+            return self._error(
+                409, f"job {job_id} is {job.status}; poll until done",
+                job_status=job.status,
+            )
+        if job.status == "failed":
+            return self._error(409, f"job {job_id} failed: {job.error}")
+        if view == "report":
+            return self._send(200, job.result or {})
+        if view in ("filter", "profile"):
+            return self._derived(job, view)
+        self._error(404, f"no such job view: {view}")
+
+    def _derived(self, job, view: str) -> None:
+        """Filter artifacts derived on demand from a completed report."""
+        if job.kind != "analyze":
+            return self._error(
+                400, f"{view} is only derivable from analyze jobs"
+            )
+        report = AnalysisReport.from_doc(job.result)
+        filt = FilterProgram.from_report(report)
+        if view == "profile":
+            return self._send(200, profile_from_report(report))
+        self._send(200, {
+            "binary": report.binary,
+            "sound": report.success and report.complete,
+            "allowed": sorted(filt.allowed),
+            "allowed_names": sorted(name_of(nr) for nr in filt.allowed),
+            "n_blocked": filt.n_blocked,
+            "rendered": filt.render(),
+        })
+
+
+class ServiceServer:
+    """The daemon: an :class:`AnalysisService` behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests, examples); the bound
+    address is available as :attr:`url` after construction.
+    """
+
+    def __init__(self, service: AnalysisService, host: str = "127.0.0.1",
+                 port: int = 8649) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = service  # type: ignore[attr-defined]
+        self.host, self.port = self.httpd.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread: threading.Thread | None = None
+
+    def start(self, executor: bool = True) -> None:
+        """Serve requests on a background thread.
+
+        ``executor=False`` leaves the dispatcher stopped — jobs queue up
+        but never run (tests use it to pin backpressure and recovery
+        behaviour; call ``service.start()`` later to drain).
+        """
+        if executor:
+            self.service.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="bside-http", daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Foreground mode (the ``bside serve`` CLI)."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.stop()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
