@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
 
-.PHONY: test bench lint smoke smoke-service docs-check clean
+.PHONY: test bench bench-gate lint smoke smoke-service docs-check clean
 
 ## tier-1: the suite the driver enforces (ROADMAP.md)
 test:
@@ -16,6 +16,14 @@ test:
 ## (bench_*.py does not match pytest's default test_*.py file pattern)
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -o python_files="test_*.py bench_*.py"
+
+## cold-kernel perf gate: re-measure and compare against the committed
+## BENCH_cold_kernel.json trajectory (fails on >15% normalized cold-path
+## regression, or if the speedup vs the pre-optimization baseline drops
+## below 3x); see docs/performance.md.  BENCH_GATE_FLAGS widens the
+## margins where runs are cross-machine/cross-interpreter (CI).
+bench-gate:
+	$(PYTHON) tools/perf_gate.py $(BENCH_GATE_FLAGS)
 
 ## fast syntax/bytecode check (no third-party linters in this environment)
 lint:

@@ -1,0 +1,83 @@
+"""Cold-kernel benchmark: the PR-4 optimisation target, measured.
+
+Runs the :mod:`repro.perf.coldbench` workload (end-to-end cold analysis
+of the six validation apps + component micro-benchmarks) and reports it
+against the committed ``BENCH_cold_kernel.json`` trajectory:
+
+* speedup vs the recorded **pre-optimization baseline** (the seed
+  kernel before the table-driven decoder / indexed CFG / bitset
+  reachability work) — asserted to stay >= 3x;
+* drift vs the **latest** trajectory entry (the regression the CI perf
+  gate enforces at 15%; the bench itself only reports it, since
+  ``tools/perf_gate.py`` is the enforcement point).
+
+Comparisons use normalized cold time (calibrated against an in-run
+pure-Python loop), so the assertion holds across machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.perf import load_trajectory, measure_cold_kernel
+from repro.perf.coldbench import format_measurement
+
+from _report import emit
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_cold_kernel.json",
+)
+
+#: the acceptance floor: cold single-binary analysis vs the pre-PR kernel
+MIN_SPEEDUP = 3.0
+
+
+def test_cold_kernel_trajectory(benchmark):
+    record = measure_cold_kernel(repeats=3)
+    trajectory = load_trajectory(TRAJECTORY_PATH)
+
+    lines = [format_measurement(record), ""]
+    pre = trajectory.pre_optimization
+    speedup = None
+    if pre is not None:
+        speedup = pre["normalized_cold"] / record["normalized_cold"]
+        lines.append(
+            f"speedup vs pre-optimization baseline "
+            f"'{pre['label']}': {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)"
+        )
+        for name, seconds in record["components"].items():
+            before = pre.get("components", {}).get(name)
+            if before:
+                lines.append(f"  {name:<24} {before / seconds:>6.2f}x")
+    latest = trajectory.baseline
+    if latest is not None:
+        drift = record["normalized_cold"] / latest["normalized_cold"]
+        lines.append(
+            f"drift vs latest entry '{latest.get('label', '?')}': "
+            f"{drift:.3f}x normalized cold"
+        )
+    emit("cold_kernel", "Cold-kernel trajectory (BENCH_cold_kernel.json)",
+         "\n".join(lines))
+
+    if benchmark is not None:
+        from repro.core import AnalysisBudget, BSideAnalyzer
+        from repro.corpus import APP_NAMES, build_app
+
+        bundle = build_app(APP_NAMES[0])
+
+        def cold_one():
+            analyzer = BSideAnalyzer(
+                resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+            )
+            return analyzer.analyze(
+                bundle.program.image, modules=bundle.module_images,
+            )
+
+        benchmark(cold_one)
+
+    if pre is not None:
+        assert speedup >= MIN_SPEEDUP, (
+            f"cold kernel speedup {speedup:.2f}x fell below the "
+            f"{MIN_SPEEDUP:.1f}x acceptance floor"
+        )

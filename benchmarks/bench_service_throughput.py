@@ -10,9 +10,14 @@ Claims measured and asserted:
   already-analyzed corpus is served entirely from the content-addressed
   artifact store: the parent-process pipeline-run counter does not move
   and every report lookup is a hit;
-* **a 4-worker server sustains ≥4x the single-worker cold throughput**
+* **a 4-worker server sustains ≥2x the single-worker cold throughput**
   once its cache is populated (the steady state a long-running daemon
-  converges to — warm requests/sec exceed cold by orders of magnitude);
+  converges to).  The floor was 4x when PR 3 landed; PR 4's cold-kernel
+  rewrite made *cold* analysis ~3.6x faster while warm requests remain
+  bounded by the unchanged HTTP + queue + JSON envelope, so the
+  warm:cold gap legitimately compressed (see BENCH_cold_kernel.json —
+  the cold path is now gated on its own trajectory by
+  ``tools/perf_gate.py``);
 * cold throughput itself scales with workers via admission batching
   (interface warm-up amortised per batch) and, when the machine has the
   cores, the fleet's per-batch process fan-out.  The cold scaling ratio
@@ -123,10 +128,11 @@ def test_service_throughput(tmp_path, report_emitter, benchmark):
         "\n".join(rows),
     )
 
-    # The acceptance claims: a 4-worker server sustains >=4x the
-    # single-worker cold throughput (trivially, once warm), and cold
-    # batching never costs throughput.
-    assert warm4_ratio >= 4.0
+    # The acceptance claims: a 4-worker server sustains >=2x the
+    # single-worker cold throughput once warm (the floor was 4x before
+    # PR 4 accelerated the cold kernel ~3.6x, compressing the gap), and
+    # cold batching never costs throughput.
+    assert warm4_ratio >= 2.0
     assert cold4_ratio >= 0.8
 
     # Timed unit: one warm request through the full HTTP + queue +

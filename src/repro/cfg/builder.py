@@ -11,10 +11,19 @@ external symbol edges immediately.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from ..errors import CfgError
 from ..loader.image import LoadedImage
 from ..x86.decoder import decode_all
-from ..x86.insn import Immediate, Instruction, Memory
+from ..x86.insn import (
+    _CONDITIONAL_MNEMONICS,
+    _HALT_MNEMONICS,
+    _TERMINATOR_MNEMONICS,
+    Immediate,
+    Instruction,
+    Memory,
+)
 from .model import (
     CFG,
     EDGE_CALL,
@@ -47,29 +56,39 @@ def build_cfg(image: LoadedImage) -> CFG:
     by_addr = {i.addr: i for i in insns}
 
     # ---- find leaders ---------------------------------------------------
+    # (mnemonic-set test inlined: the terminator property per instruction
+    # was measurable over whole-image sweeps)
+    terminators = _TERMINATOR_MNEMONICS
     leaders: set[int] = {image.text_base}
     for start, __ in image.function_boundaries:
         leaders.add(start)
     if image.entry:
         leaders.add(image.entry)
+    add_leader = leaders.add
     for insn in insns:
-        if insn.terminates_block:
-            nxt = insn.end
+        if insn.mnemonic in terminators:
+            nxt = insn.addr + insn.size
             if nxt in by_addr:
-                leaders.add(nxt)
-            target = insn.branch_target()
-            if target is not None and target in by_addr:
-                leaders.add(target)
+                add_leader(nxt)
+            # Of the terminators only direct call/jmp/jcc carry an
+            # Immediate operand, so this is branch_target() inlined.
+            ops = insn.operands
+            if len(ops) == 1 and type(ops[0]) is Immediate:
+                target = ops[0].value
+                if target in by_addr:
+                    add_leader(target)
 
     # ---- carve blocks -----------------------------------------------------
     cfg = CFG()
     current: BasicBlock | None = None
+    current_insns: list[Instruction] | None = None
     for insn in insns:
-        if insn.addr in leaders or current is None:
+        if current is None or insn.addr in leaders:
             current = BasicBlock(addr=insn.addr)
+            current_insns = current.insns
             cfg.add_block(current)
-        current.insns.append(insn)
-        if insn.terminates_block:
+        current_insns.append(insn)
+        if insn.mnemonic in terminators:
             current = None
 
     # ---- functions ----------------------------------------------------------
@@ -84,44 +103,40 @@ def build_cfg(image: LoadedImage) -> CFG:
         )
 
     sorted_starts = sorted(cfg.functions)
-
-    def owner(addr: int) -> int:
-        # Blocks before the first symbol belong to the first function region.
-        lo, hi = 0, len(sorted_starts) - 1
-        best = sorted_starts[0]
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            if sorted_starts[mid] <= addr:
-                best = sorted_starts[mid]
-                lo = mid + 1
-            else:
-                hi = mid - 1
-        return best
-
+    functions = cfg.functions
     for block in cfg.blocks.values():
-        block.function = owner(block.addr)
-        cfg.functions[block.function].block_addrs.append(block.addr)
+        # Blocks before the first symbol belong to the first function region.
+        owner = sorted_starts[max(bisect_right(sorted_starts, block.addr) - 1, 0)]
+        block.function = owner
+        functions[owner].block_addrs.append(block.addr)
 
     # ---- direct edges -----------------------------------------------------
-    for block in cfg.blocks.values():
-        term = block.terminator
-        nxt = term.end
+    # (classification inlined on the terminator mnemonic: one whole-image
+    # pass, previously dominated by per-block property chains)
+    blocks = cfg.blocks
+    add_edge = cfg.add_edge
+    for block in blocks.values():
+        term = block.insns[-1]
+        mnemonic = term.mnemonic
+        nxt = term.addr + term.size
 
-        if term.is_conditional:
-            target = term.branch_target()
-            if target in cfg.blocks:
-                cfg.add_edge(block.addr, target, EDGE_JUMP)
-            if nxt in cfg.blocks:
-                cfg.add_edge(block.addr, nxt, EDGE_FALL)
+        if mnemonic in _CONDITIONAL_MNEMONICS:
+            ops = term.operands
+            target = ops[0].value if len(ops) == 1 and type(ops[0]) is Immediate \
+                else None
+            if target in blocks:
+                add_edge(block.addr, target, EDGE_JUMP)
+            if nxt in blocks:
+                add_edge(block.addr, nxt, EDGE_FALL)
             continue
 
-        if term.mnemonic == "jmp":
+        if mnemonic == "jmp":
             target = term.branch_target()
             if target is not None:
-                if target in cfg.blocks:
+                if target in blocks:
                     # Direct jmp — including tail calls to other functions —
                     # is a plain jump edge: flow continues at the target.
-                    cfg.add_edge(block.addr, target, EDGE_JUMP)
+                    add_edge(block.addr, target, EDGE_JUMP)
                 continue
             symbol = _got_import_symbol(image, term)
             if symbol is not None:
@@ -130,31 +145,31 @@ def build_cfg(image: LoadedImage) -> CFG:
                 cfg.indirect_sites.add(block.addr)
             continue
 
-        if term.is_call:
+        if mnemonic == "call":
             target = term.branch_target()
             if target is not None:
-                if target in cfg.blocks:
-                    cfg.add_edge(block.addr, target, EDGE_CALL)
+                if target in blocks:
+                    add_edge(block.addr, target, EDGE_CALL)
             else:
                 symbol = _got_import_symbol(image, term)
                 if symbol is not None:
                     cfg.add_external_call(block.addr, symbol)
                 else:
                     cfg.indirect_sites.add(block.addr)
-            if nxt in cfg.blocks:
-                cfg.add_edge(block.addr, nxt, EDGE_CALLRET)
+            if nxt in blocks:
+                add_edge(block.addr, nxt, EDGE_CALLRET)
             continue
 
-        if term.is_syscall:
-            if nxt in cfg.blocks:
-                cfg.add_edge(block.addr, nxt, EDGE_FALL)
+        if mnemonic == "syscall":
+            if nxt in blocks:
+                add_edge(block.addr, nxt, EDGE_FALL)
             continue
 
-        if term.is_ret or term.is_halt:
+        if mnemonic == "ret" or mnemonic in _HALT_MNEMONICS:
             continue
 
         # Non-terminator last instruction (end of text or pre-leader split).
-        if nxt in cfg.blocks:
-            cfg.add_edge(block.addr, nxt, EDGE_FALL)
+        if nxt in blocks:
+            add_edge(block.addr, nxt, EDGE_FALL)
 
     return cfg

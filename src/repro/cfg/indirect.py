@@ -23,7 +23,6 @@ import struct
 from ..loader.image import LoadedImage
 from ..x86.insn import Immediate, Memory
 from .model import CFG, EDGE_ICALL
-from .reachability import reachable_blocks
 
 
 def addresses_taken_in_block(cfg: CFG, image: LoadedImage, block_addr: int) -> set[int]:
@@ -105,19 +104,38 @@ def resolve_indirect_active(
     *in reachable blocks* to those targets; repeat until no new edge.
 
     Returns ``(active_addresses_taken, iterations_used)``.
+
+    Each iteration runs one dense reachability sweep over the current
+    :attr:`CFG.index` (rebuilt automatically when the previous round
+    added edges).  Per-block addresses-taken sets are computed at most
+    once per block across the whole fixpoint — block instructions never
+    change, only reachability does — instead of being re-scanned every
+    round.
     """
     data_taken = data_segment_addresses_taken(image)
     active: set[int] = set()
+    taken_in: dict[int, set[int]] = {}  # block addr -> addresses taken
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        reachable = reachable_blocks(cfg, roots)
+        index = cfg.index
+        seen = index.reachable_seen(roots)
+        addrs = index.addrs
         new_active = set(data_taken)
-        for addr in reachable:
-            new_active |= addresses_taken_in_block(cfg, image, addr)
+        for i, hit in enumerate(seen):
+            if not hit:
+                continue
+            addr = addrs[i]
+            taken = taken_in.get(addr)
+            if taken is None:
+                taken = addresses_taken_in_block(cfg, image, addr)
+                taken_in[addr] = taken
+            new_active |= taken
         targets = _indirect_targets(cfg, new_active)
         changed = new_active != active
+        idx_of = index.idx_of
         for site in cfg.indirect_sites:
-            if site not in reachable:
+            i = idx_of.get(site)
+            if i is None or not seen[i]:
                 continue
             for target in targets:
                 if cfg.add_edge(site, target, EDGE_ICALL):

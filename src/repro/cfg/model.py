@@ -15,6 +15,7 @@ Edge kinds
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..x86.insn import Instruction
@@ -26,15 +27,47 @@ EDGE_CALLRET = "callret"
 EDGE_ICALL = "icall"
 EDGE_EXT = "ext"
 
+#: intra-image flow edge kinds (everything but cross-image ``ext``,
+#: which never enters the edge lists — external calls are tracked in
+#: :attr:`CFG.external_calls`)
+FLOW_KINDS = (EDGE_FALL, EDGE_JUMP, EDGE_CALL, EDGE_CALLRET, EDGE_ICALL)
+_FLOW_KIND_SET = frozenset(FLOW_KINDS)
 
-@dataclass(frozen=True, slots=True)
+
 class Edge:
-    """A CFG edge from ``src`` block to ``dst`` block (addresses)."""
+    """A CFG edge from ``src`` block to ``dst`` block (addresses).
 
-    src: int
-    dst: int
-    kind: str
-    label: str = ""  # symbol name for EDGE_EXT
+    Hand-written slotted class (dense indirect-call webs create tens of
+    thousands of these per refinement round; the frozen-dataclass
+    constructor was measurable).  Equality/hash/repr match the original
+    dataclass semantics.
+    """
+
+    __slots__ = ("src", "dst", "kind", "label")
+
+    def __init__(self, src: int, dst: int, kind: str, label: str = ""):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.label = label  # symbol name for EDGE_EXT
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is Edge
+            and self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.label == other.label
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.kind, self.label))
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge(src={self.src!r}, dst={self.dst!r}, "
+            f"kind={self.kind!r}, label={self.label!r})"
+        )
 
 
 @dataclass(slots=True)
@@ -91,6 +124,235 @@ class FunctionInfo:
         return f"<Fn {self.name or hex(self.entry)} {self.entry:#x}-{self.end:#x}>"
 
 
+class CFGIndex:
+    """Frozen dense view of one :class:`CFG` snapshot.
+
+    The analysis kernel's inner loops — reachability sweeps, the §4.3
+    active-addresses-taken fixpoint, per-site backward searches — ask the
+    same few questions thousands of times per image.  Answering them off
+    the mutable dict-of-edge-lists representation meant re-filtering and
+    re-allocating on every step.  The index answers them from dense,
+    precomputed structures instead:
+
+    * blocks get **dense integer ids** in sorted-address order
+      (``addrs[i]`` <-> ``idx_of[addr]``), so traversals can use flat
+      lists and byte-per-block bitsets rather than address sets;
+    * ``flow_succ[i]`` / ``flow_pred[i]`` are the flow-edge adjacency
+      as plain id lists (no Edge objects, no kind filtering per visit);
+    * ``insn_at`` / ``insn_block`` map every instruction address to its
+      :class:`Instruction` / containing block — shared by the symbolic
+      engine's fetch path and the backward-search driver, which
+      previously rebuilt this map per identified site;
+    * ``syscall_addrs`` caches the syscall-bearing blocks;
+    * ``starts`` (+ parallel ``ends``) support O(log n) containment
+      lookups via bisect.
+
+    Instances are built lazily by :attr:`CFG.index` and invalidated by
+    any structural mutation (``add_block`` / ``add_edge``), so code that
+    alternates mutation and queries — the fixpoint refinement — always
+    sees a current view.  Block instruction lists are assumed immutable
+    once edges exist (true for the builder, which adds all blocks and
+    instructions before wiring edges).
+    """
+
+    __slots__ = (
+        "addrs", "idx_of", "starts", "ends", "flow_succ", "flow_pred",
+        "function_of", "insn_at", "insn_block", "syscall_addrs",
+    )
+
+    def __init__(self, cfg: "CFG", blocks_view: "_BlockIndex") -> None:
+        # Block-level structures are borrowed from the (separately
+        # cached) blocks view: adding an edge invalidates only the
+        # adjacency below, not the instruction maps.
+        addrs = blocks_view.addrs
+        idx_of = blocks_view.idx_of
+        self.addrs = addrs
+        self.idx_of = idx_of
+        self.starts = addrs  # sorted block starts (bisect key)
+        self.ends = blocks_view.ends
+        self.function_of = blocks_view.function_of
+        self.insn_at = blocks_view.insn_at
+        self.insn_block = blocks_view.insn_block
+        self.syscall_addrs = blocks_view.syscall_addrs
+
+        flow_succ: list[list[int]] = [[] for __ in addrs]
+        flow_pred: list[list[int]] = [[] for __ in addrs]
+        succs = cfg._succs
+        for i, addr in enumerate(addrs):
+            row = flow_succ[i]
+            for edge in succs.get(addr, ()):
+                if edge.kind in _FLOW_KIND_SET:
+                    j = idx_of.get(edge.dst)
+                    if j is not None:
+                        row.append(j)
+                        flow_pred[j].append(i)
+        self.flow_succ = flow_succ
+        self.flow_pred = flow_pred
+
+    def reachable_seen(self, roots) -> bytearray:
+        """Byte-per-block bitset of ids reachable from ``roots`` (addrs)."""
+        seen = bytearray(len(self.addrs))
+        idx_of = self.idx_of
+        stack = []
+        for addr in roots:
+            i = idx_of.get(addr)
+            if i is not None and not seen[i]:
+                seen[i] = 1
+                stack.append(i)
+        flow_succ = self.flow_succ
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            for j in flow_succ[pop()]:
+                if not seen[j]:
+                    seen[j] = 1
+                    push(j)
+        return seen
+
+    def block_containing(self, addr: int) -> int | None:
+        """Start address of the block covering ``addr`` (bisect), or None."""
+        i = bisect_right(self.starts, addr) - 1
+        if i >= 0 and addr < self.ends[i]:
+            return self.starts[i]
+        return None
+
+    def closure_union(self, annot_by_addr: dict) -> list[frozenset]:
+        """Per-block closure of one annotation map (see :meth:`closure_unions`)."""
+        return self.closure_unions((annot_by_addr,))[0]
+
+    def closure_unions(self, annot_maps) -> list[list[frozenset]]:
+        """Per-block closures of annotations over flow reachability.
+
+        Given per-block annotation sets (e.g. identified syscall numbers,
+        external symbols called), returns one closure list per input map
+        with ``closure[i] = union of annotations over every block
+        reachable from block i`` — equivalent to running one reachability
+        sweep per block and unioning, but computed in a single Tarjan SCC
+        condensation pass (components share one frozenset; a component's
+        closure folds in its successors', which the pop order guarantees
+        are already final).  All maps are folded in the same DFS, whose
+        bookkeeping dominates the cost.
+
+        Library interface construction uses this to answer "which
+        syscalls / imports does *each* export reach" without one BFS per
+        exported function.
+        """
+        n = len(self.addrs)
+        succ = self.flow_succ
+        addrs = self.addrs
+        empty: frozenset = frozenset()
+        n_maps = len(annot_maps)
+        owns: list[list] = [[None] * n for __ in range(n_maps)]
+        for m, annot_by_addr in enumerate(annot_maps):
+            own = owns[m]
+            for i in range(n):
+                a = annot_by_addr.get(addrs[i])
+                if a:
+                    own[i] = a
+        closures: list[list[frozenset]] = [[empty] * n for __ in range(n_maps)]
+        visit_index = [-1] * n
+        low = [0] * n
+        on_stack = bytearray(n)
+        comp_of = [-1] * n
+        scc_stack: list[int] = []
+        counter = 0
+        next_comp = 0
+        for root in range(n):
+            if visit_index[root] != -1:
+                continue
+            work: list[list] = [[root, 0]]
+            while work:
+                frame = work[-1]
+                v, child_pos = frame
+                if child_pos == 0:
+                    visit_index[v] = low[v] = counter
+                    counter += 1
+                    scc_stack.append(v)
+                    on_stack[v] = 1
+                row = succ[v]
+                descended = False
+                while child_pos < len(row):
+                    w = row[child_pos]
+                    child_pos += 1
+                    if visit_index[w] == -1:
+                        frame[1] = child_pos
+                        work.append([w, 0])
+                        descended = True
+                        break
+                    if on_stack[w] and visit_index[w] < low[v]:
+                        low[v] = visit_index[w]
+                if descended:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[v] < low[parent]:
+                        low[parent] = low[v]
+                if low[v] == visit_index[v]:
+                    # Pop one strongly-connected component rooted at v.
+                    members = []
+                    while True:
+                        w = scc_stack.pop()
+                        on_stack[w] = 0
+                        comp_of[w] = next_comp
+                        members.append(w)
+                        if w == v:
+                            break
+                    cid = next_comp
+                    next_comp += 1
+                    for m in range(n_maps):
+                        own = owns[m]
+                        closure = closures[m]
+                        acc: set = set()
+                        for w in members:
+                            if own[w]:
+                                acc.update(own[w])
+                            for x in succ[w]:
+                                if comp_of[x] != cid:
+                                    acc.update(closure[x])
+                        result = frozenset(acc) if acc else empty
+                        for w in members:
+                            closure[w] = result
+        return closures
+
+
+class _BlockIndex:
+    """Block-level half of the index: everything derivable from the
+    block set alone (instruction maps, bisect arrays).  Cached apart
+    from the edge adjacency because the §4.3 fixpoint adds thousands of
+    edges between sweeps — instruction maps must not be rebuilt on
+    every round."""
+
+    __slots__ = (
+        "addrs", "idx_of", "ends", "function_of", "insn_at", "insn_block",
+        "syscall_addrs",
+    )
+
+    def __init__(self, cfg: "CFG") -> None:
+        blocks = cfg.blocks
+        addrs = sorted(blocks)
+        self.addrs = addrs
+        self.idx_of = {addr: i for i, addr in enumerate(addrs)}
+        self.ends = [blocks[addr].end for addr in addrs]
+        self.function_of = [blocks[addr].function for addr in addrs]
+        insn_at: dict[int, Instruction] = {}
+        insn_block: dict[int, int] = {}
+        syscall_addrs: list[int] = []
+        for addr in addrs:
+            block = blocks[addr]
+            has_syscall = False
+            for insn in block.insns:
+                insn_at[insn.addr] = insn
+                insn_block[insn.addr] = addr
+                if insn.mnemonic == "syscall":
+                    has_syscall = True
+            if has_syscall:
+                syscall_addrs.append(addr)
+        self.insn_at = insn_at
+        self.insn_block = insn_block
+        self.syscall_addrs = syscall_addrs
+
+
 class CFG:
     """Basic-block CFG of one image, with typed edges both ways."""
 
@@ -105,6 +367,16 @@ class CFG:
         self.addresses_taken: set[int] = set()
         #: external (cross-image) edges: block addr -> symbol names called
         self.external_calls: dict[int, list[str]] = {}
+        #: dedup key set mirroring the edge lists (O(1) add_edge)
+        self._edge_keys: set[tuple[int, int, str, str]] = set()
+        #: structural versions; bumped by mutations
+        self._version = 0
+        self._block_version = 0
+        #: lazily built dense index layers + the versions they reflect
+        self._index: CFGIndex | None = None
+        self._index_version = -1
+        self._blocks_view: _BlockIndex | None = None
+        self._blocks_view_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,16 +386,44 @@ class CFG:
         self.blocks[block.addr] = block
         self._succs.setdefault(block.addr, [])
         self._preds.setdefault(block.addr, [])
+        self._version += 1
+        self._block_version += 1
 
     def add_edge(self, src: int, dst: int, kind: str, label: str = "") -> bool:
         """Insert an edge; returns False if it already existed."""
-        edge = Edge(src, dst, kind, label)
-        existing = self._succs.setdefault(src, [])
-        if edge in existing:
+        key = (src, dst, kind, label)
+        edge_keys = self._edge_keys
+        if key in edge_keys:
             return False
-        existing.append(edge)
+        edge_keys.add(key)
+        edge = Edge(src, dst, kind, label)
+        self._succs.setdefault(src, []).append(edge)
         self._preds.setdefault(dst, []).append(edge)
+        self._version += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Dense index
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> CFGIndex:
+        """The dense query index for the graph's current shape.
+
+        Built on first use and rebuilt automatically after structural
+        mutation; callers may hold the returned object across queries
+        but must re-read this property after adding blocks or edges.
+        Edge-only mutation rebuilds just the adjacency layer; the
+        instruction maps survive until a block is added.
+        """
+        if self._index is None or self._index_version != self._version:
+            if (self._blocks_view is None
+                    or self._blocks_view_version != self._block_version):
+                self._blocks_view = _BlockIndex(self)
+                self._blocks_view_version = self._block_version
+            self._index = CFGIndex(self, self._blocks_view)
+            self._index_version = self._version
+        return self._index
 
     def add_external_call(self, src: int, symbol: str) -> None:
         self.external_calls.setdefault(src, [])
@@ -150,13 +450,16 @@ class CFG:
         return self.blocks.get(addr)
 
     def block_containing(self, addr: int) -> BasicBlock | None:
-        """The block whose address range covers ``addr`` (linear scan fallback)."""
-        if addr in self.blocks:
-            return self.blocks[addr]
-        for block in self.blocks.values():
-            if block.addr <= addr < block.end:
-                return block
-        return None
+        """The block whose address range covers ``addr``.
+
+        O(log n): bisect over the index's sorted block starts (the
+        original implementation was a linear scan over every block).
+        """
+        block = self.blocks.get(addr)
+        if block is not None:
+            return block
+        start = self.index.block_containing(addr)
+        return self.blocks[start] if start is not None else None
 
     def function_of_block(self, addr: int) -> FunctionInfo | None:
         block = self.blocks.get(addr)
@@ -165,7 +468,7 @@ class CFG:
         return self.functions.get(block.function)
 
     def syscall_blocks(self) -> list[BasicBlock]:
-        return [b for b in self.blocks.values() if b.has_syscall]
+        return [self.blocks[addr] for addr in self.index.syscall_addrs]
 
     def call_sites_of(self, func_entry: int) -> list[Edge]:
         """Edges calling into the function whose entry is ``func_entry``."""
@@ -197,9 +500,7 @@ class CFG:
             "n_blocks": self.n_blocks,
             "n_edges": self.n_edges,
             "n_functions": len(self.functions),
-            "n_syscall_blocks": sum(
-                1 for b in self.blocks.values() if b.has_syscall
-            ),
+            "n_syscall_blocks": len(self.index.syscall_addrs),
             "indirect_sites": sorted(self.indirect_sites),
             "addresses_taken": sorted(self.addresses_taken),
             "external_symbols": sorted({

@@ -3,42 +3,37 @@
 Used by the active-addresses-taken refinement (§4.3) and by syscall-site
 filtering (§4.4): only blocks reachable from the program entry point (or
 from a library's externally-invoked functions) take part in identification.
+
+The sweep runs over the :class:`~repro.cfg.model.CFGIndex` dense view: a
+byte-per-block bitset of visited ids and precomputed flow adjacency id
+lists, instead of re-filtering (and re-allocating) typed edge lists at
+every step.  Library interface construction calls this once per export,
+so the sweep itself is one of the cold kernel's hottest loops.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from .model import CFG, FLOW_KINDS
 
-from .model import (
-    CFG,
-    EDGE_CALL,
-    EDGE_CALLRET,
-    EDGE_FALL,
-    EDGE_ICALL,
-    EDGE_JUMP,
-)
-
-_FLOW_KINDS = (EDGE_FALL, EDGE_JUMP, EDGE_CALL, EDGE_CALLRET, EDGE_ICALL)
+#: re-exported for compatibility: the edge kinds a reachability sweep
+#: follows (every intra-image kind; cross-image calls are not edges)
+_FLOW_KINDS = FLOW_KINDS
 
 
 def reachable_blocks(cfg: CFG, roots: list[int]) -> set[int]:
     """Block addresses reachable from ``roots`` following flow edges."""
-    seen: set[int] = set()
-    queue: deque[int] = deque(a for a in roots if a in cfg.blocks)
-    seen.update(queue)
-    while queue:
-        addr = queue.popleft()
-        for edge in cfg.successors(addr, kinds=_FLOW_KINDS):
-            if edge.dst not in seen and edge.dst in cfg.blocks:
-                seen.add(edge.dst)
-                queue.append(edge.dst)
-    return seen
+    index = cfg.index
+    seen = index.reachable_seen(roots)
+    addrs = index.addrs
+    return {addrs[i] for i, hit in enumerate(seen) if hit}
 
 
 def reachable_functions(cfg: CFG, roots: list[int]) -> set[int]:
     """Function entries whose blocks are reachable from ``roots``."""
-    blocks = reachable_blocks(cfg, roots)
-    return {cfg.blocks[a].function for a in blocks}
+    index = cfg.index
+    seen = index.reachable_seen(roots)
+    function_of = index.function_of
+    return {function_of[i] for i, hit in enumerate(seen) if hit}
 
 
 def called_external_symbols(cfg: CFG, reachable: set[int]) -> set[str]:

@@ -8,6 +8,10 @@ Commands
     With ``--cache-dir``, a matching cached report is served without
     re-analysis.
 
+``profile <binary> [--libdir DIR] [--json] [--repeats N]``
+    Time one cold analysis and print the per-pass stage profile
+    (wall seconds, work units) from the pass pipeline's stage stats.
+
 ``phases <binary> [--libdir DIR]``
     Detect execution phases and print the automaton summary.
 
@@ -118,6 +122,51 @@ def cmd_analyze(args) -> int:
           + ("" if report.complete else " (INCOMPLETE: over-approximate)"))
     for nr in sorted(report.syscalls):
         print(f"  {nr:>4}  {name_of(nr)}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    best = None
+    for __ in range(max(1, args.repeats)):
+        # A fresh analyzer per repeat: every run is a genuinely cold
+        # analysis (library interfaces rebuilt, nothing cached).
+        analyzer = BSideAnalyzer(
+            resolver=_resolver(args), budget=AnalysisBudget(),
+        )
+        report = analyzer.analyze(_load(args.binary))
+        if best is None or report.stage_seconds("total") < best.stage_seconds("total"):
+            best = report
+    ordered = list(best.stages.items())
+    ordered.sort(key=lambda kv: (kv[0] == "total", -kv[1].seconds))
+    if args.json:
+        print(json.dumps({
+            "binary": best.binary,
+            "success": best.success,
+            "failure_stage": best.failure_stage,
+            "repeats": max(1, args.repeats),
+            "stages": {
+                name: {"seconds": stats.seconds, "units": stats.units}
+                for name, stats in ordered
+            },
+            "bbs_explored": best.bbs_explored,
+            "symex_steps": best.symex_steps,
+            "sites_examined": best.sites_examined,
+        }, indent=2))
+        return 0 if best.success else 1
+    if not best.success:
+        print(f"analysis failed in stage {best.failure_stage}: "
+              f"{best.failure_reason}", file=sys.stderr)
+        return 1
+    total = best.stage_seconds("total") or 1.0
+    print(f"{best.binary}: cold analysis profile "
+          f"(best of {max(1, args.repeats)})")
+    print(f"  {'stage':<20} {'seconds':>10} {'share':>7} {'units':>8}")
+    for name, stats in ordered:
+        share = stats.seconds / total if name != "total" else 1.0
+        print(f"  {name:<20} {stats.seconds:>10.6f} {share:>6.1%} "
+              f"{stats.units:>8}")
+    print(f"  {'(symex steps)':<20} {best.symex_steps:>10} "
+          f"{'':>7} {best.sites_examined:>8}")
     return 0
 
 
@@ -381,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     cache_flags(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("profile",
+                       help="per-pass timing profile of one cold analysis")
+    p.add_argument("binary")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="analysis runs; the fastest total is reported")
+    common(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("phases", help="detect execution phases")
     p.add_argument("binary")

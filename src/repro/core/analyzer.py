@@ -33,7 +33,6 @@ from __future__ import annotations
 import time
 import tracemalloc
 
-from ..cfg.reachability import reachable_blocks
 from ..errors import BudgetExceeded, CfgError, DecodeError, ElfError, LoaderError
 from ..loader.image import LoadedImage
 from ..loader.resolve import LibraryResolver
@@ -383,16 +382,23 @@ class BSideAnalyzer:
                 wrapper_names.append(func.name if func and func.name else hex(entry))
         interface.wrapper_functions = sorted(wrapper_names)
 
+        # Per-export reachability answers come from one SCC condensation
+        # pass over the dense CFG index (closure of per-block syscalls /
+        # external calls under flow reachability), instead of one BFS +
+        # set union per exported function.
+        index = ctx.cfg.index
+        idx_of = index.idx_of
+        syscall_closure, external_closure = index.closure_unions(
+            (ctx.block_syscalls, ctx.cfg.external_calls),
+        )
         for name, sym in exports.items():
-            export_blocks = reachable_blocks(ctx.cfg, [sym.value])
-            syscalls: set[int] = set()
-            for block_addr in export_blocks:
-                syscalls |= ctx.block_syscalls.get(block_addr, set())
-            cross = sorted({
-                s
-                for block_addr in export_blocks
-                for s in ctx.cfg.external_calls.get(block_addr, [])
-            })
+            root = idx_of.get(sym.value)
+            if root is not None:
+                syscalls = set(syscall_closure[root])
+                cross = sorted(external_closure[root])
+            else:
+                syscalls = set()
+                cross = []
             wrapper_info = ctx.wrappers.get(sym.value)
             interface.exports[name] = ExportInfo(
                 name=name,

@@ -89,7 +89,17 @@ class PipelineConfig:
         Two analyzers share a fingerprint iff they would produce
         identical artifacts for identical inputs, so the fingerprint
         keys every :class:`~repro.core.artifacts.ArtifactStore` entry.
+
+        Memoized: every analyzer construction (one per cold analysis,
+        per service batch, per fleet worker) and artifact lookup path
+        re-derives the same digest, and config/budget pairs are few and
+        immutable in practice.
         """
+        budget_key = None if budget is None else dataclasses.astuple(budget)
+        key = (self, budget_key)
+        cached = _FINGERPRINT_MEMO.get(key)
+        if cached is not None:
+            return cached
         doc = {
             "cache_version": CACHE_VERSION,
             "detect_wrappers": self.detect_wrappers,
@@ -98,7 +108,14 @@ class PipelineConfig:
             "passes": list(self.pass_names()),
             "budget": dataclasses.asdict(budget) if budget else None,
         }
-        return fingerprint_doc(doc)
+        digest = fingerprint_doc(doc)
+        _FINGERPRINT_MEMO[key] = digest
+        return digest
+
+
+#: (PipelineConfig, budget-as-tuple) -> digest; see
+#: :meth:`PipelineConfig.fingerprint`
+_FINGERPRINT_MEMO: dict[tuple, str] = {}
 
 
 @dataclass

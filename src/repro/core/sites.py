@@ -25,11 +25,16 @@ class SyscallSite:
 
 
 def find_sites(cfg: CFG, reachable: set[int] | None = None) -> list[SyscallSite]:
-    """All syscall sites, restricted to ``reachable`` blocks when given."""
+    """All syscall sites, restricted to ``reachable`` blocks when given.
+
+    Scans only the syscall-bearing blocks cached in the CFG index rather
+    than every instruction of every block.
+    """
     out: list[SyscallSite] = []
-    for block in cfg.blocks.values():
-        if reachable is not None and block.addr not in reachable:
+    for addr in cfg.index.syscall_addrs:
+        if reachable is not None and addr not in reachable:
             continue
+        block = cfg.blocks[addr]
         for insn in block.insns:
             if insn.is_syscall:
                 out.append(SyscallSite(

@@ -35,15 +35,30 @@ class LoadedImage:
     raw: bytes = b""
 
     @classmethod
-    def from_bytes(cls, name: str, data: bytes) -> "LoadedImage":
-        return cls(name=name, elf=read_elf(data), raw=data)
+    def from_bytes(
+        cls, name: str, data: bytes, *, content_hash: str | None = None,
+    ) -> "LoadedImage":
+        """Parse an image from raw ELF bytes.
+
+        ``content_hash`` pre-seeds the :attr:`content_hash` cache when
+        the caller has already hashed these exact bytes (the service
+        spool content-addresses every inline upload on admission, so
+        hashing again at analysis time would be pure waste).  The value
+        must be the SHA-256 hex digest of ``data``.
+        """
+        image = cls(name=name, elf=read_elf(data), raw=data)
+        if content_hash:
+            image.__dict__["content_hash"] = content_hash
+        return image
 
     @classmethod
-    def from_path(cls, path: str) -> "LoadedImage":
+    def from_path(
+        cls, path: str, *, content_hash: str | None = None,
+    ) -> "LoadedImage":
         with open(path, "rb") as f:
             data = f.read()
         name = path.rsplit("/", 1)[-1]
-        return cls.from_bytes(name, data)
+        return cls.from_bytes(name, data, content_hash=content_hash)
 
     # ------------------------------------------------------------------
     # Basic properties

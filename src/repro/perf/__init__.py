@@ -1,0 +1,35 @@
+"""Performance measurement subsystem.
+
+The cold per-binary analysis kernel is this reproduction's Table-3 cost
+story: B-Side's pitch is that static identification is cheap enough to
+run at scale, so the cold path must be *measured*, not assumed.  This
+package owns that measurement:
+
+* :mod:`repro.perf.coldbench` — the cold-kernel workload: end-to-end
+  cold analysis of the six §5.1 validation apps plus component
+  micro-benchmarks (decode, CFG build, reachability, block lookup),
+  normalised by an in-run pure-Python calibration loop so results
+  compare across machines.
+* :mod:`repro.perf.trajectory` — the ``BENCH_cold_kernel.json``
+  trajectory file: an append-only record of measurements across PRs,
+  and the regression/speedup gates ``tools/perf_gate.py`` enforces in
+  CI.
+
+See ``docs/performance.md`` for the workflow.
+"""
+
+from .coldbench import measure_cold_kernel
+from .trajectory import (
+    Trajectory,
+    gate_measurement,
+    load_trajectory,
+    save_trajectory,
+)
+
+__all__ = [
+    "Trajectory",
+    "gate_measurement",
+    "load_trajectory",
+    "measure_cold_kernel",
+    "save_trajectory",
+]

@@ -1,0 +1,162 @@
+"""The ``BENCH_cold_kernel.json`` trajectory: records + gates.
+
+A *trajectory* is the append-only history of cold-kernel measurements
+across PRs::
+
+    {"schema": 1, "workload": "cold-kernel-v1", "entries": [
+        {"label": "pre-pr4-seed", "role": "pre-opt-baseline", ...},
+        {"label": "pr4-optimized", "role": "optimized", ...}]}
+
+Each entry is one :func:`repro.perf.coldbench.measure_cold_kernel`
+record plus a ``label`` and a ``role``:
+
+* ``pre-opt-baseline`` — the kernel *before* the PR-4 optimisation
+  work; the ≥3x speedup acceptance target is measured against the
+  first such entry.
+* ``optimized`` — every later measurement; the regression gate
+  compares against the **last** entry, whatever its role.
+
+Gates compare ``normalized_cold`` (cold seconds divided by the in-run
+calibration loop), so a baseline recorded on a developer laptop still
+gates a CI container: machine speed cancels out of the ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+SCHEMA = 1
+
+#: default trajectory location: the repository root
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "BENCH_cold_kernel.json",
+)
+
+ROLE_PRE = "pre-opt-baseline"
+ROLE_OPTIMIZED = "optimized"
+
+
+@dataclass
+class Trajectory:
+    """Parsed trajectory file."""
+
+    entries: list[dict] = field(default_factory=list)
+    workload: str = "cold-kernel-v1"
+
+    @property
+    def baseline(self) -> dict | None:
+        """The entry the regression gate compares against (the latest)."""
+        return self.entries[-1] if self.entries else None
+
+    @property
+    def pre_optimization(self) -> dict | None:
+        """The pre-PR-4 kernel entry (speedup target anchor)."""
+        for entry in self.entries:
+            if entry.get("role") == ROLE_PRE:
+                return entry
+        return None
+
+    def append(self, record: dict, label: str, role: str = ROLE_OPTIMIZED) -> dict:
+        entry = dict(record)
+        entry["label"] = label
+        entry["role"] = role
+        self.entries.append(entry)
+        return entry
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "workload": self.workload,
+            "entries": self.entries,
+        }
+
+
+def load_trajectory(path: str = DEFAULT_PATH) -> Trajectory:
+    """Load a trajectory file; an absent file is an empty trajectory."""
+    if not os.path.exists(path):
+        return Trajectory()
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported trajectory schema {doc.get('schema')!r}"
+        )
+    return Trajectory(
+        entries=list(doc.get("entries", [])),
+        workload=doc.get("workload", "cold-kernel-v1"),
+    )
+
+
+def save_trajectory(trajectory: Trajectory, path: str = DEFAULT_PATH) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(trajectory.to_doc(), f, indent=2)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one measurement against a trajectory."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+    #: current normalized cold time
+    normalized: float = 0.0
+    #: normalized-cold ratio vs the latest trajectory entry (>1 = slower)
+    regression_ratio: float | None = None
+    #: speedup vs the pre-optimization baseline (higher = faster)
+    speedup_vs_pre: float | None = None
+
+
+def gate_measurement(
+    record: dict,
+    trajectory: Trajectory,
+    *,
+    max_regression: float = 0.15,
+    min_speedup: float = 3.0,
+) -> GateResult:
+    """Apply both gates to a fresh measurement.
+
+    * **regression gate** — ``normalized_cold`` may not exceed the
+      latest trajectory entry's by more than ``max_regression``
+      (fractional, 0.15 = 15%);
+    * **speedup gate** — when the trajectory has a
+      ``pre-opt-baseline`` entry, the current measurement must be at
+      least ``min_speedup`` times faster than it (normalized).
+    """
+    result = GateResult(ok=True, normalized=record["normalized_cold"])
+    baseline = trajectory.baseline
+    if baseline is None:
+        result.ok = False
+        result.problems.append(
+            "no baseline entry in the trajectory: record one first "
+            "(tools/perf_gate.py --record <label>)"
+        )
+        return result
+    ratio = record["normalized_cold"] / baseline["normalized_cold"]
+    result.regression_ratio = ratio
+    if ratio > 1.0 + max_regression:
+        result.ok = False
+        result.problems.append(
+            f"cold-path regression: normalized cold {record['normalized_cold']:.4f} "
+            f"is {ratio:.2f}x the baseline entry "
+            f"'{baseline.get('label', '?')}' ({baseline['normalized_cold']:.4f}); "
+            f"allowed at most {1.0 + max_regression:.2f}x"
+        )
+    pre = trajectory.pre_optimization
+    if pre is not None:
+        speedup = pre["normalized_cold"] / record["normalized_cold"]
+        result.speedup_vs_pre = speedup
+        if speedup < min_speedup:
+            result.ok = False
+            result.problems.append(
+                f"cold-kernel speedup vs pre-optimization baseline "
+                f"'{pre.get('label', '?')}' is {speedup:.2f}x; "
+                f"required >= {min_speedup:.1f}x"
+            )
+    return result

@@ -108,6 +108,11 @@ class AnalysisService:
         :class:`~repro.service.jobs.QueueFull` on backpressure (429).
         """
         spec = dict(spec)
+        # content_sha256 is a server-side field (set by _spool when it
+        # hashes an inline upload, later seeding LoadedImage.content_hash).
+        # A client-supplied value on a path job would poison the
+        # content-addressed report cache with a forged digest.
+        spec.pop("content_sha256", None)
         if kind == "analyze":
             if "binary_b64" in spec:
                 spec["path"] = self._spool(spec)
@@ -129,7 +134,9 @@ class AnalysisService:
 
         Spool files are content-addressed, so resubmitting the same
         bytes reuses one file and — through the artifact store — one
-        analysis.
+        analysis.  The admission-time digest is recorded in the job spec
+        (``content_sha256``) and later seeds ``LoadedImage.content_hash``,
+        so the executor never re-hashes bytes the spool already hashed.
         """
         try:
             data = base64.b64decode(spec.pop("binary_b64"), validate=True)
@@ -141,8 +148,9 @@ class AnalysisService:
             )
         name = _SAFE_NAME.sub("_", str(spec.get("name") or "submitted.bin"))
         spec.setdefault("name", name)
-        digest = hashlib.sha256(data).hexdigest()[:16]
-        path = os.path.join(self.spool_dir, f"{digest}-{name}")
+        digest = hashlib.sha256(data).hexdigest()
+        spec["content_sha256"] = digest
+        path = os.path.join(self.spool_dir, f"{digest[:16]}-{name}")
         if not os.path.exists(path):
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as f:
@@ -213,7 +221,10 @@ class AnalysisService:
         image_jobs: list[Job] = []
         for job in batch:
             try:
-                image = LoadedImage.from_path(job.spec["path"])
+                image = LoadedImage.from_path(
+                    job.spec["path"],
+                    content_hash=job.spec.get("content_sha256"),
+                )
             except (OSError, ElfError, ValueError) as error:
                 self.queue.finish(job, error=str(error))
                 continue

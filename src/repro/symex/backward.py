@@ -61,11 +61,14 @@ class SearchBudget:
 
 
 def _block_of_insn_map(cfg: CFG) -> dict[int, int]:
-    out: dict[int, int] = {}
-    for block in cfg.blocks.values():
-        for insn in block.insns:
-            out[insn.addr] = block.addr
-    return out
+    """Instruction address -> containing block address.
+
+    Served by the CFG's dense index (built once per graph shape); this
+    map was previously rebuilt from every block's instruction list on
+    every identified site, which was the single hottest allocation in
+    the cold kernel.
+    """
+    return cfg.index.insn_block
 
 
 def backward_identify(

@@ -18,6 +18,12 @@ Call handling (within one image, as identification is decoupled per image
 
 ``syscall`` instructions encountered mid-path clobber ``rax``/``rcx``/
 ``r11`` per the Linux ABI and fall through.
+
+:func:`step` is the symbolic kernel's innermost loop (one call per
+instruction per path of every exploration), so instruction semantics are
+dispatched through a precomputed mnemonic table — one dict lookup per
+step — and operand reads/writes through per-type tables, instead of the
+original if/elif chains over mnemonic strings and isinstance tests.
 """
 
 from __future__ import annotations
@@ -25,9 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SymexError
-from ..x86.insn import Immediate, Instruction, Memory
+from ..x86.insn import CONDITION_CODES, Immediate, Instruction, Memory
 from ..x86.registers import Register
-from .bitvec import BVV, Expr, binop, fresh
+from .bitvec import BVV, Expr, binop, fresh, to_signed
 from .state import Flags, SymState
 
 #: System V AMD64 caller-saved (volatile) registers.
@@ -56,14 +62,15 @@ class ExecContext:
 
     @classmethod
     def for_image(cls, cfg, image) -> "ExecContext":
-        """Build a context for one image's recovered CFG."""
-        insn_at = {
-            insn.addr: insn
-            for block in cfg.blocks.values()
-            for insn in block.insns
-        }
+        """Build a context for one image's recovered CFG.
+
+        The instruction map is shared with (not copied from) the CFG's
+        dense index, which already holds every decoded instruction keyed
+        by address — contexts are built per pipeline run, and the map
+        was previously rebuilt from scratch each time.
+        """
         return cls(
-            insn_at=insn_at,
+            insn_at=cfg.index.insn_at,
             text_base=image.text_base,
             text_end=image.text_end,
             got_imports=dict(image.got_imports),
@@ -85,26 +92,51 @@ def _mem_address(state: SymState, mem: Memory) -> Expr:
     return total
 
 
+def _read_register(state: SymState, op: Register) -> Expr:
+    return state.read_reg(op.name, op.width)
+
+
+def _read_immediate(state: SymState, op: Immediate) -> Expr:
+    return BVV(op.value)
+
+
+def _read_memory(state: SymState, op: Memory) -> Expr:
+    return state.read_mem(_mem_address(state, op), op.width // 8)
+
+
+_READERS = {
+    Register: _read_register,
+    Immediate: _read_immediate,
+    Memory: _read_memory,
+}
+
+
 def read_operand(state: SymState, op) -> Expr:
-    if isinstance(op, Register):
-        return state.read_reg(op.name, op.width)
-    if isinstance(op, Immediate):
-        return BVV(op.value)
-    if isinstance(op, Memory):
-        addr = _mem_address(state, op)
-        return state.read_mem(addr, op.width // 8)
-    raise SymexError(f"cannot read operand {op!r}")
+    reader = _READERS.get(type(op))
+    if reader is None:
+        raise SymexError(f"cannot read operand {op!r}")
+    return reader(state, op)
+
+
+def _write_register(state: SymState, op: Register, value: Expr) -> None:
+    state.write_reg(op.name, value, op.width)
+
+
+def _write_memory(state: SymState, op: Memory, value: Expr) -> None:
+    state.write_mem(_mem_address(state, op), value, op.width // 8)
+
+
+_WRITERS = {
+    Register: _write_register,
+    Memory: _write_memory,
+}
 
 
 def write_operand(state: SymState, op, value: Expr) -> None:
-    if isinstance(op, Register):
-        state.write_reg(op.name, value, op.width)
-        return
-    if isinstance(op, Memory):
-        addr = _mem_address(state, op)
-        state.write_mem(addr, value, op.width // 8)
-        return
-    raise SymexError(f"cannot write operand {op!r}")
+    writer = _WRITERS.get(type(op))
+    if writer is None:
+        raise SymexError(f"cannot write operand {op!r}")
+    writer(state, op, value)
 
 
 def _external_symbol_for(ctx: ExecContext, insn: Instruction) -> str | None:
@@ -123,37 +155,38 @@ def _clobber_external_call(state: SymState) -> None:
     state.flags = None
 
 
-def step(state: SymState, ctx: ExecContext) -> list[SymState]:
-    """Execute the instruction at ``state.pc``; returns successor states."""
-    insn = ctx.fetch(state.pc)
-    if insn is None:
-        return []
-    state.steps += 1
-    m = insn.mnemonic
+# ----------------------------------------------------------------------
+# Per-mnemonic semantics.  Handler signature: (state, ctx, insn) ->
+# list[SymState].  Registered in _HANDLERS below; step() is one lookup.
+# ----------------------------------------------------------------------
 
-    if m in ("mov", "movabs"):
-        dst, src = insn.operands
-        write_operand(state, dst, read_operand(state, src))
-        state.pc = insn.end
-        return [state]
 
-    if m == "movzx":
-        dst, src = insn.operands
-        # Memory reads are already zero-extended to the read size.
-        write_operand(state, dst, read_operand(state, src))
-        state.pc = insn.end
-        return [state]
+def _do_mov(state, ctx, insn):
+    dst, src = insn.operands
+    write_operand(state, dst, read_operand(state, src))
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if m in ("movsx", "movsxd"):
-        dst, src = insn.operands
-        src_width = src.width if isinstance(src, (Memory, Register)) else 32
-        value = read_operand(state, src)
-        write_operand(state, dst, binop("sext", value, BVV(src_width)))
-        state.pc = insn.end
-        return [state]
 
-    if m.startswith("cmov") and m not in ("cmov",):
-        cc = m[4:]
+def _do_movzx(state, ctx, insn):
+    dst, src = insn.operands
+    # Memory reads are already zero-extended to the read size.
+    write_operand(state, dst, read_operand(state, src))
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _do_movsx(state, ctx, insn):
+    dst, src = insn.operands
+    src_width = src.width if isinstance(src, (Memory, Register)) else 32
+    value = read_operand(state, src)
+    write_operand(state, dst, binop("sext", value, BVV(src_width)))
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _make_cmov(cc: str):
+    def do_cmov(state, ctx, insn):
         dst, src = insn.operands
         verdict = state.flags.condition(cc) if state.flags is not None else None
         if verdict is True:
@@ -161,112 +194,130 @@ def step(state: SymState, ctx: ExecContext) -> list[SymState]:
         elif verdict is None:
             # Undecidable: the destination becomes unknown (sound merge).
             write_operand(state, dst, fresh("cmov"))
-        state.pc = insn.end
+        state.pc = insn.addr + insn.size
         return [state]
+    return do_cmov
 
-    if m in ("inc", "dec"):
+
+def _make_incdec(op: str):
+    def do_incdec(state, ctx, insn):
         (dst,) = insn.operands
         width = dst.width if isinstance(dst, (Register, Memory)) else 64
-        result = binop("add" if m == "inc" else "sub",
-                       read_operand(state, dst), BVV(1), width)
+        result = binop(op, read_operand(state, dst), BVV(1), width)
         write_operand(state, dst, result)
         state.flags = Flags("sub", result, BVV(0))
-        state.pc = insn.end
+        state.pc = insn.addr + insn.size
         return [state]
+    return do_incdec
 
-    if m == "neg":
-        (dst,) = insn.operands
-        width = dst.width if isinstance(dst, (Register, Memory)) else 64
-        value = read_operand(state, dst)
-        result = binop("sub", BVV(0), value, width)
-        write_operand(state, dst, result)
-        state.flags = Flags("sub", BVV(0), value)
-        state.pc = insn.end
-        return [state]
 
-    if m == "not":
-        (dst,) = insn.operands
-        width = dst.width if isinstance(dst, (Register, Memory)) else 64
-        mask = (1 << width) - 1
-        write_operand(state, dst, binop("xor", read_operand(state, dst), BVV(mask), width))
-        state.pc = insn.end
-        return [state]
+def _do_neg(state, ctx, insn):
+    (dst,) = insn.operands
+    width = dst.width if isinstance(dst, (Register, Memory)) else 64
+    value = read_operand(state, dst)
+    result = binop("sub", BVV(0), value, width)
+    write_operand(state, dst, result)
+    state.flags = Flags("sub", BVV(0), value)
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if m == "lea":
-        dst, src = insn.operands
-        assert isinstance(src, Memory)
-        write_operand(state, dst, _mem_address(state, src))
-        state.pc = insn.end
-        return [state]
 
-    if m in _ALU_OPS:
+def _do_not(state, ctx, insn):
+    (dst,) = insn.operands
+    width = dst.width if isinstance(dst, (Register, Memory)) else 64
+    mask = (1 << width) - 1
+    write_operand(state, dst, binop("xor", read_operand(state, dst), BVV(mask), width))
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _do_lea(state, ctx, insn):
+    dst, src = insn.operands
+    assert isinstance(src, Memory)
+    write_operand(state, dst, _mem_address(state, src))
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _make_alu(mnemonic: str, op: str):
+    sets_sub_flags = mnemonic == "sub"
+    sets_logic_flags = mnemonic in ("and", "xor", "or")
+    sets_result_flags = mnemonic in ("add",)
+
+    def do_alu(state, ctx, insn):
         dst, src = insn.operands
         width = dst.width if isinstance(dst, (Register, Memory)) else 64
         a = read_operand(state, dst)
         b = read_operand(state, src)
-        result = binop(_ALU_OPS[m], a, b, width)
+        result = binop(op, a, b, width)
         write_operand(state, dst, result)
-        if m in ("add", "sub", "xor", "and", "or"):
-            if m == "sub":
-                state.flags = Flags("sub", a, b)
-            elif m in ("and", "xor", "or"):
-                state.flags = Flags("and", result, BVV((1 << 64) - 1))
-            else:
-                state.flags = Flags("sub", result, BVV(0))
-        state.pc = insn.end
+        if sets_sub_flags:
+            state.flags = Flags("sub", a, b)
+        elif sets_logic_flags:
+            state.flags = Flags("and", result, BVV((1 << 64) - 1))
+        elif sets_result_flags:
+            state.flags = Flags("sub", result, BVV(0))
+        state.pc = insn.addr + insn.size
         return [state]
+    return do_alu
 
-    if m == "cmp":
-        a = read_operand(state, insn.operands[0])
-        b = read_operand(state, insn.operands[1])
-        state.flags = Flags("sub", a, b)
-        state.pc = insn.end
-        return [state]
 
-    if m == "test":
-        a = read_operand(state, insn.operands[0])
-        b = read_operand(state, insn.operands[1])
-        state.flags = Flags("and", a, b)
-        state.pc = insn.end
-        return [state]
+def _do_cmp(state, ctx, insn):
+    a = read_operand(state, insn.operands[0])
+    b = read_operand(state, insn.operands[1])
+    state.flags = Flags("sub", a, b)
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if m == "push":
-        state.push(read_operand(state, insn.operands[0]))
-        state.pc = insn.end
-        return [state]
 
-    if m == "pop":
-        write_operand(state, insn.operands[0], state.pop())
-        state.pc = insn.end
-        return [state]
+def _do_test(state, ctx, insn):
+    a = read_operand(state, insn.operands[0])
+    b = read_operand(state, insn.operands[1])
+    state.flags = Flags("and", a, b)
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if m in ("cdq", "cqo"):
-        # Sign-extension of rax into rdx: rdx becomes unknown unless rax
-        # is concrete.
-        rax = state.regs["rax"].value_or_none()
-        if rax is not None:
-            from .bitvec import to_signed
 
-            state.regs["rdx"] = BVV(0 if to_signed(rax) >= 0 else (1 << 64) - 1)
-        else:
-            state.regs["rdx"] = fresh("cqo_rdx")
-        state.pc = insn.end
-        return [state]
+def _do_push(state, ctx, insn):
+    state.push(read_operand(state, insn.operands[0]))
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if m == "nop":
-        state.pc = insn.end
-        return [state]
 
-    if m == "syscall":
-        # Mid-path syscall: Linux clobbers rax (return value), rcx and r11.
-        state.regs["rax"] = fresh("sys_ret")
-        state.regs["rcx"] = fresh("sys_rcx")
-        state.regs["r11"] = fresh("sys_r11")
-        state.pc = insn.end
-        return [state]
+def _do_pop(state, ctx, insn):
+    write_operand(state, insn.operands[0], state.pop())
+    state.pc = insn.addr + insn.size
+    return [state]
 
-    if insn.is_conditional:
-        cc = m[1:]
+
+def _do_cdq(state, ctx, insn):
+    # Sign-extension of rax into rdx: rdx becomes unknown unless rax
+    # is concrete.
+    rax = state.regs["rax"].value_or_none()
+    if rax is not None:
+        state.regs["rdx"] = BVV(0 if to_signed(rax) >= 0 else (1 << 64) - 1)
+    else:
+        state.regs["rdx"] = fresh("cqo_rdx")
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _do_nop(state, ctx, insn):
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _do_syscall(state, ctx, insn):
+    # Mid-path syscall: Linux clobbers rax (return value), rcx and r11.
+    state.regs["rax"] = fresh("sys_ret")
+    state.regs["rcx"] = fresh("sys_rcx")
+    state.regs["r11"] = fresh("sys_r11")
+    state.pc = insn.addr + insn.size
+    return [state]
+
+
+def _make_jcc(cc: str):
+    def do_jcc(state, ctx, insn):
         target = insn.branch_target()
         assert target is not None
         verdict = state.flags.condition(cc) if state.flags is not None else None
@@ -274,45 +325,52 @@ def step(state: SymState, ctx: ExecContext) -> list[SymState]:
             state.pc = target
             return [state]
         if verdict is False:
-            state.pc = insn.end
+            state.pc = insn.addr + insn.size
             return [state]
         taken = state.clone()
         taken.pc = target
-        state.pc = insn.end
+        state.pc = insn.addr + insn.size
         return [taken, state]
+    return do_jcc
 
-    if m == "jmp":
-        target = insn.branch_target()
-        if target is not None:
-            state.pc = target
-            return [state]
-        symbol = _external_symbol_for(ctx, insn)
-        if symbol is not None:
-            # External tail call: clobber, then behave like ret.
-            _clobber_external_call(state)
-            return _do_ret(state)
-        dest = read_operand(state, insn.operands[0])
-        concrete = dest.value_or_none()
-        if concrete is not None and ctx.is_local_code(concrete):
-            state.pc = concrete
-            return [state]
-        # Unknown indirect jump: path cannot be followed.
-        return []
 
-    if m == "call":
-        return _do_call(state, ctx, insn)
-
-    if m == "ret":
+def _do_jmp(state, ctx, insn):
+    target = insn.branch_target()
+    if target is not None:
+        state.pc = target
+        return [state]
+    symbol = _external_symbol_for(ctx, insn)
+    if symbol is not None:
+        # External tail call: clobber, then behave like ret.
+        _clobber_external_call(state)
         return _do_ret(state)
+    dest = read_operand(state, insn.operands[0])
+    concrete = dest.value_or_none()
+    if concrete is not None and ctx.is_local_code(concrete):
+        state.pc = concrete
+        return [state]
+    # Unknown indirect jump: path cannot be followed.
+    return []
 
-    if insn.is_halt:
+
+def _do_halt(state, ctx, insn):
+    return []
+
+
+def step(state: SymState, ctx: ExecContext) -> list[SymState]:
+    """Execute the instruction at ``state.pc``; returns successor states."""
+    insn = ctx.fetch(state.pc)
+    if insn is None:
         return []
-
-    raise SymexError(f"no semantics for mnemonic {m!r}")
+    state.steps += 1
+    handler = _HANDLERS.get(insn.mnemonic)
+    if handler is None:
+        raise SymexError(f"no semantics for mnemonic {insn.mnemonic!r}")
+    return handler(state, ctx, insn)
 
 
 def _do_call(state: SymState, ctx: ExecContext, insn: Instruction) -> list[SymState]:
-    return_addr = insn.end
+    return_addr = insn.addr + insn.size
     target = insn.branch_target()
     if target is not None and ctx.is_local_code(target):
         state.push(BVV(return_addr))
@@ -346,3 +404,41 @@ def _do_ret(state: SymState) -> list[SymState]:
     state.pc = concrete
     state.depth = max(0, state.depth - 1)
     return [state]
+
+
+def _build_handlers() -> dict:
+    handlers = {
+        "mov": _do_mov,
+        "movabs": _do_mov,
+        "movzx": _do_movzx,
+        "movsx": _do_movsx,
+        "movsxd": _do_movsx,
+        "inc": _make_incdec("add"),
+        "dec": _make_incdec("sub"),
+        "neg": _do_neg,
+        "not": _do_not,
+        "lea": _do_lea,
+        "cmp": _do_cmp,
+        "test": _do_test,
+        "push": _do_push,
+        "pop": _do_pop,
+        "cdq": _do_cdq,
+        "cqo": _do_cdq,
+        "nop": _do_nop,
+        "syscall": _do_syscall,
+        "jmp": _do_jmp,
+        "call": lambda state, ctx, insn: _do_call(state, ctx, insn),
+        "ret": lambda state, ctx, insn: _do_ret(state),
+        "hlt": _do_halt,
+        "ud2": _do_halt,
+        "int3": _do_halt,
+    }
+    for mnemonic, op in _ALU_OPS.items():
+        handlers[mnemonic] = _make_alu(mnemonic, op)
+    for cc in CONDITION_CODES.values():
+        handlers[f"cmov{cc}"] = _make_cmov(cc)
+        handlers[f"j{cc}"] = _make_jcc(cc)
+    return handlers
+
+
+_HANDLERS = _build_handlers()

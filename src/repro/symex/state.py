@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..x86.registers import GPR64
-from .bitvec import BVS, BVV, Expr, fresh
+from .bitvec import BVS, BVV, Expr, binop, fresh, to_signed, truncate
 
 STACK_BASE = 0x7FFF_FFF0_0000
 
@@ -41,8 +41,6 @@ class Flags:
 
     def condition(self, cc: str) -> bool | None:
         """Evaluate a condition code; None when undecidable."""
-        from .bitvec import to_signed
-
         a = self.a.value_or_none()
         b = self.b.value_or_none()
         if a is None or b is None:
@@ -92,6 +90,10 @@ class MemoryBackend:
 
 EMPTY_BACKEND = MemoryBackend()
 
+#: interned initial register files, keyed by state tag (see
+#: :meth:`SymState.initial`)
+_INITIAL_REGS: dict[str, dict[str, Expr]] = {}
+
 
 @dataclass(slots=True)
 class SymState:
@@ -116,9 +118,16 @@ class SymState:
         concrete_rsp: int = STACK_BASE,
         tag: str = "init",
     ) -> "SymState":
-        regs: dict[str, Expr] = {
-            name: BVS(f"{tag}_{name}") for name in GPR64
-        }
+        # The 16 entry-register symbols are interned per tag: explorations
+        # never exchange expressions, so sharing the (immutable) initial
+        # symbols across states changes nothing semantically while saving
+        # 16 allocations per exploration seed — a hot path, as the
+        # backward search seeds one exploration per visited block.
+        template = _INITIAL_REGS.get(tag)
+        if template is None:
+            template = {name: BVS(f"{tag}_{name}") for name in GPR64}
+            _INITIAL_REGS[tag] = template
+        regs: dict[str, Expr] = dict(template)
         regs["rsp"] = BVV(concrete_rsp)
         return cls(
             pc=pc,
@@ -151,15 +160,11 @@ class SymState:
     def read_reg(self, name: str, width: int = 64) -> Expr:
         value = self.regs[name]
         if width == 32:
-            from .bitvec import truncate
-
             return truncate(value, 32)
         return value
 
     def write_reg(self, name: str, value: Expr, width: int = 64) -> None:
         if width == 32:
-            from .bitvec import truncate
-
             value = truncate(value, 32)
         self.regs[name] = value
 
@@ -210,15 +215,11 @@ class SymState:
     # ------------------------------------------------------------------
 
     def push(self, value: Expr) -> None:
-        from .bitvec import binop
-
         rsp = binop("sub", self.regs["rsp"], BVV(8))
         self.regs["rsp"] = rsp
         self.write_mem(rsp, value, 8)
 
     def pop(self) -> Expr:
-        from .bitvec import binop
-
         rsp = self.regs["rsp"]
         value = self.read_mem(rsp, 8)
         self.regs["rsp"] = binop("add", rsp, BVV(8))

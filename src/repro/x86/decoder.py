@@ -1,10 +1,30 @@
-"""x86-64 instruction decoder for the supported subset.
+"""x86-64 instruction decoder for the supported subset (table-driven).
 
 The decoder is the reproduction's stand-in for Capstone: it turns raw
 machine-code bytes back into :class:`~repro.x86.insn.Instruction` objects.
 Relative branch targets and RIP-relative displacements are resolved to
 absolute addresses, which is the form the CFG builder and symbolic engine
 consume.
+
+This is the cold path's first hot loop (every byte of every image flows
+through it), so the implementation is built for speed rather than for
+reading like the manual:
+
+* **dispatch tables** — a 256-entry handler table per opcode byte (plus
+  one for the ``0F`` second byte) replaces the original if/elif chain;
+  each handler is a small function over an integer cursor into the
+  buffer, with fixed-layout immediates read via precompiled
+  :class:`struct.Struct` objects (no intermediate byte slices);
+* **interned operands** — the 16x2 possible :class:`Register` operands
+  are preallocated and shared, so register-heavy code allocates no
+  operand objects at all;
+* **no per-instruction scaffolding** — cursor and REX state are plain
+  local integers, not objects.
+
+Behaviour is bit-for-bit identical to the original implementation,
+which is preserved as :mod:`repro.x86.refdecoder` and compared against
+this module instruction-by-instruction (including error cases) by the
+decoder differential test.
 """
 
 from __future__ import annotations
@@ -20,319 +40,460 @@ _ALU_BY_MR = {0x01: "add", 0x09: "or", 0x21: "and", 0x29: "sub", 0x31: "xor", 0x
 _ALU_BY_RM = {0x03: "add", 0x0B: "or", 0x23: "and", 0x2B: "sub", 0x33: "xor", 0x3B: "cmp"}
 _SCALES = (1, 2, 4, 8)
 
+_I32 = struct.Struct("<i")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
-class _Cursor:
-    """A byte cursor over the code being decoded."""
+#: interned register operands: ``_REGS[width][number]``
+_REGS = {
+    64: tuple(Register(name, 64) for name in GPR64),
+    32: tuple(Register(name, 32) for name in GPR64),
+}
+_REG64 = _REGS[64]
 
-    def __init__(self, data: bytes, offset: int, addr: int):
-        self.data = data
-        self.pos = offset
-        self.start = offset
-        self.addr = addr  # virtual address of the first byte
+#: jcc/cmovcc mnemonics by condition nibble
+_JCC = tuple(f"j{CONDITION_CODES[n]}" for n in range(16))
+_CMOVCC = tuple(f"cmov{CONDITION_CODES[n]}" for n in range(16))
 
-    def u8(self) -> int:
-        if self.pos >= len(self.data):
-            raise DecodeError("truncated instruction", self.addr)
-        value = self.data[self.pos]
-        self.pos += 1
-        return value
-
-    def i8(self) -> int:
-        return struct.unpack("<b", bytes([self.u8()]))[0]
-
-    def i32(self) -> int:
-        raw = self.take(4)
-        return struct.unpack("<i", raw)[0]
-
-    def u32(self) -> int:
-        raw = self.take(4)
-        return struct.unpack("<I", raw)[0]
-
-    def u64(self) -> int:
-        raw = self.take(8)
-        return struct.unpack("<Q", raw)[0]
-
-    def take(self, n: int) -> bytes:
-        if self.pos + n > len(self.data):
-            raise DecodeError("truncated instruction", self.addr)
-        raw = self.data[self.pos:self.pos + n]
-        self.pos += n
-        return raw
-
-    @property
-    def size(self) -> int:
-        return self.pos - self.start
+_EMPTY: tuple[Operand, ...] = ()
 
 
-class _Rex:
-    def __init__(self, byte: int | None):
-        self.present = byte is not None
-        byte = byte or 0
-        self.w = (byte >> 3) & 1
-        self.r = (byte >> 2) & 1
-        self.x = (byte >> 1) & 1
-        self.b = byte & 1
+def _modrm(data, pos: int, rex: int, width: int):
+    """Decode ModRM (+SIB/disp) at ``pos``; returns (reg_field, rm, pos).
 
-    @property
-    def width(self) -> int:
-        return 64 if self.w else 32
-
-
-def _reg(num: int, width: int) -> Register:
-    return Register(GPR64[num], width)
-
-
-def _decode_modrm(cur: _Cursor, rex: _Rex, width: int) -> tuple[int, Operand, bool]:
-    """Decode ModRM (+SIB/disp).  Returns (reg_field, rm_operand, rip_rel).
-
-    RIP-relative displacements are returned raw; the caller resolves them to
-    absolute addresses once the instruction length is known.
+    RIP-relative displacements are returned raw; :func:`decode` resolves
+    them to absolute addresses once the instruction length is known.
     """
-    modrm = cur.u8()
+    modrm = data[pos]
+    pos += 1
     mod = modrm >> 6
-    reg_field = ((modrm >> 3) & 7) | (rex.r << 3)
-    rm = (modrm & 7) | (rex.b << 3)
+    reg_field = ((modrm >> 3) & 7) | ((rex >> 2 & 1) << 3)
+    rm = (modrm & 7) | ((rex & 1) << 3)
 
     if mod == 3:
-        return reg_field, _reg(rm, width), False
+        return reg_field, _REGS[width][rm], pos
 
     if mod == 0 and (modrm & 7) == 5:
         # RIP-relative disp32.
-        disp = cur.i32()
-        return reg_field, Memory(disp=disp, width=width, rip_relative=True), True
+        disp = _I32.unpack_from(data, pos)[0]
+        return reg_field, Memory(disp=disp, width=width, rip_relative=True), pos + 4
 
-    base: Register | None = None
-    index: Register | None = None
+    base = None
+    index = None
     scale = 1
     if (modrm & 7) == 4:
-        sib = cur.u8()
+        sib = data[pos]
+        pos += 1
         scale = _SCALES[sib >> 6]
-        index_num = ((sib >> 3) & 7) | (rex.x << 3)
-        base_num = (sib & 7) | (rex.b << 3)
+        index_num = ((sib >> 3) & 7) | ((rex >> 1 & 1) << 3)
+        base_num = (sib & 7) | ((rex & 1) << 3)
         if index_num != 4:  # 100 = no index
-            index = _reg(index_num, 64)
+            index = _REG64[index_num]
         if mod == 0 and (sib & 7) == 5:
-            disp = cur.i32()
+            disp = _I32.unpack_from(data, pos)[0]
+            pos += 4
             if index is None:
                 # Absolute [disp32].
-                return reg_field, Memory(disp=disp & 0xFFFFFFFF, width=width), False
+                return reg_field, Memory(disp=disp & 0xFFFFFFFF, width=width), pos
             return (
                 reg_field,
                 Memory(index=index, scale=scale, disp=disp, width=width),
-                False,
+                pos,
             )
-        base = _reg(base_num, 64)
+        base = _REG64[base_num]
     else:
-        base = _reg(rm, 64)
+        base = _REG64[rm]
 
     if mod == 0:
         disp = 0
     elif mod == 1:
-        disp = cur.i8()
+        disp = data[pos]
+        pos += 1
+        if disp >= 128:
+            disp -= 256
     else:
-        disp = cur.i32()
-    return reg_field, Memory(base=base, index=index, scale=scale, disp=disp, width=width), False
+        disp = _I32.unpack_from(data, pos)[0]
+        pos += 4
+    return reg_field, Memory(base=base, index=index, scale=scale, disp=disp, width=width), pos
 
 
-def _resolve_rip(op: Operand, insn_end: int) -> Operand:
-    """Convert a raw RIP-relative displacement to an absolute address."""
-    if isinstance(op, Memory) and op.rip_relative:
-        return Memory(disp=op.disp + insn_end, width=op.width, rip_relative=True)
-    return op
+# ----------------------------------------------------------------------
+# Opcode handlers.  Signature: (data, pos, addr, start, rex, width) ->
+# (mnemonic, operands, pos) with pos past the instruction's last byte.
+# ``addr``/``start`` locate the instruction (branch targets, errors).
+# ----------------------------------------------------------------------
+
+
+def _h_simple(mnemonic):
+    def handler(data, pos, addr, start, rex, width):
+        return mnemonic, _EMPTY, pos
+    return handler
+
+
+def _h_cdq(data, pos, addr, start, rex, width):
+    return ("cqo" if rex >> 3 & 1 else "cdq"), _EMPTY, pos
+
+
+def _h_0f(data, pos, addr, start, rex, width):
+    second = data[pos]
+    pos += 1
+    handler = _DISPATCH_0F[second]
+    if handler is None:
+        raise DecodeError(f"unsupported 0F opcode {second:#04x}", addr)
+    return handler(data, pos, addr, start, rex, width)
+
+
+def _h_syscall(data, pos, addr, start, rex, width):
+    return "syscall", _EMPTY, pos
+
+
+def _h_ud2(data, pos, addr, start, rex, width):
+    return "ud2", _EMPTY, pos
+
+
+def _h_jcc32(cc_name):
+    def handler(data, pos, addr, start, rex, width):
+        rel = _I32.unpack_from(data, pos)[0]
+        pos += 4
+        return cc_name, (Immediate(addr + (pos - start) + rel, 64),), pos
+    return handler
+
+
+def _h_cmovcc(cc_name):
+    def handler(data, pos, addr, start, rex, width):
+        reg_field, rm, pos = _modrm(data, pos, rex, width)
+        return cc_name, (_REGS[width][reg_field], rm), pos
+    return handler
+
+
+def _h_imul_0f(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    return "imul", (_REGS[width][reg_field], rm), pos
+
+
+def _h_movx(second):
+    src_width = 8 if second in (0xB6, 0xBE) else 16
+    mnemonic = "movzx" if second in (0xB6, 0xB7) else "movsx"
+
+    def handler(data, pos, addr, start, rex, width):
+        reg_field, rm, pos = _modrm(data, pos, rex, width)
+        if not isinstance(rm, Memory):
+            raise DecodeError("movzx/movsx register sources unsupported", addr)
+        rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
+                    disp=rm.disp, width=src_width, rip_relative=rm.rip_relative)
+        return mnemonic, (_REGS[width][reg_field], rm), pos
+    return handler
+
+
+def _h_movsxd(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, 32)
+    return "movsxd", (_REG64[reg_field], rm), pos
+
+
+def _h_push_reg(data, pos, addr, start, rex, width):
+    byte = data[pos - 1]
+    return "push", (_REG64[(byte & 7) | ((rex & 1) << 3)],), pos
+
+
+def _h_pop_reg(data, pos, addr, start, rex, width):
+    byte = data[pos - 1]
+    return "pop", (_REG64[(byte & 7) | ((rex & 1) << 3)],), pos
+
+
+def _h_push_imm(data, pos, addr, start, rex, width):
+    value = _I32.unpack_from(data, pos)[0]
+    return "push", (Immediate(value, 32),), pos + 4
+
+
+def _h_mov_imm_reg(data, pos, addr, start, rex, width):
+    byte = data[pos - 1]
+    num = (byte & 7) | ((rex & 1) << 3)
+    if rex >> 3 & 1:
+        value = _U64.unpack_from(data, pos)[0]
+        return "mov", (_REG64[num], Immediate(value, 64)), pos + 8
+    value = _U32.unpack_from(data, pos)[0]
+    return "mov", (_REGS[32][num], Immediate(value, 32)), pos + 4
+
+
+def _h_alu_mr(mnemonic):
+    def handler(data, pos, addr, start, rex, width):
+        reg_field, rm, pos = _modrm(data, pos, rex, width)
+        return mnemonic, (rm, _REGS[width][reg_field]), pos
+    return handler
+
+
+def _h_alu_rm(mnemonic):
+    def handler(data, pos, addr, start, rex, width):
+        reg_field, rm, pos = _modrm(data, pos, rex, width)
+        return mnemonic, (_REGS[width][reg_field], rm), pos
+    return handler
+
+
+def _h_alu_group(opcode):
+    imm8 = opcode == 0x83
+
+    def handler(data, pos, addr, start, rex, width):
+        reg_field, rm, pos = _modrm(data, pos, rex, width)
+        group = reg_field & 7
+        mnemonic = _ALU_BY_GROUP.get(group)
+        if mnemonic is None:
+            raise DecodeError(f"unsupported ALU group {group}", addr)
+        if imm8:
+            value = data[pos]
+            pos += 1
+            if value >= 128:
+                value -= 256
+            imm = Immediate(value, 8)
+        else:
+            imm = Immediate(_I32.unpack_from(data, pos)[0], 32)
+            pos += 4
+        return mnemonic, (rm, imm), pos
+    return handler
+
+
+def _h_test_mr(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    return "test", (rm, _REGS[width][reg_field]), pos
+
+
+def _h_f7_group(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    group = reg_field & 7
+    if group == 0:
+        imm = Immediate(_I32.unpack_from(data, pos)[0], 32)
+        return "test", (rm, imm), pos + 4
+    if group == 2:
+        return "not", (rm,), pos
+    if group == 3:
+        return "neg", (rm,), pos
+    raise DecodeError(f"unsupported F7 group {group}", addr)
+
+
+def _h_mov_mr(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    return "mov", (rm, _REGS[width][reg_field]), pos
+
+
+def _h_mov_rm(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    return "mov", (_REGS[width][reg_field], rm), pos
+
+
+def _h_mov_imm_rm(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    if (reg_field & 7) != 0:
+        raise DecodeError("unsupported C7 group", addr)
+    imm = Immediate(_I32.unpack_from(data, pos)[0], 32)
+    return "mov", (rm, imm), pos + 4
+
+
+def _h_lea(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    if not isinstance(rm, Memory):
+        raise DecodeError("lea requires a memory operand", addr)
+    return "lea", (_REG64[reg_field], rm), pos
+
+
+def _h_shift(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    group = reg_field & 7
+    count = Immediate(data[pos], 8)
+    pos += 1
+    if group == 4:
+        return "shl", (rm, count), pos
+    if group == 5:
+        return "shr", (rm, count), pos
+    raise DecodeError(f"unsupported shift group {group}", addr)
+
+
+def _h_call_rel32(data, pos, addr, start, rex, width):
+    rel = _I32.unpack_from(data, pos)[0]
+    pos += 4
+    return "call", (Immediate(addr + (pos - start) + rel, 64),), pos
+
+
+def _h_jmp_rel32(data, pos, addr, start, rex, width):
+    rel = _I32.unpack_from(data, pos)[0]
+    pos += 4
+    return "jmp", (Immediate(addr + (pos - start) + rel, 64),), pos
+
+
+def _h_jmp_rel8(data, pos, addr, start, rex, width):
+    rel = data[pos]
+    pos += 1
+    if rel >= 128:
+        rel -= 256
+    return "jmp", (Immediate(addr + (pos - start) + rel, 64),), pos
+
+
+def _h_jcc8(cc_name):
+    def handler(data, pos, addr, start, rex, width):
+        rel = data[pos]
+        pos += 1
+        if rel >= 128:
+            rel -= 256
+        return cc_name, (Immediate(addr + (pos - start) + rel, 64),), pos
+    return handler
+
+
+def _h_ff_group(data, pos, addr, start, rex, width):
+    reg_field, rm, pos = _modrm(data, pos, rex, width)
+    group = reg_field & 7
+    if group == 0:
+        return "inc", (rm,), pos
+    if group == 1:
+        return "dec", (rm,), pos
+    # call/jmp r/m default to 64-bit operands in long mode.
+    if isinstance(rm, Register):
+        if rm.width != 64:
+            rm = _REG64[rm.number]
+    elif isinstance(rm, Memory) and rm.width != 64:
+        rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
+                    disp=rm.disp, width=64, rip_relative=rm.rip_relative)
+    if group == 2:
+        return "call", (rm,), pos
+    if group == 4:
+        return "jmp", (rm,), pos
+    raise DecodeError(f"unsupported FF group {group}", addr)
+
+
+def _build_dispatch():
+    table: list = [None] * 256
+    table[0xC3] = _h_simple("ret")
+    table[0x90] = _h_simple("nop")
+    table[0xF4] = _h_simple("hlt")
+    table[0xCC] = _h_simple("int3")
+    table[0x99] = _h_cdq
+    table[0x0F] = _h_0f
+    table[0x63] = _h_movsxd
+    for byte in range(0x50, 0x58):
+        table[byte] = _h_push_reg
+    for byte in range(0x58, 0x60):
+        table[byte] = _h_pop_reg
+    table[0x68] = _h_push_imm
+    for byte in range(0xB8, 0xC0):
+        table[byte] = _h_mov_imm_reg
+    for byte, mnemonic in _ALU_BY_MR.items():
+        table[byte] = _h_alu_mr(mnemonic)
+    for byte, mnemonic in _ALU_BY_RM.items():
+        table[byte] = _h_alu_rm(mnemonic)
+    table[0x81] = _h_alu_group(0x81)
+    table[0x83] = _h_alu_group(0x83)
+    table[0x85] = _h_test_mr
+    table[0xF7] = _h_f7_group
+    table[0x89] = _h_mov_mr
+    table[0x8B] = _h_mov_rm
+    table[0xC7] = _h_mov_imm_rm
+    table[0x8D] = _h_lea
+    table[0xC1] = _h_shift
+    table[0xE8] = _h_call_rel32
+    table[0xE9] = _h_jmp_rel32
+    table[0xEB] = _h_jmp_rel8
+    for nibble in range(16):
+        table[0x70 + nibble] = _h_jcc8(_JCC[nibble])
+    table[0xFF] = _h_ff_group
+    return table
+
+
+def _build_dispatch_0f():
+    table: list = [None] * 256
+    table[0x05] = _h_syscall
+    table[0x0B] = _h_ud2
+    for nibble in range(16):
+        table[0x80 + nibble] = _h_jcc32(_JCC[nibble])
+        table[0x40 + nibble] = _h_cmovcc(_CMOVCC[nibble])
+    table[0xAF] = _h_imul_0f
+    for second in (0xB6, 0xB7, 0xBE, 0xBF):
+        table[second] = _h_movx(second)
+    return table
+
+
+_DISPATCH_0F = _build_dispatch_0f()
+_DISPATCH = _build_dispatch()
 
 
 def decode(data: bytes, offset: int = 0, addr: int = 0) -> Instruction:
     """Decode one instruction from ``data`` at ``offset``, placed at ``addr``."""
-    cur = _Cursor(data, offset, addr)
-
-    rex_byte: int | None = None
-    byte = cur.u8()
-    if 0x40 <= byte <= 0x4F:
-        rex_byte = byte
-        byte = cur.u8()
-    rex = _Rex(rex_byte)
-    width = rex.width
-
-    mnemonic, operands = _decode_opcode(cur, rex, width, byte, addr)
-
-    size = cur.size
-    raw = data[offset:offset + size]
-    end = addr + size
-    operands = tuple(_resolve_rip(op, end) for op in operands)
-    return Instruction(mnemonic, operands, addr=addr, size=size, raw=raw)
-
-
-def _decode_opcode(
-    cur: _Cursor, rex: _Rex, width: int, byte: int, addr: int
-) -> tuple[str, tuple[Operand, ...]]:
-    # -- single-byte, no ModRM -------------------------------------------
-    if byte == 0xC3:
-        return "ret", ()
-    if byte == 0x90:
-        return "nop", ()
-    if byte == 0xF4:
-        return "hlt", ()
-    if byte == 0xCC:
-        return "int3", ()
-    if byte == 0x99:
-        return ("cqo", ()) if rex.w else ("cdq", ())
-
-    # -- two-byte opcodes (0F xx) ----------------------------------------
-    if byte == 0x0F:
-        second = cur.u8()
-        if second == 0x05:
-            return "syscall", ()
-        if second == 0x0B:
-            return "ud2", ()
-        if 0x80 <= second <= 0x8F:
-            rel = cur.i32()
-            target = addr + cur.size + rel
-            return f"j{CONDITION_CODES[second & 0xF]}", (Immediate(target, 64),)
-        if 0x40 <= second <= 0x4F:
-            reg_field, rm, __ = _decode_modrm(cur, rex, width)
-            return f"cmov{CONDITION_CODES[second & 0xF]}", (_reg(reg_field, width), rm)
-        if second == 0xAF:
-            reg_field, rm, __ = _decode_modrm(cur, rex, width)
-            return "imul", (_reg(reg_field, width), rm)
-        if second in (0xB6, 0xB7, 0xBE, 0xBF):
-            reg_field, rm, __ = _decode_modrm(cur, rex, width)
-            if not isinstance(rm, Memory):
-                raise DecodeError("movzx/movsx register sources unsupported", addr)
-            src_width = 8 if second in (0xB6, 0xBE) else 16
-            rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
-                        disp=rm.disp, width=src_width, rip_relative=rm.rip_relative)
-            mnemonic = "movzx" if second in (0xB6, 0xB7) else "movsx"
-            return mnemonic, (_reg(reg_field, width), rm)
-        raise DecodeError(f"unsupported 0F opcode {second:#04x}", addr)
-
-    # -- movsxd -------------------------------------------------------------
-    if byte == 0x63:
-        reg_field, rm, __ = _decode_modrm(cur, rex, 32)
-        return "movsxd", (_reg(reg_field, 64), rm)
-
-    # -- push/pop ---------------------------------------------------------
-    if 0x50 <= byte <= 0x57:
-        return "push", (_reg((byte & 7) | (rex.b << 3), 64),)
-    if 0x58 <= byte <= 0x5F:
-        return "pop", (_reg((byte & 7) | (rex.b << 3), 64),)
-    if byte == 0x68:
-        return "push", (Immediate(cur.i32(), 32),)
-
-    # -- mov imm to register ---------------------------------------------
-    if 0xB8 <= byte <= 0xBF:
-        num = (byte & 7) | (rex.b << 3)
-        if rex.w:
-            return "mov", (_reg(num, 64), Immediate(cur.u64(), 64))
-        return "mov", (_reg(num, 32), Immediate(cur.u32(), 32))
-
-    # -- ALU op r/m, r and op r, r/m ---------------------------------------
-    if byte in _ALU_BY_MR:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        return _ALU_BY_MR[byte], (rm, _reg(reg_field, width))
-    if byte in _ALU_BY_RM:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        return _ALU_BY_RM[byte], (_reg(reg_field, width), rm)
-
-    # -- ALU group with immediate ------------------------------------------
-    if byte in (0x81, 0x83):
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        group = reg_field & 7
-        if group not in _ALU_BY_GROUP:
-            raise DecodeError(f"unsupported ALU group {group}", addr)
-        if byte == 0x83:
-            imm = Immediate(cur.i8(), 8)
+    try:
+        byte = data[offset]
+        pos = offset + 1
+        if 0x40 <= byte <= 0x4F:
+            rex = byte
+            width = 64 if rex & 8 else 32
+            byte = data[pos]
+            pos += 1
         else:
-            imm = Immediate(cur.i32(), 32)
-        return _ALU_BY_GROUP[group], (rm, imm)
+            rex = 0
+            width = 32
+        handler = _DISPATCH[byte]
+        if handler is None:
+            raise DecodeError(f"unsupported opcode {byte:#04x}", addr)
+        mnemonic, operands, pos = handler(data, pos, addr, offset, rex, width)
+    except (IndexError, struct.error):
+        raise DecodeError("truncated instruction", addr) from None
 
-    # -- test ---------------------------------------------------------------
-    if byte == 0x85:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        return "test", (rm, _reg(reg_field, width))
-    if byte == 0xF7:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        group = reg_field & 7
-        if group == 0:
-            return "test", (rm, Immediate(cur.i32(), 32))
-        if group == 2:
-            return "not", (rm,)
-        if group == 3:
-            return "neg", (rm,)
-        raise DecodeError(f"unsupported F7 group {group}", addr)
-
-    # -- mov r/m forms -------------------------------------------------------
-    if byte == 0x89:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        return "mov", (rm, _reg(reg_field, width))
-    if byte == 0x8B:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        return "mov", (_reg(reg_field, width), rm)
-    if byte == 0xC7:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        if (reg_field & 7) != 0:
-            raise DecodeError("unsupported C7 group", addr)
-        return "mov", (rm, Immediate(cur.i32(), 32))
-
-    # -- lea ------------------------------------------------------------------
-    if byte == 0x8D:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        if not isinstance(rm, Memory):
-            raise DecodeError("lea requires a memory operand", addr)
-        return "lea", (_reg(reg_field, 64), rm)
-
-    # -- shifts ------------------------------------------------------------
-    if byte == 0xC1:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        group = reg_field & 7
-        count = Immediate(cur.u8(), 8)
-        if group == 4:
-            return "shl", (rm, count)
-        if group == 5:
-            return "shr", (rm, count)
-        raise DecodeError(f"unsupported shift group {group}", addr)
-
-    # -- branches -------------------------------------------------------------
-    if byte == 0xE8:
-        rel = cur.i32()
-        return "call", (Immediate(addr + cur.size + rel, 64),)
-    if byte == 0xE9:
-        rel = cur.i32()
-        return "jmp", (Immediate(addr + cur.size + rel, 64),)
-    if byte == 0xEB:
-        rel = cur.i8()
-        return "jmp", (Immediate(addr + cur.size + rel, 64),)
-    if 0x70 <= byte <= 0x7F:
-        rel = cur.i8()
-        target = addr + cur.size + rel
-        return f"j{CONDITION_CODES[byte & 0xF]}", (Immediate(target, 64),)
-    if byte == 0xFF:
-        reg_field, rm, __ = _decode_modrm(cur, rex, width)
-        group = reg_field & 7
-        if group == 0:
-            return "inc", (rm,)
-        if group == 1:
-            return "dec", (rm,)
-        # call/jmp r/m default to 64-bit operands in long mode.
-        if isinstance(rm, Register):
-            rm = rm.as_width(64)
-        elif isinstance(rm, Memory) and rm.width != 64:
-            rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
-                        disp=rm.disp, width=64, rip_relative=rm.rip_relative)
-        if group == 2:
-            return "call", (rm,)
-        if group == 4:
-            return "jmp", (rm,)
-        raise DecodeError(f"unsupported FF group {group}", addr)
-
-    raise DecodeError(f"unsupported opcode {byte:#04x}", addr)
+    size = pos - offset
+    end = addr + size
+    for op in operands:
+        # Resolve raw RIP-relative displacements to absolute addresses.
+        if type(op) is Memory and op.rip_relative:
+            operands = tuple(
+                Memory(disp=o.disp + end, width=o.width, rip_relative=True)
+                if type(o) is Memory and o.rip_relative else o
+                for o in operands
+            )
+            break
+    return Instruction(mnemonic, operands, addr=addr, size=size,
+                       raw=data[offset:pos])
 
 
 def decode_all(data: bytes, base_addr: int = 0) -> list[Instruction]:
-    """Linear-sweep decode of an entire code buffer starting at ``base_addr``."""
+    """Linear-sweep decode of an entire code buffer starting at ``base_addr``.
+
+    The decode body is inlined into the sweep loop (with the dispatch
+    table and constructors bound locally): whole-image decode is the
+    kernel's densest call site, and the per-instruction function-call
+    round trip through :func:`decode` was measurable on its own.
+    Behaviour is identical to calling :func:`decode` per instruction.
+    """
     out: list[Instruction] = []
-    pos = 0
-    while pos < len(data):
-        insn = decode(data, pos, base_addr + pos)
-        out.append(insn)
-        pos += insn.size
+    offset = 0
+    size = len(data)
+    append = out.append
+    dispatch = _DISPATCH
+    make_insn = Instruction
+    memory_type = Memory
+    while offset < size:
+        addr = base_addr + offset
+        try:
+            byte = data[offset]
+            pos = offset + 1
+            if 0x40 <= byte <= 0x4F:
+                rex = byte
+                width = 64 if rex & 8 else 32
+                byte = data[pos]
+                pos += 1
+            else:
+                rex = 0
+                width = 32
+            handler = dispatch[byte]
+            if handler is None:
+                raise DecodeError(f"unsupported opcode {byte:#04x}", addr)
+            mnemonic, operands, pos = handler(data, pos, addr, offset, rex, width)
+        except (IndexError, struct.error):
+            raise DecodeError("truncated instruction", addr) from None
+        insn_size = pos - offset
+        end = addr + insn_size
+        for op in operands:
+            if type(op) is memory_type and op.rip_relative:
+                operands = tuple(
+                    memory_type(disp=o.disp + end, width=o.width,
+                                rip_relative=True)
+                    if type(o) is memory_type and o.rip_relative else o
+                    for o in operands
+                )
+                break
+        append(make_insn(mnemonic, operands, addr=addr, size=insn_size,
+                         raw=data[offset:pos]))
+        offset = pos
     return out

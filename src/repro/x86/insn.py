@@ -4,11 +4,20 @@ The IR is shared by the encoder, decoder, symbolic engine and concrete
 emulator.  It models the slice of x86-64 that compiled code uses around
 system-call invocation: integer moves, address formation (``lea``), ALU
 operations, stack traffic, control flow, and ``syscall`` itself.
+
+Every instruction of every image flows through these constructors and
+classification properties, so the classes are hand-written slotted
+types rather than frozen dataclasses: a frozen dataclass ``__init__``
+pays one ``object.__setattr__`` call per field, which dominated decode
+time, and the classification properties are single frozenset lookups
+over precomputed mnemonic tables instead of chained string tests.
+Equality, hashing and ``repr`` match the original dataclass behaviour
+(the decoder differential test compares against the pre-optimisation
+reference decoder, which builds the same objects).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Union
 
 from .registers import Register
@@ -23,7 +32,6 @@ CONDITION_CODES = {
 CC_NUMBERS = {name: num for num, name in CONDITION_CODES.items()}
 
 
-@dataclass(frozen=True, slots=True)
 class Immediate:
     """An immediate operand.
 
@@ -32,14 +40,29 @@ class Immediate:
         width: encoded width in bits (8, 32 or 64).
     """
 
-    value: int
-    width: int = 32
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int = 32):
+        self.value = value
+        self.width = width
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is Immediate
+            and self.value == other.value
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.width))
+
+    def __repr__(self) -> str:
+        return f"Immediate(value={self.value!r}, width={self.width!r})"
 
     def __str__(self) -> str:
         return f"${self.value:#x}" if self.value >= 0 else f"$-{-self.value:#x}"
 
 
-@dataclass(frozen=True, slots=True)
 class Memory:
     """A memory operand: ``disp(base, index, scale)`` or RIP-relative.
 
@@ -48,18 +71,49 @@ class Memory:
     ``base=None, index=None``.
     """
 
-    base: Register | None = None
-    index: Register | None = None
-    scale: int = 1
-    disp: int = 0
-    width: int = 64
-    rip_relative: bool = False
+    __slots__ = ("base", "index", "scale", "disp", "width", "rip_relative")
 
-    def __post_init__(self) -> None:
-        if self.scale not in (1, 2, 4, 8):
-            raise ValueError(f"invalid SIB scale {self.scale}")
-        if self.rip_relative and (self.base or self.index):
+    def __init__(
+        self,
+        base: Register | None = None,
+        index: Register | None = None,
+        scale: int = 1,
+        disp: int = 0,
+        width: int = 64,
+        rip_relative: bool = False,
+    ):
+        if scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid SIB scale {scale}")
+        if rip_relative and (base or index):
             raise ValueError("RIP-relative memory cannot have base/index")
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp
+        self.width = width
+        self.rip_relative = rip_relative
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is Memory
+            and self.disp == other.disp
+            and self.base == other.base
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.width == other.width
+            and self.rip_relative == other.rip_relative
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.index, self.scale, self.disp,
+                     self.width, self.rip_relative))
+
+    def __repr__(self) -> str:
+        return (
+            f"Memory(base={self.base!r}, index={self.index!r}, "
+            f"scale={self.scale!r}, disp={self.disp!r}, "
+            f"width={self.width!r}, rip_relative={self.rip_relative!r})"
+        )
 
     def __str__(self) -> str:
         if self.rip_relative:
@@ -97,8 +151,16 @@ ALL_MNEMONICS = (
     | STACK_MNEMONICS | BRANCH_MNEMONICS | MISC_MNEMONICS
 )
 
+# ---- precomputed classification tables (one frozenset lookup each) ----
+_CONDITIONAL_MNEMONICS = frozenset(f"j{cc}" for cc in CONDITION_CODES.values())
+_JUMP_MNEMONICS = _CONDITIONAL_MNEMONICS | {"jmp"}
+_HALT_MNEMONICS = frozenset({"hlt", "ud2", "int3"})
+_TERMINATOR_MNEMONICS = (
+    _JUMP_MNEMONICS | _HALT_MNEMONICS | {"call", "ret", "syscall"}
+)
+_BRANCHING_MNEMONICS = _JUMP_MNEMONICS | {"call"}
 
-@dataclass(frozen=True, slots=True)
+
 class Instruction:
     """A decoded (or to-be-encoded) instruction.
 
@@ -110,15 +172,44 @@ class Instruction:
         raw: the encoded bytes (empty when not yet encoded).
     """
 
-    mnemonic: str
-    operands: tuple[Operand, ...] = ()
-    addr: int = 0
-    size: int = 0
-    raw: bytes = field(default=b"", repr=False)
+    __slots__ = ("mnemonic", "operands", "addr", "size", "raw")
 
-    def __post_init__(self) -> None:
-        if self.mnemonic not in ALL_MNEMONICS:
-            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+    def __init__(
+        self,
+        mnemonic: str,
+        operands: tuple[Operand, ...] = (),
+        addr: int = 0,
+        size: int = 0,
+        raw: bytes = b"",
+    ):
+        if mnemonic not in ALL_MNEMONICS:
+            raise ValueError(f"unknown mnemonic {mnemonic!r}")
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.addr = addr
+        self.size = size
+        self.raw = raw
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is Instruction
+            and self.addr == other.addr
+            and self.mnemonic == other.mnemonic
+            and self.operands == other.operands
+            and self.size == other.size
+            and self.raw == other.raw
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mnemonic, self.operands, self.addr, self.size,
+                     self.raw))
+
+    def __repr__(self) -> str:
+        return (
+            f"Instruction(mnemonic={self.mnemonic!r}, "
+            f"operands={self.operands!r}, addr={self.addr!r}, "
+            f"size={self.size!r})"
+        )
 
     # -- classification helpers ------------------------------------------
 
@@ -141,40 +232,37 @@ class Instruction:
 
     @property
     def is_jump(self) -> bool:
-        return self.mnemonic == "jmp" or self.is_conditional
+        return self.mnemonic in _JUMP_MNEMONICS
 
     @property
     def is_conditional(self) -> bool:
-        return self.mnemonic.startswith("j") and self.mnemonic != "jmp"
+        return self.mnemonic in _CONDITIONAL_MNEMONICS
 
     @property
     def is_halt(self) -> bool:
-        return self.mnemonic in ("hlt", "ud2", "int3")
+        return self.mnemonic in _HALT_MNEMONICS
 
     @property
     def terminates_block(self) -> bool:
         """Whether this instruction ends a basic block."""
-        return (
-            self.is_jump or self.is_ret or self.is_call
-            or self.is_syscall or self.is_halt
-        )
+        return self.mnemonic in _TERMINATOR_MNEMONICS
 
     @property
     def is_direct_branch(self) -> bool:
         """Direct call/jmp/jcc (immediate target)."""
         return (
-            (self.is_call or self.is_jump)
+            self.mnemonic in _BRANCHING_MNEMONICS
             and len(self.operands) == 1
-            and isinstance(self.operands[0], Immediate)
+            and type(self.operands[0]) is Immediate
         )
 
     @property
     def is_indirect_branch(self) -> bool:
         """Indirect call/jmp through a register or memory operand."""
         return (
-            (self.is_call or self.mnemonic == "jmp")
+            (self.mnemonic == "call" or self.mnemonic == "jmp")
             and len(self.operands) == 1
-            and not isinstance(self.operands[0], Immediate)
+            and type(self.operands[0]) is not Immediate
         )
 
     def branch_target(self) -> int | None:

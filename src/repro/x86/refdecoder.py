@@ -1,0 +1,340 @@
+"""Reference x86-64 decoder: the original branch-chain implementation.
+
+This is the pre-optimisation decoder, kept verbatim as the ground truth
+for the table-driven fast decoder in :mod:`repro.x86.decoder`.  The
+differential test (``tests/test_cold_kernel.py``) decodes every corpus
+text segment with both and asserts instruction-for-instruction equality,
+including the error behaviour on unsupported/truncated byte sequences.
+
+Not used by any analysis path — only by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import DecodeError
+from .insn import CONDITION_CODES, Immediate, Instruction, Memory, Operand
+from .registers import GPR64, Register
+
+_ALU_BY_GROUP = {0: "add", 1: "or", 4: "and", 5: "sub", 6: "xor", 7: "cmp"}
+_ALU_BY_MR = {0x01: "add", 0x09: "or", 0x21: "and", 0x29: "sub", 0x31: "xor", 0x39: "cmp"}
+_ALU_BY_RM = {0x03: "add", 0x0B: "or", 0x23: "and", 0x2B: "sub", 0x33: "xor", 0x3B: "cmp"}
+_SCALES = (1, 2, 4, 8)
+
+
+class _Cursor:
+    """A byte cursor over the code being decoded."""
+
+    def __init__(self, data: bytes, offset: int, addr: int):
+        self.data = data
+        self.pos = offset
+        self.start = offset
+        self.addr = addr  # virtual address of the first byte
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("truncated instruction", self.addr)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def i8(self) -> int:
+        return struct.unpack("<b", bytes([self.u8()]))[0]
+
+    def i32(self) -> int:
+        raw = self.take(4)
+        return struct.unpack("<i", raw)[0]
+
+    def u32(self) -> int:
+        raw = self.take(4)
+        return struct.unpack("<I", raw)[0]
+
+    def u64(self) -> int:
+        raw = self.take(8)
+        return struct.unpack("<Q", raw)[0]
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DecodeError("truncated instruction", self.addr)
+        raw = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return raw
+
+    @property
+    def size(self) -> int:
+        return self.pos - self.start
+
+
+class _Rex:
+    def __init__(self, byte: int | None):
+        self.present = byte is not None
+        byte = byte or 0
+        self.w = (byte >> 3) & 1
+        self.r = (byte >> 2) & 1
+        self.x = (byte >> 1) & 1
+        self.b = byte & 1
+
+    @property
+    def width(self) -> int:
+        return 64 if self.w else 32
+
+
+def _reg(num: int, width: int) -> Register:
+    return Register(GPR64[num], width)
+
+
+def _decode_modrm(cur: _Cursor, rex: _Rex, width: int) -> tuple[int, Operand, bool]:
+    """Decode ModRM (+SIB/disp).  Returns (reg_field, rm_operand, rip_rel).
+
+    RIP-relative displacements are returned raw; the caller resolves them to
+    absolute addresses once the instruction length is known.
+    """
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg_field = ((modrm >> 3) & 7) | (rex.r << 3)
+    rm = (modrm & 7) | (rex.b << 3)
+
+    if mod == 3:
+        return reg_field, _reg(rm, width), False
+
+    if mod == 0 and (modrm & 7) == 5:
+        # RIP-relative disp32.
+        disp = cur.i32()
+        return reg_field, Memory(disp=disp, width=width, rip_relative=True), True
+
+    base: Register | None = None
+    index: Register | None = None
+    scale = 1
+    if (modrm & 7) == 4:
+        sib = cur.u8()
+        scale = _SCALES[sib >> 6]
+        index_num = ((sib >> 3) & 7) | (rex.x << 3)
+        base_num = (sib & 7) | (rex.b << 3)
+        if index_num != 4:  # 100 = no index
+            index = _reg(index_num, 64)
+        if mod == 0 and (sib & 7) == 5:
+            disp = cur.i32()
+            if index is None:
+                # Absolute [disp32].
+                return reg_field, Memory(disp=disp & 0xFFFFFFFF, width=width), False
+            return (
+                reg_field,
+                Memory(index=index, scale=scale, disp=disp, width=width),
+                False,
+            )
+        base = _reg(base_num, 64)
+    else:
+        base = _reg(rm, 64)
+
+    if mod == 0:
+        disp = 0
+    elif mod == 1:
+        disp = cur.i8()
+    else:
+        disp = cur.i32()
+    return reg_field, Memory(base=base, index=index, scale=scale, disp=disp, width=width), False
+
+
+def _resolve_rip(op: Operand, insn_end: int) -> Operand:
+    """Convert a raw RIP-relative displacement to an absolute address."""
+    if isinstance(op, Memory) and op.rip_relative:
+        return Memory(disp=op.disp + insn_end, width=op.width, rip_relative=True)
+    return op
+
+
+def decode(data: bytes, offset: int = 0, addr: int = 0) -> Instruction:
+    """Decode one instruction from ``data`` at ``offset``, placed at ``addr``."""
+    cur = _Cursor(data, offset, addr)
+
+    rex_byte: int | None = None
+    byte = cur.u8()
+    if 0x40 <= byte <= 0x4F:
+        rex_byte = byte
+        byte = cur.u8()
+    rex = _Rex(rex_byte)
+    width = rex.width
+
+    mnemonic, operands = _decode_opcode(cur, rex, width, byte, addr)
+
+    size = cur.size
+    raw = data[offset:offset + size]
+    end = addr + size
+    operands = tuple(_resolve_rip(op, end) for op in operands)
+    return Instruction(mnemonic, operands, addr=addr, size=size, raw=raw)
+
+
+def _decode_opcode(
+    cur: _Cursor, rex: _Rex, width: int, byte: int, addr: int
+) -> tuple[str, tuple[Operand, ...]]:
+    # -- single-byte, no ModRM -------------------------------------------
+    if byte == 0xC3:
+        return "ret", ()
+    if byte == 0x90:
+        return "nop", ()
+    if byte == 0xF4:
+        return "hlt", ()
+    if byte == 0xCC:
+        return "int3", ()
+    if byte == 0x99:
+        return ("cqo", ()) if rex.w else ("cdq", ())
+
+    # -- two-byte opcodes (0F xx) ----------------------------------------
+    if byte == 0x0F:
+        second = cur.u8()
+        if second == 0x05:
+            return "syscall", ()
+        if second == 0x0B:
+            return "ud2", ()
+        if 0x80 <= second <= 0x8F:
+            rel = cur.i32()
+            target = addr + cur.size + rel
+            return f"j{CONDITION_CODES[second & 0xF]}", (Immediate(target, 64),)
+        if 0x40 <= second <= 0x4F:
+            reg_field, rm, __ = _decode_modrm(cur, rex, width)
+            return f"cmov{CONDITION_CODES[second & 0xF]}", (_reg(reg_field, width), rm)
+        if second == 0xAF:
+            reg_field, rm, __ = _decode_modrm(cur, rex, width)
+            return "imul", (_reg(reg_field, width), rm)
+        if second in (0xB6, 0xB7, 0xBE, 0xBF):
+            reg_field, rm, __ = _decode_modrm(cur, rex, width)
+            if not isinstance(rm, Memory):
+                raise DecodeError("movzx/movsx register sources unsupported", addr)
+            src_width = 8 if second in (0xB6, 0xBE) else 16
+            rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
+                        disp=rm.disp, width=src_width, rip_relative=rm.rip_relative)
+            mnemonic = "movzx" if second in (0xB6, 0xB7) else "movsx"
+            return mnemonic, (_reg(reg_field, width), rm)
+        raise DecodeError(f"unsupported 0F opcode {second:#04x}", addr)
+
+    # -- movsxd -------------------------------------------------------------
+    if byte == 0x63:
+        reg_field, rm, __ = _decode_modrm(cur, rex, 32)
+        return "movsxd", (_reg(reg_field, 64), rm)
+
+    # -- push/pop ---------------------------------------------------------
+    if 0x50 <= byte <= 0x57:
+        return "push", (_reg((byte & 7) | (rex.b << 3), 64),)
+    if 0x58 <= byte <= 0x5F:
+        return "pop", (_reg((byte & 7) | (rex.b << 3), 64),)
+    if byte == 0x68:
+        return "push", (Immediate(cur.i32(), 32),)
+
+    # -- mov imm to register ---------------------------------------------
+    if 0xB8 <= byte <= 0xBF:
+        num = (byte & 7) | (rex.b << 3)
+        if rex.w:
+            return "mov", (_reg(num, 64), Immediate(cur.u64(), 64))
+        return "mov", (_reg(num, 32), Immediate(cur.u32(), 32))
+
+    # -- ALU op r/m, r and op r, r/m ---------------------------------------
+    if byte in _ALU_BY_MR:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        return _ALU_BY_MR[byte], (rm, _reg(reg_field, width))
+    if byte in _ALU_BY_RM:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        return _ALU_BY_RM[byte], (_reg(reg_field, width), rm)
+
+    # -- ALU group with immediate ------------------------------------------
+    if byte in (0x81, 0x83):
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        group = reg_field & 7
+        if group not in _ALU_BY_GROUP:
+            raise DecodeError(f"unsupported ALU group {group}", addr)
+        if byte == 0x83:
+            imm = Immediate(cur.i8(), 8)
+        else:
+            imm = Immediate(cur.i32(), 32)
+        return _ALU_BY_GROUP[group], (rm, imm)
+
+    # -- test ---------------------------------------------------------------
+    if byte == 0x85:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        return "test", (rm, _reg(reg_field, width))
+    if byte == 0xF7:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        group = reg_field & 7
+        if group == 0:
+            return "test", (rm, Immediate(cur.i32(), 32))
+        if group == 2:
+            return "not", (rm,)
+        if group == 3:
+            return "neg", (rm,)
+        raise DecodeError(f"unsupported F7 group {group}", addr)
+
+    # -- mov r/m forms -------------------------------------------------------
+    if byte == 0x89:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        return "mov", (rm, _reg(reg_field, width))
+    if byte == 0x8B:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        return "mov", (_reg(reg_field, width), rm)
+    if byte == 0xC7:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        if (reg_field & 7) != 0:
+            raise DecodeError("unsupported C7 group", addr)
+        return "mov", (rm, Immediate(cur.i32(), 32))
+
+    # -- lea ------------------------------------------------------------------
+    if byte == 0x8D:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        if not isinstance(rm, Memory):
+            raise DecodeError("lea requires a memory operand", addr)
+        return "lea", (_reg(reg_field, 64), rm)
+
+    # -- shifts ------------------------------------------------------------
+    if byte == 0xC1:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        group = reg_field & 7
+        count = Immediate(cur.u8(), 8)
+        if group == 4:
+            return "shl", (rm, count)
+        if group == 5:
+            return "shr", (rm, count)
+        raise DecodeError(f"unsupported shift group {group}", addr)
+
+    # -- branches -------------------------------------------------------------
+    if byte == 0xE8:
+        rel = cur.i32()
+        return "call", (Immediate(addr + cur.size + rel, 64),)
+    if byte == 0xE9:
+        rel = cur.i32()
+        return "jmp", (Immediate(addr + cur.size + rel, 64),)
+    if byte == 0xEB:
+        rel = cur.i8()
+        return "jmp", (Immediate(addr + cur.size + rel, 64),)
+    if 0x70 <= byte <= 0x7F:
+        rel = cur.i8()
+        target = addr + cur.size + rel
+        return f"j{CONDITION_CODES[byte & 0xF]}", (Immediate(target, 64),)
+    if byte == 0xFF:
+        reg_field, rm, __ = _decode_modrm(cur, rex, width)
+        group = reg_field & 7
+        if group == 0:
+            return "inc", (rm,)
+        if group == 1:
+            return "dec", (rm,)
+        # call/jmp r/m default to 64-bit operands in long mode.
+        if isinstance(rm, Register):
+            rm = rm.as_width(64)
+        elif isinstance(rm, Memory) and rm.width != 64:
+            rm = Memory(base=rm.base, index=rm.index, scale=rm.scale,
+                        disp=rm.disp, width=64, rip_relative=rm.rip_relative)
+        if group == 2:
+            return "call", (rm,)
+        if group == 4:
+            return "jmp", (rm,)
+        raise DecodeError(f"unsupported FF group {group}", addr)
+
+    raise DecodeError(f"unsupported opcode {byte:#04x}", addr)
+
+
+def decode_all(data: bytes, base_addr: int = 0) -> list[Instruction]:
+    """Linear-sweep decode of an entire code buffer starting at ``base_addr``."""
+    out: list[Instruction] = []
+    pos = 0
+    while pos < len(data):
+        insn = decode(data, pos, base_addr + pos)
+        out.append(insn)
+        pos += insn.size
+    return out

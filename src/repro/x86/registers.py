@@ -7,8 +7,6 @@ needs the canonical name so that ``eax`` writes alias ``rax``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 #: Canonical 64-bit register names in hardware-encoding order (0..15).
 GPR64 = (
     "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
@@ -31,25 +29,43 @@ _WIDTH_BY_NAME = {name: 64 for name in GPR64}
 _WIDTH_BY_NAME.update({name: 32 for name in GPR32})
 
 
-@dataclass(frozen=True, slots=True)
 class Register:
     """A general-purpose register operand.
+
+    A hand-written slotted class (not a frozen dataclass): registers are
+    built in the decoder's hottest loop, and the frozen-dataclass
+    ``__init__`` costs one ``object.__setattr__`` per field.  The decoder
+    interns the 16x2 possible instances, so in practice construction
+    happens once per (register, width) pair per process.
 
     Attributes:
         name: canonical 64-bit name (``rax`` even for an ``eax`` operand).
         width: operand width in bits (64 or 32).
     """
 
-    name: str
-    width: int = 64
+    __slots__ = ("name", "width")
 
-    def __post_init__(self) -> None:
-        if self.name not in _NUM_BY_NAME:
-            raise ValueError(f"unknown register {self.name!r}")
-        if self.width not in (32, 64):
-            raise ValueError(f"unsupported register width {self.width}")
+    def __init__(self, name: str, width: int = 64):
+        if name not in _NUM_BY_NAME:
+            raise ValueError(f"unknown register {name!r}")
+        if width not in (32, 64):
+            raise ValueError(f"unsupported register width {width}")
         # Normalise: always store the canonical 64-bit name.
-        object.__setattr__(self, "name", _CANONICAL[self.name])
+        self.name = _CANONICAL[name]
+        self.width = width
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is Register
+            and self.name == other.name
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.width))
+
+    def __repr__(self) -> str:
+        return f"Register(name={self.name!r}, width={self.width!r})"
 
     @property
     def number(self) -> int:

@@ -1,0 +1,298 @@
+"""Cold-kernel optimisation tests (PR 4).
+
+The table-driven decoder, the indexed CFG, and the bitset reachability
+rewrite are pure performance work: each must be observationally
+identical to the original implementation.  This suite pins that down
+with differential tests against the preserved reference decoder and
+against naive reference reimplementations of the graph queries, plus
+direct unit tests for the new index structures (bisect containment,
+invalidation on mutation, SCC closure).
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.model import FLOW_KINDS, BasicBlock, CFG
+from repro.cfg.reachability import reachable_blocks, reachable_functions
+from repro.corpus import APP_NAMES, build_app
+from repro.errors import DecodeError
+from repro.symex.engine import ExecContext
+from repro.x86 import decoder, refdecoder
+from repro.x86.registers import RAX
+
+
+@pytest.fixture(scope="module")
+def corpus_images():
+    """Every image of the six validation apps: programs, modules, libs."""
+    images = []
+    seen = set()
+    for name in APP_NAMES:
+        bundle = build_app(name)
+        for image in [bundle.program.image, *bundle.module_images,
+                      *bundle.resolver.topological_order(bundle.program.image)]:
+            key = (image.name, image.content_hash)
+            if key not in seen:
+                seen.add(key)
+                images.append(image)
+    return images
+
+
+@pytest.fixture(scope="module")
+def corpus_cfgs(corpus_images):
+    return {image.name: build_cfg(image) for image in corpus_images}
+
+
+class TestDecoderDifferential:
+    def test_all_corpus_text_decodes_identically(self, corpus_images):
+        """Table-driven vs reference decode over every corpus text byte."""
+        total = 0
+        for image in corpus_images:
+            reference = refdecoder.decode_all(image.text_bytes, image.text_base)
+            fast = decoder.decode_all(image.text_bytes, image.text_base)
+            assert fast == reference, image.name
+            total += len(reference)
+        assert total > 1000  # the corpus is not trivially empty
+
+    def test_single_decode_matches_decode_all(self, corpus_images):
+        image = corpus_images[0]
+        sweep = decoder.decode_all(image.text_bytes, image.text_base)
+        pos = 0
+        for insn in sweep[:200]:
+            assert decoder.decode(image.text_bytes, pos, image.text_base + pos) == insn
+            pos += insn.size
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_error_behaviour_matches_reference(self, seed):
+        """Unsupported/truncated byte soup raises identical DecodeErrors."""
+        rng = random.Random(seed)
+        cases = [bytes([b]) for b in range(256)]
+        cases += [bytes([0x0F, b]) for b in range(256)]
+        cases += [bytes([0x48, b]) for b in range(0, 256, 3)]
+        cases += [
+            bytes(rng.randrange(256) for __ in range(rng.randrange(1, 12)))
+            for __ in range(2000)
+        ]
+        for raw in cases:
+            try:
+                expected = ("ok", refdecoder.decode(raw, 0, 0x1000))
+            except DecodeError as error:
+                expected = ("err", str(error))
+            try:
+                got = ("ok", decoder.decode(raw, 0, 0x1000))
+            except DecodeError as error:
+                got = ("err", str(error))
+            assert got == expected, raw.hex()
+
+    def test_registers_are_interned(self):
+        a = decoder.decode(bytes.fromhex("4889c3"))  # mov rbx, rax
+        b = decoder.decode(bytes.fromhex("4889d8"))  # mov rax, rbx
+        (rax_dst,) = [op for op in b.operands if op == RAX]
+        (rax_src,) = [op for op in a.operands if op == RAX]
+        assert rax_dst is rax_src
+
+
+def _reference_reachable(cfg, roots):
+    """The original set-based BFS over typed edge lists."""
+    seen = set()
+    queue = deque(a for a in roots if a in cfg.blocks)
+    seen.update(queue)
+    while queue:
+        addr = queue.popleft()
+        for edge in cfg.successors(addr, kinds=FLOW_KINDS):
+            if edge.dst not in seen and edge.dst in cfg.blocks:
+                seen.add(edge.dst)
+                queue.append(edge.dst)
+    return seen
+
+
+class TestBitsetReachability:
+    def test_matches_reference_from_entry(self, corpus_images, corpus_cfgs):
+        for image in corpus_images:
+            cfg = corpus_cfgs[image.name]
+            roots = [image.entry] if image.entry else [
+                sym.value for sym in image.exported_functions.values()
+            ]
+            assert reachable_blocks(cfg, roots) == _reference_reachable(cfg, roots)
+
+    def test_matches_reference_per_export(self, corpus_images, corpus_cfgs):
+        for image in corpus_images:
+            if not image.exported_functions:
+                continue
+            cfg = corpus_cfgs[image.name]
+            for sym in image.exported_functions.values():
+                roots = [sym.value]
+                assert reachable_blocks(cfg, roots) == \
+                    _reference_reachable(cfg, roots)
+
+    def test_reachable_functions_matches_block_owners(self, corpus_images,
+                                                      corpus_cfgs):
+        image = corpus_images[0]
+        cfg = corpus_cfgs[image.name]
+        roots = [image.entry]
+        blocks = reachable_blocks(cfg, roots)
+        assert reachable_functions(cfg, roots) == \
+            {cfg.blocks[a].function for a in blocks}
+
+    def test_closure_union_matches_per_root_bfs(self, corpus_images,
+                                                corpus_cfgs):
+        """SCC closure == (BFS per block + union) for arbitrary annotations."""
+        rng = random.Random(42)
+        for image in corpus_images[:4]:
+            cfg = corpus_cfgs[image.name]
+            annot = {
+                addr: frozenset(rng.sample(range(100), rng.randrange(1, 4)))
+                for addr in cfg.blocks
+                if rng.random() < 0.3
+            }
+            index = cfg.index
+            closure = index.closure_union(annot)
+            for addr in cfg.blocks:
+                expected = set()
+                for reached in _reference_reachable(cfg, [addr]):
+                    expected |= annot.get(reached, set())
+                assert closure[index.idx_of[addr]] == expected, hex(addr)
+
+
+class TestCfgIndex:
+    def test_block_containing_bisect(self):
+        """Direct unit test: containment hits, misses, and gap addresses."""
+        mov_eax_1 = bytes.fromhex("b801000000")  # 5 bytes
+        cfg = CFG()
+        # Three 5-byte blocks with gaps between them.
+        for base in (0x1000, 0x1010, 0x1030):
+            block = BasicBlock(addr=base)
+            block.insns.append(decoder.decode(mov_eax_1, 0, base))
+            cfg.add_block(block)
+        assert cfg.block_containing(0x1000).addr == 0x1000  # exact start
+        assert cfg.block_containing(0x1001).addr == 0x1000  # interior
+        assert cfg.block_containing(0x1004).addr == 0x1000  # last byte
+        assert cfg.block_containing(0x1005) is None         # first gap
+        assert cfg.block_containing(0x1015) is None         # second gap
+        assert cfg.block_containing(0x102F) is None         # still the gap
+        assert cfg.block_containing(0x1030).addr == 0x1030
+        assert cfg.block_containing(0x0FFF) is None         # before all blocks
+        assert cfg.block_containing(0x1040) is None         # past the end
+
+    def test_block_containing_matches_linear_scan(self, corpus_images,
+                                                  corpus_cfgs):
+        image = corpus_images[0]
+        cfg = corpus_cfgs[image.name]
+
+        def linear(addr):
+            for block in cfg.blocks.values():
+                if block.addr <= addr < block.end:
+                    return block
+            return None
+
+        for addr in range(image.text_base - 2, image.text_end + 2, 7):
+            assert cfg.block_containing(addr) is linear(addr)
+
+    def test_index_invalidated_by_mutation(self, corpus_images, corpus_cfgs):
+        image = corpus_images[0]
+        cfg = build_cfg(image)
+        index_before = cfg.index
+        addrs = sorted(cfg.blocks)
+        src, dst = addrs[-1], addrs[0]
+        roots = [src]
+        before = reachable_blocks(cfg, roots)
+        assert dst not in before or len(addrs) < 2
+        assert cfg.add_edge(src, dst, "jump")
+        index_after = cfg.index
+        assert index_after is not index_before
+        assert dst in reachable_blocks(cfg, roots)
+        # Block-level maps survive edge-only mutation (no rebuild).
+        assert index_after.insn_at is index_before.insn_at
+
+    def test_duplicate_edges_rejected(self, corpus_images):
+        cfg = build_cfg(corpus_images[0])
+        addrs = sorted(cfg.blocks)
+        assert cfg.add_edge(addrs[0], addrs[-1], "icall")
+        assert not cfg.add_edge(addrs[0], addrs[-1], "icall")
+        assert cfg.add_edge(addrs[0], addrs[-1], "call")  # other kind is new
+
+    def test_exec_context_shares_index_insn_map(self, corpus_images):
+        image = corpus_images[0]
+        cfg = build_cfg(image)
+        ctx = ExecContext.for_image(cfg, image)
+        assert ctx.insn_at is cfg.index.insn_at
+        first = next(iter(ctx.insn_at))
+        assert ctx.fetch(first).addr == first
+
+
+class TestFingerprintMemo:
+    def test_memoized_and_still_sensitive(self):
+        from repro.core import AnalysisBudget
+        from repro.core.pipeline import PipelineConfig
+
+        config = PipelineConfig()
+        budget = AnalysisBudget()
+        first = config.fingerprint(budget)
+        assert config.fingerprint(budget) == first
+        assert PipelineConfig().fingerprint(AnalysisBudget()) == first
+        assert config.fingerprint(AnalysisBudget.generous()) != first
+        assert PipelineConfig(detect_wrappers=False).fingerprint(budget) != first
+        # Mutating a budget changes the key (no stale memo hit).
+        mutated = AnalysisBudget()
+        mutated.max_cfg_iterations += 1
+        assert config.fingerprint(mutated) != first
+
+
+class TestSpoolHashReuse:
+    def test_from_bytes_accepts_preseeded_hash(self, tmp_path):
+        import hashlib
+
+        from repro.corpus.progbuilder import ProgramBuilder
+        from repro.loader.image import LoadedImage
+        from repro.x86 import EAX
+
+        p = ProgramBuilder("app")
+        with p.function("_start"):
+            p.asm.mov(EAX, 60)
+            p.asm.syscall()
+            p.asm.hlt()
+        p.set_entry("_start")
+        program = p.build()
+        path = tmp_path / "app.bin"
+        program.save(str(path))
+        data = path.read_bytes()
+        digest = hashlib.sha256(data).hexdigest()
+        image = LoadedImage.from_path(str(path), content_hash=digest)
+        assert image.__dict__["content_hash"] == digest  # no re-hash needed
+        assert image.content_hash == \
+            LoadedImage.from_path(str(path)).content_hash
+
+    def test_spool_records_content_hash_in_spec(self, tmp_path):
+        import base64
+        import hashlib
+
+        from repro.service.executor import AnalysisService
+
+        service = AnalysisService(str(tmp_path / "state"))
+        payload = b"\x7fELF-not-really" * 10
+        spec = {
+            "binary_b64": base64.b64encode(payload).decode(),
+            "name": "sample.bin",
+        }
+        path = service._spool(spec)
+        assert spec["content_sha256"] == hashlib.sha256(payload).hexdigest()
+        with open(path, "rb") as f:
+            assert f.read() == payload
+        # The spool file name keeps the short-digest convention.
+        assert spec["content_sha256"][:16] in path
+
+    def test_client_supplied_content_hash_is_stripped(self, tmp_path):
+        """A forged content_sha256 on a path job must not survive
+        admission: it would poison the content-addressed report cache."""
+        from repro.service.executor import AnalysisService
+
+        service = AnalysisService(str(tmp_path / "state"))
+        target = tmp_path / "victim.bin"
+        target.write_bytes(b"\x7fELF-bytes")
+        job = service.submit("analyze", {
+            "path": str(target),
+            "content_sha256": "0" * 64,  # digest of some *other* binary
+        })
+        assert "content_sha256" not in job.spec

@@ -78,6 +78,45 @@ class TestSeedEquivalence:
         assert back.syscalls == report.syscalls
 
 
+class TestOptimizedKernelEquivalence:
+    """PR 4's cold-kernel rewrite must be invisible in the reports.
+
+    The table-driven decoder, indexed CFG, bitset reachability, and
+    symex dispatch fast path replace the seed kernel's hot loops; these
+    tests pin the whole optimized kernel — not just its parts — to the
+    seed goldens, including on a *re*-analysis (warm per-process caches:
+    interned registers, interface store, CFG indices)."""
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_optimized_kernel_byte_identical_and_stable(self, golden,
+                                                        bundles, app):
+        bundle = bundles[app]
+        analyzer = BSideAnalyzer(
+            resolver=bundle.resolver, budget=AnalysisBudget.generous(),
+        )
+        first = analyzer.analyze(
+            bundle.program.image, modules=bundle.module_images,
+        )
+        again = analyzer.analyze(
+            bundle.program.image, modules=bundle.module_images,
+        )
+        assert first.to_json(include_runtime=False) == golden["default"][app]
+        assert again.to_json(include_runtime=False) == golden["default"][app]
+
+    def test_fast_paths_are_active(self, bundles):
+        """The equivalence above must actually exercise the new kernel."""
+        from repro.cfg.builder import build_cfg
+        from repro.symex.engine import _HANDLERS, ExecContext
+        from repro.x86.decoder import _DISPATCH
+
+        assert any(_DISPATCH)  # table-driven decoder is in place
+        assert "mov" in _HANDLERS and "je" in _HANDLERS
+        bundle = bundles[APP_NAMES[0]]
+        cfg = build_cfg(bundle.program.image)
+        ctx = ExecContext.for_image(cfg, bundle.program.image)
+        assert ctx.insn_at is cfg.index.insn_at  # shared, not rebuilt
+
+
 class TestPipelineShape:
     def test_default_pass_order(self):
         pipeline = build_pipeline(PipelineConfig())

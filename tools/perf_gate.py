@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Cold-kernel perf gate (`make bench-gate`, enforced in CI).
+
+Runs the cold-kernel workload (:mod:`repro.perf.coldbench`) and gates
+it against the committed ``BENCH_cold_kernel.json`` trajectory:
+
+* fail on a >15% cold-path regression vs the latest trajectory entry;
+* fail if the speedup vs the recorded pre-optimization baseline drops
+  below 3x.
+
+Comparisons use *normalized* cold time (cold seconds divided by an
+in-run pure-Python calibration loop), so the committed baseline gates
+runs on any machine.
+
+Usage::
+
+    python tools/perf_gate.py                  # gate only
+    python tools/perf_gate.py --record LABEL   # gate, then append entry
+    python tools/perf_gate.py --record LABEL --role pre-opt-baseline
+                                               # seed a new baseline
+
+Exit status: 0 gates pass, 1 a gate failed, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.perf import (  # noqa: E402
+    gate_measurement,
+    load_trajectory,
+    measure_cold_kernel,
+    save_trajectory,
+)
+from repro.perf.coldbench import format_measurement  # noqa: E402
+from repro.perf.trajectory import ROLE_OPTIMIZED, ROLE_PRE  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=os.path.join(REPO, "BENCH_cold_kernel.json"),
+        help="trajectory file to gate against (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats per timing (default 3)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.15,
+        help="allowed fractional cold-path regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required speedup vs the pre-optimization baseline (default 3)",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append this measurement to the trajectory under LABEL",
+    )
+    parser.add_argument(
+        "--role", choices=[ROLE_PRE, ROLE_OPTIMIZED], default=ROLE_OPTIMIZED,
+        help="role for --record entries (default: optimized)",
+    )
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.baseline)
+    print(f"perf-gate: measuring cold kernel (best of {args.repeats})...")
+    record = measure_cold_kernel(repeats=args.repeats)
+    print(format_measurement(record))
+    print()
+
+    recording_baseline = args.record and args.role == ROLE_PRE
+    if recording_baseline:
+        # Seeding a fresh baseline: nothing to gate against yet.
+        result = None
+    else:
+        result = gate_measurement(
+            record, trajectory,
+            max_regression=args.max_regression,
+            min_speedup=args.min_speedup,
+        )
+        if result.regression_ratio is not None:
+            print(f"perf-gate: vs latest entry "
+                  f"'{trajectory.baseline.get('label', '?')}': "
+                  f"{result.regression_ratio:.3f}x normalized cold "
+                  f"(max allowed {1 + args.max_regression:.2f}x)")
+        if result.speedup_vs_pre is not None:
+            print(f"perf-gate: speedup vs pre-optimization baseline: "
+                  f"{result.speedup_vs_pre:.2f}x "
+                  f"(required >= {args.min_speedup:.1f}x)")
+
+    if args.record:
+        trajectory.append(record, label=args.record, role=args.role)
+        save_trajectory(trajectory, args.baseline)
+        print(f"perf-gate: recorded entry '{args.record}' "
+              f"({args.role}) in {args.baseline}")
+
+    if result is None:
+        print("perf-gate: baseline seeded (no gates applied)")
+        return 0
+    if not result.ok:
+        for problem in result.problems:
+            print(f"perf-gate: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("perf-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
