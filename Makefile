@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
 
-.PHONY: test bench bench-gate lint smoke smoke-service docs-check clean
+.PHONY: test bench bench-gate eval-gate lint smoke smoke-service docs-check clean
 
 ## tier-1: the suite the driver enforces (ROADMAP.md)
 test:
@@ -24,6 +24,15 @@ bench:
 ## margins where runs are cross-machine/cross-interpreter (CI).
 bench-gate:
 	$(PYTHON) tools/perf_gate.py $(BENCH_GATE_FLAGS)
+
+## accuracy gate: re-run the paper's §5 evaluation (fixed scale/seed,
+## fully deterministic) and compare against the committed
+## BENCH_eval_accuracy.json trajectory (fails if B-Side's recall drops
+## below the recorded baseline, if any validation app shows a false
+## negative, or if a baseline tool's F1 beats B-Side's); see
+## docs/evaluation.md.
+eval-gate:
+	$(PYTHON) tools/accuracy_gate.py $(EVAL_GATE_FLAGS)
 
 ## fast syntax/bytecode check (no third-party linters in this environment)
 lint:
@@ -44,6 +53,8 @@ smoke:
 	$(PYTHON) -m repro.cli fleet $(SMOKE_DIR)/corpus/bin \
 		--libdir $(SMOKE_DIR)/corpus/lib \
 		--cache-dir $(SMOKE_DIR)/cache --workers 2 || test $$? -eq 1
+	@echo "--- tool comparison (repro.eval) ---"
+	$(PYTHON) examples/compare_tools.py
 	rm -rf $(SMOKE_DIR)
 
 ## end-to-end: drive the service API (spins an ephemeral in-process

@@ -1,56 +1,27 @@
 #!/usr/bin/env python3
 """Scenario: choosing an identification tool for a mixed binary fleet.
 
-Runs B-Side, Chestnut and SysFilter side by side over a slice of the
-Debian-like corpus and prints, per binary class, who even *completes*, how
-tight the resulting policies are, and what each tool's failure mode looks
-like — a miniature of the paper's Table 2 narrative.
+Runs the evaluation subsystem (`repro.eval` — the same engine behind
+`bside eval` and the CI accuracy gate) over the six validation apps and
+a slice of the Debian-like corpus, and prints the paper's Table 1/2
+layout: who even *completes*, how tight the resulting policies are, and
+what each tool's failure mode looks like.
 
 Run:  python examples/compare_tools.py
 """
 
-import statistics
-from collections import Counter
-
-from repro.baselines import ChestnutAnalyzer, SysFilterAnalyzer
-from repro.core import BSideAnalyzer
-from repro.corpus import make_debian_corpus
+from repro.eval import EvalConfig, run_eval
 
 
 def main() -> None:
-    corpus = make_debian_corpus(scale=0.2, seed=42)
-    resolver = corpus.make_resolver()
-    tools = {
-        "b-side": BSideAnalyzer(resolver=resolver),
-        "chestnut": ChestnutAnalyzer(resolver),
-        "sysfilter": SysFilterAnalyzer(resolver),
-    }
-    print(f"fleet: {len(corpus.binaries)} binaries "
-          f"({len(corpus.static_binaries)} static, "
-          f"{len(corpus.dynamic_binaries)} dynamic), "
-          f"{len(corpus.libraries)} shared libraries\n")
-
-    for tool_name, analyzer in tools.items():
-        reports = [(b, analyzer.analyze(b.image)) for b in corpus.binaries]
-        ok = [r for __, r in reports if r.success]
-        sizes = [len(r.syscalls) for r in ok]
-        reasons = Counter(
-            r.failure_stage for __, r in reports if not r.success
-        )
-        print(f"=== {tool_name} ===")
-        print(f"  completed {len(ok)}/{len(reports)}")
-        if sizes:
-            print(f"  identified syscalls: median {statistics.median(sizes):.0f}, "
-                  f"min {min(sizes)}, max {max(sizes)}")
-        if reasons:
-            top = ", ".join(f"{stage or 'load'}: {n}" for stage, n in reasons.most_common())
-            print(f"  failure modes: {top}")
-        print()
-
-    print("reading: B-Side completes broadly with the tightest policies;")
-    print("Chestnut survives dynamic binaries but its fallback allows ~270;")
-    print("SysFilter only handles PIC binaries with unwind info, and misses")
-    print("wrapper-made syscalls silently on those it does handle.")
+    report = run_eval(EvalConfig(scale=0.1, seed=42))
+    print(report.to_text())
+    print()
+    print("reading: B-Side completes broadly with the tightest policies")
+    print("and zero false negatives; Chestnut survives dynamic binaries")
+    print("but its fallback allows ~275; SysFilter only handles PIC")
+    print("binaries with unwind info, and misses wrapper-made syscalls")
+    print("silently on those it does handle.")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,14 @@ Commands
 ``cache {stats,clear,prune} --cache-dir DIR [--kind K]``
     Inspect or maintain the content-addressed artifact cache.
 
+``eval [--scale S] [--seed N] [--tools LIST] [--workers N] [--json |
+--markdown] [--apps-only] [--cache-dir DIR] [--no-cache]
+[--trajectory PATH] [--label L] [--no-record]``
+    Reproduce the paper's §5 accuracy tables: emulated ground truth,
+    all four tools over the validation apps and the corpus, and an
+    append-only record in ``BENCH_eval_accuracy.json`` (see
+    ``docs/evaluation.md``).
+
 ``docker-profile <binary> [--libdir DIR]``
     Emit an OCI/Docker seccomp JSON profile for the binary.
 
@@ -299,6 +307,71 @@ def cmd_cache(args) -> int:
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
+def cmd_eval(args) -> int:
+    from .eval import TOOL_BSIDE, EvalConfig, parse_tools, run_eval
+    from .perf import (
+        ACCURACY_PATH,
+        ACCURACY_WORKLOAD,
+        ROLE_ACCURACY,
+        load_trajectory,
+        save_trajectory,
+    )
+
+    try:
+        tools = parse_tools(args.tools)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = run_eval(EvalConfig(
+        scale=args.scale,
+        seed=args.seed,
+        tools=tools,
+        workers=args.workers,
+        cache_dir=_cache_dir(args),
+        include_corpus=not args.apps_only,
+    ))
+    record = report.to_record()
+    # Validity check (the paper's disqualifying failure): when B-Side
+    # was evaluated it must complete the validation apps with zero
+    # false negatives.  min_recall aggregates to 0.0 over an empty
+    # completed set, so "completed nothing" also violates.
+    bside = record["tools"].get(TOOL_BSIDE)
+    invalid = bside is not None and bside["min_recall"] < 1.0
+    recorded = None
+    if not args.no_record and not invalid:
+        # An invalid run is never recorded: the trajectory's latest
+        # comparable entry is the accuracy gate's recall floor and the
+        # README's results source, and a regression must not become
+        # its own baseline.
+        path = args.trajectory or ACCURACY_PATH
+        try:
+            trajectory = load_trajectory(path, workload=ACCURACY_WORKLOAD)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        label = args.label or f"scale{args.scale:g}-seed{args.seed}"
+        trajectory.append(record, label=label, role=ROLE_ACCURACY)
+        save_trajectory(trajectory, path)
+        recorded = (label, path)
+    if args.json:
+        print(report.to_json())
+    elif args.markdown:
+        print(report.to_markdown())
+    else:
+        print(report.to_text())
+        if recorded is not None:
+            print(f"\nrecorded entry '{recorded[0]}' in {recorded[1]}")
+    if invalid:
+        print(
+            f"error: validity violation — B-Side min per-app recall "
+            f"{bside['min_recall']:.4f} < 1.0 over "
+            f"{bside['completed_apps']}/{bside['apps']} completed apps; "
+            f"run not recorded", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .emu import run_traced
 
@@ -469,6 +542,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2024)
     p.set_defaults(func=cmd_corpus_generate)
 
+    p = sub.add_parser("eval",
+                       help="reproduce the paper's accuracy tables")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="corpus scale factor (1.0 = the 557-binary "
+                        "population)")
+    p.add_argument("--seed", type=int, default=2024,
+                   help="corpus generation seed")
+    p.add_argument("--tools",
+                   help="comma list of tools to evaluate: "
+                        "b-side,chestnut,sysfilter,naive (default: all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the B-Side corpus sweep")
+    p.add_argument("--json", action="store_true",
+                   help="print the full EvalReport JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="print the Markdown tables (the docs rendering)")
+    p.add_argument("--apps-only", action="store_true",
+                   help="skip the corpus sweep (validation apps only)")
+    p.add_argument("--trajectory",
+                   help="accuracy trajectory file "
+                        "(default: BENCH_eval_accuracy.json at the repo "
+                        "root)")
+    p.add_argument("--label",
+                   help="label for the recorded trajectory entry "
+                        "(default: scale<S>-seed<N>)")
+    p.add_argument("--no-record", action="store_true",
+                   help="do not append this run to the trajectory")
+    cache_flags(p)
+    p.set_defaults(func=cmd_eval)
+
     p = sub.add_parser("trace", help="run under the emulator and trace")
     p.add_argument("binary")
     p.add_argument("--inputs", default="")
@@ -540,7 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = cache_sub.add_parser("prune", help="delete one artifact kind")
     p.add_argument("--cache-dir", required=True)
     p.add_argument("--kind", required=True,
-                   choices=["iface", "cfg", "wrappers", "report"])
+                   choices=["iface", "cfg", "wrappers", "report", "gtruth"])
     p.set_defaults(func=cmd_cache)
 
     return parser

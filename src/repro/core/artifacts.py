@@ -13,6 +13,8 @@ iface     a library's §4.5 :class:`SharedInterface` JSON
 cfg       a binary's recovered-CFG summary (:meth:`CFG.summary`)
 wrappers  a binary's confirmed wrapper table (entry → parameter)
 report    a binary's full :class:`AnalysisReport` JSON
+gtruth    a binary's emulated ground-truth syscall set (§5.1),
+          keyed by the input-vector suite it was traced under
 ========  ====================================================
 
 Every entry is keyed defensively by four components:
@@ -54,6 +56,7 @@ ARTIFACT_KINDS: dict[str, str] = {
     "cfg": "cfg_summary",
     "wrappers": "wrapper_table",
     "report": "report",
+    "gtruth": "ground_truth",
 }
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")

@@ -272,6 +272,7 @@ class FleetAnalyzer:
         interface_store: InterfaceStore | None = None,
         artifact_store: ArtifactStore | None = None,
         on_entry=None,
+        analyzer=None,
     ):
         self.resolver = resolver if resolver is not None else LibraryResolver()
         self.budget = budget if budget is not None else AnalysisBudget()
@@ -288,24 +289,33 @@ class FleetAnalyzer:
         self.artifacts = artifact_store
         if self.artifacts is None and cache_dir is not None:
             self.artifacts = ArtifactStore(cache_dir)
-        if interface_store is None:
-            interface_store = (
-                PersistentInterfaceStore(store=self.artifacts)
-                if self.artifacts is not None
-                else InterfaceStore()
+        if analyzer is not None:
+            # Injected tool (a baseline analyzer, or a pre-configured
+            # BSideAnalyzer): anything exposing ``analyze(image) ->
+            # AnalysisReport``.  Capability-dependent phases degrade
+            # gracefully: interface warm-up and report-artifact traffic
+            # only run when the tool supports them, and process fan-out
+            # requires a BSideAnalyzer (whose config workers can rebuild).
+            self.analyzer = analyzer
+        else:
+            if interface_store is None:
+                interface_store = (
+                    PersistentInterfaceStore(store=self.artifacts)
+                    if self.artifacts is not None
+                    else InterfaceStore()
+                )
+            # NB: the fleet owns report-artifact traffic (phase 1), so the
+            # analyzer gets no artifact store of its own — per-binary
+            # lookups would otherwise be double-counted.
+            self.analyzer = BSideAnalyzer(
+                resolver=self.resolver,
+                budget=self.budget,
+                interface_store=interface_store,
             )
-        # NB: the fleet owns report-artifact traffic (phase 1), so the
-        # analyzer gets no artifact store of its own — per-binary lookups
-        # would otherwise be double-counted.
-        self.analyzer = BSideAnalyzer(
-            resolver=self.resolver,
-            budget=self.budget,
-            interface_store=interface_store,
-        )
 
     @property
-    def interfaces(self) -> InterfaceStore:
-        return self.analyzer.interfaces
+    def interfaces(self) -> InterfaceStore | None:
+        return getattr(self.analyzer, "interfaces", None)
 
     # ------------------------------------------------------------------
     # Phase 1: shared-library interfaces, leaves first
@@ -345,7 +355,12 @@ class FleetAnalyzer:
         store (workers receive them pre-computed via the pool
         initializer), so the store's hit/miss counters describe the
         entire run.
+
+        Tools without a shared-interface phase (the injected baseline
+        analyzers vacuum whole images per binary) have nothing to warm.
         """
+        if not hasattr(self.analyzer, "analyze_library"):
+            return 0
         schedule = self._library_schedule(images)
         for library in schedule:
             try:
@@ -382,7 +397,7 @@ class FleetAnalyzer:
 
     def analyze_images(self, images: list[LoadedImage]) -> FleetReport:
         report = FleetReport()
-        store0 = self.analyzer.interfaces
+        store0 = self.interfaces
         iface_before = (
             store0.stats() if isinstance(store0, PersistentInterfaceStore)
             else {}
@@ -440,7 +455,7 @@ class FleetAnalyzer:
                 self._store_entry(images[index], entry)
                 self._notify(index, entry)
         report.entries = entries  # type: ignore[assignment]
-        store = self.analyzer.interfaces
+        store = self.interfaces
         if isinstance(store, PersistentInterfaceStore):
             report.interface_stats = self._counter_delta(
                 store.stats(), iface_before,
@@ -467,7 +482,7 @@ class FleetAnalyzer:
         :meth:`ArtifactStore.find_name`).  The lookup is timed into the
         entry so service metrics show what a warm request actually cost.
         """
-        if self.artifacts is None:
+        if self.artifacts is None or not hasattr(self.analyzer, "load_cached_report"):
             return None
         started = time.perf_counter()
         report = self.analyzer.load_cached_report(image, store=self.artifacts)
@@ -479,7 +494,7 @@ class FleetAnalyzer:
         )
 
     def _store_entry(self, image: LoadedImage, entry: FleetEntry) -> None:
-        if self.artifacts is None:
+        if self.artifacts is None or not hasattr(self.analyzer, "store_report"):
             return
         self.analyzer.store_report(image, None, entry.report, store=self.artifacts)
 
@@ -495,7 +510,7 @@ class FleetAnalyzer:
         return FleetEntry(name=image.name, report=report, from_cache=True)
 
     def _analyze_one(self, image: LoadedImage) -> FleetEntry:
-        store = self.analyzer.interfaces
+        store = self.interfaces
         hits0 = getattr(store, "hits", 0)
         misses0 = getattr(store, "misses", 0)
         started = time.perf_counter()
@@ -511,6 +526,13 @@ class FleetAnalyzer:
     def _analyze_parallel(
         self, images: list[LoadedImage]
     ) -> list[FleetEntry] | None:
+        if not isinstance(self.analyzer, BSideAnalyzer):
+            logger.warning(
+                "fleet: injected analyzer %s cannot be rebuilt in worker "
+                "processes; falling back to serial analysis",
+                type(self.analyzer).__name__,
+            )
+            return None
         spec = self.resolver.spec()
         if spec is None:
             logger.warning(
@@ -521,7 +543,7 @@ class FleetAnalyzer:
             return None
         config = {
             "resolver": spec,
-            "budget": self.budget,
+            "budget": self.analyzer.budget,
             "interfaces": self.analyzer.interfaces.all_interfaces(),
             "detect_wrappers": self.analyzer.detect_wrappers,
             "directed_search": self.analyzer.directed_search,

@@ -1,0 +1,157 @@
+"""Ground-truth construction (§5.1): trace the test suite, cache the union.
+
+The paper's validation experiment defines ground truth as the union of
+system calls a program makes while its whole test suite — a list of
+input vectors — runs under instrumentation.  This module owns that
+step for the evaluation subsystem:
+
+* :func:`GroundTruthBuilder.ground_truth` runs every input vector of a
+  suite under the emulator (:func:`repro.emu.trace_test_suite`) and
+  returns the observed union;
+* with an :class:`~repro.core.artifacts.ArtifactStore` bound, the union
+  is persisted as a ``gtruth`` artifact keyed by the binary's content
+  hash, a fingerprint of the *input-vector suite* (plus emulator
+  parameters), and the dependency-closure hashes — so a re-run of the
+  evaluation performs **zero emulation** until the binary, its
+  libraries, or the suite itself changes.
+
+Emulator work is counted (:attr:`GroundTruthBuilder.emulated_runs`,
+:attr:`~GroundTruthBuilder.emulated_steps`) so callers — and the test
+suite — can assert the cache actually short-circuited execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.artifacts import ArtifactStore, fingerprint_doc
+from ..emu import trace_test_suite
+from ..errors import LoaderError
+from ..loader.image import LoadedImage
+from ..loader.resolve import LibraryResolver
+
+#: Bump when emulator behaviour changes in a way that invalidates
+#: previously-recorded ground truth (folded into the suite fingerprint).
+GTRUTH_SCHEMA = 1
+
+#: default per-run step ceiling (matches :func:`repro.emu.run_traced`)
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+@dataclass(slots=True)
+class GroundTruth:
+    """One binary's traced ground truth."""
+
+    #: union of syscall numbers observed across the whole suite
+    syscalls: set[int]
+    #: input vectors actually executed for this result (0 on a cache hit)
+    runs: int
+    #: emulator steps actually executed for this result (0 on a cache hit)
+    steps: int
+    #: True when the result was served from the ``gtruth`` artifact cache
+    from_cache: bool
+
+
+class GroundTruthBuilder:
+    """Build (and cache) emulated ground truth for evaluation subjects."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        *,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> None:
+        self.store = store
+        self.max_steps = max_steps
+        #: cumulative emulator work this builder actually performed
+        self.emulated_runs = 0
+        self.emulated_steps = 0
+
+    def suite_fingerprint(self, suite: list[tuple[int, ...]]) -> str:
+        """Digest of the input-vector set + emulator parameters.
+
+        Part of every ``gtruth`` artifact key: adding a vector to an
+        app's test suite (or changing the step budget / emulator schema)
+        invalidates exactly that app's recorded ground truth.
+        """
+        return fingerprint_doc({
+            "schema": GTRUTH_SCHEMA,
+            "max_steps": self.max_steps,
+            "suite": [list(vector) for vector in suite],
+        })
+
+    @staticmethod
+    def _dep_hashes(
+        image: LoadedImage,
+        resolver: LibraryResolver | None,
+        extra_images: list[LoadedImage],
+    ) -> list[str] | None:
+        """Content hashes of everything else mapped into the run.
+
+        ``None`` when the closure cannot be resolved: such a trace
+        depends on the local resolver environment and is not cacheable
+        (mirrors :meth:`BSideAnalyzer.dependency_hashes`).
+        """
+        hashes: set[str] = set()
+        try:
+            if image.needed:
+                if resolver is None:
+                    return None
+                for dep in resolver.topological_order(image):
+                    hashes.add(dep.content_hash)
+            for module in extra_images:
+                hashes.add(module.content_hash)
+                if module.needed and resolver is not None:
+                    for dep in resolver.topological_order(module):
+                        hashes.add(dep.content_hash)
+        except LoaderError:
+            return None
+        return sorted(hashes)
+
+    def ground_truth(
+        self,
+        image: LoadedImage,
+        suite: list[tuple[int, ...]],
+        resolver: LibraryResolver | None = None,
+        *,
+        extra_images: list[LoadedImage] | None = None,
+    ) -> GroundTruth:
+        """The union of syscalls observed across ``suite`` (cached)."""
+        extras = list(extra_images or [])
+        fingerprint = self.suite_fingerprint(suite)
+        deps = self._dep_hashes(image, resolver, extras)
+        cacheable = self.store is not None and deps is not None
+        if cacheable:
+            payload = self.store.get(
+                "gtruth", image.name,
+                content_hash=image.content_hash,
+                fingerprint=fingerprint,
+                dep_hashes=deps,
+            )
+            if payload is not None:
+                return GroundTruth(
+                    syscalls=set(payload["syscalls"]),
+                    runs=0, steps=0, from_cache=True,
+                )
+        union, runs = trace_test_suite(
+            image, list(suite), resolver,
+            extra_images=extras, max_steps=self.max_steps,
+        )
+        steps = sum(run.steps for run in runs)
+        self.emulated_runs += len(runs)
+        self.emulated_steps += steps
+        if cacheable:
+            self.store.put(
+                "gtruth", image.name,
+                {
+                    "syscalls": sorted(union),
+                    "runs": len(runs),
+                    "steps": steps,
+                },
+                content_hash=image.content_hash,
+                fingerprint=fingerprint,
+                dep_hashes=deps,
+            )
+        return GroundTruth(
+            syscalls=union, runs=len(runs), steps=steps, from_cache=False,
+        )

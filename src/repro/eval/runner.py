@@ -1,0 +1,166 @@
+"""The evaluation runner: reproduce §5.1/§5.2 end-to-end.
+
+One :func:`run_eval` call performs the paper's whole accuracy
+experiment:
+
+1. **Ground truth** — every validation app's input-vector suite runs
+   under the emulator via :class:`GroundTruthBuilder`; with a cache
+   directory the unions persist as ``gtruth`` artifacts, so re-runs
+   perform zero emulation.
+2. **App accuracy (Table 1)** — each requested tool analyzes each app
+   (B-Side with a generous budget and the app's dlopen modules, like
+   the paper's per-app runs) and is scored against the traced truth.
+3. **Corpus completion (Table 2)** — each tool sweeps the Debian-like
+   corpus at ``(scale, seed)`` through the fleet engine: B-Side runs as
+   the engine's native analyzer (report artifacts cached, worker
+   fan-out honoured); the baselines are injected analyzers, swept
+   serially through the same engine so failure accounting and entry
+   ordering are identical.
+
+The product is an :class:`EvalReport`; ``bside eval`` renders it and
+appends its :meth:`~EvalReport.to_record` to the accuracy trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core import AnalysisBudget
+from ..core.artifacts import ArtifactStore
+from ..core.fleet import FleetAnalyzer
+from ..corpus import APP_NAMES, build_app, make_debian_corpus
+from ..metrics import score
+from .groundtruth import GroundTruthBuilder
+from .report import SLICES, AppEval, AppToolResult, CorpusToolResult, EvalReport
+from .tools import ALL_TOOLS, TOOL_BSIDE, make_tool
+
+
+@dataclass
+class EvalConfig:
+    """Knobs of one evaluation run (the ``bside eval`` flags)."""
+
+    #: corpus scale factor (1.0 = the paper's 557-binary population)
+    scale: float = 1.0
+    #: corpus generation seed
+    seed: int = 2024
+    tools: tuple[str, ...] = ALL_TOOLS
+    #: worker processes for the B-Side corpus sweep (fleet fan-out)
+    workers: int = 1
+    #: artifact-cache directory for ``gtruth`` + B-Side ``report``
+    #: artifacts; ``None`` disables caching
+    cache_dir: str | None = None
+    #: skip the corpus sweep (apps-only runs: quick accuracy checks)
+    include_corpus: bool = True
+
+
+def _evaluate_apps(
+    config: EvalConfig, store: ArtifactStore | None, report: EvalReport,
+) -> None:
+    builder = GroundTruthBuilder(store=store)
+    for name in APP_NAMES:
+        bundle = build_app(name)
+        truth = builder.ground_truth(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        app_eval = AppEval(
+            app=name,
+            ground_truth=len(truth.syscalls),
+            gtruth_cached=truth.from_cache,
+        )
+        for tool_name in config.tools:
+            # Fresh per-app tool instances: the paper evaluates each app
+            # independently, and per-tool library caches keyed by name
+            # must not leak across apps that share a libc name.
+            tool = make_tool(
+                tool_name, bundle.resolver, budget=AnalysisBudget.generous(),
+            )
+            started = time.perf_counter()
+            if tool_name == TOOL_BSIDE:
+                outcome = tool.analyze(
+                    bundle.program.image, modules=bundle.module_images,
+                )
+            else:
+                outcome = tool.analyze(bundle.program.image)
+            seconds = time.perf_counter() - started
+            app_eval.results[tool_name] = AppToolResult(
+                tool=tool_name,
+                success=outcome.success,
+                failure_stage=outcome.failure_stage,
+                policy_size=len(outcome.syscalls),
+                score=(
+                    score(outcome.syscalls, truth.syscalls)
+                    if outcome.success else None
+                ),
+                seconds=seconds,
+            )
+        report.apps.append(app_eval)
+    report.emulated_runs = builder.emulated_runs
+    report.emulated_steps = builder.emulated_steps
+
+
+def _evaluate_corpus(
+    config: EvalConfig, store: ArtifactStore | None, report: EvalReport,
+) -> None:
+    corpus = make_debian_corpus(scale=config.scale, seed=config.seed)
+    resolver = corpus.make_resolver()
+    images = [binary.image for binary in corpus.binaries]
+    report.corpus_size = len(images)
+    slice_members = {
+        "all": [True] * len(corpus.binaries),
+        "static": [b.is_static for b in corpus.binaries],
+        "dynamic": [not b.is_static for b in corpus.binaries],
+    }
+    for tool_name in config.tools:
+        if tool_name == TOOL_BSIDE:
+            # Native fleet run: report artifacts cached, fan-out honoured.
+            fleet = FleetAnalyzer(
+                resolver=resolver,
+                budget=AnalysisBudget(),
+                workers=config.workers,
+                artifact_store=store,
+            )
+        else:
+            fleet = FleetAnalyzer(
+                resolver=resolver,
+                analyzer=make_tool(tool_name, resolver),
+            )
+        started = time.perf_counter()
+        fleet_report = fleet.analyze_images(images)
+        seconds = time.perf_counter() - started
+        sweep = CorpusToolResult(tool=tool_name, seconds=seconds)
+        for slice_name in SLICES:
+            members = slice_members[slice_name]
+            sub = [
+                entry for entry, member
+                in zip(fleet_report.entries, members) if member
+            ]
+            ok = [e for e in sub if e.report.success]
+            avg = (
+                sum(len(e.report.syscalls) for e in ok) / len(ok)
+                if ok else 0.0
+            )
+            sweep.slices[slice_name] = (
+                len(ok), len(sub) - len(ok), avg, len(sub),
+            )
+        sweep.failure_stages = fleet_report.failure_stages()
+        report.corpus[tool_name] = sweep
+
+
+def run_eval(config: EvalConfig | None = None) -> EvalReport:
+    """Run the full evaluation and return its :class:`EvalReport`."""
+    config = config if config is not None else EvalConfig()
+    store = (
+        ArtifactStore(config.cache_dir)
+        if config.cache_dir is not None else None
+    )
+    report = EvalReport(
+        scale=config.scale, seed=config.seed, tools=tuple(config.tools),
+    )
+    started = time.perf_counter()
+    _evaluate_apps(config, store, report)
+    if config.include_corpus:
+        _evaluate_corpus(config, store, report)
+    report.seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,61 @@
+"""The tool registry: B-Side + the three baseline configurations.
+
+One place maps the evaluation's tool names onto analyzer factories so
+the runner, the CLI (``bside eval --tools``), and the accuracy gate all
+agree on what "the four tools" are.  Every tool exposes the same
+surface: ``analyze(image) -> AnalysisReport`` (B-Side additionally
+accepts dlopen-style ``modules``, which the runner forwards).
+"""
+
+from __future__ import annotations
+
+from ..baselines import ChestnutAnalyzer, NaiveAnalyzer, SysFilterAnalyzer
+from ..core import AnalysisBudget, BSideAnalyzer
+from ..loader.resolve import LibraryResolver
+
+TOOL_BSIDE = "b-side"
+
+#: evaluation order — B-Side first, then the baselines (Table 1 layout)
+ALL_TOOLS: tuple[str, ...] = (TOOL_BSIDE, "chestnut", "sysfilter", "naive")
+
+
+def make_tool(
+    name: str,
+    resolver: LibraryResolver,
+    *,
+    budget: AnalysisBudget | None = None,
+):
+    """Instantiate one evaluation tool over ``resolver``.
+
+    ``budget`` only applies to B-Side (the baselines are unbudgeted by
+    design, matching §3's characterisation); the validation-app pass
+    uses a generous budget like the paper's per-app runs, while the
+    corpus sweep uses the default budget so the hard binaries reproduce
+    Table 2's timeout population.
+    """
+    if name == TOOL_BSIDE:
+        return BSideAnalyzer(resolver=resolver, budget=budget)
+    if name == "chestnut":
+        return ChestnutAnalyzer(resolver)
+    if name == "sysfilter":
+        return SysFilterAnalyzer(resolver)
+    if name == "naive":
+        return NaiveAnalyzer(resolver)
+    raise ValueError(
+        f"unknown evaluation tool {name!r} (known: {', '.join(ALL_TOOLS)})"
+    )
+
+
+def parse_tools(spec: str | None) -> tuple[str, ...]:
+    """Parse a ``--tools`` comma list; ``None``/empty means all four."""
+    if not spec:
+        return ALL_TOOLS
+    requested = tuple(part.strip() for part in spec.split(",") if part.strip())
+    for name in requested:
+        if name not in ALL_TOOLS:
+            raise ValueError(
+                f"unknown evaluation tool {name!r} "
+                f"(known: {', '.join(ALL_TOOLS)})"
+            )
+    # Preserve canonical order regardless of how the user listed them.
+    return tuple(name for name in ALL_TOOLS if name in requested)

@@ -20,6 +20,9 @@ See ``docs/performance.md`` for the workflow.
 
 from .coldbench import measure_cold_kernel
 from .trajectory import (
+    ACCURACY_PATH,
+    ACCURACY_WORKLOAD,
+    ROLE_ACCURACY,
     Trajectory,
     gate_measurement,
     load_trajectory,
@@ -27,6 +30,9 @@ from .trajectory import (
 )
 
 __all__ = [
+    "ACCURACY_PATH",
+    "ACCURACY_WORKLOAD",
+    "ROLE_ACCURACY",
     "Trajectory",
     "gate_measurement",
     "load_trajectory",

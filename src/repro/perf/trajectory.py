@@ -1,11 +1,24 @@
-"""The ``BENCH_cold_kernel.json`` trajectory: records + gates.
+"""Benchmark trajectories: append-only measurement histories + gates.
 
-A *trajectory* is the append-only history of cold-kernel measurements
-across PRs::
+A *trajectory* is the append-only history of measurements across PRs::
 
     {"schema": 1, "workload": "cold-kernel-v1", "entries": [
         {"label": "pre-pr4-seed", "role": "pre-opt-baseline", ...},
         {"label": "pr4-optimized", "role": "optimized", ...}]}
+
+Two trajectories are committed at the repository root:
+
+* ``BENCH_cold_kernel.json`` (workload ``cold-kernel-v1``) — cold
+  per-binary analysis wall time, gated by :func:`gate_measurement`
+  below (``tools/perf_gate.py``);
+* ``BENCH_eval_accuracy.json`` (workload ``eval-accuracy-v1``) — the
+  paper's §5 accuracy reproduction (per-tool precision/recall/F1 over
+  the validation apps + corpus completion), recorded by ``bside eval``
+  and gated by :func:`repro.eval.gate.gate_accuracy`
+  (``tools/accuracy_gate.py``).
+
+Both share this module's schema, file format, and load/append/save
+machinery; only the per-entry record shape and the gate differ.
 
 Each entry is one :func:`repro.perf.coldbench.measure_cold_kernel`
 record plus a ``label`` and a ``role``:
@@ -29,15 +42,20 @@ from dataclasses import dataclass, field
 
 SCHEMA = 1
 
-#: default trajectory location: the repository root
-DEFAULT_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))))),
-    "BENCH_cold_kernel.json",
-)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+
+#: default cold-kernel trajectory location: the repository root
+DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_cold_kernel.json")
+
+#: the accuracy trajectory (``bside eval`` / ``tools/accuracy_gate.py``)
+ACCURACY_PATH = os.path.join(_REPO_ROOT, "BENCH_eval_accuracy.json")
+ACCURACY_WORKLOAD = "eval-accuracy-v1"
 
 ROLE_PRE = "pre-opt-baseline"
 ROLE_OPTIMIZED = "optimized"
+#: role of every accuracy-trajectory entry
+ROLE_ACCURACY = "accuracy"
 
 
 @dataclass
@@ -75,19 +93,36 @@ class Trajectory:
         }
 
 
-def load_trajectory(path: str = DEFAULT_PATH) -> Trajectory:
-    """Load a trajectory file; an absent file is an empty trajectory."""
+def load_trajectory(
+    path: str = DEFAULT_PATH, workload: str | None = None,
+) -> Trajectory:
+    """Load a trajectory file; an absent file is an empty trajectory.
+
+    ``workload`` names the trajectory the caller expects: it labels a
+    freshly-created (absent-file) trajectory and is *validated* against
+    an existing file — appending accuracy records to the cold-kernel
+    file (or vice versa) would poison the other gate's baseline, so a
+    mismatch raises instead.  ``None`` accepts any workload
+    (introspection-only callers).
+    """
     if not os.path.exists(path):
-        return Trajectory()
+        return Trajectory(workload=workload or "cold-kernel-v1")
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != SCHEMA:
         raise ValueError(
             f"{path}: unsupported trajectory schema {doc.get('schema')!r}"
         )
+    recorded = doc.get("workload", "cold-kernel-v1")
+    if workload is not None and recorded != workload:
+        raise ValueError(
+            f"{path}: trajectory records workload {recorded!r}, "
+            f"expected {workload!r} — refusing to mix measurement kinds "
+            f"in one file"
+        )
     return Trajectory(
         entries=list(doc.get("entries", [])),
-        workload=doc.get("workload", "cold-kernel-v1"),
+        workload=recorded,
     )
 
 

@@ -1,0 +1,529 @@
+"""The evaluation subsystem (`repro.eval`): ground truth, scoring,
+rendering, trajectory gating, and the `bside eval` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.baselines import ChestnutAnalyzer
+from repro.cli import main as cli_main
+from repro.core.artifacts import ArtifactStore
+from repro.core.fleet import FleetAnalyzer
+from repro.corpus import build_app, make_debian_corpus
+from repro.eval import (
+    ALL_TOOLS,
+    AppEval,
+    AppToolResult,
+    EvalConfig,
+    EvalReport,
+    GroundTruthBuilder,
+    gate_accuracy,
+    parse_tools,
+    render_results_markdown,
+    run_eval,
+)
+from repro.metrics import Score
+from repro.perf import ACCURACY_WORKLOAD, load_trajectory
+
+SCALE = 0.05
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def small_eval() -> EvalReport:
+    """One small full evaluation, shared across rendering tests."""
+    return run_eval(EvalConfig(scale=SCALE, seed=SEED))
+
+
+# ----------------------------------------------------------------------
+# Ground truth
+# ----------------------------------------------------------------------
+
+
+class TestGroundTruthCaching:
+    def test_second_run_performs_zero_emulation(self, tmp_path):
+        bundle = build_app("sqlite")
+        store = ArtifactStore(str(tmp_path))
+        cold = GroundTruthBuilder(store=store)
+        first = cold.ground_truth(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        assert not first.from_cache
+        assert first.runs == len(bundle.suite)
+        assert first.steps > 0
+        assert cold.emulated_runs == len(bundle.suite)
+
+        warm = GroundTruthBuilder(store=store)
+        second = warm.ground_truth(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        assert second.from_cache
+        assert second.syscalls == first.syscalls
+        assert (second.runs, second.steps) == (0, 0)
+        assert warm.emulated_runs == 0 and warm.emulated_steps == 0
+        assert store.counters("gtruth")["hits"] == 1
+
+    def test_truth_matches_spec_runtime_syscalls(self):
+        bundle = build_app("redis")
+        truth = GroundTruthBuilder().ground_truth(
+            bundle.program.image, bundle.suite, bundle.resolver,
+            extra_images=bundle.module_images,
+        )
+        assert truth.syscalls == bundle.expected_runtime_syscalls()
+
+    def test_changed_suite_invalidates(self, tmp_path):
+        bundle = build_app("memcached")
+        store = ArtifactStore(str(tmp_path))
+        builder = GroundTruthBuilder(store=store)
+        builder.ground_truth(
+            bundle.program.image, bundle.suite, bundle.resolver,
+        )
+        # A shrunk suite is a different vector set: it must re-emulate
+        # (and observe fewer syscalls), not serve the full-suite union.
+        partial = builder.ground_truth(
+            bundle.program.image, bundle.suite[:1], bundle.resolver,
+        )
+        assert not partial.from_cache
+        full = bundle.expected_runtime_syscalls()
+        assert partial.syscalls < full
+
+    def test_uncacheable_without_resolver_closure(self, tmp_path):
+        bundle = build_app("nginx")  # dynamic: needs libc via resolver
+        store = ArtifactStore(str(tmp_path))
+        builder = GroundTruthBuilder(store=store)
+        fingerprint = builder.suite_fingerprint(bundle.suite)
+        assert builder._dep_hashes(bundle.program.image, None, []) is None
+        assert fingerprint != builder.suite_fingerprint(bundle.suite[:1])
+
+
+# ----------------------------------------------------------------------
+# Aggregation math
+# ----------------------------------------------------------------------
+
+
+def _synthetic_report() -> EvalReport:
+    report = EvalReport(scale=0.1, seed=7, tools=("b-side", "chestnut"))
+    scores = {
+        "a": {
+            "b-side": Score(8, 2, 0),     # P=0.8  R=1.0
+            "chestnut": Score(6, 14, 2),  # P=0.3  R=0.75
+        },
+        "b": {
+            "b-side": Score(9, 1, 0),     # P=0.9  R=1.0
+            "chestnut": None,             # failed
+        },
+    }
+    for app, per_tool in scores.items():
+        app_eval = AppEval(app=app, ground_truth=10)
+        for tool, s in per_tool.items():
+            app_eval.results[tool] = AppToolResult(
+                tool=tool,
+                success=s is not None,
+                failure_stage=None if s is not None else "binalyzer",
+                policy_size=(
+                    s.true_positives + s.false_positives
+                    if s is not None else 0
+                ),
+                score=s,
+            )
+        report.apps.append(app_eval)
+    return report
+
+
+class TestAggregation:
+    def test_means_over_completed_apps_only(self):
+        agg = _synthetic_report().aggregates()
+        bside = agg["b-side"]
+        assert bside["completed_apps"] == 2
+        assert bside["precision"] == round((0.8 + 0.9) / 2, 4)
+        assert bside["recall"] == 1.0
+        assert bside["min_recall"] == 1.0
+        assert bside["valid_apps"] == 2
+        assert bside["avg_policy"] == 10.0
+        chestnut = agg["chestnut"]
+        assert chestnut["completed_apps"] == 1  # the failure is excluded
+        assert chestnut["precision"] == 0.3
+        assert chestnut["min_recall"] == 0.75
+        assert chestnut["valid_apps"] == 0
+
+    def test_empty_tool_aggregates_are_zero(self):
+        report = EvalReport(scale=1.0, seed=1, tools=("sysfilter",))
+        agg = report.aggregates()["sysfilter"]
+        assert agg["completed_apps"] == 0
+        assert agg["f1"] == 0.0 and agg["min_recall"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Rendering stability
+# ----------------------------------------------------------------------
+
+
+class TestRendering:
+    def test_deterministic_json_across_runs(self, small_eval):
+        again = run_eval(EvalConfig(scale=SCALE, seed=SEED))
+        assert (
+            small_eval.to_json(include_runtime=False)
+            == again.to_json(include_runtime=False)
+        )
+        assert small_eval.to_markdown() == again.to_markdown()
+        assert small_eval.to_text() == again.to_text()
+
+    def test_runtime_fields_are_separable(self, small_eval):
+        doc = json.loads(small_eval.to_json(include_runtime=False))
+        assert "seconds" not in doc
+        assert "seconds" not in doc["apps"][0]["tools"]["b-side"]
+        full = json.loads(small_eval.to_json())
+        assert "seconds" in full and "emulated_runs" in full
+
+    def test_results_table_round_trips_through_record(self, small_eval):
+        # The README drift check renders the committed trajectory entry;
+        # it must equal what the live report embeds.
+        record = small_eval.to_record()
+        assert small_eval.results_table() == render_results_markdown(record)
+        # JSON round-trip (what the trajectory file actually stores)
+        reparsed = json.loads(json.dumps(record))
+        assert render_results_markdown(reparsed) == small_eval.results_table()
+
+    def test_markdown_contains_all_layouts(self, small_eval):
+        md = small_eval.to_markdown()
+        assert "paper Table 1" in md and "paper Table 2" in md
+        assert "| **b-side** |" in md
+        for tool in ALL_TOOLS:
+            assert tool in md
+
+
+# ----------------------------------------------------------------------
+# The pinned small-scale evaluation (acceptance shape)
+# ----------------------------------------------------------------------
+
+
+class TestPinnedSmallScaleEval:
+    def test_bside_recall_is_perfect_on_completed_apps(self, small_eval):
+        agg = small_eval.aggregates()["b-side"]
+        assert agg["completed_apps"] == 6
+        assert agg["min_recall"] == 1.0
+        assert agg["valid_apps"] == 6
+
+    def test_bside_f1_beats_every_baseline(self, small_eval):
+        agg = small_eval.aggregates()
+        for tool in ("chestnut", "sysfilter", "naive"):
+            assert agg["b-side"]["f1"] >= agg[tool]["f1"]
+
+    def test_corpus_population_shape(self, small_eval):
+        agg = small_eval.aggregates()
+        assert small_eval.corpus_size > 0
+        # B-Side completes most of the corpus; SysFilter's compatibility
+        # wall keeps it far below; Chestnut's policies are the loosest.
+        bside = agg["b-side"]
+        assert bside["corpus_success"] / bside["corpus_total"] > 0.6
+        sysfilter = agg["sysfilter"]
+        assert sysfilter["corpus_success"] < bside["corpus_success"]
+        assert (
+            agg["chestnut"]["corpus_avg_syscalls"]
+            > bside["corpus_avg_syscalls"]
+        )
+
+    def test_failure_modes_recorded(self, small_eval):
+        assert small_eval.corpus["sysfilter"].failure_stages.get(
+            "compatibility", 0,
+        ) > 0
+
+    def test_warm_rerun_does_zero_emulation(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = run_eval(EvalConfig(
+            scale=SCALE, seed=SEED, cache_dir=cache, include_corpus=False,
+        ))
+        assert cold.emulated_runs > 0
+        warm = run_eval(EvalConfig(
+            scale=SCALE, seed=SEED, cache_dir=cache, include_corpus=False,
+        ))
+        assert warm.emulated_runs == 0 and warm.emulated_steps == 0
+        assert all(app.gtruth_cached for app in warm.apps)
+        assert (
+            cold.to_json(include_runtime=False)
+            == warm.to_json(include_runtime=False)
+        )
+
+
+# ----------------------------------------------------------------------
+# The accuracy gate
+# ----------------------------------------------------------------------
+
+
+def _record(bside_f1=0.84, bside_recall=1.0, min_recall=1.0,
+            baseline_f1=0.68) -> dict:
+    return {
+        "scale": 0.2, "seed": 42, "apps": 6, "corpus_binaries": 111,
+        "tools": {
+            "b-side": {
+                "apps": 6, "completed_apps": 6, "valid_apps": 6,
+                "precision": 0.73, "recall": bside_recall,
+                "f1": bside_f1, "min_recall": min_recall,
+                "avg_policy": 81.0,
+            },
+            "sysfilter": {
+                "apps": 6, "completed_apps": 6, "valid_apps": 0,
+                "precision": 0.56, "recall": 0.88,
+                "f1": baseline_f1, "min_recall": 0.79,
+                "avg_policy": 93.0,
+            },
+        },
+    }
+
+
+class TestAccuracyGate:
+    def _trajectory(self, record=None):
+        from repro.perf import Trajectory
+
+        trajectory = Trajectory(workload=ACCURACY_WORKLOAD)
+        if record is not None:
+            trajectory.append(record, label="base", role="accuracy")
+        return trajectory
+
+    def test_pass_path(self):
+        result = gate_accuracy(_record(), self._trajectory(_record()))
+        assert result.ok and not result.problems
+        assert result.baseline_label == "base"
+
+    def test_validity_violation_fails(self):
+        result = gate_accuracy(
+            _record(min_recall=0.98), self._trajectory(_record()),
+        )
+        assert not result.ok
+        assert any("validity" in p for p in result.problems)
+
+    def test_recall_drop_below_recorded_baseline_fails(self):
+        result = gate_accuracy(
+            _record(bside_recall=0.99, min_recall=1.0),
+            self._trajectory(_record(bside_recall=1.0)),
+        )
+        assert not result.ok
+        assert any("recall regression" in p for p in result.problems)
+
+    def test_recall_slack_tolerates_small_drop(self):
+        result = gate_accuracy(
+            _record(bside_recall=0.99),
+            self._trajectory(_record(bside_recall=1.0)),
+            recall_slack=0.02,
+        )
+        assert result.ok
+
+    def test_baseline_beating_bside_f1_fails(self):
+        result = gate_accuracy(
+            _record(bside_f1=0.60, baseline_f1=0.68),
+            self._trajectory(_record()),
+        )
+        assert not result.ok
+        assert any("ordering violation" in p for p in result.problems)
+
+    def test_empty_trajectory_fails_unless_seeding(self):
+        result = gate_accuracy(_record(), self._trajectory())
+        assert not result.ok
+        seeded = gate_accuracy(
+            _record(), self._trajectory(), require_baseline=False,
+        )
+        assert seeded.ok
+
+    def test_record_without_bside_fails(self):
+        record = _record()
+        del record["tools"]["b-side"]
+        result = gate_accuracy(record, self._trajectory(_record()))
+        assert not result.ok
+
+    def test_floor_only_compares_same_workload_entries(self):
+        # A full-scale (or apps-only) record in the trajectory must not
+        # become the CI workload's baseline: only same-(scale, seed)
+        # entries are comparable.
+        trajectory = self._trajectory()
+        other = _record(bside_recall=1.0)
+        other["scale"], other["seed"] = 1.0, 2024
+        trajectory.append(other, label="full-scale", role="accuracy")
+        result = gate_accuracy(_record(bside_recall=0.99), trajectory)
+        assert not result.ok
+        assert any("no comparable baseline" in p for p in result.problems)
+        # Shape-incomplete records at the right workload are skipped
+        # too: an --apps-only run (no corpus) or a --tools subset
+        # without b-side cannot anchor the floor or the README table.
+        apps_only = _record(bside_recall=1.0)
+        apps_only["corpus_binaries"] = 0
+        trajectory.append(apps_only, label="apps-only", role="accuracy")
+        no_bside = _record()
+        del no_bside["tools"]["b-side"]
+        trajectory.append(no_bside, label="no-bside", role="accuracy")
+        still = gate_accuracy(_record(bside_recall=0.99), trajectory)
+        assert not still.ok
+        # With a matching entry present, the incomparable ones are
+        # ignored and the latest *comparable* entry is the floor.
+        trajectory.append(
+            _record(bside_recall=0.99), label="comparable", role="accuracy",
+        )
+        ok = gate_accuracy(_record(bside_recall=0.99), trajectory)
+        assert ok.ok and ok.baseline_label == "comparable"
+
+    def test_committed_trajectory_gates_clean(self):
+        # The committed baseline must accept its own numbers: the
+        # repo-root trajectory's latest entry gated against itself.
+        trajectory = load_trajectory(
+            os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_eval_accuracy.json"),
+            workload=ACCURACY_WORKLOAD,
+        )
+        assert trajectory.baseline is not None
+        assert gate_accuracy(trajectory.baseline, trajectory).ok
+
+
+class TestTrajectoryWorkloadValidation:
+    def test_mismatch_raises_and_none_accepts_any(self, tmp_path):
+        from repro.perf import Trajectory, save_trajectory
+
+        path = str(tmp_path / "t.json")
+        save_trajectory(Trajectory(workload=ACCURACY_WORKLOAD), path)
+        with pytest.raises(ValueError, match="workload"):
+            load_trajectory(path, workload="cold-kernel-v1")
+        assert load_trajectory(path).workload == ACCURACY_WORKLOAD
+        loaded = load_trajectory(path, workload=ACCURACY_WORKLOAD)
+        assert loaded.workload == ACCURACY_WORKLOAD
+
+    def test_absent_file_takes_requested_workload(self, tmp_path):
+        loaded = load_trajectory(
+            str(tmp_path / "missing.json"), workload=ACCURACY_WORKLOAD,
+        )
+        assert loaded.workload == ACCURACY_WORKLOAD
+        assert loaded.entries == []
+
+
+# ----------------------------------------------------------------------
+# Tool registry + fleet injection
+# ----------------------------------------------------------------------
+
+
+class TestToolsAndFleetInjection:
+    def test_parse_tools(self):
+        assert parse_tools(None) == ALL_TOOLS
+        assert parse_tools("naive, b-side") == ("b-side", "naive")
+        with pytest.raises(ValueError):
+            parse_tools("b-side,angr")
+
+    def test_injected_analyzer_sweeps_through_fleet(self):
+        corpus = make_debian_corpus(scale=SCALE, seed=SEED)
+        resolver = corpus.make_resolver()
+        fleet = FleetAnalyzer(
+            resolver=resolver, analyzer=ChestnutAnalyzer(resolver),
+        )
+        assert fleet.interfaces is None
+        images = [b.image for b in corpus.binaries[:6]]
+        assert fleet.warm_interfaces(images) == 0
+        report = fleet.analyze_images(images)
+        assert len(report.entries) == len(images)
+        direct = ChestnutAnalyzer(resolver)
+        for image, entry in zip(images, report.entries):
+            assert entry.report.syscalls == direct.analyze(image).syscalls
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestEvalCli:
+    def test_eval_json_and_trajectory_append(self, tmp_path, capsys):
+        trajectory_path = str(tmp_path / "traj.json")
+        status = cli_main([
+            "eval", "--scale", str(SCALE), "--seed", str(SEED),
+            "--json", "--trajectory", trajectory_path, "--label", "t1",
+        ])
+        assert status == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["aggregates"]["b-side"]["min_recall"] == 1.0
+        trajectory = load_trajectory(
+            trajectory_path, workload=ACCURACY_WORKLOAD,
+        )
+        assert trajectory.workload == ACCURACY_WORKLOAD
+        assert [e["label"] for e in trajectory.entries] == ["t1"]
+        # Append-only: a second run adds a second entry.
+        assert cli_main([
+            "eval", "--scale", str(SCALE), "--seed", str(SEED),
+            "--json", "--trajectory", trajectory_path, "--label", "t2",
+            "--apps-only",
+        ]) == 0
+        capsys.readouterr()
+        entries = load_trajectory(trajectory_path).entries
+        assert [e["label"] for e in entries] == ["t1", "t2"]
+        assert entries[1]["corpus_binaries"] == 0
+
+    def test_eval_no_record_and_markdown(self, tmp_path, capsys):
+        trajectory_path = str(tmp_path / "traj.json")
+        status = cli_main([
+            "eval", "--scale", str(SCALE), "--seed", str(SEED),
+            "--markdown", "--apps-only",
+            "--trajectory", trajectory_path, "--no-record",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "paper Table 1" in out
+        assert not os.path.exists(trajectory_path)
+
+    def test_eval_rejects_unknown_tool(self, capsys):
+        assert cli_main(["eval", "--tools", "ghidra"]) == 2
+        assert "unknown evaluation tool" in capsys.readouterr().err
+
+    def test_eval_refuses_wrong_workload_trajectory(self, tmp_path, capsys):
+        wrong = tmp_path / "cold.json"
+        wrong.write_text(json.dumps({
+            "schema": 1, "workload": "cold-kernel-v1", "entries": [],
+        }))
+        status = cli_main([
+            "eval", "--scale", str(SCALE), "--seed", str(SEED),
+            "--apps-only", "--trajectory", str(wrong),
+        ])
+        assert status == 2
+        assert "workload" in capsys.readouterr().err
+
+    def test_invalid_run_exits_1_and_is_not_recorded(
+        self, tmp_path, capsys, monkeypatch,
+    ):
+        # A B-Side false negative (or zero completed apps) must exit 1
+        # and must NOT append to the trajectory: the latest comparable
+        # entry is the gate's recall floor, and a regression must not
+        # become its own baseline.
+        import repro.eval as eval_module
+
+        def fake_run_eval(config):
+            report = _synthetic_report()
+            fn_score = Score(9, 0, 1)  # recall 0.9: a false negative
+            report.apps[0].results["b-side"].score = fn_score
+            return report
+
+        monkeypatch.setattr(eval_module, "run_eval", fake_run_eval)
+        trajectory_path = str(tmp_path / "traj.json")
+        status = cli_main([
+            "eval", "--json", "--trajectory", trajectory_path,
+        ])
+        assert status == 1
+        assert "validity violation" in capsys.readouterr().err
+        assert not os.path.exists(trajectory_path)
+
+    def test_zero_completed_apps_exits_1(self, tmp_path, capsys, monkeypatch):
+        import repro.eval as eval_module
+
+        def fake_run_eval(config):
+            report = _synthetic_report()
+            for app in report.apps:
+                result = app.results["b-side"]
+                result.success = False
+                result.failure_stage = "load"
+                result.score = None
+            return report
+
+        monkeypatch.setattr(eval_module, "run_eval", fake_run_eval)
+        trajectory_path = str(tmp_path / "traj.json")
+        status = cli_main([
+            "eval", "--json", "--trajectory", trajectory_path,
+        ])
+        assert status == 1
+        assert not os.path.exists(trajectory_path)

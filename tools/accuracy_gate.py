@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Accuracy gate (`make eval-gate`, enforced in CI).
+
+Re-runs the evaluation subsystem (:mod:`repro.eval`) at a fixed small
+scale and gates the result against the committed
+``BENCH_eval_accuracy.json`` trajectory:
+
+* fail if B-Side shows a false negative on any validation app it
+  completes (min per-app recall < 1.0 — the paper's validity criterion);
+* fail if B-Side's aggregate recall drops below the latest recorded
+  trajectory entry's at the same (scale, seed) workload;
+* fail if any baseline's aggregate F1 beats B-Side's.
+
+The evaluation is fully deterministic for a fixed ``(scale, seed)`` —
+no timing, no machine dependence — so the gates run with zero slack by
+default.
+
+Usage::
+
+    python tools/accuracy_gate.py                  # gate only
+    python tools/accuracy_gate.py --record LABEL   # gate, then append
+    python tools/accuracy_gate.py --record LABEL --seed-baseline
+                                                   # first-ever entry
+
+Exit status: 0 gates pass, 1 a gate failed, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.eval import (  # noqa: E402
+    EvalConfig,
+    format_gate_diff,
+    gate_accuracy,
+    run_eval,
+)
+from repro.eval.gate import GATE_SCALE, GATE_SEED  # noqa: E402
+from repro.perf import (  # noqa: E402
+    ACCURACY_WORKLOAD,
+    ROLE_ACCURACY,
+    load_trajectory,
+    save_trajectory,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO, "BENCH_eval_accuracy.json"),
+        help="trajectory file to gate against (default: repo root)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=GATE_SCALE,
+        help=f"corpus scale for the gating run (default {GATE_SCALE})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=GATE_SEED,
+        help=f"corpus seed for the gating run (default {GATE_SEED})",
+    )
+    parser.add_argument(
+        "--recall-slack", type=float, default=0.0,
+        help="allowed drop in B-Side aggregate recall vs the recorded "
+             "baseline (default 0.0: none)",
+    )
+    parser.add_argument(
+        "--f1-margin", type=float, default=0.0,
+        help="margin by which a baseline may approach B-Side's F1 "
+             "without failing (default 0.0)",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append this evaluation to the trajectory under LABEL",
+    )
+    parser.add_argument(
+        "--seed-baseline", action="store_true",
+        help="with --record: allow a trajectory with no comparable "
+             "entry (first entry at this workload); structural gates "
+             "still apply",
+    )
+    args = parser.parse_args(argv)
+    if args.seed_baseline and not args.record:
+        parser.error("--seed-baseline requires --record LABEL")
+
+    try:
+        trajectory = load_trajectory(args.baseline, workload=ACCURACY_WORKLOAD)
+    except ValueError as error:
+        print(f"accuracy-gate: {error}", file=sys.stderr)
+        return 2
+    print(f"accuracy-gate: evaluating at scale {args.scale:g}, "
+          f"seed {args.seed}...")
+    report = run_eval(EvalConfig(scale=args.scale, seed=args.seed))
+    record = report.to_record()
+    print(format_gate_diff(record, trajectory))
+    print()
+
+    result = gate_accuracy(
+        record, trajectory,
+        recall_slack=args.recall_slack,
+        f1_margin=args.f1_margin,
+        require_baseline=not args.seed_baseline,
+    )
+
+    if args.record and result.ok:
+        trajectory.append(record, label=args.record, role=ROLE_ACCURACY)
+        save_trajectory(trajectory, args.baseline)
+        print(f"accuracy-gate: recorded entry '{args.record}' "
+              f"in {args.baseline}")
+
+    if not result.ok:
+        for problem in result.problems:
+            print(f"accuracy-gate: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"accuracy-gate: PASS (B-Side recall {result.recall:.4f}, "
+          f"F1 {result.f1:.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs invariants, enforced in CI (`make docs-check`).
 
-Three checks, all offline:
+Five checks, all offline:
 
 1. **Relative links resolve.**  Every `[text](target)` in the repo's
    markdown files whose target is not an absolute URL must point at an
@@ -14,6 +14,14 @@ Three checks, all offline:
    `examples/quickstart.py` appears byte-for-byte in
    `docs/user-guide.md`, so the walkthrough and the example cannot
    drift apart.
+4. **Results sync.**  The README's "Results" table matches, byte for
+   byte, the table rendered from the latest committed
+   `BENCH_eval_accuracy.json` trajectory entry
+   (`repro.eval.render_results_markdown`) — so the README can never
+   show numbers the accuracy gate is not actually enforcing.
+5. **Docs index.**  Every page under `docs/` is linked from both
+   README.md and ROADMAP.md, so the two indexes list the full docs set
+   consistently.
 
 Exit status: 0 clean, 1 with findings (one line each on stderr).
 """
@@ -139,17 +147,76 @@ def check_quickstart_sync(problems: list[str]) -> None:
         )
 
 
+def check_results_sync(problems: list[str]) -> None:
+    """README "Results" table == render(latest gate-workload entry)."""
+    from repro.eval import render_results_markdown
+    from repro.eval.gate import GATE_SCALE, GATE_SEED, latest_comparable
+    from repro.perf import ACCURACY_WORKLOAD, load_trajectory
+
+    path = os.path.join(REPO, "BENCH_eval_accuracy.json")
+    if not os.path.exists(path):
+        problems.append(
+            "BENCH_eval_accuracy.json: missing — record an entry "
+            "(tools/accuracy_gate.py --record <label> --seed-baseline)"
+        )
+        return
+    try:
+        trajectory = load_trajectory(path, workload=ACCURACY_WORKLOAD)
+    except ValueError as error:
+        problems.append(f"BENCH_eval_accuracy.json: {error}")
+        return
+    # The README documents the CI gate's workload; render the same
+    # entry the gate compares against, not just whatever ran last.
+    entry = latest_comparable(trajectory, GATE_SCALE, GATE_SEED)
+    if entry is None:
+        problems.append(
+            f"BENCH_eval_accuracy.json: no entry at the gate workload "
+            f"(scale {GATE_SCALE}, seed {GATE_SEED}) to render"
+        )
+        return
+    table = render_results_markdown(entry)
+    with open(os.path.join(REPO, "README.md")) as f:
+        readme = f.read()
+    if table not in readme:
+        problems.append(
+            "README.md: Results table is out of sync with the latest "
+            "gate-workload BENCH_eval_accuracy.json entry (paste the "
+            "aggregate table from `bside eval --scale 0.2 --seed 42 "
+            "--markdown --no-record`, or re-record the trajectory via "
+            "`tools/accuracy_gate.py --record <label>`)"
+        )
+
+
+def check_docs_index(problems: list[str]) -> None:
+    """Every docs/ page is linked from both README.md and ROADMAP.md."""
+    pages = sorted(
+        name for name in os.listdir(os.path.join(REPO, "docs"))
+        if name.endswith(".md")
+    )
+    for index in ("README.md", "ROADMAP.md"):
+        with open(os.path.join(REPO, index)) as f:
+            text = f.read()
+        for page in pages:
+            if f"docs/{page}" not in text:
+                problems.append(
+                    f"{index}: docs index is missing docs/{page}"
+                )
+
+
 def main() -> int:
     problems: list[str] = []
     check_links(problems)
     check_cli_reference(problems)
     check_quickstart_sync(problems)
+    check_results_sync(problems)
+    check_docs_index(problems)
     if problems:
         for problem in problems:
             print(f"docs-check: {problem}", file=sys.stderr)
         print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print("docs-check: links, CLI reference, and quickstart sync all clean")
+    print("docs-check: links, CLI reference, quickstart sync, results "
+          "table, and docs index all clean")
     return 0
 
 

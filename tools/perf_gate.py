@@ -69,7 +69,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    trajectory = load_trajectory(args.baseline)
+    try:
+        trajectory = load_trajectory(args.baseline, workload="cold-kernel-v1")
+    except ValueError as error:
+        print(f"perf-gate: {error}", file=sys.stderr)
+        return 2
     print(f"perf-gate: measuring cold kernel (best of {args.repeats})...")
     record = measure_cold_kernel(repeats=args.repeats)
     print(format_measurement(record))
