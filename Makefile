@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
 
-.PHONY: test bench bench-gate eval-gate lint smoke smoke-service docs-check clean
+.PHONY: test bench bench-gate eval-gate bench-service-scale service-gate lint smoke smoke-service docs-check clean
 
 ## tier-1: the suite the driver enforces (ROADMAP.md)
 test:
@@ -33,6 +33,24 @@ bench-gate:
 ## docs/evaluation.md.
 eval-gate:
 	$(PYTHON) tools/accuracy_gate.py $(EVAL_GATE_FLAGS)
+
+## measure the distributed tier without gating: the full-size load
+## generator (per-tier cold/warm table into benchmarks/results/); it
+## never touches the trajectory (use tools/service_gate.py --record
+## LABEL to append an entry after deliberate service work)
+bench-service-scale:
+	$(PYTHON) -m pytest benchmarks/bench_service_scale.py -q \
+		-o python_files="test_*.py bench_*.py"
+
+## service-scale gate: drive the distributed tier (asyncio front end +
+## 1/2/4 lease-claiming worker processes over real sockets) with the
+## deterministic small-scale load profile and compare against the
+## committed BENCH_service_scale.json trajectory (fails on >15%
+## normalized warm-p99 regression or throughput drop vs the latest
+## entry, or if max-tier steady-state throughput falls below 3x the
+## 1-worker cold throughput); see docs/performance.md.
+service-gate:
+	$(PYTHON) tools/service_gate.py $(SERVICE_GATE_FLAGS)
 
 ## fast syntax/bytecode check (no third-party linters in this environment)
 lint:

@@ -33,8 +33,9 @@ Commands
     (and cached persistently with ``--cache-dir``), then per-binary
     analysis fans out over ``--workers`` processes.
 
-``cache {stats,clear,prune} --cache-dir DIR [--kind K]``
-    Inspect or maintain the content-addressed artifact cache.
+``cache {stats,clear,prune} --cache-dir DIR [--shards N] [--kind K]``
+    Inspect or maintain the content-addressed artifact cache; with
+    ``--shards`` the maintenance runs across all shard roots.
 
 ``eval [--scale S] [--seed N] [--tools LIST] [--workers N] [--json |
 --markdown] [--apps-only] [--cache-dir DIR] [--no-cache]
@@ -48,12 +49,17 @@ Commands
     Emit an OCI/Docker seccomp JSON profile for the binary.
 
 ``serve [--host H] [--port P] --state-dir DIR [--cache-dir DIR]
-[--workers N] [--queue-size N] [--libdir DIR]``
-    Run the analysis daemon: an HTTP/JSON job API over the fleet engine
-    and the artifact store (see ``docs/service-api.md``).
+[--workers N] [--worker-procs N] [--shards N] [--join] [--worker-id W]
+[--lease-ttl S] [--threaded] [--queue-size N] [--libdir DIR]``
+    Run the analysis daemon: an asyncio HTTP/JSON job API over the
+    fleet engine and the (optionally sharded) artifact store.  With
+    ``--worker-procs`` the queue is drained by external worker
+    processes via lease claims; ``--join`` attaches this process to an
+    existing deployment as a worker (see ``docs/service-api.md``).
 
-``submit <target> [--url URL] [--fleet] [--inline] [--libdir DIR]
-[--no-wait] [--timeout S] [--json] [--filter | --profile]``
+``submit <target> [--url URL | --endpoint URL] [--fleet] [--inline]
+[--libdir DIR] [--no-wait] [--timeout S] [--json] [--filter |
+--profile]``
     Submit a binary (or, with ``--fleet``, a directory) to a running
     daemon; by default waits for completion and prints the result.
 
@@ -281,9 +287,13 @@ def cmd_fleet(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from .core.artifacts import ArtifactStore
+    from .core.artifacts import ArtifactStore, ShardedArtifactStore
 
-    store = ArtifactStore(args.cache_dir)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        store = ShardedArtifactStore(args.cache_dir, shards=shards)
+    else:
+        store = ArtifactStore(args.cache_dir)
     if args.cache_command == "stats":
         doc = store.stats()
         if args.json:
@@ -295,6 +305,9 @@ def cmd_cache(args) -> int:
         for kind, stats in sorted(doc["kinds"].items()):
             print(f"  {kind:<10} {stats['entries']:>6} entries  "
                   f"{stats['bytes']:>10} bytes")
+        for shard in doc.get("per_shard", []):
+            print(f"  shard {shard['shard']:02d}   {shard['entries']:>6} entries  "
+                  f"{shard['bytes']:>10} bytes")
         return 0
     if args.cache_command == "clear":
         removed = store.prune()
@@ -388,26 +401,63 @@ def cmd_trace(args) -> int:
 def cmd_serve(args) -> int:
     import logging
 
-    from .service import AnalysisService, ServiceServer
+    from .service import (
+        AnalysisService,
+        AsyncServiceServer,
+        ServiceServer,
+        ServiceWorker,
+        spawn_workers,
+    )
 
     logging.basicConfig(
         level=getattr(logging, args.log_level.upper(), logging.INFO),
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    if args.join:
+        # Worker-only mode: attach to an existing deployment's state
+        # directory; shard count / cache root / TTL come from its
+        # service.json so this process agrees with the front end.
+        worker = ServiceWorker(args.state_dir, worker_id=args.worker_id)
+        print(f"bside serve: worker {worker.worker_id} joined "
+              f"{args.state_dir} (shards {worker.service.shards}, "
+              f"lease ttl {worker.queue.lease_ttl:g}s)")
+        try:
+            worker.run()
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    external = max(0, args.worker_procs)
     service = AnalysisService(
         args.state_dir,
         cache_dir=args.cache_dir,
         workers=args.workers,
         queue_size=args.queue_size,
         libdir=args.libdir,
+        shards=args.shards,
+        shared=external > 0,
+        lease_ttl=args.lease_ttl,
+        dispatcher=external == 0,
     )
-    server = ServiceServer(service, host=args.host, port=args.port)
-    print(f"bside serve: listening on {server.url}")
+    service.write_config()
+    server_cls = ServiceServer if args.threaded else AsyncServiceServer
+    server = server_cls(service, host=args.host, port=args.port)
+    processes = spawn_workers(args.state_dir, external) if external else []
+    print(f"bside serve: listening on {server.url} "
+          f"({'threaded' if args.threaded else 'asyncio'})")
     print(f"  state dir:  {service.state_dir}")
-    print(f"  cache dir:  {service.cache_dir}")
-    print(f"  workers:    {service.workers} "
-          f"(batch {service.batch_size}, fan-out {service.fleet_workers})")
-    server.serve_forever()
+    print(f"  cache dir:  {service.cache_dir} (shards {service.shards})")
+    if external:
+        print(f"  drained by: {external} worker processes "
+              f"(lease ttl {service.queue.lease_ttl:g}s)")
+    else:
+        print(f"  workers:    {service.workers} "
+              f"(batch {service.batch_size}, fan-out {service.fleet_workers})")
+    try:
+        server.serve_forever()
+    finally:
+        for process in processes:
+            process.terminate()
     return 0
 
 
@@ -601,6 +651,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="executor workers: scales admission batches and "
                         "the per-batch process fan-out")
+    p.add_argument("--worker-procs", type=int, default=0,
+                   help="spawn N external worker processes draining the "
+                        "queue via leases (0: run the in-process executor)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard the artifact store across N roots by "
+                        "content hash")
+    p.add_argument("--join", action="store_true",
+                   help="join an existing deployment's state dir as a "
+                        "worker-only process (reads its service.json)")
+    p.add_argument("--worker-id",
+                   help="worker name for --join (default: worker-<pid>)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds before a silent worker's job leases "
+                        "expire and are re-queued")
+    p.add_argument("--threaded", action="store_true",
+                   help="serve with the thread-per-connection front end "
+                        "instead of the asyncio event loop")
     p.add_argument("--queue-size", type=int, default=64,
                    help="max queued jobs before submissions get 429")
     p.add_argument("--libdir",
@@ -612,8 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("submit", help="submit a job to a running daemon")
     p.add_argument("target", help="binary path (or directory with --fleet)")
-    p.add_argument("--url", default="http://127.0.0.1:8649",
-                   help="daemon base URL")
+    p.add_argument("--url", "--endpoint", dest="url",
+                   default="http://127.0.0.1:8649",
+                   help="daemon base URL (--endpoint is an alias)")
     p.add_argument("--fleet", action="store_true",
                    help="submit the target directory as one fleet job")
     p.add_argument("--inline", action="store_true",
@@ -635,13 +703,19 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     p = cache_sub.add_parser("stats", help="per-kind entry counts and sizes")
     p.add_argument("--cache-dir", required=True)
+    p.add_argument("--shards", type=int, default=1,
+                   help="treat the cache as sharded across N roots")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_cache)
     p = cache_sub.add_parser("clear", help="delete every cache entry")
     p.add_argument("--cache-dir", required=True)
+    p.add_argument("--shards", type=int, default=1,
+                   help="treat the cache as sharded across N roots")
     p.set_defaults(func=cmd_cache)
     p = cache_sub.add_parser("prune", help="delete one artifact kind")
     p.add_argument("--cache-dir", required=True)
+    p.add_argument("--shards", type=int, default=1,
+                   help="treat the cache as sharded across N roots")
     p.add_argument("--kind", required=True,
                    choices=["iface", "cfg", "wrappers", "report", "gtruth"])
     p.set_defaults(func=cmd_cache)

@@ -11,7 +11,12 @@ Typical use::
 """
 
 from .analyzer import BSideAnalyzer, TOOL_NAME
-from .artifacts import ARTIFACT_KINDS, CACHE_VERSION, ArtifactStore
+from .artifacts import (
+    ARTIFACT_KINDS,
+    CACHE_VERSION,
+    ArtifactStore,
+    ShardedArtifactStore,
+)
 from .pipeline import (
     DEFAULT_PASSES,
     AnalysisContext,
@@ -44,6 +49,7 @@ __all__ = [
     "BSideAnalyzer",
     "TOOL_NAME",
     "ArtifactStore",
+    "ShardedArtifactStore",
     "ARTIFACT_KINDS",
     "AnalysisContext",
     "Pass",

@@ -361,3 +361,186 @@ class ArtifactStore:
         out["total_entries"] = sum(k["entries"] for k in kinds.values())
         out["total_bytes"] = sum(k["bytes"] for k in kinds.values())
         return out
+
+
+class ShardedArtifactStore:
+    """N flat :class:`ArtifactStore` roots behind content-hash placement.
+
+    Placement is **deterministic, total, and rebalance-free**: an entry
+    whose subject has content hash ``h`` lives in shard
+    ``int(h, 16) % shards``, so every writer and every reader — worker
+    processes, the service front end, the CLI — agrees on the location
+    without any coordination or directory state.  Entries written
+    without a content hash (rare introspection payloads) fall back to
+    the same placement applied to a digest of the entry *name*, which
+    is equally deterministic.
+
+    Shard roots default to ``<cache_dir>/shard-00 … shard-NN`` but can
+    be any list of directories (one per node, one per disk).  The class
+    mirrors the flat store's full surface — ``get``/``put``/``lookup``/
+    ``find_name``/``invalidate``/``prune``/``counters``/``stats`` — so
+    every existing consumer (fleet engine, interface cache, service
+    executor, ``bside cache``) works unchanged; ``stats`` aggregates
+    across shards and adds a per-shard breakdown.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        shards: int = 2,
+        *,
+        roots: list[str] | None = None,
+        version: int = CACHE_VERSION,
+    ) -> None:
+        if roots is not None:
+            if not roots:
+                raise ValueError("ShardedArtifactStore needs at least one root")
+            self.roots = [os.path.abspath(r) for r in roots]
+        else:
+            shards = max(1, int(shards))
+            self.roots = [
+                os.path.join(cache_dir, f"shard-{index:02d}")
+                for index in range(shards)
+            ]
+        self.cache_dir = cache_dir
+        self.version = version
+        self.shards = [ArtifactStore(root, version=version) for root in self.roots]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def shard_index(self, content_hash: str | None, name: str = "") -> int:
+        """The shard an entry keyed by ``content_hash`` (or, failing
+        that, ``name``) lives in.  Total: every key routes somewhere."""
+        if content_hash:
+            try:
+                return int(content_hash, 16) % len(self.shards)
+            except ValueError:
+                # Non-hex hashes still place deterministically.
+                content_hash = ""
+        digest = hashlib.sha256((content_hash or name).encode()).hexdigest()
+        return int(digest, 16) % len(self.shards)
+
+    def shard_for(self, content_hash: str | None, name: str = "") -> ArtifactStore:
+        return self.shards[self.shard_index(content_hash, name)]
+
+    def _shard_holding(self, kind: str, name: str) -> ArtifactStore | None:
+        """The first shard with an entry file for (kind, name) — used by
+        name-only reads, where the content hash (and with it the home
+        shard) is unknown."""
+        for shard in self.shards:
+            if os.path.exists(shard._path(kind, name)):  # noqa: SLF001
+                return shard
+        return None
+
+    # ------------------------------------------------------------------
+    # Store surface (delegated by placement)
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        kind: str,
+        name: str,
+        payload: dict | list,
+        *,
+        content_hash: str = "",
+        fingerprint: str = "",
+        dep_hashes: list[str] | None = None,
+    ) -> None:
+        self.shard_for(content_hash, name).put(
+            kind, name, payload, content_hash=content_hash,
+            fingerprint=fingerprint, dep_hashes=dep_hashes,
+        )
+
+    def get(
+        self,
+        kind: str,
+        name: str,
+        *,
+        content_hash: str | None = None,
+        fingerprint: str | None = None,
+        dep_hashes: list[str] | None = None,
+    ) -> dict | list | None:
+        if content_hash:
+            shard = self.shard_for(content_hash, name)
+        else:
+            # Name-only probe: find the entry wherever its (unknown)
+            # content hash placed it; counters land on the holding
+            # shard, or on the name-placed shard for a clean miss.
+            shard = self._shard_holding(kind, name) or self.shard_for(None, name)
+        return shard.get(
+            kind, name, content_hash=content_hash,
+            fingerprint=fingerprint, dep_hashes=dep_hashes,
+        )
+
+    def lookup(
+        self,
+        kind: str,
+        name: str,
+        *,
+        content_hash: str,
+        fingerprint: str | None = None,
+        dep_hashes: list[str] | None = None,
+    ) -> dict | list | None:
+        # Identical bytes always route to one shard, so the per-shard
+        # content-hash alias index keeps working: a renamed resubmission
+        # lands on the shard that already holds its report.
+        return self.shard_for(content_hash, name).lookup(
+            kind, name, content_hash=content_hash,
+            fingerprint=fingerprint, dep_hashes=dep_hashes,
+        )
+
+    def find_name(self, kind: str, content_hash: str) -> str | None:
+        return self.shard_for(content_hash).find_name(kind, content_hash)
+
+    def invalidate(self, kind: str, name: str) -> None:
+        for shard in self.shards:
+            shard.invalidate(kind, name)
+
+    def prune(self, kind: str | None = None) -> int:
+        return sum(shard.prune(kind) for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Introspection (aggregated)
+    # ------------------------------------------------------------------
+
+    def counters(self, kind: str) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.counters(kind).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def stats(self) -> dict:
+        """The flat store's document shape, summed across shards, plus
+        ``shards``/``shard_roots`` and a per-shard entry breakdown."""
+        out: dict = {
+            "cache_dir": self.cache_dir,
+            "version": self.version,
+            "shards": len(self.shards),
+            "shard_roots": list(self.roots),
+        }
+        kinds: dict[str, dict] = {}
+        per_shard: list[dict] = []
+        for index, shard in enumerate(self.shards):
+            doc = shard.stats()
+            per_shard.append({
+                "shard": index,
+                "root": self.roots[index],
+                "entries": doc["total_entries"],
+                "bytes": doc["total_bytes"],
+            })
+            for kind, stats in doc["kinds"].items():
+                agg = kinds.setdefault(kind, {})
+                for key, value in stats.items():
+                    agg[key] = agg.get(key, 0) + value
+        out["kinds"] = kinds
+        out["per_shard"] = per_shard
+        out["total_entries"] = sum(k["entries"] for k in kinds.values())
+        out["total_bytes"] = sum(k["bytes"] for k in kinds.values())
+        return out

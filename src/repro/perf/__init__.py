@@ -10,21 +10,30 @@ package owns that measurement:
   micro-benchmarks (decode, CFG build, reachability, block lookup),
   normalised by an in-run pure-Python calibration loop so results
   compare across machines.
-* :mod:`repro.perf.trajectory` — the ``BENCH_cold_kernel.json``
-  trajectory file: an append-only record of measurements across PRs,
-  and the regression/speedup gates ``tools/perf_gate.py`` enforces in
-  CI.
+* :mod:`repro.perf.servicebench` — the service-scale workload: the
+  asyncio front end, lease-claiming worker processes, and the sharded
+  artifact store driven over real sockets at 1/2/4 workers (cold/warm
+  throughput, p50/p99 latency, saturation point).
+* :mod:`repro.perf.trajectory` — the append-only ``BENCH_*.json``
+  trajectory files recording measurements across PRs, and the
+  regression gates ``tools/perf_gate.py`` / ``tools/service_gate.py``
+  enforce in CI.
 
 See ``docs/performance.md`` for the workflow.
 """
 
 from .coldbench import measure_cold_kernel
+from .servicebench import format_service_measurement, measure_service_scale
 from .trajectory import (
     ACCURACY_PATH,
     ACCURACY_WORKLOAD,
     ROLE_ACCURACY,
+    ROLE_SERVICE,
+    SERVICE_PATH,
+    SERVICE_WORKLOAD,
     Trajectory,
     gate_measurement,
+    gate_service_measurement,
     load_trajectory,
     save_trajectory,
 )
@@ -33,9 +42,15 @@ __all__ = [
     "ACCURACY_PATH",
     "ACCURACY_WORKLOAD",
     "ROLE_ACCURACY",
+    "ROLE_SERVICE",
+    "SERVICE_PATH",
+    "SERVICE_WORKLOAD",
     "Trajectory",
+    "format_service_measurement",
     "gate_measurement",
+    "gate_service_measurement",
     "load_trajectory",
     "measure_cold_kernel",
+    "measure_service_scale",
     "save_trajectory",
 ]

@@ -15,9 +15,14 @@ Two trajectories are committed at the repository root:
   paper's §5 accuracy reproduction (per-tool precision/recall/F1 over
   the validation apps + corpus completion), recorded by ``bside eval``
   and gated by :func:`repro.eval.gate.gate_accuracy`
-  (``tools/accuracy_gate.py``).
+  (``tools/accuracy_gate.py``);
+* ``BENCH_service_scale.json`` (workload ``service-scale-v1``) — the
+  distributed service tier under load (cold/warm throughput, p50/p99
+  latency, and saturation point at 1/2/4 worker processes over real
+  sockets; :mod:`repro.perf.servicebench`), gated by
+  :func:`gate_service_measurement` below (``tools/service_gate.py``).
 
-Both share this module's schema, file format, and load/append/save
+All share this module's schema, file format, and load/append/save
 machinery; only the per-entry record shape and the gate differ.
 
 Each entry is one :func:`repro.perf.coldbench.measure_cold_kernel`
@@ -52,10 +57,17 @@ DEFAULT_PATH = os.path.join(_REPO_ROOT, "BENCH_cold_kernel.json")
 ACCURACY_PATH = os.path.join(_REPO_ROOT, "BENCH_eval_accuracy.json")
 ACCURACY_WORKLOAD = "eval-accuracy-v1"
 
+#: the service-scale trajectory (``benchmarks/bench_service_scale.py`` /
+#: ``tools/service_gate.py``)
+SERVICE_PATH = os.path.join(_REPO_ROOT, "BENCH_service_scale.json")
+SERVICE_WORKLOAD = "service-scale-v1"
+
 ROLE_PRE = "pre-opt-baseline"
 ROLE_OPTIMIZED = "optimized"
 #: role of every accuracy-trajectory entry
 ROLE_ACCURACY = "accuracy"
+#: role of every service-scale entry
+ROLE_SERVICE = "service-scale"
 
 
 @dataclass
@@ -194,4 +206,89 @@ def gate_measurement(
                 f"'{pre.get('label', '?')}' is {speedup:.2f}x; "
                 f"required >= {min_speedup:.1f}x"
             )
+    return result
+
+
+@dataclass
+class ServiceGateResult:
+    """Outcome of gating one service-scale measurement."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+    #: normalized warm p99 ratio vs the latest entry (>1 = slower)
+    p99_ratio: float | None = None
+    #: normalized warm throughput ratio vs the latest entry (<1 = slower)
+    throughput_ratio: float | None = None
+    #: max-tier steady-state throughput over 1-worker cold throughput
+    scale_ratio: float = 0.0
+
+
+def gate_service_measurement(
+    record: dict,
+    trajectory: Trajectory,
+    *,
+    max_regression: float = 0.15,
+    min_scale: float = 3.0,
+) -> ServiceGateResult:
+    """Apply the service-scale gates to a fresh measurement.
+
+    * **latency gate** — the reference normalized warm p99 may not
+      exceed the latest trajectory entry's by more than
+      ``max_regression`` (fractional, 0.15 = 15%);
+    * **throughput gate** — the reference normalized warm throughput
+      may not drop below the latest entry's by more than
+      ``max_regression``;
+    * **scale gate** — the max worker tier's steady-state (warm)
+      throughput must be at least ``min_scale`` times the 1-worker cold
+      throughput (the acceptance ratio, re-proven on every run).
+    """
+    result = ServiceGateResult(
+        ok=True, scale_ratio=record["scale_warm_max_vs_cold_1w"],
+    )
+    if result.scale_ratio < min_scale:
+        result.ok = False
+        result.problems.append(
+            f"worker scaling: max-tier steady-state throughput is only "
+            f"{result.scale_ratio:.2f}x the 1-worker cold throughput; "
+            f"required >= {min_scale:.1f}x"
+        )
+    baseline = trajectory.baseline
+    if baseline is None:
+        result.ok = False
+        result.problems.append(
+            "no baseline entry in the trajectory: record one first "
+            "(tools/service_gate.py --record <label>)"
+        )
+        return result
+    reference = record["reference"]
+    base_reference = baseline["reference"]
+    p99_ratio = (
+        reference["normalized_warm_p99"]
+        / base_reference["normalized_warm_p99"]
+    )
+    result.p99_ratio = p99_ratio
+    if p99_ratio > 1.0 + max_regression:
+        result.ok = False
+        result.problems.append(
+            f"p99 latency regression: normalized warm p99 "
+            f"{reference['normalized_warm_p99']:.4f} is {p99_ratio:.2f}x the "
+            f"baseline entry '{baseline.get('label', '?')}' "
+            f"({base_reference['normalized_warm_p99']:.4f}); "
+            f"allowed at most {1.0 + max_regression:.2f}x"
+        )
+    throughput_ratio = (
+        reference["normalized_warm_throughput"]
+        / base_reference["normalized_warm_throughput"]
+    )
+    result.throughput_ratio = throughput_ratio
+    if throughput_ratio < 1.0 - max_regression:
+        result.ok = False
+        result.problems.append(
+            f"throughput drop: normalized warm throughput "
+            f"{reference['normalized_warm_throughput']:.4f} is "
+            f"{throughput_ratio:.2f}x the baseline entry "
+            f"'{baseline.get('label', '?')}' "
+            f"({base_reference['normalized_warm_throughput']:.4f}); "
+            f"allowed at least {1.0 - max_regression:.2f}x"
+        )
     return result

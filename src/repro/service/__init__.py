@@ -5,31 +5,48 @@ inventory dashboards — speak request/response, not batch.  This package
 turns the repo's analysis substrate (the three-phase
 :class:`~repro.core.fleet.FleetAnalyzer` schedule and the
 content-addressed :class:`~repro.core.artifacts.ArtifactStore`) into a
-long-running daemon with an HTTP/JSON API:
+long-running daemon with an HTTP/JSON API, scalable from one process to
+a multi-worker deployment over a shared state directory:
 
 * :mod:`repro.service.jobs` — :class:`Job` records and the bounded,
-  disk-persistent :class:`JobQueue` (backpressure, restart recovery).
+  disk-persistent :class:`JobQueue` (backpressure, restart recovery,
+  lease-based multi-worker claims with heartbeat + expiry).
 * :mod:`repro.service.executor` — :class:`AnalysisService`, the
-  batch-draining worker-pool executor over the fleet engine.
-* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
-  exposing the ``/v1`` API (see ``docs/service-api.md``).
+  batch-draining executor over the fleet engine (optionally sharding
+  its artifact store across N roots).
+* :mod:`repro.service.routes` — the single source of the ``/v1`` API
+  contract, shared by both front ends.
+* :mod:`repro.service.aserver` — :class:`AsyncServiceServer`, the
+  default asyncio front end (thousands of keep-alive connections on one
+  event loop).
+* :mod:`repro.service.server` — :class:`ServiceServer`, the original
+  stdlib ``ThreadingHTTPServer`` front end.
+* :mod:`repro.service.worker` — :class:`ServiceWorker` processes that
+  drain a shared queue via lease claims (``bside serve --workers/--join``).
 * :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
-  HTTP client used by ``bside submit`` and ``examples/service_client.py``.
+  HTTP client (timeouts + bounded 429 retry) used by ``bside submit``
+  and ``examples/service_client.py``.
 
 Everything is standard library only, like the rest of the repo.
 """
 
+from .aserver import AsyncServiceServer
 from .client import ServiceClient, ServiceError
 from .executor import AnalysisService
 from .jobs import Job, JobQueue, QueueFull
 from .server import ServiceServer
+from .worker import ServiceWorker, spawn_workers, worker_main
 
 __all__ = [
     "AnalysisService",
+    "AsyncServiceServer",
     "Job",
     "JobQueue",
     "QueueFull",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceWorker",
+    "spawn_workers",
+    "worker_main",
 ]

@@ -1,0 +1,225 @@
+"""The asyncio HTTP/JSON front end — the default ``bside serve`` transport.
+
+A single-threaded event loop (stdlib ``asyncio.start_server``, no
+dependencies) accepts thousands of concurrent keep-alive connections
+without the thread-per-connection cost of
+:class:`~repro.service.server.ServiceServer`.  Both front ends route
+through :mod:`repro.service.routes`, so the ``/v1`` contract is defined
+exactly once.
+
+How a request flows:
+
+1. the loop reads the request head (bounded ``readuntil``) and the
+   ``Content-Length`` body (bounded; 413 + connection close beyond the
+   inline-binary cap);
+2. routing and queue/disk work run in :func:`asyncio.to_thread` — the
+   loop never blocks on filesystem I/O, so slow disks don't stall
+   unrelated connections;
+3. the response is written with an explicit ``Content-Length`` and the
+   connection is kept alive for HTTP/1.1 clients.
+
+Analysis never runs on the loop *or* its thread pool: the executor's
+dispatcher thread (local mode) or external worker processes
+(:mod:`repro.service.worker`) drain the queue, exactly as with the
+threaded server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import threading
+from http import HTTPStatus
+
+from .executor import AnalysisService
+from .routes import ApiResult, handle_request
+from .server import MAX_BODY_BYTES
+
+logger = logging.getLogger(__name__)
+
+#: maximum bytes of request line + headers
+MAX_HEAD_BYTES = 32 * 1024
+
+#: how long an idle keep-alive connection is held open
+IDLE_TIMEOUT = 60.0
+
+
+def _reason(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:
+        return "Unknown"
+
+
+class AsyncServiceServer:
+    """The daemon: an :class:`AnalysisService` behind an asyncio server.
+
+    API-compatible with :class:`~repro.service.server.ServiceServer`:
+    construct (binding happens eagerly, so ``port=0`` resolves and
+    :attr:`url` is immediately valid), then ``start()`` /
+    ``serve_forever()`` / ``stop()``.
+    """
+
+    def __init__(self, service: AnalysisService, host: str = "127.0.0.1",
+                 port: int = 8649, *, idle_timeout: float = IDLE_TIMEOUT) -> None:
+        self.service = service
+        self.idle_timeout = idle_timeout
+        self._sock = socket.create_server((host, port))
+        self.host, self.port = self._sock.getsockname()[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._ready = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, executor: bool = True) -> None:
+        """Serve requests on a background event-loop thread.
+
+        ``executor=False`` leaves the dispatcher stopped, as with the
+        threaded server (jobs queue but never run locally).
+        """
+        if executor:
+            self.service.start()
+        self._thread = threading.Thread(
+            target=asyncio.run, args=(self._main(),),
+            name="bside-aio", daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(10.0)
+
+    def serve_forever(self) -> None:
+        """Foreground mode (the ``bside serve`` CLI)."""
+        self.service.start()
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and loop.is_running():
+            loop.call_soon_threadsafe(shutdown.set)
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self.service.stop()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._sock, limit=MAX_HEAD_BYTES,
+        )
+        self._ready.set()
+        async with server:
+            await self._shutdown.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while await self._handle_one(reader, writer):
+                pass
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        except Exception:  # never kill the loop on a handler bug
+            logger.exception("aserver: connection handler failed")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; True to keep the connection alive."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=self.idle_timeout
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            return False
+
+        lines = head.decode("latin-1").split("\r\n")
+        request_parts = lines[0].split(" ")
+        if len(request_parts) != 3:
+            await self._respond(
+                writer, ApiResult(400, {"error": "malformed request line"}),
+                keep_alive=False,
+            )
+            return False
+        method, path, version = request_parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            await self._respond(
+                writer, ApiResult(400, {"error": "bad Content-Length"}),
+                keep_alive=False,
+            )
+            return False
+        if length > MAX_BODY_BYTES:
+            # Reading the oversized body would be the DoS; drop it.
+            await self._respond(
+                writer,
+                ApiResult(413, {
+                    "error": f"request body exceeds {MAX_BODY_BYTES} bytes"
+                }),
+                keep_alive=False,
+            )
+            return False
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return False
+
+        # Queue submission and job reads touch disk and locks: off-loop.
+        result = await asyncio.to_thread(
+            handle_request, self.service, method, path, body
+        )
+        keep_alive = (
+            version == "HTTP/1.1"
+            and headers.get("connection", "").lower() != "close"
+        )
+        await self._respond(writer, result, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _respond(self, writer: asyncio.StreamWriter, result: ApiResult,
+                       *, keep_alive: bool) -> None:
+        body = result.body()
+        head = [
+            f"HTTP/1.1 {result.status} {_reason(result.status)}",
+            "Server: bside-serve/1",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in result.headers())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()

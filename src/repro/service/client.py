@@ -1,24 +1,43 @@
 """Stdlib HTTP client for the ``bside serve`` API.
 
 Used by the ``bside submit`` subcommand, ``examples/service_client.py``,
-the service test-suite, and the throughput benchmark — one shared
+the service test-suite, and the throughput benchmarks — one shared
 implementation of the submit → poll → fetch conversation so the wire
 protocol is exercised the same way everywhere.
+
+Robustness contract (pinned by ``tests/test_service_async.py``):
+
+* **timeouts** — connect and read deadlines are enforced separately;
+  a daemon that accepts the TCP connection but never answers raises
+  :class:`ServiceError` after ``read_timeout`` seconds instead of
+  blocking the caller forever;
+* **backpressure retries** — 429 responses are retried with bounded
+  exponential backoff (honouring ``Retry-After``, capped), because a
+  full queue is an invitation to come back, not a failure; every other
+  error status raises immediately.
 """
 
 from __future__ import annotations
 
 import base64
+import http.client
 import json
+import socket
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 
 from ..errors import ReproError
 
+#: upper bound on any single retry sleep, Retry-After included
+MAX_BACKOFF_SECONDS = 2.0
+
 
 class ServiceError(ReproError):
-    """An API error response (carries the HTTP status)."""
+    """An API error response (carries the HTTP status).
+
+    Transport-level failures — unreachable daemon, connect or read
+    timeout — use status 0.
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
@@ -27,33 +46,101 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    """Minimal JSON client over ``urllib`` (no third-party deps)."""
+    """Minimal JSON client over ``http.client`` (no third-party deps)."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+        retries: int = 3,
+        backoff: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        self._netloc = split.netloc or split.path
+        self._prefix = split.path if split.netloc else ""
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def request(self, method: str, path: str, body: dict | None = None) -> dict:
-        data = json.dumps(body).encode() if body is not None else None
-        req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"},
+    def _roundtrip(self, method: str, path: str,
+                   data: bytes | None) -> tuple[int, bytes, str | None]:
+        """One HTTP exchange; returns (status, body, Retry-After)."""
+        conn = http.client.HTTPConnection(
+            self._netloc, timeout=self.connect_timeout
         )
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode() or "{}")
-        except urllib.error.HTTPError as error:
+            conn.connect()
+            if conn.sock is not None:
+                # connect succeeded: the remaining budget is read time
+                conn.sock.settimeout(self.read_timeout)
+            conn.request(
+                method, self._prefix + path, body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = response.read()
+            return response.status, body, response.getheader("Retry-After")
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error_message(body: bytes, status: int) -> str:
+        try:
+            return json.loads(body.decode()).get("error", f"status {status}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return f"status {status}"
+
+    def _retry_delay(self, attempt: int, retry_after: str | None) -> float:
+        delay = self.backoff * (2 ** attempt)
+        if retry_after:
             try:
-                message = json.loads(error.read().decode()).get("error", "")
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                message = error.reason
-            raise ServiceError(error.code, message) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {error.reason}")
+                delay = max(delay, float(retry_after) * self.backoff)
+            except ValueError:
+                pass
+        return min(delay, MAX_BACKOFF_SECONDS)
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        url = self.base_url + path
+        attempt = 0
+        while True:
+            try:
+                status, raw, retry_after = self._roundtrip(method, path, data)
+            except socket.timeout:
+                raise ServiceError(
+                    0, f"request to {url} timed out "
+                       f"(connect={self.connect_timeout}s, "
+                       f"read={self.read_timeout}s)"
+                ) from None
+            except (ConnectionError, http.client.HTTPException, OSError) as error:
+                raise ServiceError(
+                    0, f"cannot reach {self.base_url}: {error}"
+                ) from None
+            if status == 429 and attempt < self.retries:
+                # Backpressure: bounded exponential backoff, then retry.
+                time.sleep(self._retry_delay(attempt, retry_after))
+                attempt += 1
+                continue
+            if status >= 400:
+                raise ServiceError(status, self._error_message(raw, status))
+            try:
+                return json.loads(raw.decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise ServiceError(
+                    0, f"malformed response from {url}: {error}"
+                ) from None
 
     # ------------------------------------------------------------------
     # Submission

@@ -48,7 +48,7 @@ import re
 import threading
 import time
 
-from ..core.artifacts import ArtifactStore
+from ..core.artifacts import ArtifactStore, ShardedArtifactStore
 from ..core.fleet import FleetAnalyzer, FleetEntry
 from ..core.pipeline import pipeline_runs
 from ..core.report import AnalysisBudget
@@ -65,6 +65,10 @@ _SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")
 #: the same bound on request bodies)
 MAX_INLINE_BYTES = 64 * 1024 * 1024
 
+#: deployment config persisted under the state directory so joining
+#: worker processes (``bside serve --join``) agree with the front end
+CONFIG_NAME = "service.json"
+
 
 class AnalysisService:
     """Long-lived analysis daemon state + the batch executor."""
@@ -79,6 +83,11 @@ class AnalysisService:
         batch_factor: int = 4,
         libdir: str | None = None,
         budget: AnalysisBudget | None = None,
+        shards: int = 1,
+        shared: bool = False,
+        lease_ttl: float = 30.0,
+        worker_id: str | None = None,
+        dispatcher: bool = True,
     ) -> None:
         self.state_dir = state_dir
         self.workers = max(1, int(workers))
@@ -91,11 +100,61 @@ class AnalysisService:
         self.cache_dir = cache_dir or os.path.join(state_dir, "cache")
         self.spool_dir = os.path.join(state_dir, "spool")
         os.makedirs(self.spool_dir, exist_ok=True)
-        self.artifacts = ArtifactStore(self.cache_dir)
-        self.queue = JobQueue(os.path.join(state_dir, "jobs"), maxsize=queue_size)
+        self.shards = max(1, int(shards))
+        if self.shards > 1:
+            self.artifacts: ArtifactStore | ShardedArtifactStore = (
+                ShardedArtifactStore(self.cache_dir, shards=self.shards)
+            )
+        else:
+            self.artifacts = ArtifactStore(self.cache_dir)
+        #: multi-process mode: the queue directory is shared with worker
+        #: processes, which claim jobs through leases
+        self.shared = bool(shared)
+        #: set on worker processes; guards result persistence on lost leases
+        self.worker_id = worker_id
+        #: False on a front end whose jobs are drained by external workers
+        self.run_dispatcher = bool(dispatcher)
+        self.queue = JobQueue(
+            os.path.join(state_dir, "jobs"), maxsize=queue_size,
+            shared=self.shared, lease_ttl=lease_ttl,
+        )
         self.started_at = time.time()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Deployment config (front end writes, joining workers read)
+    # ------------------------------------------------------------------
+
+    def write_config(self) -> str:
+        """Persist the deployment parameters workers must agree on."""
+        doc = {
+            "version": 1,
+            "cache_dir": os.path.abspath(self.cache_dir),
+            "shards": self.shards,
+            "libdir": self.default_libdir,
+            "queue_size": self.queue.maxsize,
+            "batch_factor": self.batch_factor,
+            "lease_ttl": self.queue.lease_ttl,
+        }
+        path = os.path.join(self.state_dir, CONFIG_NAME)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(doc, f, indent=2)
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def load_config(state_dir: str) -> dict:
+        """Read a deployment config written by :meth:`write_config`.
+
+        Returns ``{}`` when no config exists (fresh state directory)."""
+        try:
+            with open(os.path.join(state_dir, CONFIG_NAME)) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return doc if isinstance(doc, dict) else {}
 
     # ------------------------------------------------------------------
     # Submission (called from HTTP handler threads)
@@ -163,8 +222,12 @@ class AnalysisService:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start the dispatcher thread (idempotent)."""
-        if self._thread is not None:
+        """Start the dispatcher thread (idempotent).
+
+        No-op when this instance was built with ``dispatcher=False`` —
+        a front end whose queue is drained by external worker processes
+        must never also run jobs locally."""
+        if not self.run_dispatcher or self._thread is not None:
             return
         self._stop.clear()
         self._thread = threading.Thread(
@@ -197,7 +260,7 @@ class AnalysisService:
             logger.exception("service: batch execution failed")
             for job in batch:
                 if job.status == "running":
-                    self.queue.finish(job, error=f"internal error: {error}")
+                    self._finish(job, error=f"internal error: {error}")
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -206,6 +269,35 @@ class AnalysisService:
 
     def _resolver(self, libdir: str | None) -> LibraryResolver:
         return LibraryResolver(search_dir=libdir or None)
+
+    def _finish(self, job: Job, *, error: str = "") -> None:
+        """Record a terminal transition, unless our lease was reaped.
+
+        A worker that stalled past the lease TTL may have had this job
+        re-leased to a peer; persisting its late result would
+        double-complete the job, so the result is discarded instead
+        (idempotent anyway: the analysis landed in the shared artifact
+        store, and the new owner serves it from cache).
+        """
+        if (
+            self.worker_id is not None
+            and not self.queue.owns_lease(job.id, self.worker_id)
+        ):
+            logger.warning(
+                "worker %s lost the lease on %s; discarding its result",
+                self.worker_id, job.id,
+            )
+            return
+        self.queue.finish(job, error=error)
+
+    def run_batch(self, batch: list[Job]) -> None:
+        """Execute a batch of already-claimed (``running``) jobs.
+
+        Public entry point for worker processes
+        (:class:`~repro.service.worker.ServiceWorker`), which claim via
+        leases instead of :meth:`JobQueue.take_batch`.
+        """
+        self._run_batch(batch)
 
     def _run_batch(self, batch: list[Job]) -> None:
         kind = batch[0].kind
@@ -226,7 +318,7 @@ class AnalysisService:
                     content_hash=job.spec.get("content_sha256"),
                 )
             except (OSError, ElfError, ValueError) as error:
-                self.queue.finish(job, error=str(error))
+                self._finish(job, error=str(error))
                 continue
             images.append(image)
             image_jobs.append(job)
@@ -253,11 +345,13 @@ class AnalysisService:
         except (ReproError, LoaderError) as error:
             for job in image_jobs:
                 if job.status == STATUS_RUNNING:
-                    self.queue.finish(job, error=str(error))
+                    self._finish(job, error=str(error))
 
     def _finish_analyze(self, job: Job, entry: FleetEntry, batch_size: int) -> None:
         job.result = entry.report.to_doc()
+        # merge, not replace: lease claims stamp metrics["worker"] first
         job.metrics = {
+            **job.metrics,
             "seconds": round(entry.seconds, 6),
             "cache_hits": entry.cache_hits,
             "cache_misses": entry.cache_misses,
@@ -267,7 +361,7 @@ class AnalysisService:
                 (job.started_at or job.submitted_at) - job.submitted_at, 6
             ),
         }
-        self.queue.finish(job)
+        self._finish(job)
 
     def _run_fleet_job(self, job: Job) -> None:
         directory = job.spec["directory"]
@@ -281,20 +375,21 @@ class AnalysisService:
         try:
             report = fleet.analyze_directory(directory)
         except (OSError, ReproError) as error:
-            self.queue.finish(job, error=str(error))
+            self._finish(job, error=str(error))
             return
         job.result = {
             "fleet": True,
             "report": json.loads(report.to_json()),
         }
         job.metrics = {
+            **job.metrics,
             "seconds": round(time.perf_counter() - started, 6),
             "binaries": len(report.entries),
             "from_cache": all(e.from_cache for e in report.entries)
             if report.entries else False,
             "batch_size": 1,
         }
-        self.queue.finish(job)
+        self._finish(job)
 
     # ------------------------------------------------------------------
     # Introspection (the /v1/stats document)
@@ -303,9 +398,11 @@ class AnalysisService:
     def stats(self) -> dict:
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "mode": "shared" if self.shared else "local",
             "workers": self.workers,
             "fleet_workers": self.fleet_workers,
             "batch_size": self.batch_size,
+            "shards": self.shards,
             "pipeline_runs": pipeline_runs(),
             "queue": self.queue.stats(),
             "cache": self.artifacts.stats(),

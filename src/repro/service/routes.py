@@ -1,0 +1,151 @@
+"""Transport-independent ``/v1`` API routing.
+
+The service has two front ends — the original threading server
+(:mod:`repro.service.server`) and the asyncio server
+(:mod:`repro.service.aserver`).  Both must answer identically: this
+module is the single source of the API contract.  A front end reads the
+request off its transport (enforcing the body bound, 413) and calls
+:func:`handle_request`; everything else — routing, spec validation,
+status codes, error shapes — happens here.
+
+Endpoint reference (full examples in ``docs/service-api.md``):
+
+=========  ==============================  =====================================
+method     path                            meaning
+=========  ==============================  =====================================
+GET        ``/v1/healthz``                 liveness probe
+GET        ``/v1/stats``                   queue depth, cache + pipeline stats
+POST       ``/v1/jobs``                    submit a job (202; 429 on backpressure)
+GET        ``/v1/jobs``                    list jobs (summaries)
+GET        ``/v1/jobs/<id>``               one job's status + metrics
+GET        ``/v1/jobs/<id>/report``        the AnalysisReport / FleetReport JSON
+GET        ``/v1/jobs/<id>/filter``        derived seccomp-style filter
+GET        ``/v1/jobs/<id>/profile``       derived OCI/Docker seccomp profile
+=========  ==============================  =====================================
+
+Status codes: 202 accepted, 400 bad spec, 404 unknown, 405 wrong
+method, 409 not-ready-yet / failed, 413 oversized body (transport
+layer), 429 queue full.  Every response body is JSON; errors are
+``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.report import AnalysisReport
+from ..filters.docker import profile_from_report
+from ..filters.seccomp import FilterProgram
+from ..syscalls.table import name_of
+from .jobs import Job, QueueFull
+
+
+@dataclass
+class ApiResult:
+    """One routed response: status code, JSON document, extra headers."""
+
+    status: int
+    doc: dict
+    retry_after: int | None = None
+
+    def body(self) -> bytes:
+        return (json.dumps(self.doc, indent=2) + "\n").encode()
+
+    def headers(self) -> list[tuple[str, str]]:
+        extra = []
+        if self.retry_after is not None:
+            extra.append(("Retry-After", str(self.retry_after)))
+        return extra
+
+
+def _error(status: int, message: str, retry_after: int | None = None,
+           **extra) -> ApiResult:
+    return ApiResult(status, {"error": message, **extra}, retry_after)
+
+
+def handle_request(service, method: str, path: str,
+                   raw_body: bytes = b"") -> ApiResult:
+    """Route one request against an :class:`AnalysisService`.
+
+    ``raw_body`` is the (already bounded) request body; only POST routes
+    look at it.
+    """
+    parts = [p for p in path.split("?")[0].split("/") if p]
+    if method == "GET":
+        return _handle_get(service, parts, path)
+    if method == "POST":
+        return _handle_post(service, parts, path, raw_body)
+    return _error(405, f"method {method} not allowed")
+
+
+def _handle_get(service, parts: list[str], path: str) -> ApiResult:
+    if parts == ["v1", "healthz"]:
+        return ApiResult(200, {"status": "ok"})
+    if parts == ["v1", "stats"]:
+        return ApiResult(200, service.stats())
+    if parts == ["v1", "jobs"]:
+        return ApiResult(
+            200, {"jobs": [j.summary() for j in service.queue.jobs()]}
+        )
+    if len(parts) in (3, 4) and parts[:2] == ["v1", "jobs"]:
+        return _get_job(service, parts[2], parts[3] if len(parts) == 4 else None)
+    return _error(404, f"no such endpoint: {path}")
+
+
+def _handle_post(service, parts: list[str], path: str,
+                 raw_body: bytes) -> ApiResult:
+    if parts != ["v1", "jobs"]:
+        return _error(404, f"no such endpoint: {path}")
+    try:
+        doc = json.loads(raw_body.decode() or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        return _error(400, f"request body is not valid JSON: {error}")
+    if not isinstance(doc, dict):
+        return _error(400, "request body must be a JSON object")
+    kind = doc.pop("kind", "analyze")
+    try:
+        job = service.submit(kind, doc)
+    except QueueFull as full:
+        return _error(429, str(full), retry_after=1)
+    except ValueError as error:
+        return _error(400, str(error))
+    return ApiResult(202, {"job": job.summary()})
+
+
+def _get_job(service, job_id: str, view: str | None) -> ApiResult:
+    job = service.queue.get(job_id)
+    if job is None:
+        return _error(404, f"no such job: {job_id}")
+    if view is None:
+        return ApiResult(200, {"job": job.summary()})
+    if job.status in ("queued", "running"):
+        return _error(
+            409, f"job {job_id} is {job.status}; poll until done",
+            job_status=job.status,
+        )
+    if job.status == "failed":
+        return _error(409, f"job {job_id} failed: {job.error}")
+    if view == "report":
+        return ApiResult(200, job.result or {})
+    if view in ("filter", "profile"):
+        return _derived(job, view)
+    return _error(404, f"no such job view: {view}")
+
+
+def _derived(job: Job, view: str) -> ApiResult:
+    """Filter artifacts derived on demand from a completed report."""
+    if job.kind != "analyze":
+        return _error(400, f"{view} is only derivable from analyze jobs")
+    report = AnalysisReport.from_doc(job.result)
+    filt = FilterProgram.from_report(report)
+    if view == "profile":
+        return ApiResult(200, profile_from_report(report))
+    return ApiResult(200, {
+        "binary": report.binary,
+        "sound": report.success and report.complete,
+        "allowed": sorted(filt.allowed),
+        "allowed_names": sorted(name_of(nr) for nr in filt.allowed),
+        "n_blocked": filt.n_blocked,
+        "rendered": filt.render(),
+    })

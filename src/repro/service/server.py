@@ -1,25 +1,16 @@
-"""The HTTP/JSON front end: a stdlib ``ThreadingHTTPServer``.
+"""The threaded HTTP/JSON front end: a stdlib ``ThreadingHTTPServer``.
 
-Endpoint reference (full examples in ``docs/service-api.md``):
-
-=========  ==============================  =====================================
-method     path                            meaning
-=========  ==============================  =====================================
-GET        ``/v1/healthz``                 liveness probe
-GET        ``/v1/stats``                   queue depth, cache + pipeline stats
-POST       ``/v1/jobs``                    submit a job (202; 429 on backpressure)
-GET        ``/v1/jobs``                    list jobs (summaries)
-GET        ``/v1/jobs/<id>``               one job's status + metrics
-GET        ``/v1/jobs/<id>/report``        the AnalysisReport / FleetReport JSON
-GET        ``/v1/jobs/<id>/filter``        derived seccomp-style filter
-GET        ``/v1/jobs/<id>/profile``       derived OCI/Docker seccomp profile
-=========  ==============================  =====================================
+One of two transports over the same API — the other is the asyncio
+server in :mod:`repro.service.aserver`, which is what ``bside serve``
+runs by default.  All routing, validation, and status-code logic lives
+in :mod:`repro.service.routes` so the two stay contract-identical; this
+module only adapts ``http.server`` plumbing onto it.
 
 Design notes:
 
 * handlers never run analysis — they only enqueue and read; all
-  analysis happens on the executor's dispatcher thread, so a slow
-  binary cannot wedge the API;
+  analysis happens on the executor's dispatcher thread (or external
+  worker processes), so a slow binary cannot wedge the API;
 * every response is JSON (errors as ``{"error": ...}``) with the
   correct status code: 202 accepted, 400 bad spec, 404 unknown,
   409 not-ready-yet, 413 oversized body, 429 queue full;
@@ -29,17 +20,12 @@ Design notes:
 
 from __future__ import annotations
 
-import json
 import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..core.report import AnalysisReport
-from ..filters.docker import profile_from_report
-from ..filters.seccomp import FilterProgram
-from ..syscalls.table import name_of
 from .executor import MAX_INLINE_BYTES, AnalysisService
-from .jobs import QueueFull
+from .routes import ApiResult, handle_request
 
 logger = logging.getLogger(__name__)
 
@@ -48,7 +34,7 @@ MAX_BODY_BYTES = MAX_INLINE_BYTES * 3 // 2
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes ``/v1`` requests onto the bound :class:`AnalysisService`."""
+    """Adapts ``http.server`` requests onto :func:`handle_request`."""
 
     server_version = "bside-serve/1"
     protocol_version = "HTTP/1.1"
@@ -61,119 +47,31 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> AnalysisService:
         return self.server.service  # type: ignore[attr-defined]
 
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-
-    def _send(self, status: int, doc: dict, retry_after: int | None = None) -> None:
-        body = (json.dumps(doc, indent=2) + "\n").encode()
-        self.send_response(status)
+    def _send(self, result: ApiResult) -> None:
+        body = result.body()
+        self.send_response(result.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        if retry_after is not None:
-            self.send_header("Retry-After", str(retry_after))
+        for name, value in result.headers():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str,
-               retry_after: int | None = None, **extra) -> None:
-        self._send(status, {"error": message, **extra},
-                   retry_after=retry_after)
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        self._send(handle_request(self.service, "GET", self.path))
 
-    def _read_body(self) -> dict | None:
+    def do_POST(self) -> None:  # noqa: N802
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             # The unread body would be parsed as the next request on
             # this keep-alive connection; drop the connection instead.
             self.close_connection = True
-            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-            return None
-        raw = self.rfile.read(length) if length else b"{}"
-        try:
-            doc = json.loads(raw.decode() or "{}")
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._error(400, f"request body is not valid JSON: {error}")
-            return None
-        if not isinstance(doc, dict):
-            self._error(400, "request body must be a JSON object")
-            return None
-        return doc
-
-    # ------------------------------------------------------------------
-    # Routing
-    # ------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if parts == ["v1", "healthz"]:
-            return self._send(200, {"status": "ok"})
-        if parts == ["v1", "stats"]:
-            return self._send(200, self.service.stats())
-        if parts == ["v1", "jobs"]:
-            return self._send(
-                200, {"jobs": [j.summary() for j in self.service.queue.jobs()]}
-            )
-        if len(parts) in (3, 4) and parts[:2] == ["v1", "jobs"]:
-            return self._get_job(parts[2], parts[3] if len(parts) == 4 else None)
-        self._error(404, f"no such endpoint: {self.path}")
-
-    def do_POST(self) -> None:  # noqa: N802
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if parts != ["v1", "jobs"]:
-            return self._error(404, f"no such endpoint: {self.path}")
-        doc = self._read_body()
-        if doc is None:
+            self._send(ApiResult(
+                413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"}
+            ))
             return
-        kind = doc.pop("kind", "analyze")
-        try:
-            job = self.service.submit(kind, doc)
-        except QueueFull as full:
-            return self._error(429, str(full), retry_after=1)
-        except ValueError as error:
-            return self._error(400, str(error))
-        self._send(202, {"job": job.summary()})
-
-    # ------------------------------------------------------------------
-    # Job views
-    # ------------------------------------------------------------------
-
-    def _get_job(self, job_id: str, view: str | None) -> None:
-        job = self.service.queue.get(job_id)
-        if job is None:
-            return self._error(404, f"no such job: {job_id}")
-        if view is None:
-            return self._send(200, {"job": job.summary()})
-        if job.status in ("queued", "running"):
-            return self._error(
-                409, f"job {job_id} is {job.status}; poll until done",
-                job_status=job.status,
-            )
-        if job.status == "failed":
-            return self._error(409, f"job {job_id} failed: {job.error}")
-        if view == "report":
-            return self._send(200, job.result or {})
-        if view in ("filter", "profile"):
-            return self._derived(job, view)
-        self._error(404, f"no such job view: {view}")
-
-    def _derived(self, job, view: str) -> None:
-        """Filter artifacts derived on demand from a completed report."""
-        if job.kind != "analyze":
-            return self._error(
-                400, f"{view} is only derivable from analyze jobs"
-            )
-        report = AnalysisReport.from_doc(job.result)
-        filt = FilterProgram.from_report(report)
-        if view == "profile":
-            return self._send(200, profile_from_report(report))
-        self._send(200, {
-            "binary": report.binary,
-            "sound": report.success and report.complete,
-            "allowed": sorted(filt.allowed),
-            "allowed_names": sorted(name_of(nr) for nr in filt.allowed),
-            "n_blocked": filt.n_blocked,
-            "rendered": filt.render(),
-        })
+        raw = self.rfile.read(length) if length else b"{}"
+        self._send(handle_request(self.service, "POST", self.path, raw))
 
 
 class ServiceServer:

@@ -17,6 +17,7 @@ from repro.core import (
     BSideAnalyzer,
     PersistentInterfaceStore,
     PipelineConfig,
+    ShardedArtifactStore,
 )
 from repro.core.fleet import FleetAnalyzer
 from repro.corpus import LIBC_NAME, build_libc, make_debian_corpus
@@ -369,3 +370,157 @@ class TestPipelineConfigObject:
         analyzer = BSideAnalyzer(pipeline_config=config)
         assert analyzer.detect_wrappers is False
         assert "wrapper-detection" not in analyzer.pipeline.pass_names
+
+
+class TestShardedStorePlacement:
+    """PR-6 satellite: shard placement is deterministic, total, and
+    stable — every writer and reader agrees on an entry's home shard
+    with no coordination, across reopens, forever (rebalance-free)."""
+
+    def test_hex_hashes_place_by_modulo(self, tmp_path):
+        store = ShardedArtifactStore(str(tmp_path), shards=4)
+        for value in (0, 1, 2, 3, 4, 15, 16, 255, 2**63, 2**128 - 1):
+            h = f"{value:x}"
+            assert store.shard_index(h) == value % 4
+
+    @pytest.mark.parametrize("key", [
+        "deadbeef", "0", "ff" * 32,          # hex hashes
+        "not-hex-at-all", "ZZZZ",            # non-hex fallback
+        "", None,                            # name-only placement
+    ])
+    def test_placement_total_and_deterministic(self, tmp_path, key):
+        store = ShardedArtifactStore(str(tmp_path), shards=3)
+        index = store.shard_index(key, name="subject")
+        assert 0 <= index < 3
+        assert all(
+            store.shard_index(key, name="subject") == index
+            for _ in range(10)
+        )
+
+    def test_placement_stable_under_reopen(self, tmp_path):
+        hashes = [f"{i * 2654435761:x}" for i in range(64)]
+        first = ShardedArtifactStore(str(tmp_path), shards=4)
+        placed = {h: first.shard_index(h) for h in hashes}
+        reopened = ShardedArtifactStore(str(tmp_path), shards=4)
+        assert {h: reopened.shard_index(h) for h in hashes} == placed
+
+    def test_no_rebalance_on_reopen_and_read(self, tmp_path):
+        """Reopening and reading must not move a single entry file."""
+        store = ShardedArtifactStore(str(tmp_path), shards=3)
+        for i in range(24):
+            store.put("report", f"app-{i}", {"i": i},
+                      content_hash=f"{i:x}", fingerprint="f")
+
+        def file_map():
+            out = {}
+            for root, _dirs, files in os.walk(str(tmp_path)):
+                for name in files:
+                    out[os.path.join(root, name)] = os.path.getsize(
+                        os.path.join(root, name))
+            return out
+
+        before = file_map()
+        reopened = ShardedArtifactStore(str(tmp_path), shards=3)
+        for i in range(24):
+            assert reopened.get(
+                "report", f"app-{i}", content_hash=f"{i:x}",
+                fingerprint="f") == {"i": i}
+        assert file_map() == before
+
+    def test_every_entry_lives_in_its_computed_shard(self, tmp_path):
+        store = ShardedArtifactStore(str(tmp_path), shards=4)
+        for i in range(32):
+            h = f"{i * 7919:x}"
+            store.put("cfg", f"bin-{i}", {"i": i}, content_hash=h)
+        for i in range(32):
+            h = f"{i * 7919:x}"
+            home = store.shards[store.shard_index(h)]
+            assert home.get("cfg", f"bin-{i}", content_hash=h) == {"i": i}
+
+
+class TestShardedStoreEquivalence:
+    """The sharded store is byte-identical to the flat store from every
+    consumer's point of view: same payloads, same hit/miss/invalidation
+    behaviour, same aggregate stats and prune counts."""
+
+    PUTS = [
+        ("report", f"app-{i}", {"syscalls": [i, i + 1], "i": i},
+         f"{i * 31:x}", f"fp-{i % 3}")
+        for i in range(20)
+    ]
+
+    def _fill(self, store):
+        for kind, name, payload, h, fp in self.PUTS:
+            store.put(kind, name, payload, content_hash=h, fingerprint=fp)
+
+    def test_payloads_identical_to_flat_store(self, tmp_path):
+        flat = ArtifactStore(str(tmp_path / "flat"))
+        sharded = ShardedArtifactStore(str(tmp_path / "sharded"), shards=3)
+        self._fill(flat)
+        self._fill(sharded)
+        for kind, name, payload, h, fp in self.PUTS:
+            a = flat.get(kind, name, content_hash=h, fingerprint=fp)
+            b = sharded.get(kind, name, content_hash=h, fingerprint=fp)
+            assert a == b == payload
+            assert json.dumps(a, sort_keys=True) == \
+                json.dumps(b, sort_keys=True)
+
+    def test_warm_analyze_byte_identical_across_store_kinds(self, tmp_path):
+        """A report cached through a flat store and one cached through a
+        sharded store serialize to the same bytes."""
+        prog = build_static_app()
+        flat_cold = BSideAnalyzer(
+            budget=AnalysisBudget.generous(),
+            artifact_store=ArtifactStore(str(tmp_path / "flat")),
+        ).analyze(prog.image)
+        sharded_store = ShardedArtifactStore(str(tmp_path / "sh"), shards=3)
+        BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=sharded_store,
+        ).analyze(prog.image)
+        warm_store = ShardedArtifactStore(str(tmp_path / "sh"), shards=3)
+        warm = BSideAnalyzer(
+            budget=AnalysisBudget.generous(), artifact_store=warm_store,
+        ).analyze(prog.image)
+        assert warm_store.counters("report")["hits"] == 1
+        assert warm.to_json(include_runtime=False) == \
+            flat_cold.to_json(include_runtime=False)
+
+    def test_stats_aggregate_equals_flat(self, tmp_path):
+        flat = ArtifactStore(str(tmp_path / "flat"))
+        sharded = ShardedArtifactStore(str(tmp_path / "sharded"), shards=3)
+        self._fill(flat)
+        self._fill(sharded)
+        flat_doc = flat.stats()
+        sharded_doc = sharded.stats()
+        assert sharded_doc["total_entries"] == flat_doc["total_entries"]
+        assert sharded_doc["total_bytes"] == flat_doc["total_bytes"]
+        assert sharded_doc["kinds"] == flat_doc["kinds"]
+        # the per-shard breakdown sums back to the totals
+        assert sum(s["entries"] for s in sharded_doc["per_shard"]) == \
+            sharded_doc["total_entries"]
+        assert sum(s["bytes"] for s in sharded_doc["per_shard"]) == \
+            sharded_doc["total_bytes"]
+
+    def test_prune_kind_aggregates_across_shards(self, tmp_path):
+        sharded = ShardedArtifactStore(str(tmp_path), shards=3)
+        self._fill(sharded)
+        for i in range(7):
+            sharded.put("cfg", f"cfg-{i}", {}, content_hash=f"{i:x}")
+        assert sharded.prune("report") == len(self.PUTS)
+        assert sharded.stats()["kinds"].get("report", {"entries": 0})[
+            "entries"] == 0
+        assert sharded.stats()["kinds"]["cfg"]["entries"] == 7
+        assert sharded.prune() == 7
+        assert sharded.stats()["total_entries"] == 0
+
+    def test_invalidation_behaviour_matches_flat(self, tmp_path):
+        flat = ArtifactStore(str(tmp_path / "flat"))
+        sharded = ShardedArtifactStore(str(tmp_path / "sharded"), shards=3)
+        for store in (flat, sharded):
+            store.put("report", "app", {"x": 1},
+                      content_hash="ab", fingerprint="f1")
+            assert store.get("report", "app", content_hash="ab",
+                             fingerprint="OTHER") is None
+            assert store.counters("report")["invalidations"] == 1
+            assert store.get("report", "app", content_hash="ab",
+                             fingerprint="f1") is None

@@ -97,3 +97,39 @@ class TestOtherCommands:
         assert os.path.isdir(os.path.join(outdir, "bin"))
         assert os.path.isdir(os.path.join(outdir, "lib"))
         assert os.listdir(os.path.join(outdir, "bin"))
+
+
+class TestCache:
+    @pytest.fixture()
+    def sharded_cache(self, tmp_path):
+        from repro.core import ShardedArtifactStore
+
+        root = str(tmp_path / "cache")
+        store = ShardedArtifactStore(root, shards=2)
+        for i in range(4):
+            store.put("report", f"bin-{i}", {"n": i},
+                      content_hash=f"{i:02x}" * 8)
+        return root
+
+    def test_stats_sharded_human(self, sharded_cache, capsys):
+        assert main(["cache", "stats", "--cache-dir", sharded_cache,
+                     "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 entries" in out
+        assert "shard 00" in out and "shard 01" in out
+
+    def test_stats_sharded_json(self, sharded_cache, capsys):
+        assert main(["cache", "stats", "--cache-dir", sharded_cache,
+                     "--shards", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shards"] == 2
+        assert doc["total_entries"] == 4
+        assert sum(s["entries"] for s in doc["per_shard"]) == 4
+
+    def test_prune_and_clear_sharded(self, sharded_cache, capsys):
+        assert main(["cache", "prune", "--cache-dir", sharded_cache,
+                     "--shards", "2", "--kind", "report"]) == 0
+        assert "removed 4 report entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", sharded_cache,
+                     "--shards", "2"]) == 0
+        assert "removed 0 cache entries" in capsys.readouterr().out

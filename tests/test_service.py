@@ -255,7 +255,9 @@ class TestBackpressure:
         srv = ServiceServer(service, port=0)
         srv.start(executor=False)  # nothing drains the queue
         try:
-            client = ServiceClient(srv.url)
+            # retries=0: this test counts *server-side* rejections, so
+            # the client's 429 retry-with-backoff must stay out of it
+            client = ServiceClient(srv.url, retries=0)
             for __ in range(3):
                 client.submit_path(demo_binary)
             with pytest.raises(ServiceError) as excinfo:

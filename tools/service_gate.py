@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Service-scale perf gate (`make service-gate`, enforced in CI).
+
+Runs the service-scale workload (:mod:`repro.perf.servicebench`) — the
+asyncio front end plus lease-claiming worker processes driven over real
+sockets at 1/2/4 workers — and gates it against the committed
+``BENCH_service_scale.json`` trajectory:
+
+* fail on a >15% normalized warm-p99 latency regression vs the latest
+  trajectory entry;
+* fail on a >15% normalized warm throughput drop vs the latest entry;
+* fail if the max worker tier's steady-state (warm) throughput falls
+  below 3x the 1-worker cold throughput (the PR-6 acceptance ratio,
+  re-proven on every run).
+
+Comparisons use *normalized* numbers (multiplied/divided by an in-run
+pure-Python calibration loop), so the committed baseline gates runs on
+any machine.  CI runs the default profile: a deterministic small-scale
+load (8 distinct binaries, client ramp 4/8/16, 4 jobs per client) —
+``benchmarks/bench_service_scale.py`` is the full-size load generator.
+
+Usage::
+
+    python tools/service_gate.py                  # gate only
+    python tools/service_gate.py --record LABEL   # gate, then append
+    python tools/service_gate.py --record pr6-seed --seed-baseline
+                                                  # seed a new baseline
+
+Exit status: 0 gates pass, 1 a gate failed, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.perf import (  # noqa: E402
+    ROLE_SERVICE,
+    SERVICE_WORKLOAD,
+    format_service_measurement,
+    gate_service_measurement,
+    load_trajectory,
+    measure_service_scale,
+    save_trajectory,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=os.path.join(REPO, "BENCH_service_scale.json"),
+        help="trajectory file to gate against (default: repo root)",
+    )
+    parser.add_argument(
+        "--tiers", default="1,2,4",
+        help="comma-separated worker-process tiers (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--binaries", type=int, default=8,
+        help="distinct binaries in the load set (default 8)",
+    )
+    parser.add_argument(
+        "--clients", default="4,8,16",
+        help="comma-separated warm-phase client ramp (default 4,8,16)",
+    )
+    parser.add_argument(
+        "--jobs-per-client", type=int, default=4,
+        help="warm-phase submissions per client (default 4)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="artifact-store shards in the deployment under test",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.15,
+        help="allowed fractional p99/throughput regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--min-scale", type=float, default=3.0,
+        help="required max-tier warm vs 1-worker cold throughput ratio",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append this measurement to the trajectory under LABEL",
+    )
+    parser.add_argument(
+        "--seed-baseline", action="store_true",
+        help="with --record: seed a fresh baseline (skip the regression "
+             "gates; the scale gate still applies)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        tiers = tuple(int(x) for x in args.tiers.split(","))
+        clients_ramp = tuple(int(x) for x in args.clients.split(","))
+    except ValueError:
+        print("service-gate: --tiers/--clients must be comma-separated "
+              "integers", file=sys.stderr)
+        return 2
+    try:
+        trajectory = load_trajectory(args.baseline, workload=SERVICE_WORKLOAD)
+    except ValueError as error:
+        print(f"service-gate: {error}", file=sys.stderr)
+        return 2
+
+    print(f"service-gate: driving the service tier at "
+          f"{'/'.join(map(str, tiers))} workers "
+          f"({args.binaries} binaries, clients {args.clients})...")
+    record = measure_service_scale(
+        tiers=tiers,
+        n_binaries=args.binaries,
+        clients_ramp=clients_ramp,
+        jobs_per_client=args.jobs_per_client,
+        shards=args.shards,
+    )
+    print(format_service_measurement(record))
+    print()
+
+    if args.record and args.seed_baseline:
+        # Seeding: only the self-contained scale gate applies.
+        result = gate_service_measurement(
+            record, trajectory, min_scale=args.min_scale,
+            max_regression=float("inf"),
+        ) if trajectory.baseline is not None else None
+        scale_ok = record["scale_warm_max_vs_cold_1w"] >= args.min_scale
+        if not scale_ok:
+            print(f"service-gate: FAIL: seed scale ratio "
+                  f"{record['scale_warm_max_vs_cold_1w']:.2f}x < "
+                  f"{args.min_scale:.1f}x", file=sys.stderr)
+            return 1
+        trajectory.append(record, label=args.record, role=ROLE_SERVICE)
+        save_trajectory(trajectory, args.baseline)
+        print(f"service-gate: recorded baseline entry '{args.record}' "
+              f"in {args.baseline}")
+        print("service-gate: baseline seeded (regression gates skipped)")
+        return 0
+
+    result = gate_service_measurement(
+        record, trajectory,
+        max_regression=args.max_regression,
+        min_scale=args.min_scale,
+    )
+    if result.p99_ratio is not None:
+        print(f"service-gate: vs latest entry "
+              f"'{trajectory.baseline.get('label', '?')}': "
+              f"{result.p99_ratio:.3f}x normalized warm p99 "
+              f"(max allowed {1 + args.max_regression:.2f}x)")
+    if result.throughput_ratio is not None:
+        print(f"service-gate: normalized warm throughput ratio "
+              f"{result.throughput_ratio:.3f}x "
+              f"(min allowed {1 - args.max_regression:.2f}x)")
+    print(f"service-gate: steady-state scale ratio "
+          f"{result.scale_ratio:.2f}x (required >= {args.min_scale:.1f}x)")
+
+    if args.record:
+        trajectory.append(record, label=args.record, role=ROLE_SERVICE)
+        save_trajectory(trajectory, args.baseline)
+        print(f"service-gate: recorded entry '{args.record}' "
+              f"in {args.baseline}")
+
+    if not result.ok:
+        for problem in result.problems:
+            print(f"service-gate: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("service-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
