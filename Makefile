@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/bside-smoke
 
-.PHONY: test bench bench-gate eval-gate bench-service-scale service-gate lint smoke smoke-service docs-check clean
+.PHONY: test bench bench-gate eval-gate bench-service-scale service-gate incremental-gate lint smoke smoke-service docs-check clean
 
 ## tier-1: the suite the driver enforces (ROADMAP.md)
 test:
@@ -51,6 +51,14 @@ bench-service-scale:
 ## 1-worker cold throughput); see docs/performance.md.
 service-gate:
 	$(PYTHON) tools/service_gate.py $(SERVICE_GATE_FLAGS)
+
+## incremental-rebuild gate: mutate 3 functions of a ~400-function
+## binary and re-analyze it through the funccfg cache; fails if more
+## than 5% of the partition is re-analyzed or if the incremental report
+## differs from the cold report of the same mutated bytes (compared
+## against BENCH_incremental.json); see docs/performance.md.
+incremental-gate:
+	$(PYTHON) tools/incremental_gate.py $(INCREMENTAL_GATE_FLAGS)
 
 ## fast syntax/bytecode check (no third-party linters in this environment)
 lint:

@@ -1,0 +1,95 @@
+"""Incremental-rebuild benchmark: locality of re-analysis, measured.
+
+Runs the :mod:`repro.perf.incbench` workload — a ~400-function static
+binary mutated in 3 functions, re-analyzed through the function-granular
+``funccfg`` cache — and reports it against the committed
+``BENCH_incremental.json`` trajectory:
+
+* the **re-analyzed fraction** (changed functions plus their dependency
+  cone over the whole partition) — asserted to stay under 5%, the
+  acceptance target the CI gate (``tools/incremental_gate.py``)
+  enforces;
+* **equivalence** of the incremental and cold reports for the same
+  mutated bytes — asserted outright: a fast-but-wrong rebuild is worse
+  than a slow one;
+* cold vs incremental wall time and drift vs the latest trajectory
+  entry, reported for the record.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.perf import load_trajectory, measure_incremental
+from repro.perf.incbench import format_incremental_measurement
+
+from _report import emit
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_incremental.json",
+)
+
+#: the acceptance ceiling: fraction of functions re-analyzed after a
+#: 3-of-~400-function mutation
+MAX_REANALYZED_FRACTION = 0.05
+
+
+def test_incremental_trajectory(benchmark):
+    record = measure_incremental(repeats=3)
+    trajectory = load_trajectory(TRAJECTORY_PATH)
+
+    lines = [format_incremental_measurement(record), ""]
+    latest = trajectory.baseline
+    if latest is not None:
+        drift = (
+            record["normalized_incremental"]
+            / latest["normalized_incremental"]
+        )
+        lines.append(
+            f"drift vs latest entry '{latest.get('label', '?')}': "
+            f"{drift:.3f}x normalized incremental"
+        )
+    emit("incremental",
+         "Incremental-rebuild trajectory (BENCH_incremental.json)",
+         "\n".join(lines))
+
+    if benchmark is not None:
+        from repro.core import ArtifactStore, BSideAnalyzer
+        from repro.core.report import AnalysisBudget
+        from repro.corpus import build_app
+        from repro.loader.image import LoadedImage
+
+        bundle = build_app("redis")
+        store_dir = os.path.join(
+            os.path.dirname(TRAJECTORY_PATH), ".bench-inc-cache"
+        )
+
+        def incremental_one():
+            analyzer = BSideAnalyzer(
+                resolver=bundle.resolver,
+                budget=AnalysisBudget.generous(),
+                artifact_store=ArtifactStore(store_dir),
+                incremental=True,
+            )
+            analyzer.artifacts.prune("report")
+            return analyzer.analyze(
+                LoadedImage.from_bytes("redis", bundle.program.elf_bytes)
+            )
+
+        try:
+            benchmark(incremental_one)
+        finally:
+            import shutil
+
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    assert record["equivalent"], (
+        "incremental report diverged from the cold report of the same "
+        "mutated binary"
+    )
+    assert record["reanalyzed_fraction"] <= MAX_REANALYZED_FRACTION, (
+        f"a {record['functions_changed']}-function mutation re-analyzed "
+        f"{100 * record['reanalyzed_fraction']:.2f}% of the partition "
+        f"(ceiling {100 * MAX_REANALYZED_FRACTION:.1f}%)"
+    )

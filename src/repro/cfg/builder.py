@@ -7,6 +7,14 @@ leaders, assigns blocks to functions, and installs the *direct* edges.
 Indirect branches are recorded as unresolved sites for
 :mod:`repro.cfg.indirect` to handle; GOT-mediated imports are resolved to
 external symbol edges immediately.
+
+The stages are exposed as standalone helpers (:func:`compute_leaders`,
+:func:`carve_blocks`, :func:`assign_functions`, :func:`add_direct_edges`)
+because the function-granular incremental assembler
+(:class:`repro.core.pipeline.IncrementalCfgRecoveryPass`) re-runs the
+carve/assign/edge stages over a leader set stitched from cached
+per-function products — sharing the exact code paths is what makes an
+incremental CFG byte-identical to a cold one.
 """
 
 from __future__ import annotations
@@ -48,16 +56,16 @@ def _got_import_symbol(image: LoadedImage, insn: Instruction) -> str | None:
     return None
 
 
-def build_cfg(image: LoadedImage) -> CFG:
-    """Disassemble ``image`` and build its direct-edge CFG."""
-    insns = decode_all(image.text_bytes, image.text_base)
-    if not insns:
-        raise CfgError(f"{image.name}: empty text segment")
-    by_addr = {i.addr: i for i in insns}
+def compute_leaders(
+    image: LoadedImage,
+    insns: list[Instruction],
+    by_addr: dict[int, Instruction],
+) -> set[int]:
+    """Block-leader addresses of the whole instruction stream.
 
-    # ---- find leaders ---------------------------------------------------
-    # (mnemonic-set test inlined: the terminator property per instruction
-    # was measurable over whole-image sweeps)
+    (mnemonic-set test inlined: the terminator property per instruction
+    was measurable over whole-image sweeps)
+    """
     terminators = _TERMINATOR_MNEMONICS
     leaders: set[int] = {image.text_base}
     for start, __ in image.function_boundaries:
@@ -77,9 +85,21 @@ def build_cfg(image: LoadedImage) -> CFG:
                 target = ops[0].value
                 if target in by_addr:
                     add_leader(target)
+    return leaders
 
-    # ---- carve blocks -----------------------------------------------------
-    cfg = CFG()
+
+def carve_blocks(
+    cfg: CFG, insns: list[Instruction], leaders: set[int]
+) -> None:
+    """Split the instruction stream into basic blocks at ``leaders``.
+
+    Only leader addresses that are actual instruction addresses split;
+    a terminator always ends the current block.  Passing the set of
+    *block start* addresses instead of leaders is equivalent: block
+    starts are exactly the leaders plus post-terminator positions, and
+    the latter start a block regardless.
+    """
+    terminators = _TERMINATOR_MNEMONICS
     current: BasicBlock | None = None
     current_insns: list[Instruction] | None = None
     for insn in insns:
@@ -91,7 +111,9 @@ def build_cfg(image: LoadedImage) -> CFG:
         if insn.mnemonic in terminators:
             current = None
 
-    # ---- functions ----------------------------------------------------------
+
+def assign_functions(cfg: CFG, image: LoadedImage) -> None:
+    """Create the function table and assign every block to its owner."""
     boundaries = image.function_boundaries
     if not boundaries:
         # No symbols: treat the whole text as one function rooted at entry.
@@ -110,9 +132,13 @@ def build_cfg(image: LoadedImage) -> CFG:
         block.function = owner
         functions[owner].block_addrs.append(block.addr)
 
-    # ---- direct edges -----------------------------------------------------
-    # (classification inlined on the terminator mnemonic: one whole-image
-    # pass, previously dominated by per-block property chains)
+
+def add_direct_edges(cfg: CFG, image: LoadedImage) -> None:
+    """Install direct edges; record GOT imports and indirect sites.
+
+    (classification inlined on the terminator mnemonic: one whole-image
+    pass, previously dominated by per-block property chains)
+    """
     blocks = cfg.blocks
     add_edge = cfg.add_edge
     for block in blocks.values():
@@ -172,4 +198,20 @@ def build_cfg(image: LoadedImage) -> CFG:
         if nxt in blocks:
             add_edge(block.addr, nxt, EDGE_FALL)
 
+    return None
+
+
+def build_cfg(image: LoadedImage) -> CFG:
+    """Disassemble ``image`` and build its direct-edge CFG."""
+    insns = decode_all(image.text_bytes, image.text_base)
+    if not insns:
+        raise CfgError(f"{image.name}: empty text segment")
+    by_addr = {i.addr: i for i in insns}
+
+    leaders = compute_leaders(image, insns, by_addr)
+
+    cfg = CFG()
+    carve_blocks(cfg, insns, leaders)
+    assign_functions(cfg, image)
+    add_direct_edges(cfg, image)
     return cfg

@@ -3,10 +3,13 @@
 Commands
 --------
 
-``analyze <binary> [--libdir DIR] [--json] [--cache-dir DIR] [--no-cache]``
+``analyze <binary> [--libdir DIR] [--json] [--cache-dir DIR] [--no-cache]
+[--incremental]``
     Identify the syscalls a binary can invoke; print names or JSON.
     With ``--cache-dir``, a matching cached report is served without
-    re-analysis.
+    re-analysis; ``--incremental`` additionally caches per-function CFG
+    products (kind ``funccfg``) so a rebuilt binary re-analyzes only its
+    changed functions plus their dependency cone.
 
 ``profile <binary> [--libdir DIR] [--json] [--repeats N]``
     Time one cold analysis and print the per-pass stage profile
@@ -27,7 +30,8 @@ Commands
 ``trace <binary> [--libdir DIR] [--inputs a,b,c]``
     Run the binary under the emulator and print its syscall trace.
 
-``fleet <dir> [--workers N] [--cache-dir DIR] [--no-cache] [--json]``
+``fleet <dir> [--workers N] [--cache-dir DIR] [--no-cache] [--json]
+[--incremental]``
     Batch-analyze every ELF in a directory: cached per-binary reports are
     served from the artifact store, library interfaces are computed once
     (and cached persistently with ``--cache-dir``), then per-binary
@@ -50,7 +54,8 @@ Commands
 
 ``serve [--host H] [--port P] --state-dir DIR [--cache-dir DIR]
 [--workers N] [--worker-procs N] [--shards N] [--join] [--worker-id W]
-[--lease-ttl S] [--threaded] [--queue-size N] [--libdir DIR]``
+[--lease-ttl S] [--threaded] [--queue-size N] [--libdir DIR]
+[--incremental]``
     Run the analysis daemon: an asyncio HTTP/JSON job API over the
     fleet engine and the (optionally sharded) artifact store.  With
     ``--worker-procs`` the queue is drained by external worker
@@ -100,7 +105,10 @@ def _cache_dir(args) -> str | None:
 def _make_analyzer(args) -> BSideAnalyzer:
     """Analyzer honouring ``--libdir`` and the cache flags."""
     cache_dir = _cache_dir(args)
+    incremental = getattr(args, "incremental", False)
     if cache_dir is None:
+        # Incremental without a store degrades to a cold analysis (the
+        # incremental pass needs somewhere to keep funccfg products).
         return BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
     from .core import ArtifactStore, PersistentInterfaceStore
 
@@ -110,6 +118,7 @@ def _make_analyzer(args) -> BSideAnalyzer:
         budget=AnalysisBudget(),
         interface_store=PersistentInterfaceStore(store=artifacts),
         artifact_store=artifacts,
+        incremental=incremental,
     )
 
 
@@ -126,6 +135,10 @@ def cmd_analyze(args) -> int:
             "syscall_names": sorted(name_of(n) for n in report.syscalls),
             "sites_examined": report.sites_examined,
             "bbs_explored": report.bbs_explored,
+            **({
+                "functions_total": report.functions_total,
+                "functions_reanalyzed": report.functions_reanalyzed,
+            } if report.functions_total else {}),
         }, indent=2))
         return 0 if report.success else 1
     if not report.success:
@@ -134,6 +147,9 @@ def cmd_analyze(args) -> int:
         return 1
     print(f"{report.binary}: {len(report.syscalls)} syscalls"
           + ("" if report.complete else " (INCOMPLETE: over-approximate)"))
+    if report.functions_total:
+        print(f"  incremental: re-analyzed {report.functions_reanalyzed} "
+              f"of {report.functions_total} functions")
     for nr in sorted(report.syscalls):
         print(f"  {nr:>4}  {name_of(nr)}")
     return 0
@@ -253,6 +269,7 @@ def cmd_fleet(args) -> int:
     fleet = FleetAnalyzer(
         resolver=_resolver(args), budget=AnalysisBudget(),
         workers=args.workers, cache_dir=cache_dir,
+        incremental=args.incremental and cache_dir is not None,
     )
     report = fleet.analyze_directory(args.directory)
     # Exit 1 when any binary's analysis failed, so scripted pipelines
@@ -438,6 +455,7 @@ def cmd_serve(args) -> int:
         shared=external > 0,
         lease_ttl=args.lease_ttl,
         dispatcher=external == 0,
+        incremental=args.incremental,
     )
     service.write_config()
     server_cls = ServiceServer if args.threaded else AsyncServiceServer
@@ -547,11 +565,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir and analyze everything fresh")
 
+    def incremental_flag(p):
+        p.add_argument("--incremental", action="store_true",
+                       help="cache per-function CFG products (funccfg) and "
+                            "re-analyze only changed functions plus their "
+                            "dependency cone (needs --cache-dir)")
+
     p = sub.add_parser("analyze", help="identify a binary's syscalls")
     p.add_argument("binary")
     p.add_argument("--json", action="store_true")
     common(p)
     cache_flags(p)
+    incremental_flag(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("profile",
@@ -635,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for per-binary analysis")
     common(p)
     cache_flags(p)
+    incremental_flag(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("serve", help="run the analysis-as-a-service daemon")
@@ -675,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "do not name one")
     p.add_argument("--log-level", default="info",
                    help="logging level (debug, info, warning, ...)")
+    incremental_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a job to a running daemon")
@@ -717,7 +744,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="treat the cache as sharded across N roots")
     p.add_argument("--kind", required=True,
-                   choices=["iface", "cfg", "wrappers", "report", "gtruth"])
+                   choices=["iface", "cfg", "funccfg", "wrappers", "report",
+                            "gtruth"])
     p.set_defaults(func=cmd_cache)
 
     return parser

@@ -62,6 +62,7 @@ class BSideAnalyzer:
         detect_wrappers: bool = True,
         directed_search: bool = True,
         use_active_addresses_taken: bool = True,
+        incremental: bool = False,
         pipeline_config: PipelineConfig | None = None,
         artifact_store: ArtifactStore | None = None,
     ):
@@ -80,6 +81,7 @@ class BSideAnalyzer:
                 detect_wrappers=detect_wrappers,
                 directed_search=directed_search,
                 use_active_addresses_taken=use_active_addresses_taken,
+                incremental=incremental,
             )
         )
         self.pipeline = build_pipeline(self.config)
@@ -101,6 +103,10 @@ class BSideAnalyzer:
     @property
     def use_active_addresses_taken(self) -> bool:
         return self.config.use_active_addresses_taken
+
+    @property
+    def incremental(self) -> bool:
+        return self.config.incremental
 
     # ------------------------------------------------------------------
     # Public API
@@ -347,6 +353,8 @@ class BSideAnalyzer:
         report.bbs_explored = ctx.bbs_explored
         report.symex_steps = ctx.symex_steps
         report.sites_examined = ctx.sites_examined
+        report.functions_total = ctx.functions_total
+        report.functions_reanalyzed = ctx.functions_reanalyzed
         return report, ctx
 
     # ------------------------------------------------------------------

@@ -15,6 +15,9 @@ wrappers  a binary's confirmed wrapper table (entry → parameter)
 report    a binary's full :class:`AnalysisReport` JSON
 gtruth    a binary's emulated ground-truth syscall set (§5.1),
           keyed by the input-vector suite it was traced under
+funccfg   one function region's CFG product (block starts + local
+          reachability), keyed by the region's Merkle *closure*
+          hash (:mod:`repro.cfg.funccfg`) in the content-hash slot
 ========  ====================================================
 
 Every entry is keyed defensively by four components:
@@ -57,6 +60,7 @@ ARTIFACT_KINDS: dict[str, str] = {
     "wrappers": "wrapper_table",
     "report": "report",
     "gtruth": "ground_truth",
+    "funccfg": "function_cfg",
 }
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")

@@ -31,12 +31,24 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from ..cfg.builder import build_cfg
+from ..cfg.builder import (
+    add_direct_edges,
+    assign_functions,
+    build_cfg,
+    carve_blocks,
+)
+from ..cfg.funccfg import (
+    build_product,
+    product_name,
+    scan_image,
+    validate_product,
+)
 from ..cfg.indirect import resolve_indirect_active, resolve_indirect_all
 from ..cfg.model import CFG, EDGE_ICALL
 from ..cfg.reachability import reachable_blocks
-from ..errors import BudgetExceeded
+from ..errors import BudgetExceeded, CfgError
 from ..loader.image import LoadedImage
+from ..x86.decoder import decode_all
 from ..symex.engine import ExecContext
 from ..symex.state import MemoryBackend
 from .artifacts import CACHE_VERSION, ArtifactStore, fingerprint_doc
@@ -75,6 +87,13 @@ class PipelineConfig:
     directed_search: bool = True
     use_active_addresses_taken: bool = True
     passes: tuple[str, ...] = DEFAULT_PASSES
+    #: substitute the function-granular incremental assembler for
+    #: ``cfg-recovery``.  Deliberately **excluded** from the fingerprint:
+    #: incremental and cold runs produce byte-identical artifacts (the
+    #: differential harness pins this), so they must share cache keys —
+    #: a cold run warms the report cache an incremental run serves, and
+    #: vice versa.
+    incremental: bool = False
 
     def pass_names(self) -> tuple[str, ...]:
         """The passes this config actually runs (ablations applied)."""
@@ -153,6 +172,10 @@ class AnalysisContext:
     #: wrapper confirmations actually performed (0 on artifact reuse)
     wrapper_confirmations: int = 0
     external_sites: int = 0
+    #: function-region totals from the incremental assembler (0/0 on
+    #: cold runs: the counters only move when per-function caching ran)
+    functions_total: int = 0
+    functions_reanalyzed: int = 0
     #: phase automaton (set by the optional phase-detection pass)
     automaton: object | None = None
     #: scratch space for non-default passes (baselines)
@@ -261,6 +284,13 @@ class CfgRecoveryPass(Pass):
 
     def run(self, ctx: AnalysisContext) -> None:
         cfg = build_cfg(ctx.image)
+        self._finish(ctx, cfg)
+
+    def _finish(self, ctx: AnalysisContext, cfg: CFG) -> None:
+        """Everything after direct-CFG construction: indirect-branch
+        resolution, budgets, exec-context setup, the summary artifact.
+        Shared verbatim with the incremental assembler so the two paths
+        cannot diverge downstream of the stitched CFG."""
         mode = self.indirect
         if mode is None:
             mode = "active" if ctx.config.use_active_addresses_taken else "all"
@@ -301,6 +331,98 @@ class CfgRecoveryPass(Pass):
 
     def units(self, ctx: AnalysisContext) -> int:
         return ctx.cfg.n_edges
+
+
+class IncrementalCfgRecoveryPass(CfgRecoveryPass):
+    """Function-granular ``cfg-recovery``: stitch cached per-function
+    products into the whole-program CFG (``bside analyze --incremental``).
+
+    The decode sweep always runs whole-image (it is exact and cheap
+    relative to the downstream passes, and sharing it with the cold path
+    removes a whole class of boundary divergences).  Per function region
+    (:class:`~repro.cfg.partition.FunctionPartition`) the pass then
+    either replays a cached ``funccfg`` product — keyed by the region's
+    Merkle closure hash, so a hit certifies the region *and its callee
+    closure* unchanged — or re-carves the region cold.  Cached block
+    starts and freshly computed leaders are unioned into one global
+    leader set and the whole CFG is rebuilt through the exact cold-path
+    helpers (:func:`~repro.cfg.builder.carve_blocks` /
+    :func:`~repro.cfg.builder.assign_functions` /
+    :func:`~repro.cfg.builder.add_direct_edges`); cross-function
+    fixpoints (indirect resolution, and every later pass) always re-run
+    on the stitched CFG.  That construction is why incremental reports
+    are byte-identical to cold ones.
+
+    Only *aligned* regions (first decoded instruction exactly at the
+    region start) are cached; misaligned regions re-carve every run and
+    count as re-analyzed.  Without an artifact store the pass degrades
+    to the plain cold pass (library interface builds pass no store).
+    """
+
+    name = "cfg-recovery"  # same stage key: reports stay byte-compatible
+
+    def run(self, ctx: AnalysisContext) -> None:
+        if ctx.artifacts is None:
+            super().run(ctx)
+            return
+        image = ctx.image
+        insns = decode_all(image.text_bytes, image.text_base)
+        if not insns:
+            raise CfgError(f"{image.name}: empty text segment")
+        by_addr = {i.addr: i for i in insns}
+
+        scan = scan_image(image, insns, by_addr)
+        ctx.functions_total = len(scan.partition)
+
+        leaders: set[int] = set()
+        misses: list[int] = []
+        entry = image.entry
+        for region in scan.partition:
+            start = region.start
+            rs = scan.regions[start]
+            extra = scan.extra_leaders.get(start, set())
+            block_starts = None
+            if rs.aligned:
+                payload = ctx.artifacts.get(
+                    "funccfg", product_name(image.name, start),
+                    content_hash=scan.closure_hashes[start],
+                    fingerprint=ctx.fingerprint,
+                    dep_hashes=[],
+                )
+                if isinstance(payload, dict):
+                    block_starts = validate_product(
+                        payload, rs, extra, by_addr,
+                    )
+            if block_starts is not None:
+                leaders.update(block_starts)
+                continue
+            misses.append(start)
+            leaders.add(start)
+            if entry and start <= entry < region.end:
+                leaders.add(entry)
+            leaders.update(rs.own_leaders)
+            leaders.update(extra)
+
+        cfg = CFG()
+        carve_blocks(cfg, insns, leaders)
+        assign_functions(cfg, image)
+        add_direct_edges(cfg, image)
+
+        # Store fresh products for the re-carved (cacheable) regions now
+        # that the stitched block set and its intra-region edges exist.
+        for start in misses:
+            rs = scan.regions[start]
+            if not rs.aligned:
+                continue
+            ctx.artifacts.put(
+                "funccfg", product_name(image.name, start),
+                build_product(cfg, rs, scan.extra_leaders.get(start, set())),
+                content_hash=scan.closure_hashes[start],
+                fingerprint=ctx.fingerprint,
+                dep_hashes=[],
+            )
+        ctx.functions_reanalyzed = len(misses)
+        self._finish(ctx, cfg)
 
 
 class ReachabilityPass(Pass):
@@ -525,4 +647,10 @@ PASS_REGISTRY: dict[str, type[Pass]] = {
 
 def build_pipeline(config: PipelineConfig) -> PassPipeline:
     """Instantiate the pipeline a config describes (ablations applied)."""
-    return PassPipeline([PASS_REGISTRY[name]() for name in config.pass_names()])
+    passes: list[Pass] = []
+    for name in config.pass_names():
+        if name == "cfg-recovery" and config.incremental:
+            passes.append(IncrementalCfgRecoveryPass())
+        else:
+            passes.append(PASS_REGISTRY[name]())
+    return PassPipeline(passes)

@@ -78,6 +78,12 @@ class AnalysisReport:
     sites_examined: int = 0
     #: peak traced memory in bytes when measured (Table 3), else 0
     peak_memory: int = 0
+    #: function-region totals from the incremental assembler; both stay 0
+    #: on cold runs, and they serialise only under ``include_runtime``
+    #: (cache state is run-dependent, like wall times) so incremental and
+    #: cold reports stay byte-identical in stable form
+    functions_total: int = 0
+    functions_reanalyzed: int = 0
 
     @property
     def n_syscalls(self) -> int:
@@ -128,6 +134,9 @@ class AnalysisReport:
                 for name, stats in self.stages.items()
             }
             doc["peak_memory"] = self.peak_memory
+            if self.functions_total:
+                doc["functions_total"] = self.functions_total
+                doc["functions_reanalyzed"] = self.functions_reanalyzed
         return doc
 
     @classmethod
@@ -148,6 +157,8 @@ class AnalysisReport:
             bbs_explored=doc["bbs_explored"],
             symex_steps=doc["symex_steps"],
             peak_memory=doc.get("peak_memory", 0),
+            functions_total=doc.get("functions_total", 0),
+            functions_reanalyzed=doc.get("functions_reanalyzed", 0),
         )
         for name, stats in doc.get("stages", {}).items():
             report.stages[name] = StageStats(

@@ -1,0 +1,181 @@
+"""Size-preserving, function-local mutations of built validation apps.
+
+The incremental differential harness (``tests/test_incremental.py``)
+needs "the same binary, rebuilt with K functions changed" — without a
+compiler in the loop.  This module edits immediate operands in place:
+
+* ``mov r32, imm32`` sites whose immediate is a *known syscall number*
+  are retargeted to a different syscall number (the analysis-visible
+  mutation: the report's syscall set may change);
+* ``cmp`` sites get their immediate nudged by one (an analysis-neutral
+  mutation: control flow and syscall sets are untouched, but the
+  function's body hash — and therefore its cache key — changes).
+
+Both rewrites keep the instruction length, so every other function's
+bytes, addresses, and decode stream are bit-identical.  That is exactly
+the contract the per-function cache keys on: only the mutated functions
+(plus their dependency cone) may miss.
+
+Patching happens at the *file* level: the text section's bytes are
+located in the ELF image and the immediate's tail bytes are overwritten,
+then the result is re-parsed and re-decoded to prove the edit landed
+where intended and nothing else moved.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+
+from ..cfg.partition import FunctionPartition
+from ..loader.image import LoadedImage
+from ..syscalls.table import SYSCALL_NAMES
+from ..x86.decoder import decode, decode_all
+from ..x86.insn import Immediate
+
+#: replacement syscall numbers for mov-immediate sites: getpid(39) unless
+#: the site already loads 39, then exit(60).  Both are always-known
+#: numbers, so the mutated binary still analyzes cleanly.
+_MOV_REPLACEMENT = (39, 60)
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One mutable immediate inside one function region."""
+
+    region_start: int   # owning function region (partition start)
+    addr: int           # instruction address
+    mnemonic: str       # "mov" or "cmp"
+    imm_size: int       # encoded immediate tail size: 4 or 1 byte
+    old_value: int
+    new_value: int
+
+
+@dataclass
+class MutationResult:
+    """A mutated binary plus provenance of what changed."""
+
+    elf_bytes: bytes
+    image: LoadedImage
+    changed: list[int] = field(default_factory=list)  # region starts
+    sites: list[MutationSite] = field(default_factory=list)
+
+
+def _imm_tail_size(insn, value: int) -> int:
+    """Size of the immediate's encoded tail, or 0 when not patchable.
+
+    The encoders emit the immediate last, so matching the raw suffix
+    against the packed value proves where the bytes live.  imm32 is
+    preferred; a 1-byte tail is accepted too (``cmp r64, imm8``).
+    """
+    raw = insn.raw
+    if len(raw) >= 5:
+        for fmt in ("<i", "<I"):
+            try:
+                if raw[-4:] == struct.pack(fmt, value):
+                    return 4
+            except struct.error:
+                continue
+    if len(raw) >= 2:
+        for fmt in ("<b", "<B"):
+            try:
+                if raw[-1:] == struct.pack(fmt, value):
+                    return 1
+            except struct.error:
+                continue
+    return 0
+
+
+def find_sites(image: LoadedImage) -> dict[int, list[MutationSite]]:
+    """Mutable immediate sites, grouped by owning function region."""
+    insns = decode_all(image.text_bytes, image.text_base)
+    partition = FunctionPartition.from_image(image)
+    sites: dict[int, list[MutationSite]] = {}
+    for insn in insns:
+        if insn.mnemonic not in ("mov", "cmp") or len(insn.operands) != 2:
+            continue
+        imm = insn.operands[1]
+        if not isinstance(imm, Immediate):
+            continue
+        value = imm.value
+        if insn.mnemonic == "mov":
+            # Only retarget known syscall numbers: mutating an arbitrary
+            # mov immediate could corrupt an address computation.
+            if value not in SYSCALL_NAMES:
+                continue
+            new = _MOV_REPLACEMENT[value == _MOV_REPLACEMENT[0]]
+        else:
+            new = value + 1
+        size = _imm_tail_size(insn, value)
+        if not size:
+            continue
+        if size == 1 and not (-128 <= new <= 127):
+            continue
+        region = partition.region_containing(insn.addr)
+        if region is None:
+            continue
+        sites.setdefault(region.start, []).append(MutationSite(
+            region_start=region.start, addr=insn.addr,
+            mnemonic=insn.mnemonic, imm_size=size,
+            old_value=value, new_value=new,
+        ))
+    return sites
+
+
+def mutate_program(
+    elf_bytes: bytes, name: str, k: int, *, seed: int = 0,
+) -> MutationResult:
+    """Rebuild ``elf_bytes`` with immediates edited in ``k`` functions.
+
+    Deterministic for a given ``(elf_bytes, k, seed)``.  ``k`` is
+    clamped to the number of functions that have a mutable site; one
+    site per chosen function is patched.  The mutated image is re-parsed
+    and re-decoded to verify each patch (and only each patch) landed.
+    """
+    image = LoadedImage.from_bytes(name, elf_bytes)
+    by_region = find_sites(image)
+    if not by_region:
+        raise ValueError(f"{name}: no mutable immediate sites")
+    rng = random.Random(seed)
+    region_starts = sorted(by_region)
+    chosen = sorted(rng.sample(region_starts, min(k, len(region_starts))))
+
+    text_off = elf_bytes.find(image.text_bytes)
+    if text_off < 0:
+        raise ValueError(f"{name}: text section bytes not found in file")
+    data = bytearray(elf_bytes)
+    picked: list[MutationSite] = []
+    for start in chosen:
+        site = rng.choice(by_region[start])
+        insn_off = text_off + (site.addr - image.text_base)
+        insn = decode(elf_bytes, insn_off, site.addr)
+        imm_off = insn_off + insn.size - site.imm_size
+        fmt = {4: "<i", 1: "<b"}[site.imm_size]
+        try:
+            packed = struct.pack(fmt, site.new_value)
+        except struct.error:
+            packed = struct.pack(fmt.upper(), site.new_value)
+        data[imm_off:imm_off + site.imm_size] = packed
+        picked.append(site)
+
+    mutated_bytes = bytes(data)
+    mutated = LoadedImage.from_bytes(name, mutated_bytes)
+    # Verify: same decode skeleton, patched immediates only.
+    old = decode_all(image.text_bytes, image.text_base)
+    new = decode_all(mutated.text_bytes, mutated.text_base)
+    if [(i.addr, i.size, i.mnemonic) for i in old] != \
+            [(i.addr, i.size, i.mnemonic) for i in new]:
+        raise ValueError(f"{name}: mutation changed the decode skeleton")
+    by_addr = {i.addr: i for i in new}
+    for site in picked:
+        imm = by_addr[site.addr].operands[1]
+        if not isinstance(imm, Immediate) or imm.value != site.new_value:
+            raise ValueError(
+                f"{name}: patch at {site.addr:#x} did not take "
+                f"(got {imm!r}, wanted {site.new_value})"
+            )
+    return MutationResult(
+        elf_bytes=mutated_bytes, image=mutated,
+        changed=list(chosen), sites=picked,
+    )

@@ -14,24 +14,33 @@ package owns that measurement:
   asyncio front end, lease-claiming worker processes, and the sharded
   artifact store driven over real sockets at 1/2/4 workers (cold/warm
   throughput, p50/p99 latency, saturation point).
+* :mod:`repro.perf.incbench` — the incremental-rebuild workload: a
+  ~400-function binary mutated in 3 functions, re-analyzed through the
+  function-granular ``funccfg`` cache (fraction of functions
+  re-analyzed, cold/incremental equivalence and timings).
 * :mod:`repro.perf.trajectory` — the append-only ``BENCH_*.json``
   trajectory files recording measurements across PRs, and the
   regression gates ``tools/perf_gate.py`` / ``tools/service_gate.py``
-  enforce in CI.
+  / ``tools/incremental_gate.py`` enforce in CI.
 
 See ``docs/performance.md`` for the workflow.
 """
 
 from .coldbench import measure_cold_kernel
+from .incbench import format_incremental_measurement, measure_incremental
 from .servicebench import format_service_measurement, measure_service_scale
 from .trajectory import (
     ACCURACY_PATH,
     ACCURACY_WORKLOAD,
+    INCREMENTAL_PATH,
+    INCREMENTAL_WORKLOAD,
     ROLE_ACCURACY,
+    ROLE_INCREMENTAL,
     ROLE_SERVICE,
     SERVICE_PATH,
     SERVICE_WORKLOAD,
     Trajectory,
+    gate_incremental_measurement,
     gate_measurement,
     gate_service_measurement,
     load_trajectory,
@@ -41,16 +50,22 @@ from .trajectory import (
 __all__ = [
     "ACCURACY_PATH",
     "ACCURACY_WORKLOAD",
+    "INCREMENTAL_PATH",
+    "INCREMENTAL_WORKLOAD",
     "ROLE_ACCURACY",
+    "ROLE_INCREMENTAL",
     "ROLE_SERVICE",
     "SERVICE_PATH",
     "SERVICE_WORKLOAD",
     "Trajectory",
+    "format_incremental_measurement",
     "format_service_measurement",
+    "gate_incremental_measurement",
     "gate_measurement",
     "gate_service_measurement",
     "load_trajectory",
     "measure_cold_kernel",
+    "measure_incremental",
     "measure_service_scale",
     "save_trajectory",
 ]

@@ -1,0 +1,194 @@
+"""The incremental workload: what ``BENCH_incremental.json`` records.
+
+The incremental tier's acceptance story is *rebuild locality*: when a
+few functions of a large binary change, re-analysis cost must track the
+size of the change, not the size of the binary.  One measurement drives
+that end to end on a synthetic ~400-function static binary:
+
+* ``cold_seconds`` — full cold analysis of the mutated binary (fresh
+  analyzer, no artifact store): the incumbent cost.
+* ``incremental_seconds`` — the same mutated binary analyzed through
+  the incremental pipeline against a ``funccfg`` cache populated from
+  the *pre-mutation* binary.  Every timed repeat gets a pristine copy
+  of the populated cache (the first incremental run back-fills the
+  mutated functions' products, which would otherwise skew later
+  repeats warm).
+* ``reanalyzed_fraction`` — ``functions_reanalyzed / functions_total``
+  for a ``functions_changed``-function mutation.  This is the gated
+  number: 3 changed functions out of ~400 must re-analyze < 5% of the
+  partition (the changed functions plus their dependency cone — here
+  just ``_start``).
+* ``equivalent`` — whether the incremental report is byte-identical
+  (modulo runtime fields) to the cold report of the same mutated
+  bytes.  A fast-but-wrong incremental path must never pass the gate.
+
+Timings are best-of-``repeats`` and normalized by the same in-run
+calibration loop the other workloads use, so entries compare across
+machines.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+from .coldbench import _best_of, _calibrate
+
+#: defaults: a 3-of-~400-function rebuild (the acceptance scenario)
+DEFAULT_FUNCTIONS = 400
+DEFAULT_CHANGED = 3
+
+
+def build_incremental_workload(n_funcs: int = DEFAULT_FUNCTIONS):
+    """A static binary with ``n_funcs`` leaf functions plus ``_start``.
+
+    Every leaf loads a (known) syscall number and invokes it — each is a
+    mutable site for :func:`repro.corpus.mutate.mutate_program` — and
+    ``_start`` calls them all, so a leaf mutation's dependency cone is
+    exactly ``{leaf, _start}``.
+    """
+    from ..corpus import ProgramBuilder
+    from ..syscalls.table import SYSCALL_NAMES
+    from ..x86 import EAX
+
+    numbers = sorted(SYSCALL_NAMES)
+    p = ProgramBuilder("incbench")
+    for i in range(n_funcs):
+        with p.function(f"fn{i:03d}"):
+            p.asm.mov(EAX, numbers[i % len(numbers)])
+            p.asm.syscall()
+            p.asm.ret()
+    with p.function("_start"):
+        for i in range(n_funcs):
+            p.asm.call(f"fn{i:03d}")
+        p.asm.mov(EAX, 231)  # exit_group
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+def measure_incremental(
+    repeats: int = 3,
+    *,
+    n_funcs: int = DEFAULT_FUNCTIONS,
+    changed: int = DEFAULT_CHANGED,
+    seed: int = 2024,
+) -> dict:
+    """Run the incremental workload and return one measurement record."""
+    from ..core import ArtifactStore, BSideAnalyzer
+    from ..core.report import AnalysisBudget
+    from ..corpus.mutate import mutate_program
+    from ..loader.image import LoadedImage
+
+    # generous(): the default per-run wrapper-confirmation budget is
+    # sized for real binaries, not 400 direct sites in one image.
+    budget = AnalysisBudget.generous()
+    prog = build_incremental_workload(n_funcs)
+    mutated = mutate_program(prog.elf_bytes, prog.name, changed, seed=seed)
+
+    # ---- cold incumbent: full analysis of the mutated binary -----------
+    def run_cold():
+        analyzer = BSideAnalyzer(budget=budget)
+        report = analyzer.analyze(
+            LoadedImage.from_bytes(prog.name, mutated.elf_bytes)
+        )
+        if not report.success:
+            raise RuntimeError("cold analysis of the workload failed")
+    cold_seconds = _best_of(repeats, run_cold)
+
+    cold_report = BSideAnalyzer(budget=budget).analyze(
+        LoadedImage.from_bytes(prog.name, mutated.elf_bytes)
+    )
+
+    workdir = tempfile.mkdtemp(prefix="bside-incbench-")
+    try:
+        # ---- populate the funccfg cache from the pre-mutation binary ---
+        base_cache = os.path.join(workdir, "cache-populated")
+        populate = BSideAnalyzer(
+            budget=budget,
+            artifact_store=ArtifactStore(base_cache),
+            incremental=True,
+        )
+        warm = populate.analyze(
+            LoadedImage.from_bytes(prog.name, prog.elf_bytes)
+        )
+        if not warm.success:
+            raise RuntimeError("populating analysis of the workload failed")
+
+        # ---- timed incremental re-analysis of the mutation -------------
+        incremental_seconds = float("inf")
+        inc_report = None
+        for run in range(repeats):
+            cache = os.path.join(workdir, f"cache-run{run}")
+            shutil.copytree(base_cache, cache)
+            t0 = time.perf_counter()
+            analyzer = BSideAnalyzer(
+                budget=budget,
+                artifact_store=ArtifactStore(cache),
+                incremental=True,
+            )
+            report = analyzer.analyze(
+                LoadedImage.from_bytes(prog.name, mutated.elf_bytes)
+            )
+            incremental_seconds = min(
+                incremental_seconds, time.perf_counter() - t0
+            )
+            if inc_report is None:
+                inc_report = report
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    total = inc_report.functions_total
+    reanalyzed = inc_report.functions_reanalyzed
+    equivalent = (
+        inc_report.to_json(include_runtime=False)
+        == cold_report.to_json(include_runtime=False)
+    )
+    calibration = _calibrate()
+    return {
+        "workload": "incremental-v1",
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "calibration_seconds": round(calibration, 6),
+        "functions_total": total,
+        "functions_changed": changed,
+        "functions_reanalyzed": reanalyzed,
+        "reanalyzed_fraction": round(reanalyzed / total, 6) if total else 1.0,
+        "equivalent": equivalent,
+        "cold_seconds": round(cold_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "normalized_cold": round(cold_seconds / calibration, 4),
+        "normalized_incremental": round(incremental_seconds / calibration, 4),
+        "speedup_incremental": round(cold_seconds / incremental_seconds, 2),
+    }
+
+
+def format_incremental_measurement(record: dict) -> str:
+    """Human-readable summary for one measurement (bench output, CLI)."""
+    return "\n".join([
+        f"incremental rebuild [{record['workload']}] "
+        f"on {record['platform']}",
+        f"python {record['python']} ({record['implementation']}), "
+        f"best of {record['repeats']}",
+        "",
+        f"functions: {record['functions_total']} total, "
+        f"{record['functions_changed']} mutated -> "
+        f"{record['functions_reanalyzed']} re-analyzed "
+        f"({100 * record['reanalyzed_fraction']:.2f}%)",
+        f"equivalent to cold: {record['equivalent']}",
+        "",
+        f"cold        {record['cold_seconds']:>12.6f}s "
+        f"(normalized {record['normalized_cold']:.4f})",
+        f"incremental {record['incremental_seconds']:>12.6f}s "
+        f"(normalized {record['normalized_incremental']:.4f}, "
+        f"{record['speedup_incremental']:.2f}x)",
+        "",
+        f"calibration {record['calibration_seconds']:.6f}s",
+    ])

@@ -20,7 +20,13 @@ Two trajectories are committed at the repository root:
   distributed service tier under load (cold/warm throughput, p50/p99
   latency, and saturation point at 1/2/4 worker processes over real
   sockets; :mod:`repro.perf.servicebench`), gated by
-  :func:`gate_service_measurement` below (``tools/service_gate.py``).
+  :func:`gate_service_measurement` below (``tools/service_gate.py``);
+* ``BENCH_incremental.json`` (workload ``incremental-v1``) — rebuild
+  locality of the function-granular incremental pipeline (fraction of
+  functions re-analyzed after a 3-of-~400-function mutation, plus
+  cold/incremental equivalence; :mod:`repro.perf.incbench`), gated by
+  :func:`gate_incremental_measurement` below
+  (``tools/incremental_gate.py``).
 
 All share this module's schema, file format, and load/append/save
 machinery; only the per-entry record shape and the gate differ.
@@ -62,12 +68,19 @@ ACCURACY_WORKLOAD = "eval-accuracy-v1"
 SERVICE_PATH = os.path.join(_REPO_ROOT, "BENCH_service_scale.json")
 SERVICE_WORKLOAD = "service-scale-v1"
 
+#: the incremental-rebuild trajectory (``benchmarks/bench_incremental.py``
+#: / ``tools/incremental_gate.py``)
+INCREMENTAL_PATH = os.path.join(_REPO_ROOT, "BENCH_incremental.json")
+INCREMENTAL_WORKLOAD = "incremental-v1"
+
 ROLE_PRE = "pre-opt-baseline"
 ROLE_OPTIMIZED = "optimized"
 #: role of every accuracy-trajectory entry
 ROLE_ACCURACY = "accuracy"
 #: role of every service-scale entry
 ROLE_SERVICE = "service-scale"
+#: role of every incremental-rebuild entry
+ROLE_INCREMENTAL = "incremental"
 
 
 @dataclass
@@ -290,5 +303,65 @@ def gate_service_measurement(
             f"'{baseline.get('label', '?')}' "
             f"({base_reference['normalized_warm_throughput']:.4f}); "
             f"allowed at least {1.0 - max_regression:.2f}x"
+        )
+    return result
+
+
+@dataclass
+class IncrementalGateResult:
+    """Outcome of gating one incremental-rebuild measurement."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+    #: fraction of the function partition re-analyzed for the mutation
+    reanalyzed_fraction: float = 0.0
+    #: whether the incremental report matched the cold report exactly
+    equivalent: bool = False
+
+
+def gate_incremental_measurement(
+    record: dict,
+    trajectory: Trajectory,
+    *,
+    max_fraction: float = 0.05,
+) -> IncrementalGateResult:
+    """Apply the incremental-rebuild gates to a fresh measurement.
+
+    * **locality gate** — a ``functions_changed``-function mutation
+      (3 of ~400 in the recorded workload) may re-analyze at most
+      ``max_fraction`` of the function partition;
+    * **equivalence gate** — the incremental report must be
+      byte-identical (modulo runtime fields) to the cold report of the
+      same mutated binary.  Speed is recorded but not gated: locality
+      is the contract, wall time is machine-dependent commentary.
+
+    Like the other gates, a trajectory without a baseline entry fails
+    closed until one is recorded (``tools/incremental_gate.py --record``).
+    """
+    result = IncrementalGateResult(
+        ok=True,
+        reanalyzed_fraction=record["reanalyzed_fraction"],
+        equivalent=bool(record["equivalent"]),
+    )
+    if result.reanalyzed_fraction > max_fraction:
+        result.ok = False
+        result.problems.append(
+            f"rebuild locality: a {record['functions_changed']}-function "
+            f"mutation re-analyzed {record['functions_reanalyzed']} of "
+            f"{record['functions_total']} functions "
+            f"({100 * result.reanalyzed_fraction:.2f}%); "
+            f"allowed at most {100 * max_fraction:.1f}%"
+        )
+    if not result.equivalent:
+        result.ok = False
+        result.problems.append(
+            "equivalence: the incremental report differed from the cold "
+            "report of the same mutated binary"
+        )
+    if trajectory.baseline is None:
+        result.ok = False
+        result.problems.append(
+            "no baseline entry in the trajectory: record one first "
+            "(tools/incremental_gate.py --record <label>)"
         )
     return result

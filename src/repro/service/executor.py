@@ -88,6 +88,7 @@ class AnalysisService:
         lease_ttl: float = 30.0,
         worker_id: str | None = None,
         dispatcher: bool = True,
+        incremental: bool = False,
     ) -> None:
         self.state_dir = state_dir
         self.workers = max(1, int(workers))
@@ -97,6 +98,8 @@ class AnalysisService:
         self.fleet_workers = max(1, min(self.workers, os.cpu_count() or 1))
         self.default_libdir = libdir
         self.budget = budget if budget is not None else AnalysisBudget()
+        #: function-granular incremental analysis for every batch
+        self.incremental = bool(incremental)
         self.cache_dir = cache_dir or os.path.join(state_dir, "cache")
         self.spool_dir = os.path.join(state_dir, "spool")
         os.makedirs(self.spool_dir, exist_ok=True)
@@ -136,6 +139,7 @@ class AnalysisService:
             "queue_size": self.queue.maxsize,
             "batch_factor": self.batch_factor,
             "lease_ttl": self.queue.lease_ttl,
+            "incremental": self.incremental,
         }
         path = os.path.join(self.state_dir, CONFIG_NAME)
         tmp = f"{path}.tmp.{os.getpid()}"
@@ -338,6 +342,7 @@ class AnalysisService:
             budget=self.budget,
             workers=self.fleet_workers,
             artifact_store=self.artifacts,
+            incremental=self.incremental,
             on_entry=finish_entry,
         )
         try:
@@ -361,6 +366,11 @@ class AnalysisService:
                 (job.started_at or job.submitted_at) - job.submitted_at, 6
             ),
         }
+        if entry.report.functions_total:
+            job.metrics["functions_total"] = entry.report.functions_total
+            job.metrics["functions_reanalyzed"] = (
+                entry.report.functions_reanalyzed
+            )
         self._finish(job)
 
     def _run_fleet_job(self, job: Job) -> None:
@@ -370,6 +380,7 @@ class AnalysisService:
             budget=self.budget,
             workers=self.fleet_workers,
             artifact_store=self.artifacts,
+            incremental=self.incremental,
         )
         started = time.perf_counter()
         try:
@@ -403,6 +414,7 @@ class AnalysisService:
             "fleet_workers": self.fleet_workers,
             "batch_size": self.batch_size,
             "shards": self.shards,
+            "incremental": self.incremental,
             "pipeline_runs": pipeline_runs(),
             "queue": self.queue.stats(),
             "cache": self.artifacts.stats(),

@@ -68,6 +68,7 @@ class ServiceWorker:
             "queue_size": config.get("queue_size", 64),
             "batch_factor": config.get("batch_factor", 4),
             "lease_ttl": config.get("lease_ttl", 30.0),
+            "incremental": config.get("incremental", False),
         }
         kwargs.update(overrides)
         self.worker_id = worker_id or f"worker-{os.getpid()}"

@@ -8,7 +8,10 @@ baselines) silently relies on:
   mirror each other exactly;
 * every block belongs to the function whose [entry, end) range covers it;
 * active addresses taken are a subset of all addresses taken;
-* reachability is monotone in the edge set.
+* reachability is monotone in the edge set;
+* the function partition is a total, non-overlapping cover of the text
+  section, and per-function closure hashes are stable under edits to
+  unrelated functions (the incremental cache's soundness argument).
 """
 
 from hypothesis import given, settings
@@ -21,8 +24,12 @@ from repro.cfg import (
     resolve_indirect_active,
     resolve_indirect_all,
 )
+from repro.cfg.funccfg import scan_image
+from repro.cfg.partition import FunctionPartition
 from repro.corpus import ProgramBuilder
+from repro.corpus.mutate import mutate_program
 from repro.x86 import EAX, Immediate, RAX, RDI, RSI
+from repro.x86.decoder import decode_all
 
 
 @st.composite
@@ -143,3 +150,53 @@ def test_reachability_monotone_in_resolution(spec):
     everything = reachable_blocks(cfg_all, [prog.image.entry])
 
     assert bare <= active <= everything
+
+
+def _scan(image):
+    insns = decode_all(image.text_bytes, image.text_base)
+    return scan_image(image, insns, {i.addr: i for i in insns})
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=_program())
+def test_partition_is_total_nonoverlapping_cover(spec):
+    """Function regions tile [text_base, text_end): no gap, no overlap."""
+    prog = _build(spec)
+    partition = FunctionPartition.from_image(prog.image)
+    regions = list(partition)
+    assert regions, "a non-empty text section yields at least one region"
+    assert regions[0].start == prog.image.text_base
+    assert regions[-1].end == prog.image.text_end
+    for region, nxt in zip(regions, regions[1:]):
+        assert region.start < region.end
+        assert region.end == nxt.start, "regions must tile the text section"
+    # region_containing agrees with the tiling for every decoded insn.
+    for insn in decode_all(prog.image.text_bytes, prog.image.text_base):
+        owner = partition.region_containing(insn.addr)
+        assert owner is not None
+        assert owner.start <= insn.addr < owner.end
+    assert partition.region_containing(prog.image.text_base - 1) is None
+    assert partition.region_containing(prog.image.text_end) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=_program(), seed=st.integers(0, 2**16))
+def test_closure_hash_stable_under_unrelated_edits(spec, seed):
+    """Editing one function may only move the hashes of its dependency
+    cone; every region outside the cone keeps its closure hash (so its
+    cached funccfg product stays valid)."""
+    prog = _build(spec)
+    before = _scan(prog.image)
+    mutated = mutate_program(prog.elf_bytes, prog.name, 1, seed=seed)
+    after = _scan(mutated.image)
+    assert sorted(before.regions) == sorted(after.regions)
+    cone = FunctionPartition.dependency_cone(after.refs, set(mutated.changed))
+    for start in after.regions:
+        if start in cone:
+            continue
+        assert after.closure_hashes[start] == before.closure_hashes[start], (
+            f"unrelated region {start:#x} changed its closure hash"
+        )
+    for start in mutated.changed:
+        assert after.body_hashes[start] != before.body_hashes[start]
+        assert after.closure_hashes[start] != before.closure_hashes[start]

@@ -64,6 +64,27 @@ class TestAnalyze:
     def test_missing_file(self, capsys):
         assert main(["analyze", "/nonexistent/bin"]) == 2
 
+    def test_incremental_plain_output(self, demo_binary, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", demo_binary, "--cache-dir", cache,
+                     "--incremental"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental: re-analyzed 1 of 1 functions" in out
+
+    def test_incremental_json_output(self, demo_binary, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", demo_binary, "--json", "--cache-dir", cache,
+                     "--incremental"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["success"] is True
+        assert doc["functions_total"] == 1
+        assert doc["functions_reanalyzed"] == 1
+
+    def test_cold_output_has_no_function_counters(self, demo_binary, capsys):
+        assert main(["analyze", demo_binary, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "functions_total" not in doc
+
 
 class TestOtherCommands:
     def test_phases(self, demo_binary, capsys):
@@ -125,6 +146,18 @@ class TestCache:
         assert doc["shards"] == 2
         assert doc["total_entries"] == 4
         assert sum(s["entries"] for s in doc["per_shard"]) == 4
+
+    def test_funccfg_stats_and_prune(self, demo_binary, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", demo_binary, "--cache-dir", cache,
+                     "--incremental"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "funccfg" in out
+        assert main(["cache", "prune", "--cache-dir", cache,
+                     "--kind", "funccfg"]) == 0
+        assert "removed 1 funccfg entries" in capsys.readouterr().out
 
     def test_prune_and_clear_sharded(self, sharded_cache, capsys):
         assert main(["cache", "prune", "--cache-dir", sharded_cache,

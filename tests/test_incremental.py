@@ -1,0 +1,186 @@
+"""Differential equivalence harness for incremental analysis.
+
+The incremental pipeline's whole contract is *observational equivalence
+with the cold pipeline*: for any binary — including one rebuilt with K
+functions changed — the incremental path must produce a byte-identical
+report (modulo runtime-only fields) while re-analyzing only the changed
+functions plus their reverse-dependency cone.
+
+These tests drive that contract end to end with the in-repo mutator
+(:mod:`repro.corpus.mutate`): size-preserving immediate edits that change
+K function bodies and nothing else.  Fault cases corrupt or truncate
+cached ``funccfg`` entries and require graceful degradation to a
+per-function cold re-analysis (miss, never crash), on flat and sharded
+stores alike.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.cfg.funccfg import scan_image
+from repro.cfg.partition import FunctionPartition
+from repro.core import (
+    ArtifactStore,
+    BSideAnalyzer,
+    PersistentInterfaceStore,
+    ShardedArtifactStore,
+)
+from repro.core.report import AnalysisBudget
+from repro.corpus.apps import APP_NAMES, build_app
+from repro.corpus.mutate import mutate_program
+from repro.loader.image import LoadedImage
+from repro.x86.decoder import decode_all
+
+
+def _incremental_analyzer(bundle, store):
+    return BSideAnalyzer(
+        resolver=bundle.resolver,
+        budget=AnalysisBudget(),
+        interface_store=PersistentInterfaceStore(store=store),
+        artifact_store=store,
+        incremental=True,
+    )
+
+
+def _cold_analyzer(bundle):
+    return BSideAnalyzer(resolver=bundle.resolver, budget=AnalysisBudget())
+
+
+def _stable(report) -> str:
+    """The report serialization with runtime-only fields stripped."""
+    return report.to_json(include_runtime=False)
+
+
+def _expected_reanalysis(image: LoadedImage, changed: list[int]) -> set[int]:
+    """Region starts the incremental pass must re-analyze: every region
+    whose closure hash moved (changed functions plus transitive callers)
+    plus any region that is never cacheable (unaligned decode)."""
+    insns = decode_all(image.text_bytes, image.text_base)
+    by_addr = {insn.addr: insn for insn in insns}
+    scan = scan_image(image, insns, by_addr)
+    cone = FunctionPartition.dependency_cone(scan.refs, set(changed))
+    unaligned = {
+        rs.start for rs in scan.regions.values() if not rs.aligned
+    }
+    return cone | unaligned
+
+
+def _prune_derived(store) -> None:
+    """Drop every artifact that would short-circuit a re-run, keeping
+    only the per-function ``funccfg`` products (and interfaces)."""
+    for kind in ("report", "wrappers", "cfg"):
+        store.prune(kind)
+
+
+def _funccfg_files(root: str) -> list[str]:
+    files = glob.glob(os.path.join(root, "**", "*.funccfg.json"),
+                      recursive=True)
+    assert files, f"no funccfg entries under {root}"
+    return files
+
+
+# ---------------------------------------------------------------------------
+# Differential equivalence: mutated rebuilds
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [1, 3, 10])
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_incremental_equals_cold_on_mutation(name, k, tmp_path):
+    bundle = build_app(name)
+    store = ArtifactStore(str(tmp_path / "cache"))
+    warm = _incremental_analyzer(bundle, store)
+    original = LoadedImage.from_bytes(name, bundle.program.elf_bytes)
+    warm_report = warm.analyze(original, modules=bundle.module_images)
+    assert warm_report.success
+    assert warm_report.functions_total == len(
+        FunctionPartition.from_image(original)
+    )
+    # Cold store: every function was analyzed live.
+    assert warm_report.functions_reanalyzed == warm_report.functions_total
+
+    mutated = mutate_program(bundle.program.elf_bytes, name, k, seed=k)
+    incremental = _incremental_analyzer(bundle, store)
+    inc_report = incremental.analyze(
+        mutated.image, modules=bundle.module_images
+    )
+    cold_report = _cold_analyzer(bundle).analyze(
+        mutated.image, modules=bundle.module_images
+    )
+
+    assert _stable(inc_report) == _stable(cold_report)
+    expected = _expected_reanalysis(mutated.image, mutated.changed)
+    assert inc_report.functions_reanalyzed == len(expected)
+    assert inc_report.functions_total == len(
+        FunctionPartition.from_image(mutated.image)
+    )
+    # The mutation touched K functions; the cone can only be larger.
+    assert len(expected) >= len(mutated.changed)
+
+
+def test_unchanged_rerun_reanalyzes_nothing(tmp_path):
+    bundle = build_app("redis")
+    store = ArtifactStore(str(tmp_path / "cache"))
+    image = LoadedImage.from_bytes("redis", bundle.program.elf_bytes)
+    first = _incremental_analyzer(bundle, store).analyze(image)
+    _prune_derived(store)
+    rerun_store = ArtifactStore(str(tmp_path / "cache"))
+    second = _incremental_analyzer(bundle, rerun_store).analyze(image)
+    assert _stable(first) == _stable(second)
+    assert second.functions_total == first.functions_total
+    assert second.functions_reanalyzed == 0
+    counters = rerun_store.counters("funccfg")
+    assert counters["hits"] == second.functions_total
+    assert counters["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: corrupt / truncated funccfg entries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded"])
+def test_corrupt_funccfg_degrades_to_cold(layout, tmp_path):
+    bundle = build_app("nginx")
+    root = str(tmp_path / "cache")
+    make_store = (
+        (lambda: ArtifactStore(root)) if layout == "flat"
+        else (lambda: ShardedArtifactStore(root, shards=2))
+    )
+    store = make_store()
+    image = LoadedImage.from_bytes("nginx", bundle.program.elf_bytes)
+    first = _incremental_analyzer(bundle, store).analyze(
+        image, modules=bundle.module_images
+    )
+    for path in _funccfg_files(root):
+        with open(path, "wb") as f:
+            f.write(b"\x00garbage, not json\xff")
+    _prune_derived(store)
+    rerun = _incremental_analyzer(bundle, make_store()).analyze(
+        image, modules=bundle.module_images
+    )
+    assert _stable(rerun) == _stable(first)
+    # Every entry was unusable: full per-function cold re-analysis.
+    assert rerun.functions_reanalyzed == rerun.functions_total
+
+
+def test_truncated_funccfg_entry_is_a_single_miss(tmp_path):
+    bundle = build_app("memcached")
+    root = str(tmp_path / "cache")
+    image = LoadedImage.from_bytes("memcached", bundle.program.elf_bytes)
+    first = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    victim = sorted(_funccfg_files(root))[0]
+    data = open(victim, "rb").read()
+    with open(victim, "wb") as f:
+        f.write(data[: len(data) // 2])
+    _prune_derived(ArtifactStore(root))
+    rerun = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    assert _stable(rerun) == _stable(first)
+    assert rerun.functions_reanalyzed == 1
+    # The miss was re-stored: a further run is all-hit again.
+    _prune_derived(ArtifactStore(root))
+    healed = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    assert _stable(healed) == _stable(first)
+    assert healed.functions_reanalyzed == 0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Incremental-rebuild gate (`make incremental-gate`, enforced in CI).
+
+Runs the incremental workload (:mod:`repro.perf.incbench`) — a
+~400-function binary mutated in 3 functions, re-analyzed through the
+function-granular ``funccfg`` cache — and gates it against the
+committed ``BENCH_incremental.json`` trajectory:
+
+* fail if the mutation re-analyzes more than 5% of the function
+  partition (rebuild locality: cost must track the change, not the
+  binary);
+* fail if the incremental report is not byte-identical (modulo runtime
+  fields) to the cold report of the same mutated binary.
+
+Timings are recorded for the trajectory but not gated: locality and
+equivalence are the contract, wall time is machine commentary.
+
+Usage::
+
+    python tools/incremental_gate.py                  # gate only
+    python tools/incremental_gate.py --record LABEL   # gate, then append
+
+Exit status: 0 gates pass, 1 a gate failed, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.perf import (  # noqa: E402
+    INCREMENTAL_WORKLOAD,
+    format_incremental_measurement,
+    gate_incremental_measurement,
+    load_trajectory,
+    measure_incremental,
+    save_trajectory,
+)
+from repro.perf.trajectory import ROLE_INCREMENTAL  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=os.path.join(REPO, "BENCH_incremental.json"),
+        help="trajectory file to gate against (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats per timing (default 3)",
+    )
+    parser.add_argument(
+        "--max-fraction", type=float, default=0.05,
+        help="allowed fraction of functions re-analyzed (default 0.05)",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append this measurement to the trajectory under LABEL",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trajectory = load_trajectory(
+            args.baseline, workload=INCREMENTAL_WORKLOAD
+        )
+    except ValueError as error:
+        print(f"incremental-gate: {error}", file=sys.stderr)
+        return 2
+    print(f"incremental-gate: measuring incremental rebuild "
+          f"(best of {args.repeats})...")
+    record = measure_incremental(repeats=args.repeats)
+    print(format_incremental_measurement(record))
+    print()
+
+    recording_first = args.record and trajectory.baseline is None
+    result = gate_incremental_measurement(
+        record, trajectory, max_fraction=args.max_fraction,
+    )
+
+    if args.record:
+        trajectory.append(record, label=args.record, role=ROLE_INCREMENTAL)
+        save_trajectory(trajectory, args.baseline)
+        print(f"incremental-gate: recorded entry '{args.record}' "
+              f"({ROLE_INCREMENTAL}) in {args.baseline}")
+
+    if recording_first:
+        # Seeding the trajectory: the locality/equivalence gates still
+        # apply (they need no baseline), only the presence check waives.
+        problems = [p for p in result.problems
+                    if not p.startswith("no baseline entry")]
+        if problems:
+            for problem in problems:
+                print(f"incremental-gate: FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("incremental-gate: baseline seeded, gates PASS")
+        return 0
+    if not result.ok:
+        for problem in result.problems:
+            print(f"incremental-gate: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("incremental-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
