@@ -9,6 +9,10 @@ binary mutated in 3 functions, re-analyzed through the function-granular
   cone over the whole partition) — asserted to stay under 5%, the
   acceptance target the CI gate (``tools/incremental_gate.py``)
   enforces;
+* the **site re-execution fraction** (identification anchors whose
+  backward symex ran live instead of replaying a cached ``funcid``
+  product) — same 5% ceiling: the symex stage must scale with the
+  change too;
 * **equivalence** of the incremental and cold reports for the same
   mutated bytes — asserted outright: a fast-but-wrong rebuild is worse
   than a slow one;
@@ -91,5 +95,11 @@ def test_incremental_trajectory(benchmark):
     assert record["reanalyzed_fraction"] <= MAX_REANALYZED_FRACTION, (
         f"a {record['functions_changed']}-function mutation re-analyzed "
         f"{100 * record['reanalyzed_fraction']:.2f}% of the partition "
+        f"(ceiling {100 * MAX_REANALYZED_FRACTION:.1f}%)"
+    )
+    assert record["sites_reexecuted_fraction"] <= MAX_REANALYZED_FRACTION, (
+        f"a {record['functions_changed']}-function mutation re-executed "
+        f"the backward symex of {100 * record['sites_reexecuted_fraction']:.2f}% "
+        f"of the identification sites "
         f"(ceiling {100 * MAX_REANALYZED_FRACTION:.1f}%)"
     )

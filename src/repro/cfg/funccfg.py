@@ -76,6 +76,12 @@ class ImageScan:
     refs: dict[int, set[int]]
     body_hashes: dict[int, str]
     closure_hashes: dict[int, str]
+    #: Merkle digest over the *reversed* reference graph: folds the body
+    #: hashes of every transitive caller (the backward slice wrapper
+    #: identification can walk into)
+    caller_hashes: dict[int, str]
+    #: combined key for ``funcid`` products: callee closure + caller cone
+    funcid_hashes: dict[int, str]
 
 
 def scan_image(
@@ -130,10 +136,25 @@ def scan_image(
         if owner is not None and entry != owner.start:
             extra_leaders[owner.start].add(entry)
 
+    starts = [r.start for r in regions]
     body_hashes = _body_hashes(image, regions)
-    closure_hashes = _closure_hashes(
-        [r.start for r in regions], refs, body_hashes
-    )
+    closure_hashes = _closure_hashes(starts, refs, body_hashes)
+    # Identification products additionally depend on the *backward*
+    # slice: wrapper-parameter symex walks from a call site into its
+    # callers, so the funcid key folds a caller-cone digest computed by
+    # the same Merkle machinery over the reversed reference graph.
+    reversed_refs: dict[int, set[int]] = {s: set() for s in starts}
+    for src, dsts in refs.items():
+        for dst in dsts:
+            if dst in reversed_refs:
+                reversed_refs[dst].add(src)
+    caller_hashes = _closure_hashes(starts, reversed_refs, body_hashes)
+    funcid_hashes = {
+        s: hashlib.sha256(
+            f"{closure_hashes[s]}+{caller_hashes[s]}".encode()
+        ).hexdigest()
+        for s in starts
+    }
     return ImageScan(
         partition=partition,
         regions=scans,
@@ -141,6 +162,8 @@ def scan_image(
         refs=refs,
         body_hashes=body_hashes,
         closure_hashes=closure_hashes,
+        caller_hashes=caller_hashes,
+        funcid_hashes=funcid_hashes,
     )
 
 

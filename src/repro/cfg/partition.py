@@ -100,3 +100,24 @@ class FunctionPartition:
                     cone.add(src)
                     stack.append(src)
         return cone
+
+    @staticmethod
+    def identification_cone(
+        refs: dict[int, set[int]], changed: set[int]
+    ) -> set[int]:
+        """Regions whose cached ``funcid`` products a change invalidates.
+
+        Identification symex runs *forward* through callees and its
+        anchor queries walk *backward* into callers, so the funcid key
+        folds both the callee closure and the caller cone — a change
+        therefore invalidates the union of both transitive directions:
+        ``callers*(changed) ∪ callees*(changed) ∪ changed``.
+        """
+        cone = FunctionPartition.dependency_cone(refs, changed)
+        stack = list(changed)
+        while stack:
+            for dst in refs.get(stack.pop(), ()):
+                if dst not in cone:
+                    cone.add(dst)
+                    stack.append(dst)
+        return cone

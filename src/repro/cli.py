@@ -8,8 +8,9 @@ Commands
     Identify the syscalls a binary can invoke; print names or JSON.
     With ``--cache-dir``, a matching cached report is served without
     re-analysis; ``--incremental`` additionally caches per-function CFG
-    products (kind ``funccfg``) so a rebuilt binary re-analyzes only its
-    changed functions plus their dependency cone.
+    and identification products (kinds ``funccfg``/``funcid``) so a
+    rebuilt binary re-analyzes only its changed functions plus their
+    dependency cone, and re-executes symex only for the affected sites.
 
 ``profile <binary> [--libdir DIR] [--json] [--repeats N]``
     Time one cold analysis and print the per-pass stage profile
@@ -139,6 +140,10 @@ def cmd_analyze(args) -> int:
                 "functions_total": report.functions_total,
                 "functions_reanalyzed": report.functions_reanalyzed,
             } if report.functions_total else {}),
+            **({
+                "sites_total": report.sites_total,
+                "sites_reexecuted": report.sites_reexecuted,
+            } if report.sites_total else {}),
         }, indent=2))
         return 0 if report.success else 1
     if not report.success:
@@ -150,6 +155,9 @@ def cmd_analyze(args) -> int:
     if report.functions_total:
         print(f"  incremental: re-analyzed {report.functions_reanalyzed} "
               f"of {report.functions_total} functions")
+    if report.sites_total:
+        print(f"  incremental: re-executed {report.sites_reexecuted} "
+              f"of {report.sites_total} identification sites")
     for nr in sorted(report.syscalls):
         print(f"  {nr:>4}  {name_of(nr)}")
     return 0
@@ -567,9 +575,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def incremental_flag(p):
         p.add_argument("--incremental", action="store_true",
-                       help="cache per-function CFG products (funccfg) and "
-                            "re-analyze only changed functions plus their "
-                            "dependency cone (needs --cache-dir)")
+                       help="cache per-function CFG and identification "
+                            "products (funccfg/funcid) and re-analyze only "
+                            "changed functions plus their dependency cone "
+                            "(needs --cache-dir)")
 
     p = sub.add_parser("analyze", help="identify a binary's syscalls")
     p.add_argument("binary")
@@ -744,8 +753,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="treat the cache as sharded across N roots")
     p.add_argument("--kind", required=True,
-                   choices=["iface", "cfg", "funccfg", "wrappers", "report",
-                            "gtruth"])
+                   choices=["iface", "cfg", "funccfg", "funcid", "wrappers",
+                            "report", "gtruth"])
     p.set_defaults(func=cmd_cache)
 
     return parser

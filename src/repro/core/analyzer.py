@@ -355,6 +355,8 @@ class BSideAnalyzer:
         report.sites_examined = ctx.sites_examined
         report.functions_total = ctx.functions_total
         report.functions_reanalyzed = ctx.functions_reanalyzed
+        report.sites_total = ctx.sites_total
+        report.sites_reexecuted = ctx.sites_reexecuted
         return report, ctx
 
     # ------------------------------------------------------------------

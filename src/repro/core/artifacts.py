@@ -18,6 +18,10 @@ gtruth    a binary's emulated ground-truth syscall set (§5.1),
 funccfg   one function region's CFG product (block starts + local
           reachability), keyed by the region's Merkle *closure*
           hash (:mod:`repro.cfg.funccfg`) in the content-hash slot
+funcid    one function region's identification products (syscall
+          sites, wrapper classifications, per-site identified
+          values + budget records), keyed by the combined
+          callee-closure + caller-cone hash (:mod:`repro.core.funcid`)
 ========  ====================================================
 
 Every entry is keyed defensively by four components:
@@ -61,6 +65,7 @@ ARTIFACT_KINDS: dict[str, str] = {
     "report": "report",
     "gtruth": "ground_truth",
     "funccfg": "function_cfg",
+    "funcid": "function_id",
 }
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._+-]")

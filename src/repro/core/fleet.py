@@ -90,6 +90,9 @@ class FleetEntry:
             if self.report.functions_total:
                 doc["functions_total"] = self.report.functions_total
                 doc["functions_reanalyzed"] = self.report.functions_reanalyzed
+            if self.report.sites_total:
+                doc["sites_total"] = self.report.sites_total
+                doc["sites_reexecuted"] = self.report.sites_reexecuted
         return doc
 
 

@@ -40,6 +40,31 @@ class SiteIdentification:
     nodes_explored: int = 0
     steps_used: int = 0
 
+    def to_record(self) -> dict:
+        """Cacheable form (one ``funcid`` artifact per-site record)."""
+        return {
+            "kind": self.kind,
+            "anchor": self.anchor,
+            **IdentifyResult(
+                values=self.values,
+                complete=self.complete,
+                nodes_explored=self.nodes_explored,
+                steps_used=self.steps_used,
+            ).to_doc(),
+        }
+
+    @classmethod
+    def from_record(cls, doc: dict) -> "SiteIdentification":
+        result = IdentifyResult.from_doc(doc)
+        return cls(
+            kind=str(doc["kind"]),
+            anchor=int(doc["anchor"]),
+            values=result.values,
+            complete=result.complete,
+            nodes_explored=result.nodes_explored,
+            steps_used=result.steps_used,
+        )
+
 
 def make_callsite_param_query(param: tuple[str, object], anchor_is_call: bool = True):
     """Query of a wrapper's number parameter at the anchoring instruction.

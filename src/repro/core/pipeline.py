@@ -52,6 +52,7 @@ from ..x86.decoder import decode_all
 from ..symex.engine import ExecContext
 from ..symex.state import MemoryBackend
 from .artifacts import CACHE_VERSION, ArtifactStore, fingerprint_doc
+from .funcid import FuncidState
 from .identify import (
     SiteIdentification,
     identify_plain_site,
@@ -61,7 +62,12 @@ from .identify import (
 from .interface import ExportInfo
 from .report import AnalysisBudget, AnalysisReport, StageStats
 from .sites import SyscallSite, find_sites
-from .wrappers import WrapperInfo, detect_wrapper
+from .wrappers import (
+    WrapperInfo,
+    detect_wrapper,
+    wrapper_from_record,
+    wrapper_record,
+)
 
 #: The B-Side executable/library pipeline, in order (Figure 3's steps).
 DEFAULT_PASSES: tuple[str, ...] = (
@@ -176,6 +182,13 @@ class AnalysisContext:
     #: cold runs: the counters only move when per-function caching ran)
     functions_total: int = 0
     functions_reanalyzed: int = 0
+    #: identification-anchor totals from the incremental symex tier:
+    #: plain sites plus wrapper call sites considered, and the subset
+    #: whose backward search actually re-executed (funcid cache misses).
+    #: External-wrapper-call anchors are excluded — ``external-calls``
+    #: always runs live against dependency interfaces.
+    sites_total: int = 0
+    sites_reexecuted: int = 0
     #: phase automaton (set by the optional phase-detection pass)
     automaton: object | None = None
     #: scratch space for non-default passes (baselines)
@@ -373,6 +386,9 @@ class IncrementalCfgRecoveryPass(CfgRecoveryPass):
 
         scan = scan_image(image, insns, by_addr)
         ctx.functions_total = len(scan.partition)
+        # Downstream incremental passes key funcid products off the same
+        # scan (combined callee-closure + caller-cone hashes).
+        ctx.extras["image_scan"] = scan
 
         leaders: set[int] = set()
         misses: list[int] = []
@@ -495,15 +511,8 @@ class WrapperDetectionPass(Pass):
             return False
         try:
             for entry in payload:
-                func_entry = int(entry["entry"])
-                if entry["param"] is None and not entry["wrapper"]:
-                    ctx.wrappers[func_entry] = None
-                else:
-                    param = entry["param"]
-                    ctx.wrappers[func_entry] = WrapperInfo(
-                        func_entry=func_entry,
-                        param=tuple(param) if param is not None else None,
-                    )
+                func_entry, info = wrapper_from_record(entry)
+                ctx.wrappers[func_entry] = info
         except (KeyError, TypeError, ValueError):
             ctx.artifacts.invalidate("wrappers", ctx.image.name)
             ctx.wrappers.clear()
@@ -513,17 +522,10 @@ class WrapperDetectionPass(Pass):
     def _store(self, ctx: AnalysisContext) -> None:
         if ctx.artifacts is None:
             return
-        table = []
-        for func_entry, info in ctx.wrappers.items():
-            table.append({
-                "entry": func_entry,
-                "wrapper": info is not None,
-                "param": (
-                    list(info.param)
-                    if info is not None and info.param is not None
-                    else None
-                ),
-            })
+        table = [
+            wrapper_record(func_entry, info)
+            for func_entry, info in ctx.wrappers.items()
+        ]
         ctx.artifacts.put(
             "wrappers", ctx.image.name, table,
             content_hash=ctx.image.content_hash,
@@ -566,6 +568,137 @@ class IdentificationPass(Pass):
 
     def units(self, ctx: AnalysisContext) -> int:
         return ctx.bbs_explored
+
+
+class IncrementalSiteDiscoveryPass(SiteDiscoveryPass):
+    """``site-discovery`` plus the ``funcid`` store probe.
+
+    Site discovery itself always runs live — it is a cheap index scan,
+    and the site set depends on *global* reachability, which no
+    per-function key can certify.  The live sites then double as the
+    validation oracle for cached funcid entries: a probe only hits when
+    the entry's recorded site list matches the fresh one.  Without the
+    incremental assembler's image scan (no artifact store, or a
+    non-incremental cfg pass upstream) the pass degrades to the plain
+    cold one.
+    """
+
+    name = "site-discovery"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        super().run(ctx)
+        scan = ctx.extras.get("image_scan")
+        if scan is None or ctx.artifacts is None:
+            return
+        state = FuncidState(scan, ctx.image.name, ctx.fingerprint)
+        state.probe(ctx.artifacts, ctx.sites)
+        ctx.extras["funcid"] = state
+
+
+class IncrementalWrapperDetectionPass(WrapperDetectionPass):
+    """``wrapper-detection`` with per-function classification replay.
+
+    The whole-binary wrapper table (same content hash) is still tried
+    first — it is strictly cheaper.  On a rebuilt binary that table
+    misses, and classifications replay per function from ``funcid``
+    entries instead; only functions inside the identification cone (or
+    without a valid cached record) re-run the two-phase heuristic, and
+    only those count against ``max_wrapper_confirmations`` — mirroring
+    how a whole-table replay performs zero confirmations.  Iteration
+    stays in site order, so ``ctx.wrappers`` insertion order — and the
+    re-stored whole-binary table — is byte-identical to a cold run's.
+    """
+
+    name = "wrapper-detection"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        state = ctx.extras.get("funcid")
+        if state is None:
+            super().run(ctx)
+            return
+        if self._load_cached(ctx):
+            return
+        confirmations = 0
+        for site in ctx.sites:
+            if site.func_entry in ctx.wrappers:
+                continue
+            found, info = state.cached_wrapper(site)
+            if found:
+                ctx.wrappers[site.func_entry] = info
+                continue
+            confirmations += 1
+            if confirmations > ctx.budget.max_wrapper_confirmations:
+                raise BudgetExceeded(
+                    self.name, ctx.budget.max_wrapper_confirmations,
+                )
+            ctx.wrappers[site.func_entry] = detect_wrapper(
+                ctx.cfg, ctx.exec_ctx, site, ctx.backend,
+                max_steps=ctx.budget.wrapper_steps,
+            )
+        ctx.wrapper_confirmations = confirmations
+        self._store(ctx)
+
+
+class IncrementalIdentificationPass(IdentificationPass):
+    """``identification`` with per-anchor replay of cached symex results.
+
+    Anchors (plain sites, then wrapper call sites — the exact cold-path
+    order) whose region holds a valid cached record fold the recorded
+    values and budget spend through :meth:`AnalysisContext.record`;
+    everything else re-executes the backward search live.  Both paths
+    meet in the same ``ctx.record`` fold, so the stable report fields
+    cannot diverge from a cold run's.  ``sites_total`` /
+    ``sites_reexecuted`` count the anchors and the live subset; at the
+    end, changed regions are re-stored under their current combined
+    callee-closure + caller-cone key.
+    """
+
+    name = "identification"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        state = ctx.extras.get("funcid")
+        if state is None:
+            super().run(ctx)
+            return
+        directed = ctx.config.directed_search
+        for site in ctx.sites:
+            state.note_wrapper(site, ctx.wrappers.get(site.func_entry))
+
+        for site in ctx.sites:
+            info = ctx.wrappers.get(site.func_entry)
+            if info is not None:
+                continue  # handled from its call sites below
+            ctx.sites_total += 1
+            ident = state.replay_plain(site)
+            if ident is None:
+                ctx.sites_reexecuted += 1
+                ident = identify_plain_site(
+                    ctx.cfg, ctx.exec_ctx, site, ctx.backend,
+                    budget=ctx.budget.search, directed=directed,
+                )
+            state.note_plain(site, ident)
+            ctx.record(site.block_addr, ident)
+
+        for func_entry, info in ctx.wrappers.items():
+            if info is None:
+                continue
+            if info.param is None:
+                ctx.complete = False
+                continue
+            for call_block in wrapper_call_blocks(ctx.cfg, info):
+                ctx.sites_total += 1
+                ident = state.replay_call(ctx.cfg, call_block, info)
+                if ident is None:
+                    ctx.sites_reexecuted += 1
+                    ident = identify_wrapper_call_site(
+                        ctx.cfg, ctx.exec_ctx, call_block, info.param,
+                        ctx.backend, budget=ctx.budget.search,
+                        directed=directed,
+                    )
+                state.note_call(call_block, info, ident)
+                ctx.record(call_block, ident)
+
+        state.flush(ctx.artifacts)
 
 
 class ExternalCallsPass(Pass):
@@ -645,12 +778,22 @@ PASS_REGISTRY: dict[str, type[Pass]] = {
 }
 
 
+#: Incremental substitutes for the named passes (``incremental=True``).
+#: The stage names stay identical, so reports remain byte-compatible.
+INCREMENTAL_PASSES: dict[str, type[Pass]] = {
+    "cfg-recovery": IncrementalCfgRecoveryPass,
+    "site-discovery": IncrementalSiteDiscoveryPass,
+    "wrapper-detection": IncrementalWrapperDetectionPass,
+    "identification": IncrementalIdentificationPass,
+}
+
+
 def build_pipeline(config: PipelineConfig) -> PassPipeline:
     """Instantiate the pipeline a config describes (ablations applied)."""
     passes: list[Pass] = []
     for name in config.pass_names():
-        if name == "cfg-recovery" and config.incremental:
-            passes.append(IncrementalCfgRecoveryPass())
+        if config.incremental and name in INCREMENTAL_PASSES:
+            passes.append(INCREMENTAL_PASSES[name]())
         else:
             passes.append(PASS_REGISTRY[name]())
     return PassPipeline(passes)

@@ -84,6 +84,12 @@ class AnalysisReport:
     #: cold reports stay byte-identical in stable form
     functions_total: int = 0
     functions_reanalyzed: int = 0
+    #: identification-anchor totals from the incremental symex tier
+    #: (plain sites + wrapper call sites); like the function counters,
+    #: both stay 0 on cold runs and serialise only under
+    #: ``include_runtime``
+    sites_total: int = 0
+    sites_reexecuted: int = 0
 
     @property
     def n_syscalls(self) -> int:
@@ -137,6 +143,9 @@ class AnalysisReport:
             if self.functions_total:
                 doc["functions_total"] = self.functions_total
                 doc["functions_reanalyzed"] = self.functions_reanalyzed
+            if self.sites_total:
+                doc["sites_total"] = self.sites_total
+                doc["sites_reexecuted"] = self.sites_reexecuted
         return doc
 
     @classmethod
@@ -159,6 +168,8 @@ class AnalysisReport:
             peak_memory=doc.get("peak_memory", 0),
             functions_total=doc.get("functions_total", 0),
             functions_reanalyzed=doc.get("functions_reanalyzed", 0),
+            sites_total=doc.get("sites_total", 0),
+            sites_reexecuted=doc.get("sites_reexecuted", 0),
         )
         for name, stats in doc.get("stages", {}).items():
             report.stages[name] = StageStats(

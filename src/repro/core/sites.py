@@ -23,6 +23,17 @@ class SyscallSite:
     def __repr__(self) -> str:
         return f"<site {self.insn_addr:#x} in fn {self.func_entry:#x}>"
 
+    def to_doc(self) -> list[int]:
+        """Compact cacheable form (the ``funcid`` artifact's site list)."""
+        return [self.block_addr, self.insn_addr, self.func_entry]
+
+    @classmethod
+    def from_doc(cls, doc) -> "SyscallSite":
+        block_addr, insn_addr, func_entry = (int(v) for v in doc)
+        return cls(
+            block_addr=block_addr, insn_addr=insn_addr, func_entry=func_entry,
+        )
+
 
 def find_sites(cfg: CFG, reachable: set[int] | None = None) -> list[SyscallSite]:
     """All syscall sites, restricted to ``reachable`` blocks when given.

@@ -49,6 +49,32 @@ class WrapperInfo:
         return self.param is not None
 
 
+def wrapper_record(func_entry: int, info: WrapperInfo | None) -> dict:
+    """One classification's cacheable form (wrappers table / funcid entry)."""
+    return {
+        "entry": func_entry,
+        "wrapper": info is not None,
+        "param": (
+            list(info.param)
+            if info is not None and info.param is not None
+            else None
+        ),
+    }
+
+
+def wrapper_from_record(doc: dict) -> tuple[int, WrapperInfo | None]:
+    """Invert :func:`wrapper_record`; raises on malformed shapes so the
+    caller can degrade the containing artifact to a miss."""
+    func_entry = int(doc["entry"])
+    if doc["param"] is None and not doc["wrapper"]:
+        return func_entry, None
+    param = doc["param"]
+    return func_entry, WrapperInfo(
+        func_entry=func_entry,
+        param=tuple(param) if param is not None else None,
+    )
+
+
 def _function_insns_before(cfg: CFG, site: SyscallSite) -> list[Instruction]:
     """Instructions of the containing function at lower addresses than the
     site, in address order (the phase-1 linear approximation)."""

@@ -140,7 +140,36 @@ def mutate_program(
     rng = random.Random(seed)
     region_starts = sorted(by_region)
     chosen = sorted(rng.sample(region_starts, min(k, len(region_starts))))
+    return _apply(image, elf_bytes, name, by_region, chosen, rng)
 
+
+def mutate_regions(
+    elf_bytes: bytes, name: str, regions: list[int], *, seed: int = 0,
+) -> MutationResult:
+    """Rebuild ``elf_bytes`` with one immediate edited in each *chosen*
+    region (cone-targeted tests: mutate exactly this callee/wrapper)."""
+    image = LoadedImage.from_bytes(name, elf_bytes)
+    by_region = find_sites(image)
+    missing = [start for start in regions if start not in by_region]
+    if missing:
+        raise ValueError(
+            f"{name}: no mutable immediate sites in regions "
+            f"{[hex(s) for s in missing]}"
+        )
+    return _apply(
+        image, elf_bytes, name, by_region, sorted(regions),
+        random.Random(seed),
+    )
+
+
+def _apply(
+    image: LoadedImage,
+    elf_bytes: bytes,
+    name: str,
+    by_region: dict[int, list[MutationSite]],
+    chosen: list[int],
+    rng: random.Random,
+) -> MutationResult:
     text_off = elf_bytes.find(image.text_bytes)
     if text_off < 0:
         raise ValueError(f"{name}: text section bytes not found in file")

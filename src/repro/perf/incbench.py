@@ -18,6 +18,11 @@ that end to end on a synthetic ~400-function static binary:
   number: 3 changed functions out of ~400 must re-analyze < 5% of the
   partition (the changed functions plus their dependency cone — here
   just ``_start``).
+* ``sites_reexecuted_fraction`` — ``sites_reexecuted / sites_total``:
+  the identification anchors (plain sites + wrapper call sites) whose
+  backward symex actually re-executed, versus those replayed from
+  ``funcid`` products.  Also gated at 5%: the symex stage must scale
+  with the change too, not just CFG recovery.
 * ``equivalent`` — whether the incremental report is byte-identical
   (modulo runtime fields) to the cold report of the same mutated
   bytes.  A fast-but-wrong incremental path must never pass the gate.
@@ -145,6 +150,8 @@ def measure_incremental(
 
     total = inc_report.functions_total
     reanalyzed = inc_report.functions_reanalyzed
+    sites_total = inc_report.sites_total
+    sites_reexecuted = inc_report.sites_reexecuted
     equivalent = (
         inc_report.to_json(include_runtime=False)
         == cold_report.to_json(include_runtime=False)
@@ -161,6 +168,11 @@ def measure_incremental(
         "functions_changed": changed,
         "functions_reanalyzed": reanalyzed,
         "reanalyzed_fraction": round(reanalyzed / total, 6) if total else 1.0,
+        "sites_total": sites_total,
+        "sites_reexecuted": sites_reexecuted,
+        "sites_reexecuted_fraction": (
+            round(sites_reexecuted / sites_total, 6) if sites_total else 1.0
+        ),
         "equivalent": equivalent,
         "cold_seconds": round(cold_seconds, 6),
         "incremental_seconds": round(incremental_seconds, 6),
@@ -182,6 +194,9 @@ def format_incremental_measurement(record: dict) -> str:
         f"{record['functions_changed']} mutated -> "
         f"{record['functions_reanalyzed']} re-analyzed "
         f"({100 * record['reanalyzed_fraction']:.2f}%)",
+        f"sites: {record.get('sites_total', 0)} total -> "
+        f"{record.get('sites_reexecuted', 0)} re-executed "
+        f"({100 * record.get('sites_reexecuted_fraction', 1.0):.2f}%)",
         f"equivalent to cold: {record['equivalent']}",
         "",
         f"cold        {record['cold_seconds']:>12.6f}s "

@@ -315,6 +315,8 @@ class IncrementalGateResult:
     problems: list[str] = field(default_factory=list)
     #: fraction of the function partition re-analyzed for the mutation
     reanalyzed_fraction: float = 0.0
+    #: fraction of identification anchors whose backward symex re-executed
+    sites_reexecuted_fraction: float = 0.0
     #: whether the incremental report matched the cold report exactly
     equivalent: bool = False
 
@@ -324,12 +326,19 @@ def gate_incremental_measurement(
     trajectory: Trajectory,
     *,
     max_fraction: float = 0.05,
+    max_site_fraction: float = 0.05,
 ) -> IncrementalGateResult:
     """Apply the incremental-rebuild gates to a fresh measurement.
 
     * **locality gate** — a ``functions_changed``-function mutation
       (3 of ~400 in the recorded workload) may re-analyze at most
       ``max_fraction`` of the function partition;
+    * **symex locality gate** — the same mutation may re-execute the
+      backward search of at most ``max_site_fraction`` of the
+      identification anchors (plain sites + wrapper call sites); the
+      rest must replay from cached ``funcid`` products.  Applied only
+      when the record carries the site counters, so pre-funcid
+      trajectory entries still load;
     * **equivalence gate** — the incremental report must be
       byte-identical (modulo runtime fields) to the cold report of the
       same mutated binary.  Speed is recorded but not gated: locality
@@ -341,6 +350,9 @@ def gate_incremental_measurement(
     result = IncrementalGateResult(
         ok=True,
         reanalyzed_fraction=record["reanalyzed_fraction"],
+        sites_reexecuted_fraction=float(
+            record.get("sites_reexecuted_fraction", 0.0)
+        ),
         equivalent=bool(record["equivalent"]),
     )
     if result.reanalyzed_fraction > max_fraction:
@@ -351,6 +363,18 @@ def gate_incremental_measurement(
             f"{record['functions_total']} functions "
             f"({100 * result.reanalyzed_fraction:.2f}%); "
             f"allowed at most {100 * max_fraction:.1f}%"
+        )
+    if (
+        "sites_reexecuted_fraction" in record
+        and result.sites_reexecuted_fraction > max_site_fraction
+    ):
+        result.ok = False
+        result.problems.append(
+            f"symex locality: a {record['functions_changed']}-function "
+            f"mutation re-executed {record['sites_reexecuted']} of "
+            f"{record['sites_total']} identification sites "
+            f"({100 * result.sites_reexecuted_fraction:.2f}%); "
+            f"allowed at most {100 * max_site_fraction:.1f}%"
         )
     if not result.equivalent:
         result.ok = False

@@ -371,6 +371,9 @@ class AnalysisService:
             job.metrics["functions_reanalyzed"] = (
                 entry.report.functions_reanalyzed
             )
+        if entry.report.sites_total:
+            job.metrics["sites_total"] = entry.report.sites_total
+            job.metrics["sites_reexecuted"] = entry.report.sites_reexecuted
         self._finish(job)
 
     def _run_fleet_job(self, job: Job) -> None:
@@ -407,7 +410,7 @@ class AnalysisService:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        doc = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "mode": "shared" if self.shared else "local",
             "workers": self.workers,
@@ -419,3 +422,9 @@ class AnalysisService:
             "queue": self.queue.stats(),
             "cache": self.artifacts.stats(),
         }
+        if self.incremental:
+            doc["incremental_totals"] = self.queue.metric_totals((
+                "functions_total", "functions_reanalyzed",
+                "sites_total", "sites_reexecuted",
+            ))
+        return doc

@@ -674,3 +674,22 @@ class JobQueue:
         if self.shared:
             doc["leases"] = self.lease_stats()
         return doc
+
+    def metric_totals(self, keys: tuple[str, ...]) -> dict[str, int]:
+        """Sum numeric per-job metrics across every known job.
+
+        Jobs executed by worker processes count too: their metric
+        documents land in the shared state directory and ``refresh``
+        folds them into ``self._jobs`` — which is what lets the front
+        end aggregate incremental-analysis totals it never ran itself.
+        """
+        self.refresh(min_interval=0.05)
+        totals = {key: 0 for key in keys}
+        with self._lock:
+            for job in self._jobs.values():
+                metrics = job.metrics or {}
+                for key in keys:
+                    value = metrics.get(key)
+                    if isinstance(value, (int, float)):
+                        totals[key] += int(value)
+        return totals

@@ -44,6 +44,26 @@ class IdentifyResult:
     nodes_explored: int = 0
     steps_used: int = 0
 
+    def to_doc(self) -> dict:
+        """Cacheable form: values plus the budget spent producing them,
+        so a replayed result folds into report counters exactly like the
+        live execution it stands in for."""
+        return {
+            "values": sorted(self.values),
+            "complete": self.complete,
+            "nodes": self.nodes_explored,
+            "steps": self.steps_used,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "IdentifyResult":
+        return cls(
+            values={int(v) for v in doc["values"]},
+            complete=bool(doc["complete"]),
+            nodes_explored=int(doc["nodes"]),
+            steps_used=int(doc["steps"]),
+        )
+
 
 @dataclass(slots=True)
 class SearchBudget:

@@ -200,3 +200,29 @@ def test_closure_hash_stable_under_unrelated_edits(spec, seed):
     for start in mutated.changed:
         assert after.body_hashes[start] != before.body_hashes[start]
         assert after.closure_hashes[start] != before.closure_hashes[start]
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=_program(), seed=st.integers(0, 2**16))
+def test_funcid_hash_moves_exactly_for_identification_cone(spec, seed):
+    """The combined callee-closure + caller-cone key moves for exactly
+    the identification cone (callers* and callees* of the change); every
+    region outside it keeps its funcid hash, so its cached
+    identification products stay valid."""
+    prog = _build(spec)
+    before = _scan(prog.image)
+    mutated = mutate_program(prog.elf_bytes, prog.name, 1, seed=seed)
+    after = _scan(mutated.image)
+    cone = FunctionPartition.identification_cone(
+        after.refs, set(mutated.changed)
+    )
+    for start in after.regions:
+        if start in cone:
+            assert after.funcid_hashes[start] != before.funcid_hashes[start], (
+                f"cone region {start:#x} kept its funcid hash"
+            )
+        else:
+            assert after.funcid_hashes[start] == before.funcid_hashes[start], (
+                f"unrelated region {start:#x} changed its funcid hash"
+            )
+            assert after.caller_hashes[start] == before.caller_hashes[start]

@@ -70,6 +70,7 @@ class TestAnalyze:
                      "--incremental"]) == 0
         out = capsys.readouterr().out
         assert "incremental: re-analyzed 1 of 1 functions" in out
+        assert "incremental: re-executed 2 of 2 identification sites" in out
 
     def test_incremental_json_output(self, demo_binary, tmp_path, capsys):
         cache = str(tmp_path / "cache")
@@ -79,11 +80,14 @@ class TestAnalyze:
         assert doc["success"] is True
         assert doc["functions_total"] == 1
         assert doc["functions_reanalyzed"] == 1
+        assert doc["sites_total"] == 2
+        assert doc["sites_reexecuted"] == 2
 
     def test_cold_output_has_no_function_counters(self, demo_binary, capsys):
         assert main(["analyze", demo_binary, "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert "functions_total" not in doc
+        assert "sites_total" not in doc
 
 
 class TestOtherCommands:
@@ -158,6 +162,33 @@ class TestCache:
         assert main(["cache", "prune", "--cache-dir", cache,
                      "--kind", "funccfg"]) == 0
         assert "removed 1 funccfg entries" in capsys.readouterr().out
+
+    def test_funcid_stats_and_prune(self, demo_binary, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", demo_binary, "--cache-dir", cache,
+                     "--incremental"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "funcid" in out
+        assert main(["cache", "prune", "--cache-dir", cache,
+                     "--kind", "funcid"]) == 0
+        assert "removed 1 funcid entries" in capsys.readouterr().out
+
+    def test_funcid_prune_sharded(self, tmp_path, capsys):
+        from repro.core import ShardedArtifactStore
+
+        root = str(tmp_path / "cache")
+        store = ShardedArtifactStore(root, shards=2)
+        for i in range(4):
+            store.put("funcid", f"bin@{i:x}", {"n": i},
+                      content_hash=f"{i:02x}" * 8)
+        assert main(["cache", "stats", "--cache-dir", root,
+                     "--shards", "2"]) == 0
+        assert "funcid" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", root,
+                     "--shards", "2", "--kind", "funcid"]) == 0
+        assert "removed 4 funcid entries" in capsys.readouterr().out
 
     def test_prune_and_clear_sharded(self, sharded_cache, capsys):
         assert main(["cache", "prune", "--cache-dir", sharded_cache,

@@ -9,9 +9,17 @@ functions plus their reverse-dependency cone.
 These tests drive that contract end to end with the in-repo mutator
 (:mod:`repro.corpus.mutate`): size-preserving immediate edits that change
 K function bodies and nothing else.  Fault cases corrupt or truncate
-cached ``funccfg`` entries and require graceful degradation to a
-per-function cold re-analysis (miss, never crash), on flat and sharded
-stores alike.
+cached ``funccfg``/``funcid`` entries and require graceful degradation to
+a per-function (or per-site) cold re-analysis (miss, never crash), on
+flat and sharded stores alike.
+
+The symex tier gets the same treatment: ``sites_total`` /
+``sites_reexecuted`` are pinned against an independent oracle — the
+anchors a cold pipeline enumerates, intersected with the identification
+cone (callers* and callees* of the change) — and a dedicated caller-cone
+program proves that mutating a *callee* (an in-image wrapper)
+re-identifies the wrapper-calling callers while unrelated functions
+replay from cache.
 """
 
 import glob
@@ -19,7 +27,7 @@ import os
 
 import pytest
 
-from repro.cfg.funccfg import scan_image
+from repro.cfg.funccfg import product_name, scan_image
 from repro.cfg.partition import FunctionPartition
 from repro.core import (
     ArtifactStore,
@@ -27,9 +35,20 @@ from repro.core import (
     PersistentInterfaceStore,
     ShardedArtifactStore,
 )
+from repro.core.artifacts import _safe_filename
+from repro.core.identify import wrapper_call_blocks
+from repro.core.pipeline import (
+    AnalysisContext,
+    CfgRecoveryPass,
+    PassPipeline,
+    PipelineConfig,
+    ReachabilityPass,
+    SiteDiscoveryPass,
+    WrapperDetectionPass,
+)
 from repro.core.report import AnalysisBudget
 from repro.corpus.apps import APP_NAMES, build_app
-from repro.corpus.mutate import mutate_program
+from repro.corpus.mutate import mutate_program, mutate_regions
 from repro.loader.image import LoadedImage
 from repro.x86.decoder import decode_all
 
@@ -53,13 +72,16 @@ def _stable(report) -> str:
     return report.to_json(include_runtime=False)
 
 
+def _scan(image: LoadedImage):
+    insns = decode_all(image.text_bytes, image.text_base)
+    return scan_image(image, insns, {insn.addr: insn for insn in insns})
+
+
 def _expected_reanalysis(image: LoadedImage, changed: list[int]) -> set[int]:
     """Region starts the incremental pass must re-analyze: every region
     whose closure hash moved (changed functions plus transitive callers)
     plus any region that is never cacheable (unaligned decode)."""
-    insns = decode_all(image.text_bytes, image.text_base)
-    by_addr = {insn.addr: insn for insn in insns}
-    scan = scan_image(image, insns, by_addr)
+    scan = _scan(image)
     cone = FunctionPartition.dependency_cone(scan.refs, set(changed))
     unaligned = {
         rs.start for rs in scan.regions.values() if not rs.aligned
@@ -67,18 +89,71 @@ def _expected_reanalysis(image: LoadedImage, changed: list[int]) -> set[int]:
     return cone | unaligned
 
 
+def _anchor_addrs(image: LoadedImage) -> list[int]:
+    """Identification anchors a cold pipeline visits, independently
+    re-derived: plain-site instruction addresses plus wrapper call-site
+    block addresses (the oracle for ``sites_total``)."""
+    ctx = AnalysisContext(
+        image=image,
+        roots=[image.entry] if image.entry else [],
+        budget=AnalysisBudget(),
+        config=PipelineConfig(),
+    )
+    PassPipeline([
+        CfgRecoveryPass(), ReachabilityPass(),
+        SiteDiscoveryPass(), WrapperDetectionPass(),
+    ]).run(ctx)
+    anchors = [
+        site.insn_addr
+        for site in ctx.sites
+        if ctx.wrappers.get(site.func_entry) is None
+    ]
+    for info in ctx.wrappers.values():
+        if info is None or info.param is None:
+            continue
+        anchors.extend(wrapper_call_blocks(ctx.cfg, info))
+    return anchors
+
+
+def _expected_sites(image: LoadedImage, changed: list[int]) -> tuple[int, int]:
+    """``(sites_total, sites_reexecuted)`` the incremental symex tier
+    must report for a mutation: anchors whose region lies in the
+    identification cone (callers* and callees* of the change) or in a
+    never-cacheable (unaligned) region re-execute; the rest replay."""
+    scan = _scan(image)
+    cone = FunctionPartition.identification_cone(scan.refs, set(changed))
+    stale = cone | {
+        rs.start for rs in scan.regions.values() if not rs.aligned
+    }
+    anchors = _anchor_addrs(image)
+    reexecuted = sum(
+        1 for addr in anchors
+        if scan.partition.region_containing(addr).start in stale
+    )
+    return len(anchors), reexecuted
+
+
 def _prune_derived(store) -> None:
     """Drop every artifact that would short-circuit a re-run, keeping
-    only the per-function ``funccfg`` products (and interfaces)."""
+    only the per-function ``funccfg``/``funcid`` products (and
+    interfaces)."""
     for kind in ("report", "wrappers", "cfg"):
         store.prune(kind)
 
 
-def _funccfg_files(root: str) -> list[str]:
-    files = glob.glob(os.path.join(root, "**", "*.funccfg.json"),
+def _entry_files(root: str, kind: str) -> list[str]:
+    files = glob.glob(os.path.join(root, "**", f"*.{kind}.json"),
                       recursive=True)
-    assert files, f"no funccfg entries under {root}"
+    assert files, f"no {kind} entries under {root}"
     return files
+
+
+def _funccfg_files(root: str) -> list[str]:
+    return _entry_files(root, "funccfg")
+
+
+def _funcid_files(root: str) -> list[str]:
+    return _entry_files(root, "funcid")
 
 
 # ---------------------------------------------------------------------------
@@ -98,8 +173,9 @@ def test_incremental_equals_cold_on_mutation(name, k, tmp_path):
     assert warm_report.functions_total == len(
         FunctionPartition.from_image(original)
     )
-    # Cold store: every function was analyzed live.
+    # Cold store: every function was analyzed live, every site executed.
     assert warm_report.functions_reanalyzed == warm_report.functions_total
+    assert warm_report.sites_reexecuted == warm_report.sites_total
 
     mutated = mutate_program(bundle.program.elf_bytes, name, k, seed=k)
     incremental = _incremental_analyzer(bundle, store)
@@ -118,6 +194,14 @@ def test_incremental_equals_cold_on_mutation(name, k, tmp_path):
     )
     # The mutation touched K functions; the cone can only be larger.
     assert len(expected) >= len(mutated.changed)
+    # Symex tier: exactly the anchors in the identification cone (plus
+    # never-cacheable regions) re-executed; everything else replayed.
+    sites_total, sites_reexecuted = _expected_sites(
+        mutated.image, mutated.changed
+    )
+    assert inc_report.sites_total == sites_total
+    assert inc_report.sites_reexecuted == sites_reexecuted
+    assert inc_report.sites_reexecuted <= inc_report.sites_total
 
 
 def test_unchanged_rerun_reanalyzes_nothing(tmp_path):
@@ -134,6 +218,13 @@ def test_unchanged_rerun_reanalyzes_nothing(tmp_path):
     counters = rerun_store.counters("funccfg")
     assert counters["hits"] == second.functions_total
     assert counters["misses"] == 0
+    # Symex tier: every identification anchor replayed from cache.
+    assert first.sites_total > 0
+    assert second.sites_total == first.sites_total
+    assert second.sites_reexecuted == 0
+    funcid = rerun_store.counters("funcid")
+    assert funcid["hits"] == second.functions_total
+    assert funcid["misses"] == 0
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +257,80 @@ def test_corrupt_funccfg_degrades_to_cold(layout, tmp_path):
     assert rerun.functions_reanalyzed == rerun.functions_total
 
 
+def test_truncated_funcid_entry_is_a_per_region_miss(tmp_path):
+    bundle = build_app("memcached")
+    root = str(tmp_path / "cache")
+    image = LoadedImage.from_bytes("memcached", bundle.program.elf_bytes)
+    first = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    assert first.sites_total > 0
+    # Pick the region owning the most identification anchors and
+    # truncate exactly its funcid entry.
+    scan = _scan(image)
+    by_region: dict[int, int] = {}
+    for addr in _anchor_addrs(image):
+        start = scan.partition.region_containing(addr).start
+        by_region[start] = by_region.get(start, 0) + 1
+    victim_start = max(by_region, key=lambda s: (by_region[s], -s))
+    victim = os.path.join(
+        root,
+        _safe_filename(product_name("memcached", victim_start), "funcid"),
+    )
+    assert victim in _funcid_files(root)
+    data = open(victim, "rb").read()
+    with open(victim, "wb") as f:
+        f.write(data[: len(data) // 2])
+    _prune_derived(ArtifactStore(root))
+    rerun = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    assert _stable(rerun) == _stable(first)
+    assert rerun.functions_reanalyzed == 0
+    # Only the victim region's anchors re-executed.
+    assert rerun.sites_total == first.sites_total
+    assert rerun.sites_reexecuted == by_region[victim_start]
+    # The miss was re-stored: a further run replays everything again.
+    _prune_derived(ArtifactStore(root))
+    healed = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
+    assert _stable(healed) == _stable(first)
+    assert healed.sites_reexecuted == 0
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded"])
+def test_corrupt_funcid_degrades_to_site_misses(layout, tmp_path):
+    bundle = build_app("nginx")
+    root = str(tmp_path / "cache")
+    make_store = (
+        (lambda: ArtifactStore(root)) if layout == "flat"
+        else (lambda: ShardedArtifactStore(root, shards=2))
+    )
+    image = LoadedImage.from_bytes("nginx", bundle.program.elf_bytes)
+    first = _incremental_analyzer(bundle, make_store()).analyze(
+        image, modules=bundle.module_images
+    )
+    assert first.sites_total > 0
+    for path in _funcid_files(root):
+        with open(path, "wb") as f:
+            f.write(b"\x00garbage, not json\xff")
+    _prune_derived(make_store())
+    rerun = _incremental_analyzer(bundle, make_store()).analyze(
+        image, modules=bundle.module_images
+    )
+    assert _stable(rerun) == _stable(first)
+    # funccfg entries survived, so no function re-analysis — but every
+    # identification anchor lost its cached product and re-executed.
+    steady_funcs = len(_expected_reanalysis(image, []))
+    assert rerun.functions_reanalyzed == steady_funcs
+    assert rerun.sites_total == first.sites_total
+    assert rerun.sites_reexecuted == rerun.sites_total
+    # The misses were re-stored: a further run replays everything.
+    sites_total, steady_sites = _expected_sites(image, [])
+    _prune_derived(make_store())
+    healed = _incremental_analyzer(bundle, make_store()).analyze(
+        image, modules=bundle.module_images
+    )
+    assert _stable(healed) == _stable(first)
+    assert healed.sites_total == sites_total
+    assert healed.sites_reexecuted == steady_sites
+
+
 def test_truncated_funccfg_entry_is_a_single_miss(tmp_path):
     bundle = build_app("memcached")
     root = str(tmp_path / "cache")
@@ -184,3 +349,111 @@ def test_truncated_funccfg_entry_is_a_single_miss(tmp_path):
     healed = _incremental_analyzer(bundle, ArtifactStore(root)).analyze(image)
     assert _stable(healed) == _stable(first)
     assert healed.functions_reanalyzed == 0
+
+
+# ---------------------------------------------------------------------------
+# Caller-cone invalidation: mutating a callee re-identifies its callers
+# ---------------------------------------------------------------------------
+
+
+def _wrapper_program():
+    """A program whose identification crosses function boundaries.
+
+    ``wrapnr`` is an in-image syscall wrapper (number arrives in
+    ``%rdi``); ``alpha``/``beta`` call it with concrete numbers, so
+    *their* identification records anchor on call sites that depend on
+    the callee's classification.  ``gamma`` is an unrelated plain site.
+    The ``cmp`` immediate in ``wrapnr`` is an analysis-neutral mutable
+    site: editing it moves only body hashes, never the syscall set.
+    """
+    from repro.corpus import ProgramBuilder
+    from repro.x86 import EAX, RAX, RDI
+
+    p = ProgramBuilder("callercone")
+    with p.function("wrapnr"):
+        p.asm.cmp(RDI, 0x40)
+        p.asm.mov(RAX, RDI)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("alpha"):
+        p.asm.mov(RDI, 39)
+        p.asm.call("wrapnr")
+        p.asm.ret()
+    with p.function("beta"):
+        p.asm.mov(RDI, 60)
+        p.asm.call("wrapnr")
+        p.asm.ret()
+    with p.function("gamma"):
+        p.asm.mov(EAX, 39)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("_start"):
+        p.asm.call("alpha")
+        p.asm.call("beta")
+        p.asm.call("gamma")
+        p.asm.mov(EAX, 231)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    return p.build()
+
+
+def _region_start(image: LoadedImage, name: str) -> int:
+    for region in FunctionPartition.from_image(image):
+        if region.name == name:
+            return region.start
+    raise AssertionError(f"no region named {name!r}")
+
+
+def _standalone_analyzer(store=None):
+    return BSideAnalyzer(
+        budget=AnalysisBudget(),
+        artifact_store=store,
+        incremental=store is not None,
+    )
+
+
+def test_mutating_wrapper_callee_reidentifies_callers(tmp_path):
+    prog = _wrapper_program()
+    root = str(tmp_path / "cache")
+    warm = _standalone_analyzer(ArtifactStore(root)).analyze(prog.image)
+    assert warm.success
+    # Plain sites in gamma and _start, wrapper call sites in alpha/beta.
+    assert warm.sites_total == 4
+    assert warm.sites_reexecuted == 4
+
+    wrap_start = _region_start(prog.image, "wrapnr")
+    mutated = mutate_regions(prog.elf_bytes, prog.name, [wrap_start], seed=1)
+    inc = _standalone_analyzer(ArtifactStore(root)).analyze(mutated.image)
+    cold = _standalone_analyzer().analyze(mutated.image)
+    assert _stable(inc) == _stable(cold)
+    # Mutating the *callee* invalidates the wrapper-calling callers:
+    # alpha/beta re-identify their call sites and _start (a transitive
+    # caller) re-executes too; only gamma replays from cache.
+    assert inc.functions_reanalyzed == 4  # wrapnr, alpha, beta, _start
+    assert inc.sites_total == 4
+    assert inc.sites_reexecuted == 3
+    assert (inc.sites_total, inc.sites_reexecuted) == _expected_sites(
+        mutated.image, mutated.changed
+    )
+
+
+def test_mutating_leaf_keeps_wrapper_products_cached(tmp_path):
+    prog = _wrapper_program()
+    root = str(tmp_path / "cache")
+    warm = _standalone_analyzer(ArtifactStore(root)).analyze(prog.image)
+    assert warm.success
+
+    gamma_start = _region_start(prog.image, "gamma")
+    mutated = mutate_regions(prog.elf_bytes, prog.name, [gamma_start], seed=1)
+    inc = _standalone_analyzer(ArtifactStore(root)).analyze(mutated.image)
+    cold = _standalone_analyzer().analyze(mutated.image)
+    assert _stable(inc) == _stable(cold)
+    # Only gamma and its caller _start re-execute; the wrapper's
+    # classification and both callers' call-site records replay.
+    assert inc.functions_reanalyzed == 2  # gamma, _start
+    assert inc.sites_total == 4
+    assert inc.sites_reexecuted == 2
+    assert (inc.sites_total, inc.sites_reexecuted) == _expected_sites(
+        mutated.image, mutated.changed
+    )

@@ -249,6 +249,40 @@ class TestBatchIntegrity:
             srv.stop()
 
 
+class TestIncrementalService:
+    def test_stats_expose_incremental_totals(self, tmp_path, demo_binary):
+        service = AnalysisService(
+            str(tmp_path / "state"), workers=1, queue_size=8,
+            incremental=True,
+        )
+        srv = ServiceServer(service, port=0)
+        srv.start()
+        try:
+            client = ServiceClient(srv.url)
+            job = client.wait(client.submit_path(demo_binary)["id"])
+            assert job["status"] == "done"
+            # Runtime-only counters surface as job metrics...
+            assert job["metrics"]["functions_total"] == 1
+            assert job["metrics"]["functions_reanalyzed"] == 1
+            assert job["metrics"]["sites_total"] == 2
+            assert job["metrics"]["sites_reexecuted"] == 2
+            # ...and aggregate across jobs in /v1/stats.
+            stats = client.stats()
+            assert stats["incremental"] is True
+            totals = stats["incremental_totals"]
+            assert totals["functions_total"] == 1
+            assert totals["functions_reanalyzed"] == 1
+            assert totals["sites_total"] == 2
+            assert totals["sites_reexecuted"] == 2
+        finally:
+            srv.stop()
+
+    def test_cold_service_stats_have_no_incremental_totals(self, client):
+        stats = client.stats()
+        assert stats["incremental"] is False
+        assert "incremental_totals" not in stats
+
+
 class TestBackpressure:
     def test_queue_full_returns_429(self, tmp_path, demo_binary):
         service = AnalysisService(str(tmp_path / "state"), queue_size=3)

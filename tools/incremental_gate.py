@@ -9,6 +9,9 @@ committed ``BENCH_incremental.json`` trajectory:
 * fail if the mutation re-analyzes more than 5% of the function
   partition (rebuild locality: cost must track the change, not the
   binary);
+* fail if the mutation re-executes the backward symex of more than 5%
+  of the identification anchors — the rest must replay from cached
+  ``funcid`` products (symex locality);
 * fail if the incremental report is not byte-identical (modulo runtime
   fields) to the cold report of the same mutated binary.
 
@@ -58,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fraction of functions re-analyzed (default 0.05)",
     )
     parser.add_argument(
+        "--max-site-fraction", type=float, default=0.05,
+        help="allowed fraction of identification sites whose backward "
+             "symex re-executes (default 0.05)",
+    )
+    parser.add_argument(
         "--record", metavar="LABEL",
         help="append this measurement to the trajectory under LABEL",
     )
@@ -79,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
     recording_first = args.record and trajectory.baseline is None
     result = gate_incremental_measurement(
         record, trajectory, max_fraction=args.max_fraction,
+        max_site_fraction=args.max_site_fraction,
     )
 
     if args.record:
