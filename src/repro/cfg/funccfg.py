@@ -37,6 +37,7 @@ from ..loader.image import LoadedImage
 from ..x86.insn import _TERMINATOR_MNEMONICS, Immediate, Instruction
 from .model import CFG, FLOW_KINDS
 from .partition import FunctionPartition
+from .signatures import entry_signature, signature_doc
 
 
 @dataclass(slots=True)
@@ -82,6 +83,11 @@ class ImageScan:
     caller_hashes: dict[int, str]
     #: combined key for ``funcid`` products: callee closure + caller cone
     funcid_hashes: dict[int, str]
+    #: region start -> callee argument signature of the region's entry
+    #: (:func:`repro.cfg.signatures.entry_signature` over the decode
+    #: stream; part of the ``funccfg``/``funcid`` payloads so a cached
+    #: product self-describes the signature the refinement derived)
+    entry_sigs: dict[int, frozenset | None]
 
 
 def scan_image(
@@ -155,6 +161,7 @@ def scan_image(
         ).hexdigest()
         for s in starts
     }
+    entry_sigs = {s: entry_signature(by_addr, s) for s in starts}
     return ImageScan(
         partition=partition,
         regions=scans,
@@ -164,6 +171,7 @@ def scan_image(
         closure_hashes=closure_hashes,
         caller_hashes=caller_hashes,
         funcid_hashes=funcid_hashes,
+        entry_sigs=entry_sigs,
     )
 
 
@@ -285,7 +293,10 @@ def product_name(image_name: str, start: int) -> str:
 
 
 def build_product(
-    cfg: CFG, rs: RegionScan, extra_leaders: set[int]
+    cfg: CFG,
+    rs: RegionScan,
+    extra_leaders: set[int],
+    entry_sig: frozenset | None = None,
 ) -> dict:
     """The cacheable per-region payload, derived from the stitched CFG."""
     block_starts = sorted(
@@ -299,6 +310,7 @@ def build_product(
         "extra_leaders": sorted(extra_leaders),
         "block_starts": block_starts,
         "local_reachable": _local_reachable(cfg, rs.start, rs.end),
+        "arg_signature": signature_doc(entry_sig),
     }
 
 
@@ -307,12 +319,13 @@ def validate_product(
     rs: RegionScan,
     extra_leaders: set[int],
     by_addr: dict[int, Instruction],
+    entry_sig: frozenset | None = None,
 ) -> list[int] | None:
     """Return the cached block starts, or ``None`` (= cache miss).
 
-    Misses, never crashes: corrupt shapes, stale geometry, or a changed
-    cross-region leader set all degrade to a cold re-carve of this one
-    region.
+    Misses, never crashes: corrupt shapes, stale geometry, a changed
+    cross-region leader set, or a stale cached argument signature all
+    degrade to a cold re-carve of this one region.
     """
     try:
         if payload["start"] != rs.start or payload["end"] != rs.end:
@@ -322,6 +335,8 @@ def validate_product(
         if payload["n_insns"] != rs.n_insns:
             return None
         if list(payload["extra_leaders"]) != sorted(extra_leaders):
+            return None
+        if payload["arg_signature"] != signature_doc(entry_sig):
             return None
         block_starts = [int(a) for a in payload["block_starts"]]
     except (KeyError, TypeError, ValueError):

@@ -23,6 +23,7 @@ import struct
 from ..loader.image import LoadedImage
 from ..x86.insn import Immediate, Memory
 from .model import CFG, EDGE_ICALL
+from .signatures import callee_signature, caller_signature, filter_targets
 
 
 def addresses_taken_in_block(cfg: CFG, image: LoadedImage, block_addr: int) -> set[int]:
@@ -46,13 +47,25 @@ def addresses_taken_in_block(cfg: CFG, image: LoadedImage, block_addr: int) -> s
 
 
 def data_segment_addresses_taken(image: LoadedImage) -> set[int]:
-    """Code addresses stored as 8-byte words in the data segment."""
+    """Code addresses stored as 8-byte words in the data segment.
+
+    Pointer tables are naturally aligned, so candidate words are
+    enumerated at 8-byte-aligned *virtual addresses* — a segment whose
+    vaddr is not 8-aligned starts scanning at the first aligned word
+    rather than at byte 0 (which would read straddled garbage).  The
+    trailing partial word of a segment whose size is not a multiple of
+    8 is never read.
+    """
     seg = image.elf.data_segment
     if seg is None:
         return set()
     out: set[int] = set()
     data = seg.data
-    for off in range(0, len(data) - 7, 8):
+    end = len(data)
+    first = (-seg.vaddr) % 8
+    for off in range(first, end, 8):
+        if off + 8 > end:
+            break
         value = struct.unpack_from("<Q", data, off)[0]
         if image.is_code_addr(value):
             out.add(value)
@@ -95,6 +108,7 @@ def resolve_indirect_active(
     image: LoadedImage,
     roots: list[int],
     max_iterations: int = 64,
+    signatures: bool = False,
 ) -> tuple[set[int], int]:
     """B-Side's active-addresses-taken fixpoint (Figure 4).
 
@@ -102,6 +116,15 @@ def resolve_indirect_active(
     ``roots``; collect addresses taken *in reachable blocks* (plus data
     segment words, which are always considered live); resolve indirect sites
     *in reachable blocks* to those targets; repeat until no new edge.
+
+    With ``signatures=True`` each site's target list is refined to the
+    signature-compatible subset (:mod:`repro.cfg.signatures`): targets
+    whose entry region provably reads an argument register no backward
+    path to the site prepares are skipped.  Sites (or targets) whose
+    signature is unknown keep the full list, and caller signatures are
+    re-derived every round because freshly added ``icall`` edges can
+    turn a known signature unknown — edges only ever accumulate, so the
+    fixpoint still converges.
 
     Returns ``(active_addresses_taken, iterations_used)``.
 
@@ -115,6 +138,8 @@ def resolve_indirect_active(
     data_taken = data_segment_addresses_taken(image)
     active: set[int] = set()
     taken_in: dict[int, set[int]] = {}  # block addr -> addresses taken
+    #: target entry -> callee signature (block insns never change)
+    callee_sigs: dict[int, frozenset | None] = {}
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         index = cfg.index
@@ -131,13 +156,22 @@ def resolve_indirect_active(
                 taken_in[addr] = taken
             new_active |= taken
         targets = _indirect_targets(cfg, new_active)
+        if signatures:
+            for target in targets:
+                if target not in callee_sigs:
+                    callee_sigs[target] = callee_signature(cfg, target)
         changed = new_active != active
         idx_of = index.idx_of
         for site in cfg.indirect_sites:
             i = idx_of.get(site)
             if i is None or not seen[i]:
                 continue
-            for target in targets:
+            site_targets = targets
+            if signatures:
+                site_targets = filter_targets(
+                    caller_signature(cfg, site), targets, callee_sigs,
+                )
+            for target in site_targets:
                 if cfg.add_edge(site, target, EDGE_ICALL):
                     changed = True
         active = new_active

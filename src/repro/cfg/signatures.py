@@ -1,0 +1,336 @@
+"""Signature-compatible indirect-call refinement (ROADMAP item 2).
+
+The §4.3 active-addresses-taken fixpoint resolves every reachable
+indirect call to *every* active address taken — sound, but the dominant
+precision loss: dead function-pointer targets (error handlers reachable
+only through never-executed dispatch tables) drag their syscall
+footprints into the identified set.  Following iResolveX's layered
+refinement (and TypeArmor's arity matching before it), this module adds
+a cheap **signature compatibility** layer on top of the sound base
+analysis:
+
+* a **callee signature** per candidate target — the set of SysV argument
+  registers the function *reads before writing* in its straight-line
+  entry region (an **under-approximation** of its parameters: the
+  bounded forward scan stops at the first control transfer, at the
+  instruction bound, and at anything it cannot classify, each of which
+  can only shrink the set);
+* a **caller signature** per indirect-call site — the set of argument
+  registers *written* on backward paths from the call (an
+  **over-approximation** of the arguments prepared: a bounded backward
+  walk over fall/jump predecessor edges that stops at ``callret``
+  in-edges, because the SysV ABI makes the argument registers
+  caller-saved, so a value live across an earlier call must be written
+  again after it).
+
+A target is **compatible** with a site iff ``callee ⊆ caller``.  Safety
+is structural: whenever either side cannot be bounded — an instruction
+the scan cannot classify, a backward walk that escapes into callers
+(``call``/``icall`` in-edges or a predecessor-less entry block) or
+exceeds its block budget — the signature is *unknown* and the site
+keeps the **full** candidate set.  The filter can therefore only remove
+targets whose parameter reads no path to the site provably prepares;
+the eval accuracy gate additionally pins recall == 1.0 on every
+validation app under the filter.
+
+The approximation directions matter and are asymmetric on purpose:
+under-approximating the callee and over-approximating the caller both
+bias ``callee ⊆ caller`` toward *keeping* a target, so every modelling
+shortcut below (``push`` reads ignored, ``cmov`` never killing its
+destination, unioning prepared sets across joined paths) errs toward
+the unfiltered behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..x86.insn import (
+    _TERMINATOR_MNEMONICS,
+    ALU_MNEMONICS,
+    COMPARE_MNEMONICS,
+    DATA_MNEMONICS,
+    Instruction,
+    Memory,
+    Register,
+)
+from ..x86.registers import ARG_REGISTERS
+from .model import (
+    CFG,
+    EDGE_CALL,
+    EDGE_CALLRET,
+    EDGE_FALL,
+    EDGE_ICALL,
+    EDGE_JUMP,
+)
+
+#: canonical 64-bit names of the SysV integer argument registers
+ARG_REG_NAMES = frozenset(r.name for r in ARG_REGISTERS)
+
+#: forward entry-region scan bound (instructions)
+DEFAULT_MAX_INSNS = 64
+#: backward preparation walk bound (blocks)
+DEFAULT_MAX_BLOCKS = 16
+
+#: a signature: argument-register names, or ``None`` = unknown
+Signature = frozenset | None
+
+_MOV_KILL = frozenset({"mov", "movabs", "movzx", "movsx", "movsxd"})
+_ALU_UNARY = frozenset({"inc", "dec", "neg", "not"})
+_CMOV = frozenset(m for m in DATA_MNEMONICS if m.startswith("cmov"))
+
+
+def _memory_reads(mem: Memory, reads: set[str]) -> None:
+    if mem.base is not None:
+        reads.add(mem.base.name)
+    if mem.index is not None:
+        reads.add(mem.index.name)
+
+
+def _insn_effects(insn: Instruction) -> tuple[set[str], set[str]] | None:
+    """``(reads, kills)`` of one straight-line instruction over canonical
+    64-bit register names, or ``None`` when the effect cannot be
+    classified (unknown shape -> the caller must give up the signature).
+
+    ``kills`` lists registers whose pre-instruction value is destroyed
+    (every modelled write is >= 32 bits wide, hence zero-extending).
+    ``push`` is deliberately read-free: pushing an argument register is
+    the register-save idiom, and dropping a read only under-approximates
+    the callee side (safe).  ``cmov`` reads its destination and is never
+    a kill (the move is conditional).
+    """
+    mnemonic = insn.mnemonic
+    ops = insn.operands
+    reads: set[str] = set()
+    kills: set[str] = set()
+
+    if mnemonic == "nop":
+        return reads, kills
+    if mnemonic in ("cdq", "cqo"):
+        reads.add("rax")
+        kills.add("rdx")
+        return reads, kills
+    if mnemonic == "push":
+        if len(ops) == 1:
+            if type(ops[0]) is Memory:
+                _memory_reads(ops[0], reads)
+            return reads, kills
+        return None
+    if mnemonic == "pop":
+        if len(ops) == 1:
+            if type(ops[0]) is Register:
+                kills.add(ops[0].name)
+                return reads, kills
+            if type(ops[0]) is Memory:
+                _memory_reads(ops[0], reads)
+                return reads, kills
+        return None
+
+    if len(ops) != 2 and not (mnemonic in _ALU_UNARY and len(ops) == 1):
+        return None
+    dst = ops[0]
+    src = ops[1] if len(ops) == 2 else None
+
+    if type(src) is Register:
+        reads.add(src.name)
+    elif type(src) is Memory:
+        _memory_reads(src, reads)
+
+    if mnemonic in _MOV_KILL:
+        if type(dst) is Register:
+            kills.add(dst.name)
+        elif type(dst) is Memory:
+            _memory_reads(dst, reads)
+        else:
+            return None
+        return reads, kills
+    if mnemonic == "lea":
+        if type(dst) is Register and type(src) is Memory:
+            kills.add(dst.name)
+            return reads, kills
+        return None
+    if mnemonic in _CMOV:
+        if type(dst) is Register:
+            reads.add(dst.name)  # conditional: old value may survive
+            return reads, kills
+        return None
+    if mnemonic in COMPARE_MNEMONICS:
+        if type(dst) is Register:
+            reads.add(dst.name)
+        elif type(dst) is Memory:
+            _memory_reads(dst, reads)
+        return reads, kills
+    if mnemonic in ALU_MNEMONICS:
+        if type(dst) is Register:
+            zeroing = (
+                mnemonic in ("xor", "sub")
+                and type(src) is Register
+                and src.name == dst.name
+            )
+            if zeroing:
+                reads.discard(dst.name)  # xor r,r / sub r,r: pure kill
+            else:
+                reads.add(dst.name)
+            kills.add(dst.name)
+            return reads, kills
+        if type(dst) is Memory:
+            _memory_reads(dst, reads)
+            return reads, kills
+        return None
+    return None
+
+
+def entry_signature(
+    fetch: Callable[[int], Instruction | None] | Mapping[int, Instruction],
+    entry: int,
+    max_insns: int = DEFAULT_MAX_INSNS,
+) -> Signature:
+    """Callee signature from a raw instruction stream.
+
+    Scans the straight-line region from ``entry`` (following sequential
+    decode order across block-leader splits), collecting argument
+    registers read before being killed.  Stops — with the safe partial
+    set — at the first control transfer, at ``max_insns``, or when the
+    stream ends; returns ``None`` (unknown) when ``entry`` is not an
+    instruction or an effect cannot be classified.
+
+    Shared by :func:`callee_signature` (over the CFG's instruction
+    index) and the incremental tier's ``funccfg``/``funcid`` product
+    validation (over the whole-image decode map), so the two derivations
+    cannot diverge.
+    """
+    get = fetch.get if isinstance(fetch, Mapping) else fetch
+    insn = get(entry)
+    if insn is None:
+        return None
+    params: set[str] = set()
+    written: set[str] = set()
+    addr = entry
+    for __ in range(max_insns):
+        insn = get(addr)
+        if insn is None or insn.mnemonic in _TERMINATOR_MNEMONICS:
+            break
+        effects = _insn_effects(insn)
+        if effects is None:
+            return None
+        reads, kills = effects
+        for name in reads:
+            if name in ARG_REG_NAMES and name not in written:
+                params.add(name)
+        written |= kills
+        addr = insn.end
+    return frozenset(params)
+
+
+def callee_signature(
+    cfg: CFG, entry: int, max_insns: int = DEFAULT_MAX_INSNS
+) -> Signature:
+    """Argument registers a candidate target reads before writing."""
+    if entry not in cfg.blocks:
+        return None
+    return entry_signature(cfg.index.insn_at, entry, max_insns)
+
+
+def caller_signature(
+    cfg: CFG, site_block: int, max_blocks: int = DEFAULT_MAX_BLOCKS
+) -> Signature:
+    """Argument registers written on backward paths to an indirect call.
+
+    Walks fall/jump predecessor edges from the site block, folding every
+    argument-register kill into the prepared set.  A ``callret`` in-edge
+    ends that path with its collected set (caller-saved argument
+    registers do not survive the intervening call).  Returns ``None``
+    (unknown) when a path escapes the function — ``call``/``icall``
+    in-edges, or a block with no predecessors at all — when the block
+    budget is exceeded, or when an instruction cannot be classified.
+    """
+    block = cfg.blocks.get(site_block)
+    if block is None:
+        return None
+    prepared: set[str] = set()
+    visited = {site_block}
+    stack = [site_block]
+    scanned = 0
+    while stack:
+        scanned += 1
+        if scanned > max_blocks:
+            return None
+        addr = stack.pop()
+        block = cfg.blocks[addr]
+        insns = block.insns
+        for i in range(len(insns) - 1, -1, -1):
+            insn = insns[i]
+            if insn.mnemonic in _TERMINATOR_MNEMONICS:
+                # Only a block's last instruction can be a terminator.
+                # At the site block this is the indirect call itself; a
+                # fall/jump predecessor's jmp/jcc writes nothing, and a
+                # syscall clobbers rcx (over-approx: count it prepared).
+                if insn.mnemonic == "syscall":
+                    prepared.add("rcx")
+                continue
+            effects = _insn_effects(insn)
+            if effects is None:
+                return None
+            __, kills = effects
+            prepared |= kills & ARG_REG_NAMES
+        preds = cfg._preds.get(addr, ())
+        if not preds:
+            # Walked back to a root/entry block without crossing a call:
+            # arguments may flow in from outside the visible region.
+            return None
+        for edge in preds:
+            kind = edge.kind
+            if kind == EDGE_FALL or kind == EDGE_JUMP:
+                if edge.src not in visited:
+                    visited.add(edge.src)
+                    stack.append(edge.src)
+            elif kind == EDGE_CALL or kind == EDGE_ICALL:
+                # Entered via a call: the site's arguments may be the
+                # caller's own, which this walk cannot see.
+                return None
+            # EDGE_CALLRET: the path stops here with its collected set.
+    return frozenset(prepared)
+
+
+def compatible(caller: Signature, callee: Signature) -> bool:
+    """Keep a target unless both signatures are known and incompatible."""
+    if caller is None or callee is None:
+        return True
+    return callee <= caller
+
+
+def filter_targets(
+    caller: Signature,
+    targets: list[int],
+    callee_signatures: Mapping[int, Signature],
+) -> list[int]:
+    """The site's compatible subset of ``targets`` (order-preserving).
+
+    Monotone in ``targets`` (per-element predicate) and the identity
+    whenever the caller signature is unknown or a target's signature is
+    missing/unknown.
+    """
+    if caller is None:
+        return list(targets)
+    return [
+        t for t in targets if compatible(caller, callee_signatures.get(t))
+    ]
+
+
+def signature_doc(sig: Signature) -> list[str] | None:
+    """JSON-able form: sorted register names, or ``None`` for unknown."""
+    return None if sig is None else sorted(sig)
+
+
+def signature_from_doc(doc) -> Signature:
+    """Inverse of :func:`signature_doc`; raises on malformed payloads."""
+    if doc is None:
+        return None
+    if not isinstance(doc, list):
+        raise ValueError(f"malformed signature doc {doc!r}")
+    out = []
+    for name in doc:
+        if not isinstance(name, str):
+            raise ValueError(f"malformed signature doc {doc!r}")
+        out.append(name)
+    return frozenset(out)

@@ -4,13 +4,15 @@ Commands
 --------
 
 ``analyze <binary> [--libdir DIR] [--json] [--cache-dir DIR] [--no-cache]
-[--incremental]``
+[--incremental] [--no-sig-filter]``
     Identify the syscalls a binary can invoke; print names or JSON.
     With ``--cache-dir``, a matching cached report is served without
     re-analysis; ``--incremental`` additionally caches per-function CFG
     and identification products (kinds ``funccfg``/``funcid``) so a
     rebuilt binary re-analyzes only its changed functions plus their
     dependency cone, and re-executes symex only for the affected sites.
+    ``--no-sig-filter`` disables the signature-compatibility refinement
+    of indirect-call resolution (the ablation configuration).
 
 ``profile <binary> [--libdir DIR] [--json] [--repeats N]``
     Time one cold analysis and print the per-pass stage profile
@@ -32,7 +34,7 @@ Commands
     Run the binary under the emulator and print its syscall trace.
 
 ``fleet <dir> [--workers N] [--cache-dir DIR] [--no-cache] [--json]
-[--incremental]``
+[--incremental] [--no-sig-filter]``
     Batch-analyze every ELF in a directory: cached per-binary reports are
     served from the artifact store, library interfaces are computed once
     (and cached persistently with ``--cache-dir``), then per-binary
@@ -44,11 +46,13 @@ Commands
 
 ``eval [--scale S] [--seed N] [--tools LIST] [--workers N] [--json |
 --markdown] [--apps-only] [--cache-dir DIR] [--no-cache]
-[--trajectory PATH] [--label L] [--no-record]``
+[--trajectory PATH] [--label L] [--no-record] [--no-sig-filter]``
     Reproduce the paper's §5 accuracy tables: emulated ground truth,
     all four tools over the validation apps and the corpus, and an
     append-only record in ``BENCH_eval_accuracy.json`` (see
-    ``docs/evaluation.md``).
+    ``docs/evaluation.md``).  By default B-Side is scored under both
+    indirect-signature configurations per app (the sig-filter
+    ablation); ``--no-sig-filter`` runs only the unfiltered one.
 
 ``docker-profile <binary> [--libdir DIR]``
     Emit an OCI/Docker seccomp JSON profile for the binary.
@@ -103,14 +107,23 @@ def _cache_dir(args) -> str | None:
     return getattr(args, "cache_dir", None)
 
 
+def _sig_filter(args) -> bool:
+    """The effective indirect-signature setting (``--no-sig-filter``)."""
+    return not getattr(args, "no_sig_filter", False)
+
+
 def _make_analyzer(args) -> BSideAnalyzer:
-    """Analyzer honouring ``--libdir`` and the cache flags."""
+    """Analyzer honouring ``--libdir``, the cache flags, and
+    ``--no-sig-filter``."""
     cache_dir = _cache_dir(args)
     incremental = getattr(args, "incremental", False)
     if cache_dir is None:
         # Incremental without a store degrades to a cold analysis (the
         # incremental pass needs somewhere to keep funccfg products).
-        return BSideAnalyzer(resolver=_resolver(args), budget=AnalysisBudget())
+        return BSideAnalyzer(
+            resolver=_resolver(args), budget=AnalysisBudget(),
+            indirect_signatures=_sig_filter(args),
+        )
     from .core import ArtifactStore, PersistentInterfaceStore
 
     artifacts = ArtifactStore(cache_dir)
@@ -120,6 +133,7 @@ def _make_analyzer(args) -> BSideAnalyzer:
         interface_store=PersistentInterfaceStore(store=artifacts),
         artifact_store=artifacts,
         incremental=incremental,
+        indirect_signatures=_sig_filter(args),
     )
 
 
@@ -278,6 +292,7 @@ def cmd_fleet(args) -> int:
         resolver=_resolver(args), budget=AnalysisBudget(),
         workers=args.workers, cache_dir=cache_dir,
         incremental=args.incremental and cache_dir is not None,
+        indirect_signatures=_sig_filter(args),
     )
     report = fleet.analyze_directory(args.directory)
     # Exit 1 when any binary's analysis failed, so scripted pipelines
@@ -367,6 +382,7 @@ def cmd_eval(args) -> int:
         workers=args.workers,
         cache_dir=_cache_dir(args),
         include_corpus=not args.apps_only,
+        indirect_signatures=_sig_filter(args),
     ))
     record = report.to_record()
     # Validity check (the paper's disqualifying failure): when B-Side
@@ -580,12 +596,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "changed functions plus their dependency cone "
                             "(needs --cache-dir)")
 
+    def sig_flag(p):
+        p.add_argument("--no-sig-filter", action="store_true",
+                       help="disable the signature-compatibility refinement "
+                            "of indirect-call resolution (the ablation "
+                            "configuration: every address-taken function "
+                            "stays a candidate target)")
+
     p = sub.add_parser("analyze", help="identify a binary's syscalls")
     p.add_argument("binary")
     p.add_argument("--json", action="store_true")
     common(p)
     cache_flags(p)
     incremental_flag(p)
+    sig_flag(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("profile",
@@ -654,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-record", action="store_true",
                    help="do not append this run to the trajectory")
     cache_flags(p)
+    sig_flag(p)
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("trace", help="run under the emulator and trace")
@@ -670,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     cache_flags(p)
     incremental_flag(p)
+    sig_flag(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("serve", help="run the analysis-as-a-service daemon")

@@ -62,6 +62,7 @@ class BSideAnalyzer:
         detect_wrappers: bool = True,
         directed_search: bool = True,
         use_active_addresses_taken: bool = True,
+        indirect_signatures: bool = True,
         incremental: bool = False,
         pipeline_config: PipelineConfig | None = None,
         artifact_store: ArtifactStore | None = None,
@@ -81,6 +82,7 @@ class BSideAnalyzer:
                 detect_wrappers=detect_wrappers,
                 directed_search=directed_search,
                 use_active_addresses_taken=use_active_addresses_taken,
+                indirect_signatures=indirect_signatures,
                 incremental=incremental,
             )
         )
@@ -103,6 +105,10 @@ class BSideAnalyzer:
     @property
     def use_active_addresses_taken(self) -> bool:
         return self.config.use_active_addresses_taken
+
+    @property
+    def indirect_signatures(self) -> bool:
+        return self.config.indirect_signatures
 
     @property
     def incremental(self) -> bool:

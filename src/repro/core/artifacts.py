@@ -54,8 +54,9 @@ import re
 
 #: Bump when analyzer or envelope changes invalidate previous artifacts.
 #: (1 = PR 1's interface-only envelope; 2 = the multi-kind envelope with
-#: config fingerprints and dependency hashes.)
-CACHE_VERSION = 2
+#: config fingerprints and dependency hashes; 3 = ``funccfg``/``funcid``
+#: payloads carry the entry argument signature.)
+CACHE_VERSION = 3
 
 #: Recognised artifact kinds and the envelope field each payload lives in.
 ARTIFACT_KINDS: dict[str, str] = {

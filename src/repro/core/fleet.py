@@ -249,6 +249,7 @@ def _init_worker(config: dict) -> None:
         detect_wrappers=config["detect_wrappers"],
         directed_search=config["directed_search"],
         use_active_addresses_taken=config["use_active_addresses_taken"],
+        indirect_signatures=config.get("indirect_signatures", True),
         incremental=config.get("incremental", False),
         artifact_store=artifact_store,
     )
@@ -291,6 +292,7 @@ class FleetAnalyzer:
         interface_store: InterfaceStore | None = None,
         artifact_store: ArtifactStore | None = None,
         incremental: bool = False,
+        indirect_signatures: bool = True,
         on_entry=None,
         analyzer=None,
     ):
@@ -337,6 +339,7 @@ class FleetAnalyzer:
                 budget=self.budget,
                 interface_store=interface_store,
                 incremental=self.incremental,
+                indirect_signatures=indirect_signatures,
                 artifact_store=self.artifacts if self.incremental else None,
             )
 
@@ -587,6 +590,7 @@ class FleetAnalyzer:
             "directed_search": self.analyzer.directed_search,
             "use_active_addresses_taken":
                 self.analyzer.use_active_addresses_taken,
+            "indirect_signatures": self.analyzer.indirect_signatures,
             "incremental": self.incremental,
             "artifacts": self._artifact_spec() if self.incremental else None,
         }

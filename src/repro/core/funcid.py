@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 from ..cfg.funccfg import ImageScan, product_name
 from ..cfg.model import CFG
+from ..cfg.signatures import signature_doc
 from .artifacts import ArtifactStore
 from .identify import SiteIdentification
 from .sites import SyscallSite
@@ -145,6 +146,10 @@ class FuncidState:
         """Index a payload for replay, or ``None`` (= per-region miss)."""
         try:
             if payload["start"] != start or payload["end"] != end:
+                return None
+            if payload["arg_signature"] != signature_doc(
+                self.scan.entry_sigs.get(start)
+            ):
                 return None
             live = [s.to_doc() for s in self.sites_by_region.get(start, [])]
             if [list(map(int, s)) for s in payload["sites"]] != live:
@@ -280,6 +285,9 @@ class FuncidState:
             payload = {
                 "start": start,
                 "end": region.end,
+                "arg_signature": signature_doc(
+                    self.scan.entry_sigs.get(start)
+                ),
                 "sites": [
                     s.to_doc() for s in self.sites_by_region.get(start, [])
                 ],

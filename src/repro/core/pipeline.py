@@ -92,6 +92,10 @@ class PipelineConfig:
     detect_wrappers: bool = True
     directed_search: bool = True
     use_active_addresses_taken: bool = True
+    #: refine active-addresses-taken resolution to signature-compatible
+    #: targets (:mod:`repro.cfg.signatures`); no effect in ``all`` mode,
+    #: which stays the deliberately unfiltered SysFilter ablation
+    indirect_signatures: bool = True
     passes: tuple[str, ...] = DEFAULT_PASSES
     #: substitute the function-granular incremental assembler for
     #: ``cfg-recovery``.  Deliberately **excluded** from the fingerprint:
@@ -130,6 +134,7 @@ class PipelineConfig:
             "detect_wrappers": self.detect_wrappers,
             "directed_search": self.directed_search,
             "use_active_addresses_taken": self.use_active_addresses_taken,
+            "indirect_signatures": self.indirect_signatures,
             "passes": list(self.pass_names()),
             "budget": dataclasses.asdict(budget) if budget else None,
         }
@@ -313,6 +318,7 @@ class CfgRecoveryPass(Pass):
             __, iterations = resolve_indirect_active(
                 cfg, ctx.image, ctx.roots,
                 max_iterations=ctx.budget.max_cfg_iterations,
+                signatures=ctx.config.indirect_signatures,
             )
         elif mode == "all":
             # SysFilter-style resolution to *all* addresses taken.
@@ -408,6 +414,7 @@ class IncrementalCfgRecoveryPass(CfgRecoveryPass):
                 if isinstance(payload, dict):
                     block_starts = validate_product(
                         payload, rs, extra, by_addr,
+                        scan.entry_sigs.get(start),
                     )
             if block_starts is not None:
                 leaders.update(block_starts)
@@ -432,7 +439,10 @@ class IncrementalCfgRecoveryPass(CfgRecoveryPass):
                 continue
             ctx.artifacts.put(
                 "funccfg", product_name(image.name, start),
-                build_product(cfg, rs, scan.extra_leaders.get(start, set())),
+                build_product(
+                    cfg, rs, scan.extra_leaders.get(start, set()),
+                    scan.entry_sigs.get(start),
+                ),
                 content_hash=scan.closure_hashes[start],
                 fingerprint=ctx.fingerprint,
                 dep_hashes=[],

@@ -27,10 +27,10 @@ from functools import lru_cache
 
 from ..loader.resolve import LibraryResolver
 from ..syscalls.table import SYSCALL_NUMBERS
-from ..x86.registers import EAX, R12, R13, R14, RBX, RDI, RSI, RDX
+from ..x86.registers import EAX, R12, R13, R14, RAX, RBX, RDI, RSI, RDX
 from .langstyles import emit_direct, emit_split, emit_stack
 from .libc import LIBC_NAME, build_libc, export_for
-from .progbuilder import BuiltProgram, ProgramBuilder
+from .progbuilder import BuiltProgram, ProgramBuilder, QuadRef
 
 #: magic value that the error-path guard compares against; no test-suite
 #: input ever equals it, so error paths never execute.
@@ -57,6 +57,14 @@ class AppSpec:
     error_imports: tuple[str, ...] = ()
     #: never-executed error paths via ``syscall(nr)`` with exotic numbers
     error_syscall_numbers: tuple[str, ...] = ()
+    #: never-executed error *handlers*: clusters of c_<name> imports
+    #: routed through app-local handler functions that are address-taken
+    #: only via a data-segment pointer table and invoked by one dead
+    #: indirect dispatch.  The handlers read argument registers the
+    #: dispatch site never prepares, so the signature refinement prunes
+    #: them while plain active-addresses-taken resolution keeps them —
+    #: the realistic FP class iResolveX's arity filtering removes.
+    error_dispatch: tuple[tuple[str, ...], ...] = ()
     #: direct sites in the app binary itself (style mix: Figure 1 A/B/C)
     app_direct: tuple[str, ...] = ()
     #: dlopen-style module: (soname, (syscall names...))
@@ -110,11 +118,14 @@ APP_SPECS: dict[str, AppSpec] = {
         ),
         via_wrapped_import=("io_submit",),
         error_imports=(
-            "symlink", "link", "truncate", "chown", "fchmod", "flock",
-            "memfd_create", "fallocate", "copy_file_range", "utimensat",
             "faccessat", "newfstatat", "mkdirat", "unlinkat",
             "inotify_init1", "timerfd_create", "eventfd2", "dup3",
             "socketpair", "getpeername", "getsockname", "shutdown",
+        ),
+        error_dispatch=(
+            ("symlink", "link", "truncate", "chown", "fchmod"),
+            ("flock", "memfd_create", "fallocate", "copy_file_range",
+             "utimensat"),
         ),
         error_syscall_numbers=(
             "setxattr", "getxattr", "mount", "umount2", "sethostname",
@@ -143,11 +154,14 @@ APP_SPECS: dict[str, AppSpec] = {
         ),
         shutdown=("close", "munmap", "kill"),
         error_imports=(
-            "fork", "wait4", "pipe", "symlink", "link", "truncate",
-            "flock", "fallocate", "copy_file_range", "memfd_create",
-            "socketpair", "getpeername", "getsockname", "shutdown",
+            "fork", "wait4", "pipe", "shutdown",
             "dup3", "eventfd2", "timerfd_create", "inotify_init1",
             "faccessat", "mkdirat", "unlinkat", "connect",
+        ),
+        error_dispatch=(
+            ("symlink", "link", "truncate", "flock", "fallocate"),
+            ("copy_file_range", "memfd_create", "socketpair",
+             "getpeername", "getsockname"),
         ),
         error_syscall_numbers=(
             "setxattr", "listxattr", "removexattr", "mount", "swapon",
@@ -180,9 +194,12 @@ APP_SPECS: dict[str, AppSpec] = {
         ),
         via_wrapped_import=("keyctl",),
         error_imports=(
-            "execve", "mkdir", "unlink", "rename", "truncate", "flock",
             "dup3", "socketpair", "timerfd_create", "eventfd2",
             "memfd_create",
+        ),
+        error_dispatch=(
+            ("execve", "mkdir", "unlink"),
+            ("rename", "truncate", "flock"),
         ),
         error_syscall_numbers=("setxattr", "mount", "sethostname"),
         app_direct=("getegid",),
@@ -205,8 +222,11 @@ APP_SPECS: dict[str, AppSpec] = {
         shutdown=("close", "munmap"),
         via_syscall_export=("sched_yield", "times", "getitimer", "msync"),
         error_imports=(
-            "fork", "wait4", "pipe", "truncate", "flock", "dup3",
-            "socketpair", "eventfd2", "memfd_create", "mkdir",
+            "fork", "wait4", "pipe", "dup3",
+        ),
+        error_dispatch=(
+            ("truncate", "flock", "mkdir"),
+            ("socketpair", "eventfd2", "memfd_create"),
         ),
         error_syscall_numbers=("mount", "setxattr"),
         app_direct=("getegid",),
@@ -231,10 +251,13 @@ APP_SPECS: dict[str, AppSpec] = {
         via_syscall_export=("sched_yield", "times", "alarm"),
         via_wrapped_import=("personality", "ustat"),
         error_imports=(
-            "fork", "wait4", "pipe", "truncate", "flock", "symlink",
-            "link", "dup3", "socketpair", "timerfd_create", "faccessat",
-            "mkdirat", "unlinkat", "eventfd2", "fallocate",
-            "copy_file_range", "memfd_create", "connect",
+            "fork", "wait4", "pipe", "dup3", "socketpair",
+            "timerfd_create", "unlinkat", "eventfd2", "memfd_create",
+            "connect",
+        ),
+        error_dispatch=(
+            ("truncate", "flock", "symlink", "link"),
+            ("fallocate", "copy_file_range", "faccessat", "mkdirat"),
         ),
         error_syscall_numbers=("setxattr", "mount", "quotactl", "mknod"),
         app_direct=("getegid", "getgid"),
@@ -259,10 +282,12 @@ APP_SPECS: dict[str, AppSpec] = {
             "msync", "mincore", "readahead", "sync", "sync_file_range",
         ),
         error_imports=(
-            "fork", "wait4", "execve", "pipe", "flock", "symlink",
-            "link", "chown", "fchmod", "dup3", "mkdir", "rmdir",
-            "faccessat", "mkdirat", "unlinkat", "utimensat",
-            "memfd_create", "fallocate",
+            "fork", "wait4", "execve", "pipe", "dup3", "mkdir",
+            "rmdir", "faccessat", "mkdirat", "unlinkat",
+        ),
+        error_dispatch=(
+            ("flock", "symlink", "link", "chown"),
+            ("fchmod", "utimensat", "memfd_create", "fallocate"),
         ),
         error_syscall_numbers=("setxattr", "mount", "mknod", "uselib"),
         app_direct=("getegid",),
@@ -338,9 +363,34 @@ def build_app(name: str) -> AppBundle:
         for nr_name in spec.error_syscall_numbers:
             p.asm.mov(RDI, SYSCALL_NUMBERS[nr_name])
             p.call_import("syscall")
+        if spec.error_dispatch:
+            # Dead handler dispatch: the handler pointer travels through
+            # a non-argument register and only %rdi is prepared, while
+            # every handler reads %rsi/%rdx — signature-incompatible, so
+            # the refinement prunes what plain addresses-taken keeps.
+            p.asm.mov_from_rip(RAX, "errtab")
+            p.asm.xor(RDI, RDI)
+            p.asm.call_reg(RAX)
         p.call_import("c_abort")
         p.asm.label("init.noerr")
         p.asm.ret()
+
+    # ---- error handlers (dead code behind the dispatch table) ----------
+    for k, cluster in enumerate(spec.error_dispatch):
+        with p.function(f"errh{k}"):
+            # Two argument-register reads before the first call give the
+            # handler the callee signature {rsi, rdx}.
+            p.asm.mov(RAX, RSI)
+            p.asm.add(RAX, RDX)
+            _emit_import_calls(p, cluster, imported)
+            p.asm.ret()
+    if spec.error_dispatch:
+        # The handlers' only address-taking site: a statically
+        # initialised function-pointer table in the data segment.
+        p.add_quads(
+            "errtab",
+            [QuadRef(f"errh{k}") for k in range(len(spec.error_dispatch))],
+        )
 
     # ---- serve ------------------------------------------------------------
     with p.function("app_serve"):

@@ -12,9 +12,15 @@ invariant over the ``BENCH_eval_accuracy.json`` trajectory:
   latest recorded trajectory entry's (no silent accuracy regressions);
 * **ordering** — no baseline's aggregate F1 may beat B-Side's: if a
   30-line register scan scores better, the identification pipeline has
-  regressed in a way raw recall cannot see.
+  regressed in a way raw recall cannot see;
+* **refinement** — when the record carries the signature-filter
+  ablation (both configurations scored per app), the filtered
+  configuration's precision must be at least the unfiltered one's and
+  its aggregate recall must be exactly 1.0: the refinement may only
+  ever *remove* false positives, never trade recall for precision.
 
-``tools/accuracy_gate.py`` drives this from ``make eval-gate``.
+``tools/accuracy_gate.py`` drives this from ``make eval-gate`` and
+additionally *requires* the ablation section to be present.
 """
 
 from __future__ import annotations
@@ -75,8 +81,9 @@ def gate_accuracy(
     recall_slack: float = 0.0,
     f1_margin: float = 0.0,
     require_baseline: bool = True,
+    require_sig_ablation: bool = False,
 ) -> AccuracyGateResult:
-    """Apply the three accuracy gates to a fresh evaluation record.
+    """Apply the accuracy gates to a fresh evaluation record.
 
     ``recall_slack`` loosens the trajectory floor (0.0 = B-Side recall
     may never drop at all); ``f1_margin`` lets a baseline come within
@@ -86,7 +93,10 @@ def gate_accuracy(
     from other workloads are not comparable and are skipped.  With
     ``require_baseline=False`` a trajectory with no comparable entry
     applies only the structural gates (used when seeding the first
-    entry).
+    entry).  ``require_sig_ablation`` makes a record *without* the
+    signature-filter ablation section fail outright (CI runs both
+    configurations; a record missing one cannot certify the
+    refinement gate).
     """
     result = AccuracyGateResult(ok=True)
     tools = record.get("tools", {})
@@ -121,6 +131,34 @@ def gate_accuracy(
                 f"ordering violation: baseline '{tool}' F1 {agg['f1']:.4f} "
                 f"beats B-Side's {bside['f1']:.4f} "
                 f"(margin {f1_margin:.4f})"
+            )
+
+    # Gate 4: refinement — the signature filter must be precision-
+    # positive at zero recall risk (both configs scored per app).
+    sig = bside.get("sig_filter")
+    if sig is None:
+        if require_sig_ablation:
+            result.ok = False
+            result.problems.append(
+                "record has no 'sig_filter' ablation aggregate: the "
+                "evaluation must score both indirect-signature "
+                "configurations (run bside eval without --no-sig-filter)"
+            )
+    else:
+        if bside["precision"] < sig["precision_unfiltered"]:
+            result.ok = False
+            result.problems.append(
+                f"refinement regression: sig-filter precision "
+                f"{bside['precision']:.4f} is below the unfiltered "
+                f"configuration's {sig['precision_unfiltered']:.4f} — "
+                f"the signature filter must never lose precision"
+            )
+        if bside["recall"] != 1.0:
+            result.ok = False
+            result.problems.append(
+                f"refinement recall violation: sig-filter aggregate "
+                f"recall {bside['recall']:.4f} != 1.0 — the signature "
+                f"filter may only remove false positives"
             )
 
     # Gate 3: recall floor vs the recorded trajectory (same workload).

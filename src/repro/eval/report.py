@@ -42,6 +42,14 @@ class AppToolResult:
     policy_size: int = 0
     #: accuracy vs the app's traced ground truth; None when the tool failed
     score: Score | None = None
+    #: B-Side only: whether the signature-compatibility refinement of
+    #: indirect-call resolution was enabled for the main run (None for
+    #: tools without the concept)
+    sig_filter: bool | None = None
+    #: B-Side only, refinement enabled: the same app re-analyzed with
+    #: the refinement *disabled* (the ablation configuration)
+    unfiltered_policy_size: int = 0
+    unfiltered_score: Score | None = None
     #: wall seconds for this tool on this app (runtime field)
     seconds: float = 0.0
 
@@ -52,20 +60,30 @@ class AppToolResult:
             "failure_stage": self.failure_stage,
             "policy_size": self.policy_size,
         }
-        if self.score is not None:
-            doc["score"] = {
-                "true_positives": self.score.true_positives,
-                "false_positives": self.score.false_positives,
-                "false_negatives": self.score.false_negatives,
-                "precision": round(self.score.precision, 4),
-                "recall": round(self.score.recall, 4),
-                "f1": round(self.score.f1, 4),
+        doc["score"] = _score_doc(self.score)
+        if self.sig_filter is not None:
+            doc["sig_filter"] = self.sig_filter
+        if self.unfiltered_score is not None:
+            doc["unfiltered"] = {
+                "policy_size": self.unfiltered_policy_size,
+                "score": _score_doc(self.unfiltered_score),
             }
-        else:
-            doc["score"] = None
         if include_runtime:
             doc["seconds"] = round(self.seconds, 6)
         return doc
+
+
+def _score_doc(score: Score | None) -> dict | None:
+    if score is None:
+        return None
+    return {
+        "true_positives": score.true_positives,
+        "false_positives": score.false_positives,
+        "false_negatives": score.false_negatives,
+        "precision": round(score.precision, 4),
+        "recall": round(score.recall, 4),
+        "f1": round(score.f1, 4),
+    }
 
 
 @dataclass(slots=True)
@@ -179,6 +197,40 @@ class EvalReport:
                     if tool in app.results and app.results[tool].success
                 ]), 4),
             }
+            unfiltered = [
+                app.results[tool].unfiltered_score
+                for app in self.apps
+                if tool in app.results
+                and app.results[tool].unfiltered_score is not None
+            ]
+            if unfiltered:
+                # Both configurations of the signature refinement were
+                # scored: record the ablation aggregate so the accuracy
+                # gate can require precision-gained at zero recall risk.
+                agg["sig_filter"] = {
+                    "precision_unfiltered": round(
+                        mean([s.precision for s in unfiltered]), 4,
+                    ),
+                    "recall_unfiltered": round(
+                        mean([s.recall for s in unfiltered]), 4,
+                    ),
+                    "f1_unfiltered": round(
+                        mean([s.f1 for s in unfiltered]), 4,
+                    ),
+                    "min_recall_unfiltered": round(
+                        min((s.recall for s in unfiltered), default=0.0), 4,
+                    ),
+                    "avg_policy_unfiltered": round(mean([
+                        app.results[tool].unfiltered_policy_size
+                        for app in self.apps
+                        if tool in app.results
+                        and app.results[tool].unfiltered_score is not None
+                    ]), 4),
+                    "precision_gained": round(
+                        agg["precision"]
+                        - mean([s.precision for s in unfiltered]), 4,
+                    ),
+                }
             sweep = self.corpus.get(tool)
             if sweep is not None:
                 ok, __, avg, total = sweep.slices["all"]
@@ -254,6 +306,18 @@ class EvalReport:
             "",
             self.results_table(),
             "",
+        ]
+        sig = self.aggregates().get(TOOL_BSIDE, {}).get("sig_filter")
+        if sig is not None:
+            lines += [
+                "_Signature refinement ablation: precision "
+                f"{self.aggregates()[TOOL_BSIDE]['precision']:.3f} filtered "
+                f"vs {sig['precision_unfiltered']:.3f} unfiltered "
+                f"({sig['precision_gained']:+.3f}); min per-app recall "
+                f"{sig['min_recall_unfiltered']:.3f} unfiltered._",
+                "",
+            ]
+        lines += [
             "#### Per-app F1 vs traced ground truth (paper Table 1)",
             "",
         ]
@@ -343,6 +407,18 @@ class EvalReport:
                     agg["f1"], valid, agg["avg_policy"],
                 )
             )
+        bside_agg = aggregates.get(TOOL_BSIDE, {})
+        sig = bside_agg.get("sig_filter")
+        if sig is not None:
+            lines.append(
+                "  sig-filter ablation: precision "
+                "{:.3f} vs {:.3f} unfiltered ({:+.3f}); recall "
+                "{:.3f} vs {:.3f} unfiltered".format(
+                    bside_agg["precision"], sig["precision_unfiltered"],
+                    sig["precision_gained"], bside_agg["recall"],
+                    sig["recall_unfiltered"],
+                )
+            )
         if self.corpus:
             lines += [
                 "",
@@ -386,9 +462,9 @@ def render_results_markdown(record: dict) -> str:
     tools = record["tools"]
     lines = [
         "| tool | apps | precision | recall | F1 | zero-FN apps "
-        "| corpus completion | avg policy |",
+        "| ΔP (sig filter) | corpus completion | avg policy |",
         "|:-----|-----:|----------:|-------:|---:|-------------:"
-        "|------------------:|-----------:|",
+        "|----------------:|------------------:|-----------:|",
     ]
     for tool, agg in tools.items():
         label = f"**{tool}**" if tool == TOOL_BSIDE else tool
@@ -399,6 +475,8 @@ def render_results_markdown(record: dict) -> str:
             )
         else:
             corpus = "—"
+        sig = agg.get("sig_filter")
+        delta = f"{sig['precision_gained']:+.3f}" if sig else "—"
         lines.append(
             f"| {label} "
             f"| {agg['completed_apps']}/{agg['apps']} "
@@ -406,6 +484,7 @@ def render_results_markdown(record: dict) -> str:
             f"| {agg['recall']:.3f} "
             f"| {agg['f1']:.3f} "
             f"| {agg['valid_apps']}/{agg['completed_apps']} "
+            f"| {delta} "
             f"| {corpus} "
             f"| {agg['avg_policy']:.1f} |"
         )

@@ -52,6 +52,12 @@ class EvalConfig:
     cache_dir: str | None = None
     #: skip the corpus sweep (apps-only runs: quick accuracy checks)
     include_corpus: bool = True
+    #: B-Side's signature-compatibility refinement of indirect-call
+    #: resolution (``bside eval --no-sig-filter`` clears it).  When set,
+    #: each validation app is additionally scored with the refinement
+    #: disabled so the precision-gained/recall-risked delta lands in the
+    #: report's ``sig_filter`` aggregate.
+    indirect_signatures: bool = True
 
 
 def _evaluate_apps(
@@ -75,6 +81,7 @@ def _evaluate_apps(
             # must not leak across apps that share a libc name.
             tool = make_tool(
                 tool_name, bundle.resolver, budget=AnalysisBudget.generous(),
+                indirect_signatures=config.indirect_signatures,
             )
             started = time.perf_counter()
             if tool_name == TOOL_BSIDE:
@@ -84,7 +91,7 @@ def _evaluate_apps(
             else:
                 outcome = tool.analyze(bundle.program.image)
             seconds = time.perf_counter() - started
-            app_eval.results[tool_name] = AppToolResult(
+            result = AppToolResult(
                 tool=tool_name,
                 success=outcome.success,
                 failure_stage=outcome.failure_stage,
@@ -95,6 +102,26 @@ def _evaluate_apps(
                 ),
                 seconds=seconds,
             )
+            if tool_name == TOOL_BSIDE:
+                result.sig_filter = config.indirect_signatures
+                if config.indirect_signatures:
+                    # Ablation run: the same app with the signature
+                    # refinement disabled, so the report carries both
+                    # configurations and the gate can require the
+                    # refinement never trades recall for precision.
+                    ablated = make_tool(
+                        tool_name, bundle.resolver,
+                        budget=AnalysisBudget.generous(),
+                        indirect_signatures=False,
+                    ).analyze(
+                        bundle.program.image, modules=bundle.module_images,
+                    )
+                    if ablated.success:
+                        result.unfiltered_policy_size = len(ablated.syscalls)
+                        result.unfiltered_score = score(
+                            ablated.syscalls, truth.syscalls,
+                        )
+            app_eval.results[tool_name] = result
         report.apps.append(app_eval)
     report.emulated_runs = builder.emulated_runs
     report.emulated_steps = builder.emulated_steps
@@ -120,6 +147,7 @@ def _evaluate_corpus(
                 budget=AnalysisBudget(),
                 workers=config.workers,
                 artifact_store=store,
+                indirect_signatures=config.indirect_signatures,
             )
         else:
             fleet = FleetAnalyzer(

@@ -24,6 +24,7 @@ def make_tool(
     resolver: LibraryResolver,
     *,
     budget: AnalysisBudget | None = None,
+    indirect_signatures: bool = True,
 ):
     """Instantiate one evaluation tool over ``resolver``.
 
@@ -31,10 +32,16 @@ def make_tool(
     design, matching §3's characterisation); the validation-app pass
     uses a generous budget like the paper's per-app runs, while the
     corpus sweep uses the default budget so the hard binaries reproduce
-    Table 2's timeout population.
+    Table 2's timeout population.  ``indirect_signatures`` likewise
+    only applies to B-Side: it toggles the signature-compatibility
+    refinement of indirect-call resolution, which the runner ablates to
+    score both configurations per app.
     """
     if name == TOOL_BSIDE:
-        return BSideAnalyzer(resolver=resolver, budget=budget)
+        return BSideAnalyzer(
+            resolver=resolver, budget=budget,
+            indirect_signatures=indirect_signatures,
+        )
     if name == "chestnut":
         return ChestnutAnalyzer(resolver)
     if name == "sysfilter":

@@ -18,12 +18,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cfg import (
+    EDGE_ICALL,
     all_addresses_taken,
     build_cfg,
     reachable_blocks,
     resolve_indirect_active,
     resolve_indirect_all,
 )
+from repro.cfg.signatures import ARG_REG_NAMES, filter_targets
 from repro.cfg.funccfg import scan_image
 from repro.cfg.partition import FunctionPartition
 from repro.corpus import ProgramBuilder
@@ -226,3 +228,53 @@ def test_funcid_hash_moves_exactly_for_identification_cone(spec, seed):
                 f"unrelated region {start:#x} changed its funcid hash"
             )
             assert after.caller_hashes[start] == before.caller_hashes[start]
+
+
+_signature = st.one_of(
+    st.none(),
+    st.sets(st.sampled_from(sorted(ARG_REG_NAMES))).map(frozenset),
+)
+_targets = st.lists(st.integers(0, 40), unique=True)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    caller=_signature,
+    targets=_targets,
+    extra=_targets,
+    sigs=st.dictionaries(st.integers(0, 40), _signature),
+)
+def test_signature_filter_monotone_and_deterministic(caller, targets, extra, sigs):
+    """Adding candidates never removes a previously kept target, the
+    filter is a pure function of its inputs, and unknown signatures on
+    either side always fall back to keeping the target."""
+    kept = filter_targets(caller, targets, sigs)
+    assert kept == filter_targets(caller, targets, sigs)
+    # Order-preserving subsequence of the input.
+    assert [t for t in targets if t in set(kept)] == kept
+    grown = targets + [t for t in extra if t not in targets]
+    kept_grown = set(filter_targets(caller, grown, sigs))
+    assert set(kept) <= kept_grown
+    if caller is None:
+        assert kept == list(targets)
+    for t in targets:
+        if sigs.get(t) is None:  # missing or explicitly unknown callee
+            assert t in kept
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=_program())
+def test_signature_resolution_yields_icall_edge_subset(spec):
+    """With the signature filter on, every site's resolved target set is
+    a subset of the unfiltered resolution's, on the same program."""
+    prog = _build(spec)
+    unfiltered = build_cfg(prog.image)
+    resolve_indirect_active(unfiltered, prog.image, [prog.image.entry])
+    filtered = build_cfg(prog.image)
+    resolve_indirect_active(
+        filtered, prog.image, [prog.image.entry], signatures=True
+    )
+    for site in unfiltered.indirect_sites:
+        u = {e.dst for e in unfiltered.successors(site, kinds=(EDGE_ICALL,))}
+        f = {e.dst for e in filtered.successors(site, kinds=(EDGE_ICALL,))}
+        assert f <= u

@@ -335,6 +335,54 @@ class TestAccuracyGate:
         result = gate_accuracy(record, self._trajectory(_record()))
         assert not result.ok
 
+    @staticmethod
+    def _with_sig(record, precision_unfiltered=0.70, recall_unfiltered=1.0):
+        record["tools"]["b-side"]["sig_filter"] = {
+            "precision_unfiltered": precision_unfiltered,
+            "recall_unfiltered": recall_unfiltered,
+            "f1_unfiltered": 0.82, "min_recall_unfiltered": 1.0,
+            "avg_policy_unfiltered": 88.0,
+            "precision_gained": round(
+                record["tools"]["b-side"]["precision"] - precision_unfiltered,
+                4,
+            ),
+        }
+        return record
+
+    def test_refinement_ablation_passes_when_precision_positive(self):
+        result = gate_accuracy(
+            self._with_sig(_record()), self._trajectory(_record()),
+            require_sig_ablation=True,
+        )
+        assert result.ok and not result.problems
+
+    def test_refinement_precision_regression_fails(self):
+        # Filtered precision (0.73) below the unfiltered config's.
+        result = gate_accuracy(
+            self._with_sig(_record(), precision_unfiltered=0.80),
+            self._trajectory(_record()),
+        )
+        assert not result.ok
+        assert any("refinement regression" in p for p in result.problems)
+
+    def test_refinement_recall_must_be_exactly_one(self):
+        result = gate_accuracy(
+            self._with_sig(_record(bside_recall=0.995)),
+            self._trajectory(_record(bside_recall=0.995)),
+        )
+        assert not result.ok
+        assert any("refinement recall" in p for p in result.problems)
+
+    def test_missing_ablation_section_fails_only_when_required(self):
+        lenient = gate_accuracy(_record(), self._trajectory(_record()))
+        assert lenient.ok
+        strict = gate_accuracy(
+            _record(), self._trajectory(_record()),
+            require_sig_ablation=True,
+        )
+        assert not strict.ok
+        assert any("sig_filter" in p for p in strict.problems)
+
     def test_floor_only_compares_same_workload_entries(self):
         # A full-scale (or apps-only) record in the trajectory must not
         # become the CI workload's baseline: only same-(scale, seed)

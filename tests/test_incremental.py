@@ -457,3 +457,165 @@ def test_mutating_leaf_keeps_wrapper_products_cached(tmp_path):
     assert (inc.sites_total, inc.sites_reexecuted) == _expected_sites(
         mutated.image, mutated.changed
     )
+
+
+# ---------------------------------------------------------------------------
+# Signature-aware invalidation: argument-setup edits move funcid products
+# ---------------------------------------------------------------------------
+
+
+def _sig_dispatch_program():
+    """A signature-filtered dispatch whose handler is dead code.
+
+    ``handler`` reads ``rsi``/``rdx`` at entry (its ``cmp`` immediate is
+    a mutable argument-setup site) and is address-taken only through the
+    ``tab`` quad table; the dispatch site in ``disp`` prepares only
+    ``rdi``, so the signature filter drops the handler — and its
+    ``socket`` (41) syscall — from the identified set.
+    """
+    from repro.corpus import ProgramBuilder
+    from repro.x86 import EAX, RAX, RDI, RDX, RSI
+
+    p = ProgramBuilder("sigdisp")
+    with p.function("handler"):
+        p.asm.cmp(RSI, 0x10)
+        p.asm.mov(RAX, RSI)
+        p.asm.add(RAX, RDX)
+        p.asm.mov(EAX, 41)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("plain"):
+        p.asm.mov(EAX, 39)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("disp"):
+        p.asm.call("plain")
+        p.asm.xor(RDI, RDI)
+        p.asm.mov_from_rip(RAX, "tab")
+        p.asm.call_reg(RAX)
+        p.asm.ret()
+    with p.function("_start"):
+        p.asm.call("disp")
+        p.asm.mov(EAX, 60)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    p.add_quads("tab", ["handler"])
+    return p.build()
+
+
+def _payloads_for(root: str, kind: str, start: int) -> list[dict]:
+    import json
+
+    key = {"funccfg": "function_cfg", "funcid": "function_id"}[kind]
+    out = []
+    for path in _entry_files(root, kind):
+        with open(path) as handle:
+            doc = json.load(handle)
+        if doc.get(key, {}).get("start") == start:
+            out.append(doc[key])
+    return out
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded"])
+def test_cached_products_carry_entry_signatures(layout, tmp_path):
+    prog = _sig_dispatch_program()
+    root = str(tmp_path / "cache")
+    make_store = (
+        (lambda: ArtifactStore(root)) if layout == "flat"
+        else (lambda: ShardedArtifactStore(root, shards=2))
+    )
+    warm = _standalone_analyzer(make_store()).analyze(prog.image)
+    assert warm.success
+    # The filter removed the dead handler's syscall from the policy.
+    assert sorted(warm.syscalls) == [39, 60]
+
+    handler = prog.image.symbol_addr("handler")
+    for kind in ("funccfg", "funcid"):
+        payloads = _payloads_for(root, kind, handler)
+        assert payloads, f"no cached {kind} product for the handler"
+        for payload in payloads:
+            assert payload["arg_signature"] == ["rdx", "rsi"]
+
+    # Replaying the warm cache must validate those signatures (a replay
+    # re-analyzes nothing and reproduces the report byte for byte).
+    _prune_derived(make_store())
+    replay = _standalone_analyzer(make_store()).analyze(prog.image)
+    assert replay.functions_reanalyzed == 0
+    assert _stable(replay) == _stable(warm)
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded"])
+def test_mutating_argument_setup_invalidates_handler_products(
+    layout, tmp_path
+):
+    prog = _sig_dispatch_program()
+    root = str(tmp_path / "cache")
+    make_store = (
+        (lambda: ArtifactStore(root)) if layout == "flat"
+        else (lambda: ShardedArtifactStore(root, shards=2))
+    )
+    assert _standalone_analyzer(make_store()).analyze(prog.image).success
+
+    handler = _region_start(prog.image, "handler")
+    mutated = mutate_regions(prog.elf_bytes, prog.name, [handler], seed=3)
+    inc = _standalone_analyzer(make_store()).analyze(mutated.image)
+    cold = _standalone_analyzer().analyze(mutated.image)
+    assert _stable(inc) == _stable(cold)
+    # The handler has no direct callers (it is reached only through the
+    # data table), so its cone is itself: exactly one function
+    # re-analyzes, and the dependent dispatch site re-resolves against
+    # the fresh signature without losing the filter's effect.
+    expected = _expected_reanalysis(mutated.image, mutated.changed)
+    assert handler in expected
+    assert inc.functions_reanalyzed == len(expected)
+    assert 41 not in inc.syscalls
+
+
+def test_unrelated_mutation_replays_handler_products(tmp_path):
+    prog = _sig_dispatch_program()
+    root = str(tmp_path / "cache")
+    assert _standalone_analyzer(ArtifactStore(root)).analyze(
+        prog.image
+    ).success
+
+    handler = _region_start(prog.image, "handler")
+    plain = _region_start(prog.image, "plain")
+    mutated = mutate_regions(prog.elf_bytes, prog.name, [plain], seed=3)
+    inc = _standalone_analyzer(ArtifactStore(root)).analyze(mutated.image)
+    cold = _standalone_analyzer().analyze(mutated.image)
+    assert _stable(inc) == _stable(cold)
+    # The handler is outside the change's dependency cone: its funccfg
+    # and funcid products — signatures included — replay from cache.
+    expected = _expected_reanalysis(mutated.image, mutated.changed)
+    assert handler not in expected
+    assert inc.functions_reanalyzed == len(expected)
+
+
+def test_ablation_config_does_not_share_cache_entries(tmp_path):
+    """``indirect_signatures`` is part of the cache fingerprint: an
+    ablated run against a warm filtered cache must miss everything and
+    produce the unfiltered (superset) policy."""
+    prog = _sig_dispatch_program()
+    root = str(tmp_path / "cache")
+    warm = _standalone_analyzer(ArtifactStore(root)).analyze(prog.image)
+    assert warm.success
+
+    ablated = BSideAnalyzer(
+        budget=AnalysisBudget(),
+        artifact_store=ArtifactStore(root),
+        incremental=True,
+        indirect_signatures=False,
+    ).analyze(prog.image)
+    assert ablated.functions_reanalyzed == warm.functions_reanalyzed
+    assert 41 in ablated.syscalls
+    assert set(warm.syscalls) < set(ablated.syscalls)
+
+    # Store entries are keyed by product name, so the ablated run
+    # recycled the slots under its own fingerprint: a filtered replay
+    # must *miss* on every one (fingerprint mismatch) rather than reuse
+    # an ablated product, and still reproduce the warm report exactly.
+    _prune_derived(ArtifactStore(root))
+    replay = _standalone_analyzer(ArtifactStore(root)).analyze(prog.image)
+    assert replay.functions_reanalyzed == replay.functions_total
+    assert _stable(replay) == _stable(warm)

@@ -1,0 +1,398 @@
+"""Signature-compatible indirect-call refinement (``repro.cfg.signatures``).
+
+Three layers of coverage:
+
+* unit tests for the instruction effect model and the callee/caller
+  signature extractors over hand-assembled functions — register
+  reads/writes, early-return scans, and the unknown-instruction
+  fallback to the unfiltered candidate set;
+* a resolution-level test that the fixpoint with ``signatures=True``
+  drops provably incompatible targets while keeping compatible ones;
+* a differential suite over all six validation apps pinning that the
+  filtered target set at every site is a subset of the unfiltered one
+  and that the identified syscall sets keep recall 1.0 against the
+  apps' runtime ground truth under both configurations.
+
+Plus the regression test for ``data_segment_addresses_taken`` bounds
+handling (unaligned segment start, trailing partial word).
+"""
+
+from __future__ import annotations
+
+import struct
+import types
+
+import pytest
+
+from repro.cfg import (
+    EDGE_ICALL,
+    build_cfg,
+    data_segment_addresses_taken,
+    resolve_indirect_active,
+)
+from repro.cfg.signatures import (
+    ARG_REG_NAMES,
+    _insn_effects,
+    callee_signature,
+    caller_signature,
+    compatible,
+    entry_signature,
+    filter_targets,
+    signature_doc,
+    signature_from_doc,
+)
+from repro.core import AnalysisBudget, BSideAnalyzer
+from repro.corpus import APP_NAMES, ProgramBuilder, build_app
+from repro.elf.reader import Segment
+from repro.x86 import EAX, RAX, RBX, RDI, RDX, RSI, Immediate, Memory
+
+getpid, socket, exit_ = 39, 41, 60
+
+
+def _insn(mnemonic, *operands):
+    from repro.x86 import Instruction
+
+    return Instruction(mnemonic, tuple(operands), addr=0x1000, size=2)
+
+
+class TestInsnEffects:
+    def test_mov_reads_src_kills_dst(self):
+        reads, kills = _insn_effects(_insn("mov", RAX, RSI))
+        assert reads == {"rsi"}
+        assert kills == {"rax"}
+
+    def test_mov_immediate_is_pure_kill(self):
+        reads, kills = _insn_effects(_insn("mov", RDI, Immediate(7)))
+        assert reads == set()
+        assert kills == {"rdi"}
+
+    def test_mov_to_memory_reads_address_regs_kills_nothing(self):
+        reads, kills = _insn_effects(
+            _insn("mov", Memory(base=RDI, index=RSI), RDX)
+        )
+        assert reads == {"rdi", "rsi", "rdx"}
+        assert kills == set()
+
+    def test_xor_self_zero_idiom_is_pure_kill(self):
+        reads, kills = _insn_effects(_insn("xor", RDI, RDI))
+        assert reads == set()
+        assert kills == {"rdi"}
+
+    def test_alu_reads_both_and_kills_dst(self):
+        reads, kills = _insn_effects(_insn("add", RAX, RDX))
+        assert reads == {"rax", "rdx"}
+        assert kills == {"rax"}
+
+    def test_compare_reads_without_killing(self):
+        reads, kills = _insn_effects(_insn("cmp", RDI, Immediate(0)))
+        assert reads == {"rdi"}
+        assert kills == set()
+
+    def test_cmov_never_kills_its_destination(self):
+        reads, kills = _insn_effects(_insn("cmove", RAX, RSI))
+        assert reads == {"rax", "rsi"}
+        assert kills == set()
+
+    def test_push_is_read_free_save_idiom(self):
+        reads, kills = _insn_effects(_insn("push", RBX))
+        assert reads == set()
+        assert kills == set()
+
+    def test_pop_kills_register(self):
+        reads, kills = _insn_effects(_insn("pop", RBX))
+        assert kills == {"rbx"}
+
+    def test_unclassifiable_shapes_are_unknown(self):
+        # mov into an immediate can't come from the decoder; the model
+        # must refuse to guess rather than misclassify.
+        assert _insn_effects(_insn("mov", Immediate(1), Immediate(2))) is None
+        assert _insn_effects(_insn("add", RAX, RBX, RDX)) is None
+
+
+class TestEntrySignature:
+    def test_reads_before_write_become_params(self):
+        stream = {
+            0x1000: _insn("mov", RAX, RSI),
+            0x1002: _insn("add", RAX, RDX),
+        }
+        assert entry_signature(stream, 0x1000) == frozenset({"rsi", "rdx"})
+
+    def test_killed_register_read_is_not_a_param(self):
+        stream = {
+            0x1000: _insn("xor", RDI, RDI),
+            0x1002: _insn("mov", RAX, RDI),
+        }
+        assert entry_signature(stream, 0x1000) == frozenset()
+
+    def test_terminator_stops_scan_with_partial_set(self):
+        stream = {
+            0x1000: _insn("mov", RAX, RDI),
+            0x1002: _insn("ret"),
+            0x1003: _insn("mov", RAX, RSI),  # past the ret: never scanned
+        }
+        assert entry_signature(stream, 0x1000) == frozenset({"rdi"})
+
+    def test_insn_bound_stops_scan_with_partial_set(self):
+        stream = {
+            0x1000: _insn("mov", RAX, RDI),
+            0x1002: _insn("mov", RBX, RSI),
+        }
+        assert entry_signature(stream, 0x1000, max_insns=1) == frozenset(
+            {"rdi"}
+        )
+
+    def test_unknown_instruction_makes_signature_unknown(self):
+        stream = {
+            0x1000: _insn("mov", RAX, RDI),
+            0x1002: _insn("mov", Immediate(1), Immediate(2)),
+        }
+        assert entry_signature(stream, 0x1000) is None
+
+    def test_non_instruction_entry_is_unknown(self):
+        assert entry_signature({}, 0x2000) is None
+
+
+def _dispatch_program():
+    """A table dispatch whose site prepares only rdi.
+
+    ``takes2`` reads rsi and rdx at entry (incompatible with the site);
+    ``takes0`` reads nothing (compatible).  Both are address-taken only
+    through the data-segment quad table.
+    """
+    p = ProgramBuilder("sigsample")
+    with p.function("takes2"):
+        p.asm.mov(RAX, RSI)
+        p.asm.add(RAX, RDX)
+        p.asm.mov(EAX, getpid)
+        p.asm.syscall()
+        p.asm.ret()
+    with p.function("takes0"):
+        p.asm.xor(RDI, RDI)
+        p.asm.mov(RAX, RDI)
+        p.asm.ret()
+    with p.function("disp"):
+        p.asm.call("takes0")
+        p.asm.xor(RDI, RDI)
+        p.asm.mov_from_rip(RAX, "table")
+        p.asm.call_reg(RAX)
+        p.asm.ret()
+    with p.function("_start"):
+        p.asm.call("disp")
+        p.asm.mov(EAX, exit_)
+        p.asm.syscall()
+        p.asm.hlt()
+    p.set_entry("_start")
+    p.add_quads("table", ["takes2", "takes0"])
+    return p.build()
+
+
+def _icall_targets(cfg, site):
+    return {e.dst for e in cfg.successors(site, kinds=(EDGE_ICALL,))}
+
+
+class TestCfgSignatures:
+    def test_callee_signatures_on_assembled_functions(self):
+        prog = _dispatch_program()
+        cfg = build_cfg(prog.image)
+        assert callee_signature(
+            cfg, prog.image.symbol_addr("takes2")
+        ) == frozenset({"rsi", "rdx"})
+        assert callee_signature(
+            cfg, prog.image.symbol_addr("takes0")
+        ) == frozenset()
+
+    def test_callee_signature_outside_cfg_is_unknown(self):
+        prog = _dispatch_program()
+        cfg = build_cfg(prog.image)
+        assert callee_signature(cfg, 0xDEAD) is None
+
+    def test_caller_signature_stops_at_callret_boundary(self):
+        prog = _dispatch_program()
+        cfg = build_cfg(prog.image)
+        (site,) = cfg.indirect_sites
+        # Backward walk over the site block stops at the callret in-edge
+        # from the preceding `call takes0`: only the xor rdi,rdi after
+        # the call counts as prepared.
+        assert caller_signature(cfg, site) == frozenset({"rdi"})
+
+    def test_caller_signature_at_entry_block_is_unknown(self):
+        p = ProgramBuilder("entrysite")
+        with p.function("handler"):
+            p.asm.mov(EAX, exit_)
+            p.asm.syscall()
+            p.asm.ret()
+        with p.function("_start"):
+            p.asm.lea_rip(RAX, "handler")
+            p.asm.call_reg(RAX)
+            p.asm.hlt()
+        p.set_entry("_start")
+        prog = p.build()
+        cfg = build_cfg(prog.image)
+        (site,) = cfg.indirect_sites
+        # A predecessor-less entry block could be entered with any
+        # argument registers live: the walk escapes and reports unknown.
+        assert caller_signature(cfg, site) is None
+        active, __ = resolve_indirect_active(
+            cfg, prog.image, [prog.image.entry], signatures=True
+        )
+        # Unknown caller signature keeps the full candidate set.
+        assert prog.image.symbol_addr("handler") in _icall_targets(cfg, site)
+
+    def test_resolution_drops_incompatible_targets_only(self):
+        prog = _dispatch_program()
+        takes2 = prog.image.symbol_addr("takes2")
+        takes0 = prog.image.symbol_addr("takes0")
+
+        unfiltered = build_cfg(prog.image)
+        resolve_indirect_active(unfiltered, prog.image, [prog.image.entry])
+        filtered = build_cfg(prog.image)
+        resolve_indirect_active(
+            filtered, prog.image, [prog.image.entry], signatures=True
+        )
+
+        (site,) = unfiltered.indirect_sites
+        assert _icall_targets(unfiltered, site) == {takes2, takes0}
+        assert _icall_targets(filtered, site) == {takes0}
+
+    def test_filter_changes_identified_syscalls(self):
+        prog = _dispatch_program()
+        filtered = BSideAnalyzer().analyze(prog.image)
+        unfiltered = BSideAnalyzer(indirect_signatures=False).analyze(
+            prog.image
+        )
+        assert filtered.success and unfiltered.success
+        assert getpid in unfiltered.syscalls
+        assert getpid not in filtered.syscalls
+        assert set(filtered.syscalls) < set(unfiltered.syscalls)
+
+
+class TestCompatibility:
+    def test_unknown_on_either_side_is_compatible(self):
+        assert compatible(None, frozenset({"rdi"}))
+        assert compatible(frozenset(), None)
+        assert compatible(None, None)
+
+    def test_subset_rule(self):
+        assert compatible(frozenset({"rdi", "rsi"}), frozenset({"rdi"}))
+        assert not compatible(frozenset({"rdi"}), frozenset({"rdi", "rsi"}))
+
+    def test_filter_targets_identity_on_unknown_caller(self):
+        sigs = {1: frozenset({"rsi"}), 2: frozenset()}
+        assert filter_targets(None, [1, 2], sigs) == [1, 2]
+
+    def test_filter_targets_keeps_unknown_callees(self):
+        caller = frozenset({"rdi"})
+        sigs = {1: None, 2: frozenset({"rsi"}), 3: frozenset({"rdi"})}
+        assert filter_targets(caller, [1, 2, 3, 4], sigs) == [1, 3, 4]
+
+    def test_signature_doc_roundtrip(self):
+        for sig in (None, frozenset(), frozenset({"rdi", "r9"})):
+            assert signature_from_doc(signature_doc(sig)) == sig
+        with pytest.raises(ValueError):
+            signature_from_doc("rdi")
+        with pytest.raises(ValueError):
+            signature_from_doc([1])
+        assert signature_doc(frozenset(ARG_REG_NAMES)) == sorted(
+            ARG_REG_NAMES
+        )
+
+
+class TestDataSegmentBounds:
+    """Regression: unaligned segment start and trailing partial word."""
+
+    @staticmethod
+    def _image(vaddr, data):
+        elf = types.SimpleNamespace(
+            data_segment=Segment(vaddr=vaddr, data=data, flags=6)
+        )
+        code = {0x401000, 0x401010}
+        return types.SimpleNamespace(
+            elf=elf, is_code_addr=lambda value: value in code
+        )
+
+    def test_unaligned_start_and_trailing_partial_word(self):
+        # Segment starts 4 bytes past alignment and ends mid-word: the
+        # scan must begin at the first 8-aligned virtual address and
+        # never read the trailing partial word (which holds the first 5
+        # bytes of a valid code pointer).
+        data = (
+            b"\x00" * 4
+            + struct.pack("<Q", 0x401000)
+            + struct.pack("<Q", 0x999)
+            + struct.pack("<Q", 0x401010)[:5]
+        )
+        image = self._image(0x500004, data)
+        assert data_segment_addresses_taken(image) == {0x401000}
+
+    def test_aligned_segment_with_partial_tail(self):
+        data = struct.pack("<Q", 0x401010) + b"\x01\x02\x03"
+        image = self._image(0x600000, data)
+        assert data_segment_addresses_taken(image) == {0x401010}
+
+    def test_segment_smaller_than_one_word(self):
+        image = self._image(0x600000, b"\x01" * 7)
+        assert data_segment_addresses_taken(image) == set()
+
+    def test_missing_data_segment(self):
+        image = types.SimpleNamespace(
+            elf=types.SimpleNamespace(data_segment=None)
+        )
+        assert data_segment_addresses_taken(image) == set()
+
+
+class TestAppDifferential:
+    """The six validation apps: filtered ⊆ unfiltered, recall intact."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_filtered_targets_subset_and_recall_one(self, name):
+        bundle = build_app(name)
+        image = bundle.program.image
+        roots = [image.entry]
+
+        unfiltered = build_cfg(image)
+        resolve_indirect_active(unfiltered, image, roots)
+        filtered = build_cfg(image)
+        resolve_indirect_active(filtered, image, roots, signatures=True)
+
+        for site in unfiltered.indirect_sites:
+            u = _icall_targets(unfiltered, site)
+            f = _icall_targets(filtered, site)
+            assert f <= u, f"{name}: site {site:#x} gained targets"
+
+        truth = bundle.expected_runtime_syscalls()
+        reports = {}
+        for sig in (True, False):
+            report = BSideAnalyzer(
+                resolver=bundle.resolver,
+                budget=AnalysisBudget.generous(),
+                indirect_signatures=sig,
+            ).analyze(image, modules=bundle.module_images)
+            assert report.success, f"{name}: analysis failed (sig={sig})"
+            missed = truth - set(report.syscalls)
+            assert not missed, (
+                f"{name}: false negatives {sorted(missed)} (sig={sig})"
+            )
+            reports[sig] = set(report.syscalls)
+        assert reports[True] <= reports[False], (
+            f"{name}: the filter may only remove identified syscalls"
+        )
+
+    def test_filter_strictly_improves_some_app(self):
+        # The corpus was built so the dead error-dispatch handlers are
+        # signature-incompatible: at least one app must actually shrink.
+        improved = 0
+        for name in APP_NAMES:
+            bundle = build_app(name)
+            sizes = {}
+            for sig in (True, False):
+                report = BSideAnalyzer(
+                    resolver=bundle.resolver,
+                    budget=AnalysisBudget.generous(),
+                    indirect_signatures=sig,
+                ).analyze(
+                    bundle.program.image, modules=bundle.module_images
+                )
+                sizes[sig] = len(report.syscalls)
+            if sizes[True] < sizes[False]:
+                improved += 1
+        assert improved == len(APP_NAMES)

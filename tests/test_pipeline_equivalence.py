@@ -1,11 +1,11 @@
 """Pass-pipeline equivalence and pipeline-configuration tests.
 
 ``tests/golden/pipeline_reports.json`` holds the deterministic
-(``include_runtime=False``) reports the *pre-refactor* seed analyzer
-produced for the six §5.1 validation apps under the default pipeline and
-all three ablation configs.  The refactored pass-pipeline analyzer must
-reproduce every one of them byte for byte: the pipeline is a pure
-re-architecture, never a behaviour change.
+(``include_runtime=False``) reports for the six §5.1 validation apps
+under the default pipeline and every ablation config (regenerated when
+the corpus itself changes, never to paper over an analyzer change).
+The pass-pipeline analyzer must reproduce every one of them byte for
+byte: refactors are pure re-architectures, never behaviour changes.
 """
 
 import json
@@ -33,6 +33,7 @@ ABLATION_CONFIGS = {
     "no-wrappers": {"detect_wrappers": False},
     "no-directed": {"directed_search": False},
     "all-addresses-taken": {"use_active_addresses_taken": False},
+    "no-signatures": {"indirect_signatures": False},
 }
 
 
@@ -151,6 +152,8 @@ class TestPipelineShape:
             PipelineConfig(directed_search=False).fingerprint(budget)
         assert base.fingerprint(budget) != \
             PipelineConfig(detect_wrappers=False).fingerprint(budget)
+        assert base.fingerprint(budget) != \
+            PipelineConfig(indirect_signatures=False).fingerprint(budget)
         assert base.fingerprint(budget) != \
             base.fingerprint(AnalysisBudget.generous())
 

@@ -9,7 +9,11 @@ scale and gates the result against the committed
   completes (min per-app recall < 1.0 — the paper's validity criterion);
 * fail if B-Side's aggregate recall drops below the latest recorded
   trajectory entry's at the same (scale, seed) workload;
-* fail if any baseline's aggregate F1 beats B-Side's.
+* fail if any baseline's aggregate F1 beats B-Side's;
+* fail unless both indirect-signature configurations were scored and
+  the sig-filter configuration's precision is at least the unfiltered
+  one's with aggregate recall exactly 1.0 (the refinement may only
+  remove false positives).
 
 The evaluation is fully deterministic for a fixed ``(scale, seed)`` —
 no timing, no machine dependence — so the gates run with zero slack by
@@ -105,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         recall_slack=args.recall_slack,
         f1_margin=args.f1_margin,
         require_baseline=not args.seed_baseline,
+        require_sig_ablation=True,
     )
 
     if args.record and result.ok:
